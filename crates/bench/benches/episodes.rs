@@ -1,0 +1,60 @@
+//! Criterion benchmarks of whole simulated episodes — the host-time cost of
+//! regenerating the paper's figures, one entry per paradigm plus a
+//! decentralized team-size scaling series (the Fig. 7 harness cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use embodied_agents::{run_episode, workloads, RunOverrides};
+use embodied_env::TaskDifficulty;
+
+fn easy() -> RunOverrides {
+    RunOverrides {
+        difficulty: Some(TaskDifficulty::Easy),
+        ..Default::default()
+    }
+}
+
+fn bench_paradigm_episodes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("episode");
+    group.sample_size(20);
+    for (label, workload) in [
+        ("single_modular", "DEPS"),
+        ("centralized", "MindAgent"),
+        ("decentralized", "CoELA"),
+        ("hybrid", "HMAS"),
+    ] {
+        let spec = workloads::find(workload).expect("suite member");
+        let overrides = easy();
+        let mut seed = 0u64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                run_episode(&spec, &overrides, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_team_scaling(c: &mut Criterion) {
+    let spec = workloads::find("CoELA").expect("suite member");
+    let mut group = c.benchmark_group("fig7_episode_cost");
+    group.sample_size(10);
+    for agents in [2usize, 4, 8] {
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            num_agents: Some(agents),
+            ..Default::default()
+        };
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(agents), &agents, |b, _| {
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                run_episode(&spec, &overrides, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paradigm_episodes, bench_team_scaling);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Box-world dataset grid: the paper evaluates CMAS, DMAS and HMAS on four
+//! environments (BoxNet1, BoxNet2, Warehouse, BoxLift — Table II). This
+//! experiment runs all three systems on all four, exposing the
+//! centralized / decentralized / hybrid contrast per dataset — including
+//! BoxLift's synchronized two-arm lifts, where communication actually earns
+//! its latency.
+//!
+//! ```text
+//! cargo run --release -p embodied-bench --bin boxworld_grid
+//! ```
+
+use embodied_agents::{workloads, EnvKind, RunOverrides};
+use embodied_bench::{banner, episodes, sweep_agg, ExperimentOutput};
+use embodied_env::BoxVariant;
+use embodied_profiler::{pct, Table};
+
+const SYSTEMS: [&str; 3] = ["CMAS", "DMAS", "HMAS"];
+const VARIANTS: [BoxVariant; 4] = [
+    BoxVariant::BoxNet1,
+    BoxVariant::BoxNet2,
+    BoxVariant::Warehouse,
+    BoxVariant::BoxLift,
+];
+
+fn main() {
+    let mut out = ExperimentOutput::new("boxworld_grid");
+    banner(
+        &mut out,
+        "Box-World Dataset Grid",
+        "CMAS / DMAS / HMAS across BoxNet1, BoxNet2, Warehouse and BoxLift",
+    );
+
+    for variant in VARIANTS {
+        out.section(&variant.to_string());
+        let mut table = Table::new([
+            "system",
+            "paradigm",
+            "success",
+            "steps",
+            "end-to-end",
+            "msgs/ep",
+        ]);
+        for name in SYSTEMS {
+            let spec = workloads::find(name).expect("suite member");
+            let overrides = RunOverrides {
+                env: Some(EnvKind::BoxWorld(variant)),
+                ..Default::default()
+            };
+            let agg = sweep_agg(&spec, &overrides, episodes(), name);
+            table.row([
+                name.to_owned(),
+                spec.paradigm.to_string(),
+                pct(agg.success_rate),
+                format!("{:.1}", agg.mean_steps),
+                agg.mean_latency.to_string(),
+                format!("{:.1}", agg.messages.generated as f64 / agg.episodes as f64),
+            ]);
+        }
+        out.line(table.render());
+    }
+    out.line(
+        "Expected contrasts: the centralized planner (CMAS) is cheapest per \
+         step; the decentralized dialogue (DMAS) pays latency for \
+         coordination; the hybrid (HMAS) recovers coordination quality on \
+         BoxLift's synchronized lifts at an intermediate cost.",
+    );
+}

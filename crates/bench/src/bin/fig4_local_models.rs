@@ -1,0 +1,72 @@
+//! Fig. 4 — local model analysis: task success rate and end-to-end runtime
+//! under GPT-4 API calls vs. Llama-3-8B local processing.
+//!
+//! Paper finding (shape): the local 8B model is faster *per inference* but
+//! degrades success and lengthens *end-to-end* runtime through wasted steps.
+//!
+//! ```text
+//! cargo run --release -p embodied-bench --bin fig4_local_models
+//! ```
+
+use embodied_agents::{workloads, RunOverrides};
+use embodied_bench::{banner, episodes, sweep_agg, ExperimentOutput};
+use embodied_llm::{inference_latency, InferenceOpts, ModelProfile};
+use embodied_profiler::{pct, Table};
+
+const SYSTEMS: [&str; 3] = ["JARVIS-1", "DEPS", "OLA"];
+
+fn main() {
+    let mut out = ExperimentOutput::new("fig4_local_models");
+    banner(
+        &mut out,
+        "Fig. 4: Local Model Analysis",
+        "GPT-4 API vs. Llama-3-8B local planning on three GPT-4 workloads",
+    );
+
+    // Per-inference premise: one representative planning call.
+    let gpt4_call = inference_latency(&ModelProfile::gpt4_api(), 2_000, 220, InferenceOpts::default());
+    let llama_call = inference_latency(&ModelProfile::llama3_8b(), 2_000, 220, InferenceOpts::default());
+    out.blank();
+    out.line(format!(
+        "Representative planning inference (2k prompt / 220 output tokens): \
+         GPT-4 API {gpt4_call}, Llama-3-8B local {llama_call} — the local model \
+         is faster per inference."
+    ));
+
+    out.section("Task success rate and end-to-end runtime");
+    let mut table = Table::new([
+        "Workload",
+        "planner",
+        "success",
+        "steps",
+        "end-to-end",
+        "LLM calls/ep",
+    ]);
+    for name in SYSTEMS {
+        let spec = workloads::find(name).expect("suite member");
+        for (label, planner) in [
+            ("GPT-4 (API)", None),
+            ("Llama-3-8B (local)", Some(ModelProfile::llama3_8b())),
+        ] {
+            let overrides = RunOverrides {
+                planner: planner.clone(),
+                ..Default::default()
+            };
+            let agg = sweep_agg(&spec, &overrides, episodes(), label);
+            table.row([
+                name.to_owned(),
+                label.to_owned(),
+                pct(agg.success_rate),
+                format!("{:.1}", agg.mean_steps),
+                agg.mean_latency.to_string(),
+                format!("{:.1}", agg.calls_per_episode()),
+            ]);
+        }
+    }
+    out.line(table.render());
+    out.line(
+        "Paper finding: smaller local LLMs reduce success and *increase* \
+         end-to-end runtime despite faster per-inference times, because \
+         suboptimal plans force extra steps.",
+    );
+}

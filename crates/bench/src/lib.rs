@@ -1,0 +1,103 @@
+//! # embodied-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper.
+//! Each `src/bin/*` target reproduces one table or figure; shared episode
+//! sweeping, environment-variable knobs and rendering helpers live here.
+//!
+//! Knobs (environment variables):
+//! * `EMBODIED_EPISODES` — episodes per configuration (default 8);
+//! * `EMBODIED_SEED` — base seed (default 42).
+//!
+//! Every binary prints a paper-style table to stdout and appends the same
+//! text to `results/<target>.md` for EXPERIMENTS.md bookkeeping.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use embodied_agents::{run_episode, RunOverrides, WorkloadSpec};
+use embodied_profiler::{Aggregate, EpisodeReport};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Episodes per configuration (`EMBODIED_EPISODES`, default 8).
+pub fn episodes() -> usize {
+    std::env::var("EMBODIED_EPISODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(8)
+}
+
+/// Base seed (`EMBODIED_SEED`, default 42).
+pub fn base_seed() -> u64 {
+    std::env::var("EMBODIED_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Runs `n` episodes of a configuration and returns the raw reports.
+pub fn sweep(spec: &WorkloadSpec, overrides: &RunOverrides, n: usize) -> Vec<EpisodeReport> {
+    let seed = base_seed();
+    (0..n)
+        .map(|i| run_episode(spec, overrides, seed.wrapping_add(i as u64 * 7919)))
+        .collect()
+}
+
+/// Runs `n` episodes and aggregates under `label`.
+pub fn sweep_agg(
+    spec: &WorkloadSpec,
+    overrides: &RunOverrides,
+    n: usize,
+    label: impl Into<String>,
+) -> Aggregate {
+    Aggregate::from_reports(label, &sweep(spec, overrides, n))
+}
+
+/// A sink that tees experiment output to stdout and `results/<name>.md`.
+pub struct ExperimentOutput {
+    file: Option<std::fs::File>,
+}
+
+impl ExperimentOutput {
+    /// Creates the sink, truncating any previous result file.
+    pub fn new(name: &str) -> Self {
+        let dir = PathBuf::from("results");
+        let file = std::fs::create_dir_all(&dir)
+            .ok()
+            .and_then(|_| std::fs::File::create(dir.join(format!("{name}.md"))).ok());
+        ExperimentOutput { file }
+    }
+
+    /// Writes a line to stdout and the result file.
+    pub fn line(&mut self, text: impl AsRef<str>) {
+        let text = text.as_ref();
+        println!("{text}");
+        if let Some(f) = self.file.as_mut() {
+            let _ = writeln!(f, "{text}");
+        }
+    }
+
+    /// Writes a blank line.
+    pub fn blank(&mut self) {
+        self.line("");
+    }
+
+    /// Writes a section header.
+    pub fn section(&mut self, title: &str) {
+        self.blank();
+        self.line(format!("## {title}"));
+        self.blank();
+    }
+}
+
+/// Standard experiment banner.
+pub fn banner(out: &mut ExperimentOutput, id: &str, description: &str) {
+    out.line(format!("# {id}"));
+    out.blank();
+    out.line(format!(
+        "{description} ({} episodes/config, seed {})",
+        episodes(),
+        base_seed()
+    ));
+}

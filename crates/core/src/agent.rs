@@ -1,0 +1,257 @@
+//! A modular embodied agent: the composition of the six building blocks
+//! (Fig. 1a) plus the per-agent episode state the orchestrators drive.
+
+use crate::config::AgentConfig;
+use crate::modules::{
+    CommunicationModule, ExecutionModule, MemoryModule, PlanningModule, ReflectionModule,
+    SensingModule, WorldMap,
+};
+use crate::prompt::system_preamble;
+use embodied_env::Subgoal;
+use embodied_llm::LlmEngine;
+use std::collections::{HashMap, HashSet};
+
+/// One embodied agent assembled from its configured modules.
+#[derive(Debug)]
+pub struct ModularAgent {
+    /// Agent index within the system.
+    pub id: usize,
+    /// The configuration this agent was built from.
+    pub config: AgentConfig,
+    /// Perception front-end.
+    pub sensing: SensingModule,
+    /// Observation/action/dialogue stores.
+    pub memory: MemoryModule,
+    /// High-level planner.
+    pub planning: PlanningModule,
+    /// Message generation (multi-agent workloads with communication).
+    pub communication: Option<CommunicationModule>,
+    /// Outcome verification.
+    pub reflection: Option<ReflectionModule>,
+    /// Low-level execution.
+    pub execution: ExecutionModule,
+    /// Accumulated spatial world model (paper §II-A sensing: "a map of
+    /// spatial layout, moving entities, obstacles, and resource locations").
+    pub map: WorldMap,
+    /// System preamble used in this agent's prompts.
+    pub preamble: String,
+    /// Last failed subgoal and its outcome, until reflection clears it —
+    /// feeds the planner's perseveration bias and the reflection prompt.
+    pub last_failure: Option<(Subgoal, embodied_env::ExecOutcome)>,
+    /// Remaining steps the current high-level plan still covers (Rec. 7).
+    pub plan_budget: usize,
+    /// Subgoals reflection has blacklisted, mapped to expiry step.
+    pub blacklist: HashMap<String, usize>,
+    /// Entity set at the time of this agent's last broadcast (computes the
+    /// knowledge delta carried by the next message).
+    pub last_broadcast: HashSet<String>,
+    /// Messages received this round, verbatim, for the dialogue section.
+    pub inbox: Vec<String>,
+    /// Consecutive steps without progress whose failure reflection has not
+    /// resolved — drives compounding planner confusion.
+    pub failure_streak: usize,
+}
+
+impl ModularAgent {
+    /// Assembles an agent for a workload.
+    ///
+    /// Engines are seeded per agent and per module so episodes replay
+    /// deterministically while modules do not share randomness.
+    pub fn new(
+        id: usize,
+        workload: &str,
+        config: AgentConfig,
+        landmarks: Vec<String>,
+        seed: u64,
+    ) -> Self {
+        let agent_seed = seed ^ ((id as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let planner_engine = LlmEngine::new(config.planner.clone(), agent_seed ^ 0x01)
+            .with_kv_reuse(config.opts.kv_cache);
+        let communication = config
+            .communicator
+            .as_ref()
+            .filter(|_| config.toggles.communication)
+            .map(|profile| {
+                CommunicationModule::new(LlmEngine::new(profile.clone(), agent_seed ^ 0x02))
+            });
+        let reflection = config
+            .reflector
+            .as_ref()
+            .filter(|_| config.toggles.reflection)
+            .map(|profile| {
+                ReflectionModule::new(LlmEngine::new(profile.clone(), agent_seed ^ 0x03))
+            });
+        let execution = if config.toggles.execution {
+            ExecutionModule::controller_configured(
+                agent_seed ^ 0x04,
+                config.exec_compute_scale,
+                config.actuator_reliability,
+            )
+            .with_trajectory_planner(config.trajectory_planner)
+            .with_grasp_pipeline(config.grasp_pipeline)
+        } else {
+            ExecutionModule::llm_micro(agent_seed ^ 0x04, config.planner.base_capability)
+        };
+        let memory = MemoryModule::new(
+            config.toggles.memory,
+            config.memory_capacity,
+            config.opts.dual_memory,
+            config.opts.summarization,
+            landmarks,
+        )
+        .with_retrieval_mode(config.retrieval_mode);
+        ModularAgent {
+            id,
+            sensing: SensingModule::new(config.encoder.clone(), agent_seed ^ 0x05),
+            memory,
+            planning: PlanningModule::new(planner_engine),
+            communication,
+            reflection,
+            execution,
+            map: WorldMap::new(),
+            preamble: system_preamble(workload, "planning"),
+            config,
+            last_failure: None,
+            plan_budget: 0,
+            blacklist: HashMap::new(),
+            last_broadcast: HashSet::new(),
+            inbox: Vec::new(),
+            failure_streak: 0,
+        }
+    }
+
+    /// Everything the agent currently knows about, given this step's
+    /// freshly perceived entities.
+    pub fn knowledge(&self, percept_entities: &[String]) -> HashSet<String> {
+        let mut known = self.memory.known_entities();
+        known.extend(percept_entities.iter().cloned());
+        known
+    }
+
+    /// Filters subgoals to those the agent can meaningfully plan
+    /// (referenced entities known, not blacklisted).
+    pub fn filter_subgoals(
+        &self,
+        subgoals: Vec<Subgoal>,
+        knowledge: &HashSet<String>,
+        step: usize,
+    ) -> Vec<Subgoal> {
+        subgoals
+            .into_iter()
+            .filter(|sg| {
+                sg.referenced_entities()
+                    .iter()
+                    .all(|e| knowledge.contains(*e))
+                    && self
+                        .blacklist
+                        .get(&sg.to_string())
+                        .is_none_or(|&expiry| expiry <= step)
+            })
+            .collect()
+    }
+
+    /// Blacklists a subgoal for `duration` steps from `step`.
+    pub fn blacklist_subgoal(&mut self, subgoal: &Subgoal, step: usize, duration: usize) {
+        self.blacklist.insert(subgoal.to_string(), step + duration);
+    }
+
+    /// Knowledge the agent has gained since its last broadcast.
+    pub fn knowledge_delta(&self, knowledge: &HashSet<String>) -> Vec<String> {
+        let mut delta: Vec<String> = knowledge
+            .difference(&self.last_broadcast)
+            .cloned()
+            .collect();
+        delta.sort_unstable();
+        delta
+    }
+
+    /// Total LLM usage across this agent's engines.
+    pub fn total_usage(&self) -> embodied_profiler::TokenStats {
+        let mut usage = self.planning.engine().usage();
+        if let Some(comm) = &self.communication {
+            usage.merge(&comm.engine().usage());
+        }
+        if let Some(refl) = &self.reflection {
+            usage.merge(&refl.engine().usage());
+        }
+        usage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModuleToggles;
+    use embodied_llm::ModelProfile;
+
+    fn agent_with(toggles: ModuleToggles) -> ModularAgent {
+        let mut config = AgentConfig::gpt4_modular();
+        config.communicator = Some(ModelProfile::gpt4_api());
+        config.toggles = toggles;
+        ModularAgent::new(0, "TestSystem", config, vec!["room_0".into()], 42)
+    }
+
+    #[test]
+    fn toggles_gate_module_construction() {
+        let full = agent_with(ModuleToggles::all_on());
+        assert!(full.communication.is_some());
+        assert!(full.reflection.is_some());
+        assert!(full.memory.is_enabled());
+
+        let no_comm = agent_with(ModuleToggles::without_communication());
+        assert!(no_comm.communication.is_none());
+
+        let no_refl = agent_with(ModuleToggles::without_reflection());
+        assert!(no_refl.reflection.is_none());
+
+        let no_mem = agent_with(ModuleToggles::without_memory());
+        assert!(!no_mem.memory.is_enabled());
+    }
+
+    #[test]
+    fn knowledge_merges_memory_and_percept() {
+        let agent = agent_with(ModuleToggles::all_on());
+        let known = agent.knowledge(&["apple_1".into()]);
+        assert!(known.contains("room_0")); // landmark
+        assert!(known.contains("apple_1")); // fresh percept
+    }
+
+    #[test]
+    fn filter_drops_unknown_and_blacklisted() {
+        let mut agent = agent_with(ModuleToggles::all_on());
+        let known: HashSet<String> = ["apple_1".to_owned(), "room_0".to_owned()].into();
+        let pick_apple = Subgoal::Pick {
+            object: "apple_1".into(),
+        };
+        let pick_ghost = Subgoal::Pick {
+            object: "ghost_9".into(),
+        };
+        let filtered = agent.filter_subgoals(
+            vec![pick_apple.clone(), pick_ghost, Subgoal::Explore],
+            &known,
+            5,
+        );
+        assert_eq!(filtered.len(), 2); // apple + explore
+
+        agent.blacklist_subgoal(&pick_apple, 5, 4);
+        let filtered = agent.filter_subgoals(vec![pick_apple.clone()], &known, 6);
+        assert!(filtered.is_empty(), "blacklisted until step 9");
+        let filtered = agent.filter_subgoals(vec![pick_apple], &known, 9);
+        assert_eq!(filtered.len(), 1, "blacklist expired");
+    }
+
+    #[test]
+    fn knowledge_delta_tracks_broadcasts() {
+        let mut agent = agent_with(ModuleToggles::all_on());
+        let known: HashSet<String> = ["apple_1".to_owned(), "box_2".to_owned()].into();
+        assert_eq!(agent.knowledge_delta(&known).len(), 2);
+        agent.last_broadcast = known.clone();
+        assert!(agent.knowledge_delta(&known).is_empty());
+    }
+
+    #[test]
+    fn usage_covers_all_engines() {
+        let agent = agent_with(ModuleToggles::all_on());
+        assert_eq!(agent.total_usage().calls, 0);
+    }
+}

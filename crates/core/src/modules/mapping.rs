@@ -1,0 +1,156 @@
+//! Spatial world model built from accumulated observations.
+//!
+//! The paper's sensing module "establishes a global or shared environmental
+//! model that includes a map of spatial layout, moving entities, obstacles,
+//! and resource locations" (§II-A). [`WorldMap`] is that model: it folds
+//! each step's percept into per-location entity registries and visit
+//! counts, renders a compact map summary for prompts, and reports coverage
+//! — the measurable footprint of exploration.
+
+use crate::modules::Percept;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What the agent knows about one location.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocationKnowledge {
+    /// Steps at which the agent observed from this location.
+    pub visits: u64,
+    /// Entities last seen here (most recent observation wins).
+    pub entities: Vec<String>,
+    /// Step of the most recent visit.
+    pub last_seen_step: usize,
+}
+
+/// An accumulated map of the (partially observed) world.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorldMap {
+    locations: BTreeMap<String, LocationKnowledge>,
+}
+
+impl WorldMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one percept into the map.
+    pub fn integrate(&mut self, percept: &Percept, step: usize) {
+        if percept.location.is_empty() {
+            return;
+        }
+        let entry = self.locations.entry(percept.location.clone()).or_default();
+        entry.visits += 1;
+        entry.last_seen_step = step;
+        entry.entities = percept.entities.clone();
+    }
+
+    /// Number of distinct locations visited.
+    pub fn coverage(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Knowledge about a location, if visited.
+    pub fn location(&self, name: &str) -> Option<&LocationKnowledge> {
+        self.locations.get(name)
+    }
+
+    /// The visited location that has gone longest without observation —
+    /// the natural re-exploration target when the world may have changed.
+    pub fn stalest_location(&self) -> Option<&str> {
+        self.locations
+            .iter()
+            .min_by_key(|(_, k)| k.last_seen_step)
+            .map(|(name, _)| name.as_str())
+    }
+
+    /// Renders a compact prompt section: one line per location, most
+    /// recently seen first, capped at `max_locations` lines.
+    pub fn summary(&self, max_locations: usize) -> String {
+        let mut locs: Vec<(&String, &LocationKnowledge)> = self.locations.iter().collect();
+        locs.sort_by_key(|(_, k)| std::cmp::Reverse(k.last_seen_step));
+        locs.iter()
+            .take(max_locations)
+            .map(|(name, k)| {
+                if k.entities.is_empty() {
+                    format!("{name}: nothing notable (seen step {})", k.last_seen_step)
+                } else {
+                    format!(
+                        "{name}: {} (seen step {})",
+                        k.entities.join(", "),
+                        k.last_seen_step
+                    )
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn percept(location: &str, entities: &[&str]) -> Percept {
+        Percept {
+            entities: entities.iter().map(|e| (*e).to_owned()).collect(),
+            text: String::new(),
+            location: location.to_owned(),
+        }
+    }
+
+    #[test]
+    fn integrates_and_counts_coverage() {
+        let mut map = WorldMap::new();
+        map.integrate(&percept("room_0", &["goal_zone"]), 0);
+        map.integrate(&percept("room_1", &["object_1"]), 1);
+        map.integrate(&percept("room_0", &[]), 2);
+        assert_eq!(map.coverage(), 2);
+        assert_eq!(map.location("room_0").unwrap().visits, 2);
+        assert_eq!(map.location("room_0").unwrap().last_seen_step, 2);
+    }
+
+    #[test]
+    fn newest_observation_replaces_entities() {
+        let mut map = WorldMap::new();
+        map.integrate(&percept("room_1", &["object_1", "object_2"]), 1);
+        map.integrate(&percept("room_1", &["object_2"]), 5);
+        assert_eq!(
+            map.location("room_1").unwrap().entities,
+            vec!["object_2".to_owned()],
+            "a later look supersedes the old entity list"
+        );
+    }
+
+    #[test]
+    fn stalest_location_is_the_reexploration_target() {
+        let mut map = WorldMap::new();
+        map.integrate(&percept("room_0", &[]), 0);
+        map.integrate(&percept("room_1", &[]), 4);
+        map.integrate(&percept("room_2", &[]), 9);
+        assert_eq!(map.stalest_location(), Some("room_0"));
+        map.integrate(&percept("room_0", &[]), 12);
+        assert_eq!(map.stalest_location(), Some("room_1"));
+    }
+
+    #[test]
+    fn summary_orders_by_recency_and_caps() {
+        let mut map = WorldMap::new();
+        for i in 0..6 {
+            map.integrate(&percept(&format!("room_{i}"), &["x"]), i);
+        }
+        let summary = map.summary(3);
+        assert_eq!(summary.lines().count(), 3);
+        assert!(summary.lines().next().unwrap().starts_with("room_5"));
+        assert!(!summary.contains("room_0"));
+    }
+
+    #[test]
+    fn empty_location_percepts_are_ignored() {
+        let mut map = WorldMap::new();
+        map.integrate(&percept("", &["ghost"]), 0);
+        assert_eq!(map.coverage(), 0);
+        assert!(map.summary(5).is_empty());
+        assert!(map.stalest_location().is_none());
+    }
+}

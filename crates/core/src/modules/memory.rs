@@ -1,0 +1,488 @@
+//! Memory module: observation / action / dialogue stores with a capacity
+//! window, retrieval latency, the paper's large-memory inconsistency effect
+//! (Fig. 5), and the dual long/short-term structure of Rec. 5.
+
+use crate::config::MemoryCapacity;
+use crate::prompt::summarize_history;
+use embodied_profiler::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// What kind of information a record holds (paper §II-A: observation,
+/// dialogue and action memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecordKind {
+    /// World-state knowledge from sensing.
+    Observation,
+    /// The agent's own actions and their outcomes.
+    Action,
+    /// Messages exchanged with other agents.
+    Dialogue,
+}
+
+/// One memory entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryRecord {
+    /// Step the record was written.
+    pub step: usize,
+    /// Record category.
+    pub kind: RecordKind,
+    /// Prompt-ready text.
+    pub text: String,
+    /// Entity names this record carries knowledge about.
+    pub entities: Vec<String>,
+}
+
+/// Result of a retrieval pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Retrieval {
+    /// Prompt text of the retrieved context.
+    pub text: String,
+    /// Time the lookup took (grows with stored records — Fig. 5's
+    /// "longer information retrieval times").
+    pub latency: SimDuration,
+    /// Quality penalty from memory inconsistency (0 unless the retained
+    /// window is excessively large, per Fig. 5's full-history regime).
+    pub inconsistency_penalty: f64,
+    /// Records scanned by the lookup.
+    pub records_scanned: usize,
+}
+
+/// The memory module.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryModule {
+    enabled: bool,
+    capacity: MemoryCapacity,
+    dual: bool,
+    summarize: bool,
+    retrieval_mode: RetrievalMode,
+    landmarks: HashSet<String>,
+    records: Vec<MemoryRecord>,
+    long_term: HashSet<String>,
+    stale: HashSet<String>,
+    /// Action memory (paper §II-A): per-skill success counts — "knowledge
+    /// on how to execute specific high-level plans", the JARVIS-1/VOYAGER
+    /// skill library.
+    skills: std::collections::HashMap<String, u32>,
+    current_step: usize,
+}
+
+/// Retained window (in records) beyond which inconsistencies appear.
+const INCONSISTENCY_ONSET: usize = 60;
+
+/// How stored records are indexed for retrieval (paper Fig. 5 in-text:
+/// "retrieval based on multimodal states … outperforms approaches that rely
+/// solely on text embeddings").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RetrievalMode {
+    /// Entity-indexed multimodal retrieval (vision + symbolic + action
+    /// history): full recall — the suite default.
+    #[default]
+    Multimodal,
+    /// Text-embedding similarity only: imperfect recall — entities whose
+    /// descriptions embed poorly are missed at retrieval time.
+    TextEmbedding,
+}
+
+/// Deterministic pseudo-embedding recall: a text-only index misses ~1 in 5
+/// lookups, and *which* entities it misses shifts with the query context
+/// (bucketed by step), the way embedding similarity drifts as the rest of
+/// the prompt changes.
+fn text_embedding_recalls(entity: &str, step: usize) -> bool {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ (step as u64 / 4);
+    for b in entity.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    !h.is_multiple_of(5)
+}
+
+impl MemoryModule {
+    /// Creates a memory module.
+    ///
+    /// * `enabled: false` reproduces the Fig. 3 memory-off ablation: nothing
+    ///   is stored, knowledge collapses to landmarks + current percept.
+    /// * `dual: true` enables Rec. 5's long-term/short-term split.
+    /// * `summarize: true` enables Rec. 6's context compression.
+    pub fn new(
+        enabled: bool,
+        capacity: MemoryCapacity,
+        dual: bool,
+        summarize: bool,
+        landmarks: Vec<String>,
+    ) -> Self {
+        MemoryModule {
+            enabled,
+            capacity,
+            dual,
+            summarize,
+            retrieval_mode: RetrievalMode::default(),
+            landmarks: landmarks.into_iter().collect(),
+            records: Vec::new(),
+            long_term: HashSet::new(),
+            stale: HashSet::new(),
+            skills: std::collections::HashMap::new(),
+            current_step: 0,
+        }
+    }
+
+    /// Selects the retrieval index (builder-style).
+    pub fn with_retrieval_mode(mut self, mode: RetrievalMode) -> Self {
+        self.retrieval_mode = mode;
+        self
+    }
+
+    /// Whether the module stores anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Total records stored so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Marks the beginning of an environment step.
+    pub fn begin_step(&mut self, step: usize) {
+        self.current_step = step;
+        // Stale markers persist only briefly; the world may change back.
+        if step.is_multiple_of(6) {
+            self.stale.clear();
+        }
+    }
+
+    /// Stores a record. When the module is disabled the record still enters
+    /// a 1-step working buffer — disabling the memory *module* removes
+    /// storage and retrieval, not the agent's within-context awareness of
+    /// the immediately preceding turn.
+    pub fn store(&mut self, kind: RecordKind, text: impl Into<String>, entities: Vec<String>) {
+        if self.dual && self.enabled {
+            self.long_term.extend(entities.iter().cloned());
+        }
+        self.records.push(MemoryRecord {
+            step: self.current_step,
+            kind,
+            text: text.into(),
+            entities,
+        });
+        if !self.enabled {
+            let cutoff = self.current_step.saturating_sub(1);
+            self.records.retain(|r| r.step >= cutoff);
+        }
+    }
+
+    /// Records a successfully executed skill pattern in action memory
+    /// (no-op when the module is disabled).
+    pub fn record_skill(&mut self, pattern: &str) {
+        if self.enabled {
+            *self.skills.entry(pattern.to_owned()).or_insert(0) += 1;
+        }
+    }
+
+    /// How often a skill pattern has succeeded before.
+    pub fn skill_familiarity(&self, pattern: &str) -> u32 {
+        if self.enabled {
+            self.skills.get(pattern).copied().unwrap_or(0)
+        } else {
+            0
+        }
+    }
+
+    /// Quality bonus from a practiced skill: accumulated procedural
+    /// knowledge makes re-planning the same kind of step more reliable,
+    /// saturating quickly (≤ +0.04).
+    pub fn skill_bonus(&self, pattern: &str) -> f64 {
+        (f64::from(self.skill_familiarity(pattern)) * 0.01).min(0.04)
+    }
+
+    /// Marks an entity's knowledge as stale (reflection discovered the
+    /// world no longer matches memory); it is excluded from knowledge until
+    /// re-observed or the marker expires.
+    pub fn mark_stale(&mut self, entity: &str) {
+        self.stale.insert(entity.to_owned());
+    }
+
+    fn retained(&self) -> impl Iterator<Item = &MemoryRecord> {
+        let window_steps = if self.enabled {
+            match self.capacity {
+                MemoryCapacity::None => 0,
+                MemoryCapacity::Steps(n) => n,
+                MemoryCapacity::Full => usize::MAX,
+            }
+        } else {
+            1 // working buffer only
+        };
+        let cutoff = self.current_step.saturating_sub(window_steps);
+        self.records.iter().filter(move |r| r.step >= cutoff)
+    }
+
+    /// Entity names the agent currently *knows about*: landmarks, entities
+    /// in the retained window, and (with dual memory) the long-term store —
+    /// minus anything marked stale.
+    pub fn known_entities(&self) -> HashSet<String> {
+        let mut known = self.landmarks.clone();
+        // `retained` already collapses to the 1-step working buffer when
+        // the module is disabled.
+        for r in self.retained() {
+            for e in &r.entities {
+                if self.retrieval_mode == RetrievalMode::Multimodal
+                    || text_embedding_recalls(e, self.current_step)
+                {
+                    known.insert(e.clone());
+                }
+            }
+        }
+        if self.enabled && self.dual {
+            known.extend(self.long_term.iter().cloned());
+        }
+        for s in &self.stale {
+            known.remove(s);
+        }
+        known
+    }
+
+    /// Retrieves context for prompting.
+    pub fn retrieve(&self) -> Retrieval {
+        if !self.enabled {
+            return Retrieval {
+                text: String::new(),
+                latency: SimDuration::ZERO,
+                inconsistency_penalty: 0.0,
+                records_scanned: 0,
+            };
+        }
+        let retained: Vec<&MemoryRecord> = self.retained().collect();
+        let scanned = if self.dual {
+            // Short-term scan plus an indexed long-term lookup.
+            retained.len().min(4) + 2
+        } else {
+            retained.len()
+        };
+        let latency = SimDuration::from_millis(20) + SimDuration::from_millis(16) * scanned as u64;
+
+        let lines: Vec<String> = if self.dual {
+            let mut lines = vec![format!(
+                "long-term: known entities {}",
+                itertools_join(self.long_term.iter())
+            )];
+            lines.extend(
+                retained
+                    .iter()
+                    .rev()
+                    .take(4)
+                    .rev()
+                    .map(|r| format!("step {}: {}", r.step, r.text)),
+            );
+            lines
+        } else {
+            retained
+                .iter()
+                .map(|r| format!("step {}: {}", r.step, r.text))
+                .collect()
+        };
+        let text = if self.summarize {
+            summarize_history(&lines, 6)
+        } else {
+            lines.join("\n")
+        };
+
+        let inconsistency_penalty = if self.dual || retained.len() <= INCONSISTENCY_ONSET {
+            0.0
+        } else {
+            (0.006 * (retained.len() - INCONSISTENCY_ONSET) as f64).min(0.12)
+        };
+
+        Retrieval {
+            text,
+            latency,
+            inconsistency_penalty,
+            records_scanned: scanned,
+        }
+    }
+}
+
+fn itertools_join<'a>(iter: impl Iterator<Item = &'a String>) -> String {
+    let mut items: Vec<&str> = iter.map(String::as_str).collect();
+    items.sort_unstable();
+    items.join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(capacity: MemoryCapacity) -> MemoryModule {
+        MemoryModule::new(true, capacity, false, false, vec!["room_0".into()])
+    }
+
+    #[test]
+    fn disabled_memory_keeps_only_a_one_step_working_buffer() {
+        let mut m = MemoryModule::new(false, MemoryCapacity::Full, false, false, vec!["room_0".into()]);
+        m.begin_step(1);
+        m.store(RecordKind::Observation, "saw apple", vec!["apple_1".into()]);
+        // The immediately preceding turn is still in working context…
+        assert!(m.known_entities().contains("apple_1"));
+        assert_eq!(m.retrieve().latency, SimDuration::ZERO);
+        // …but two steps later it is gone, and landmarks remain.
+        m.begin_step(3);
+        let known = m.known_entities();
+        assert!(known.contains("room_0"));
+        assert!(!known.contains("apple_1"));
+    }
+
+    #[test]
+    fn window_forgets_old_entities() {
+        let mut m = module(MemoryCapacity::Steps(3));
+        m.begin_step(1);
+        m.store(RecordKind::Observation, "saw apple", vec!["apple_1".into()]);
+        assert!(m.known_entities().contains("apple_1"));
+        m.begin_step(10);
+        assert!(
+            !m.known_entities().contains("apple_1"),
+            "entity outside the window must be forgotten"
+        );
+    }
+
+    #[test]
+    fn full_capacity_never_forgets() {
+        let mut m = module(MemoryCapacity::Full);
+        m.begin_step(1);
+        m.store(RecordKind::Observation, "saw apple", vec!["apple_1".into()]);
+        m.begin_step(500);
+        assert!(m.known_entities().contains("apple_1"));
+    }
+
+    #[test]
+    fn retrieval_latency_grows_with_records() {
+        let mut m = module(MemoryCapacity::Full);
+        m.begin_step(0);
+        let early = m.retrieve().latency;
+        for i in 0..50 {
+            m.begin_step(i);
+            m.store(RecordKind::Action, format!("did thing {i}"), vec![]);
+        }
+        let late = m.retrieve().latency;
+        assert!(late > early);
+    }
+
+    #[test]
+    fn inconsistency_appears_only_with_huge_windows() {
+        let mut m = module(MemoryCapacity::Full);
+        for i in 0..100 {
+            m.begin_step(i);
+            m.store(RecordKind::Observation, format!("obs {i}"), vec![]);
+        }
+        assert!(m.retrieve().inconsistency_penalty > 0.0);
+
+        let mut small = module(MemoryCapacity::Steps(8));
+        for i in 0..100 {
+            small.begin_step(i);
+            small.store(RecordKind::Observation, format!("obs {i}"), vec![]);
+        }
+        assert_eq!(small.retrieve().inconsistency_penalty, 0.0);
+    }
+
+    #[test]
+    fn dual_memory_kills_inconsistency_and_keeps_knowledge() {
+        let mut m = MemoryModule::new(true, MemoryCapacity::Full, true, false, vec![]);
+        for i in 0..100 {
+            m.begin_step(i);
+            m.store(
+                RecordKind::Observation,
+                format!("obs {i}"),
+                vec![format!("entity_{i}")],
+            );
+        }
+        let r = m.retrieve();
+        assert_eq!(r.inconsistency_penalty, 0.0);
+        // Long-term store retains everything…
+        assert!(m.known_entities().contains("entity_0"));
+        // …while retrieval stays cheap.
+        assert!(r.latency < SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn stale_entities_are_suppressed_then_recover() {
+        let mut m = module(MemoryCapacity::Full);
+        m.begin_step(1);
+        m.store(RecordKind::Observation, "saw apple", vec!["apple_1".into()]);
+        m.mark_stale("apple_1");
+        assert!(!m.known_entities().contains("apple_1"));
+        // Markers expire on a step divisible by 6.
+        m.begin_step(6);
+        assert!(m.known_entities().contains("apple_1"));
+    }
+
+    #[test]
+    fn text_embedding_mode_misses_some_entities() {
+        let entities: Vec<String> = (0..40).map(|i| format!("entity_{i}")).collect();
+        let mut multi = module(MemoryCapacity::Full);
+        let mut text = module(MemoryCapacity::Full).with_retrieval_mode(RetrievalMode::TextEmbedding);
+        for m in [&mut multi, &mut text] {
+            m.begin_step(1);
+            m.store(RecordKind::Observation, "saw things", entities.clone());
+        }
+        let full = multi.known_entities().len();
+        let partial = text.known_entities().len();
+        assert!(partial < full, "text-only recall must miss entities");
+        assert!(
+            partial as f64 > full as f64 * 0.6,
+            "but it should still recall most ({partial}/{full})"
+        );
+        // Deterministic at a given step…
+        assert_eq!(text.known_entities(), text.known_entities());
+        // …but the missed set shifts as the query context moves on.
+        let before = text.known_entities();
+        text.begin_step(9);
+        assert_ne!(before, text.known_entities());
+    }
+
+    #[test]
+    fn retrieval_text_contains_recent_records() {
+        let mut m = module(MemoryCapacity::Steps(5));
+        m.begin_step(2);
+        m.store(RecordKind::Action, "picked up apple_1", vec![]);
+        let r = m.retrieve();
+        assert!(r.text.contains("picked up apple_1"));
+        assert!(r.text.contains("step 2"));
+    }
+
+    #[test]
+    fn skill_library_accumulates_and_saturates() {
+        let mut m = module(MemoryCapacity::Steps(4));
+        assert_eq!(m.skill_bonus("pick"), 0.0);
+        for _ in 0..10 {
+            m.record_skill("pick");
+        }
+        assert_eq!(m.skill_familiarity("pick"), 10);
+        assert!((m.skill_bonus("pick") - 0.04).abs() < 1e-12, "bonus caps");
+        assert_eq!(m.skill_bonus("craft"), 0.0);
+    }
+
+    #[test]
+    fn disabled_memory_has_no_skill_library() {
+        let mut m = MemoryModule::new(false, MemoryCapacity::Full, false, false, vec![]);
+        m.record_skill("pick");
+        assert_eq!(m.skill_familiarity("pick"), 0);
+        assert_eq!(m.skill_bonus("pick"), 0.0);
+    }
+
+    #[test]
+    fn summarization_shrinks_retrieved_text() {
+        let mut plain = module(MemoryCapacity::Full);
+        let mut summ = MemoryModule::new(true, MemoryCapacity::Full, false, true, vec![]);
+        for i in 0..30 {
+            plain.begin_step(i);
+            summ.begin_step(i);
+            let text = format!("observed the corridor and moved forward at step {i}");
+            plain.store(RecordKind::Observation, text.clone(), vec![]);
+            summ.store(RecordKind::Observation, text, vec![]);
+        }
+        assert!(summ.retrieve().text.len() < plain.retrieve().text.len() / 2);
+    }
+}

@@ -1,0 +1,254 @@
+//! Centralized step loop (Fig. 1d): one central LLM plans for every agent
+//! from a joint prompt; agents execute and report local feedback.
+//!
+//! Calls per step stay constant while the joint prompt grows linearly with
+//! the team — the paper's "centralized systems scale linearly in calls and
+//! tokens" — but the central planner's reasoning burden grows with the
+//! joint action space, which is what collapses its success rate (Fig. 7a).
+
+use crate::modules::{Percept, RecordKind};
+use crate::prompt::PromptBuilder;
+use crate::system::EmbodiedSystem;
+use embodied_env::Subgoal;
+use embodied_llm::{LlmRequest, Purpose};
+use embodied_profiler::{ModuleKind, Phase};
+
+/// Difficulty inflation per extra agent the central planner must reason
+/// jointly about (action interdependencies grow combinatorially).
+const JOINT_DIFFICULTY_PER_AGENT: f64 = 0.09;
+
+/// Runs one environment step for a centralized system.
+pub(crate) fn step(sys: &mut EmbodiedSystem) {
+    let assignments = central_round(sys, 0.0);
+    // Instruction broadcast: one communication call distributing the plan.
+    broadcast_instructions(sys, &assignments);
+    // COHERENT-style proposal-feedback-adjustment: the center additionally
+    // extracts a structured feedback message from each agent every step,
+    // which is what makes communication its bottleneck (paper §IV-A).
+    if sys.agents[0].config.central_feedback_extraction {
+        extract_feedback(sys, &assignments);
+    }
+    for (i, subgoal) in assignments.iter().enumerate() {
+        let outcome = sys.execute_with_reflection(i, subgoal);
+        // Local feedback flows back into the central memory.
+        if let Some(central) = sys.central.as_mut() {
+            central.memory.store(
+                RecordKind::Action,
+                format!("agent {i}: {}", outcome.note),
+                Vec::new(),
+            );
+        }
+    }
+}
+
+/// One central planning pass: joint prompt → one inference → per-agent
+/// assignments. `quality_bonus` lets the hybrid refine pass model the value
+/// of agent feedback. Also runs sensing/reflection for every agent.
+pub(crate) fn central_round(sys: &mut EmbodiedSystem, quality_bonus: f64) -> Vec<Subgoal> {
+    let n = sys.agents.len();
+    let percepts: Vec<Percept> = (0..n).map(|i| sys.sense_phase(i)).collect();
+    plan_assignments(sys, &percepts, quality_bonus, false)
+}
+
+/// Central planning over pre-computed percepts (used by the hybrid refine
+/// pass, which must not re-sense).
+pub(crate) fn plan_assignments(
+    sys: &mut EmbodiedSystem,
+    percepts: &[Percept],
+    quality_bonus: f64,
+    feedback_informed: bool,
+) -> Vec<Subgoal> {
+    let n = sys.agents.len();
+    let goal = sys.env.goal_text();
+    let base_difficulty = sys.env.difficulty().scalar();
+    let joint_difficulty =
+        (base_difficulty + JOINT_DIFFICULTY_PER_AGENT * (n as f64 - 1.0)).min(0.98);
+    let step = sys.step;
+
+    // Per-agent menus, knowledge-filtered against the central store.
+    let central_known = {
+        let central = sys.central.as_mut().expect("centralized system");
+        central.memory.begin_step(step);
+        for (i, p) in percepts.iter().enumerate() {
+            central.memory.store(
+                RecordKind::Observation,
+                format!("agent {i}: {}", p.text),
+                p.entities.clone(),
+            );
+        }
+        let mut known = central.memory.known_entities();
+        for p in percepts {
+            known.extend(p.entities.iter().cloned());
+        }
+        known
+    };
+    let mut oracles = Vec::with_capacity(n);
+    let mut menus = Vec::with_capacity(n);
+    for i in 0..n {
+        let oracle = sys.agents[i].filter_subgoals(sys.env.oracle_subgoals(i), &central_known, step);
+        let mut menu =
+            sys.agents[i].filter_subgoals(sys.env.candidate_subgoals(i), &central_known, step);
+        if menu.is_empty() {
+            menu.push(Subgoal::Explore);
+        }
+        oracles.push(oracle);
+        menus.push(menu);
+    }
+
+    let central = sys.central.as_mut().expect("centralized system");
+    let retrieval = central.memory.retrieve();
+    sys.trace
+        .record(ModuleKind::Memory, Phase::Retrieval, 0, retrieval.latency);
+
+    // One joint prompt covering every agent: linear token growth with n.
+    let mut b = PromptBuilder::new(&central.preamble);
+    b.push("task goal", &goal).push("memory", &retrieval.text);
+    for (i, p) in percepts.iter().enumerate() {
+        b.push(&format!("agent {i} observation"), &p.text);
+        b.push_candidates(&menus[i]);
+    }
+    b.push(
+        "instruction",
+        "Assign the best next action to every agent, resolving conflicts \
+         and interdependencies between their actions.",
+    );
+    let opts = EmbodiedSystem::infer_opts_for(&sys.agents[0].config, sys.agents.len());
+    let response = central
+        .planning
+        .engine_mut()
+        .infer(
+            LlmRequest::new(Purpose::Planning, b.build(), 60 + 45 * n as u64)
+                .with_difficulty(joint_difficulty)
+                .with_opts(opts),
+        )
+        .expect("central prompt is never empty");
+    sys.trace.record(
+        ModuleKind::Planning,
+        Phase::LlmInference,
+        0,
+        response.latency,
+    );
+
+    // Joint-action interdependencies grow combinatorially with the team;
+    // a single planner's chance of a coherent joint assignment decays
+    // (Fig. 7a's sharp centralized success decline). Hybrid refinement over
+    // agent feedback decomposes the joint problem, softening the decay.
+    let mut coordination = 1.0 / (1.0 + 0.16 * (n as f64 - 1.0).powf(1.5));
+    if feedback_informed {
+        coordination = coordination.sqrt();
+    }
+    let quality = ((response.quality + quality_bonus)
+        * (1.0 - retrieval.inconsistency_penalty)
+        * coordination)
+        .clamp(0.02, 0.99);
+    let engine = central.planning.engine_mut();
+    let mut assignments = Vec::with_capacity(n);
+    for i in 0..n {
+        let correct = engine.sample_correct(quality) && !oracles[i].is_empty();
+        let subgoal = if correct {
+            oracles[i][0].clone()
+        } else {
+            let menu = &menus[i];
+            menu[engine.sample_index(menu.len())].clone()
+        };
+        assignments.push(subgoal);
+    }
+    sys.note_llm(&response);
+    assignments
+}
+
+/// Per-agent feedback extraction (COHERENT's adjustment loop): one
+/// communication-engine call per agent to parse its proposal feedback.
+pub(crate) fn extract_feedback(sys: &mut EmbodiedSystem, assignments: &[Subgoal]) {
+    let goal = sys.env.goal_text();
+    let difficulty = sys.env.difficulty().scalar();
+    let opts = EmbodiedSystem::infer_opts_for(&sys.agents[0].config, sys.agents.len());
+    for (i, sg) in assignments.iter().enumerate() {
+        let Some(central) = sys.central.as_mut() else {
+            return;
+        };
+        let Some(comm) = central.communication.as_mut() else {
+            return;
+        };
+        let preamble = central.preamble.clone();
+        let msg = comm
+            .generate(
+                i,
+                &preamble,
+                &goal,
+                &format!("extract agent {i}'s feedback on the proposal: {sg}"),
+                "",
+                &[],
+                difficulty,
+                opts,
+            )
+            .expect("feedback prompt is never empty");
+        sys.trace.record(
+            ModuleKind::Communication,
+            Phase::LlmInference,
+            i,
+            msg.response.latency,
+        );
+        sys.note_llm(&msg.response);
+        sys.messages.generated += 1;
+        let central = sys.central.as_mut().expect("checked above");
+        central.memory.store(
+            RecordKind::Dialogue,
+            format!("agent {i} feedback on {sg}"),
+            Vec::new(),
+        );
+    }
+}
+
+/// The central planner distributes instructions with one communication
+/// call; each instruction counts as a generated message, useful when it
+/// assigns productive (oracle-consistent) work.
+pub(crate) fn broadcast_instructions(sys: &mut EmbodiedSystem, assignments: &[Subgoal]) {
+    let goal = sys.env.goal_text();
+    let difficulty = sys.env.difficulty().scalar();
+    let opts = EmbodiedSystem::infer_opts_for(&sys.agents[0].config, sys.agents.len());
+    let Some(central) = sys.central.as_mut() else {
+        return;
+    };
+    let Some(comm) = central.communication.as_mut() else {
+        return;
+    };
+    let instruction_text: Vec<String> = assignments
+        .iter()
+        .enumerate()
+        .map(|(i, sg)| format!("agent {i}: {sg}"))
+        .collect();
+    let preamble = central.preamble.clone();
+    let msg = comm
+        .generate(
+            usize::MAX, // the center itself
+            &preamble,
+            &goal,
+            &format!("instructions: {}", instruction_text.join("; ")),
+            "",
+            &[],
+            difficulty,
+            opts,
+        )
+        .expect("instruction prompt is never empty");
+    sys.trace.record(
+        ModuleKind::Communication,
+        Phase::LlmInference,
+        0,
+        msg.response.latency,
+    );
+    sys.note_llm(&msg.response);
+    // Every instruction is a message; productive ones count as useful.
+    for (i, sg) in assignments.iter().enumerate() {
+        sys.messages.generated += 1;
+        if !sg.is_idle() {
+            sys.messages.useful += 1;
+        }
+        sys.agents[i].inbox.push(format!("center: your task: {sg}"));
+        sys.agents[i].memory.store(
+            RecordKind::Dialogue,
+            format!("center assigned: {sg}"),
+            Vec::new(),
+        );
+    }
+}

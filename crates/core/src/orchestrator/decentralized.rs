@@ -1,0 +1,134 @@
+//! Decentralized step loop (Fig. 1e): turn-taking dialogue rounds followed
+//! by per-agent planning and execution.
+//!
+//! Dialogue rounds grow with team size, every message is concatenated into
+//! every teammate's context, and message *utility* is measured — the
+//! machinery behind the paper's Fig. 7 decentralized scalability findings
+//! and the "only ~20% of messages are useful" observation.
+
+use crate::modules::CommunicationModule;
+use crate::system::EmbodiedSystem;
+use embodied_env::Subgoal;
+use embodied_profiler::{ModuleKind, Phase};
+
+/// Dialogue rounds per step for a team of `n` (paper §VI: rounds per
+/// planning step grow with the number of agents).
+pub(crate) fn dialogue_rounds(n: usize) -> usize {
+    1 + n.saturating_sub(1) / 4
+}
+
+/// Runs one environment step for a decentralized system.
+#[allow(clippy::needless_range_loop)] // index drives disjoint &mut sys borrows
+pub(crate) fn step(sys: &mut EmbodiedSystem) {
+    let n = sys.agents.len();
+    for agent in &mut sys.agents {
+        agent.inbox.clear();
+    }
+    let percepts: Vec<_> = (0..n).map(|i| sys.sense_phase(i)).collect();
+
+    // Communication rounds (skipped entirely when the module is disabled).
+    let cluster = sys.agents[0].config.opts.cluster_size;
+    let batching = sys.agents[0].config.opts.batching;
+    for _round in 0..dialogue_rounds(n) {
+        // Rec. 1: with batching, the round's message generations are issued
+        // as one concurrent batch — wall-clock pays only the slowest.
+        let mut batch: Vec<(usize, embodied_profiler::SimDuration)> = Vec::new();
+        for i in 0..n {
+            if sys.agents[i].communication.is_none() {
+                continue;
+            }
+            // Coordination need: a pending joint action (e.g. BoxLift).
+            let needs_coordination = sys
+                .env
+                .oracle_subgoals(i)
+                .iter()
+                .any(|sg| matches!(sg, Subgoal::LiftTogether { .. }));
+            let goal = sys.env.goal_text();
+            let difficulty = sys.env.difficulty().scalar();
+
+            let agent = &mut sys.agents[i];
+            let knowledge = agent.knowledge(&percepts[i].entities);
+            let delta = agent.knowledge_delta(&knowledge);
+            if agent.config.opts.plan_then_communicate
+                && !CommunicationModule::worth_sending(&delta, needs_coordination)
+            {
+                continue; // Rec. 8: the plan does not need a message
+            }
+            let opts = EmbodiedSystem::infer_opts_for(&agent.config, n);
+            let preamble = agent.preamble.clone();
+            let dialogue_so_far = agent.inbox.join("\n");
+            let comm = agent.communication.as_mut().expect("checked above");
+            let msg = comm
+                .generate(
+                    i,
+                    &preamble,
+                    &goal,
+                    &percepts[i].text,
+                    &dialogue_so_far,
+                    &delta,
+                    difficulty,
+                    opts,
+                )
+                .expect("communication prompt is never empty");
+            agent.last_broadcast = knowledge;
+            if batching {
+                batch.push((i, msg.response.latency));
+            } else {
+                sys.trace.record(
+                    ModuleKind::Communication,
+                    Phase::LlmInference,
+                    i,
+                    msg.response.latency,
+                );
+            }
+            sys.note_llm(&msg.response);
+            // Rec. 9: with clustering, messages stay within the cluster.
+            let recipients: Vec<usize> = if cluster > 0 {
+                (0..n).filter(|&j| j / cluster == i / cluster).collect()
+            } else {
+                (0..n).collect()
+            };
+            sys.deliver_message_to(i, &msg.text, &msg.entities, &recipients);
+        }
+        if batching {
+            sys.trace
+                .record_parallel(ModuleKind::Communication, Phase::LlmInference, &batch);
+        }
+    }
+
+    // Plan + execute, sequentially (the paper's sequential-processing
+    // pipeline; each agent's prompt carries the full dialogue).
+    for i in 0..n {
+        let dialogue = sys.agents[i].inbox.join("\n");
+        let (subgoal, _) = sys.plan_phase(i, &percepts[i], &dialogue);
+        sys.execute_with_reflection(i, &subgoal);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::dialogue_rounds;
+
+    #[test]
+    fn dialogue_rounds_grow_with_team_size() {
+        assert_eq!(dialogue_rounds(1), 1);
+        assert_eq!(dialogue_rounds(2), 1);
+        assert_eq!(dialogue_rounds(4), 1);
+        assert_eq!(dialogue_rounds(5), 2);
+        assert_eq!(dialogue_rounds(8), 2);
+        assert_eq!(dialogue_rounds(9), 3);
+    }
+
+    #[test]
+    fn cluster_partition_matches_rec9() {
+        // Recipients with cluster size 2 over 6 agents: {0,1},{2,3},{4,5}.
+        let n = 6usize;
+        let cluster = 2usize;
+        let recipients_of = |i: usize| -> Vec<usize> {
+            (0..n).filter(|&j| j / cluster == i / cluster).collect()
+        };
+        assert_eq!(recipients_of(0), vec![0, 1]);
+        assert_eq!(recipients_of(3), vec![2, 3]);
+        assert_eq!(recipients_of(5), vec![4, 5]);
+    }
+}

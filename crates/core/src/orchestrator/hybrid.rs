@@ -1,0 +1,68 @@
+//! Hybrid (HMAS) step loop: a central plan primes the dialogue, every agent
+//! contributes local feedback, and the center refines before execution —
+//! combining Fig. 1d's structure with Fig. 1e's feedback (paper §III-D).
+
+use super::centralized;
+use crate::modules::RecordKind;
+use crate::system::EmbodiedSystem;
+use embodied_profiler::{ModuleKind, Phase};
+
+/// Quality bonus the refine pass earns from incorporating agent feedback.
+const FEEDBACK_BONUS: f64 = 0.06;
+
+/// Runs one environment step for a hybrid system.
+pub(crate) fn step(sys: &mut EmbodiedSystem) {
+    let n = sys.agents.len();
+    // Phase 1: sense/reflect + central primer plan.
+    let percepts: Vec<_> = (0..n).map(|i| sys.sense_phase(i)).collect();
+    let primer = centralized::plan_assignments(sys, &percepts, 0.0, false);
+
+    // Phase 2: each agent sends local feedback on its primed assignment.
+    for i in 0..n {
+        if sys.agents[i].communication.is_none() {
+            continue;
+        }
+        let goal = sys.env.goal_text();
+        let difficulty = sys.env.difficulty().scalar();
+        let agent = &mut sys.agents[i];
+        let knowledge = agent.knowledge(&percepts[i].entities);
+        let delta = agent.knowledge_delta(&knowledge);
+        let opts = EmbodiedSystem::infer_opts_for(&agent.config, n);
+        let preamble = agent.preamble.clone();
+        let status = format!("{} | primed task: {}", percepts[i].text, primer[i]);
+        let comm = agent.communication.as_mut().expect("checked above");
+        let msg = comm
+            .generate(i, &preamble, &goal, &status, "", &delta, difficulty, opts)
+            .expect("feedback prompt is never empty");
+        agent.last_broadcast = knowledge;
+        sys.trace.record(
+            ModuleKind::Communication,
+            Phase::LlmInference,
+            i,
+            msg.response.latency,
+        );
+        sys.note_llm(&msg.response);
+        sys.messages.generated += 1;
+        let central = sys.central.as_mut().expect("hybrid system");
+        let known = central.memory.known_entities();
+        if msg.entities.iter().any(|e| !known.contains(e)) {
+            sys.messages.useful += 1;
+        }
+        central
+            .memory
+            .store(RecordKind::Dialogue, msg.text, msg.entities);
+    }
+
+    // Phase 3: the center refines with feedback in context, then agents act.
+    let refined = centralized::plan_assignments(sys, &percepts, FEEDBACK_BONUS, true);
+    for (i, subgoal) in refined.iter().enumerate() {
+        let outcome = sys.execute_with_reflection(i, subgoal);
+        if let Some(central) = sys.central.as_mut() {
+            central.memory.store(
+                RecordKind::Action,
+                format!("agent {i}: {}", outcome.note),
+                Vec::new(),
+            );
+        }
+    }
+}

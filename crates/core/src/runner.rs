@@ -1,0 +1,245 @@
+//! Episode runner: the one entry point experiments use to run a workload
+//! under arbitrary overrides and collect reports.
+
+use crate::config::{AgentConfig, MemoryCapacity, ModuleToggles, Optimizations};
+use crate::workloads::WorkloadSpec;
+use embodied_env::TaskDifficulty;
+use embodied_llm::ModelProfile;
+use embodied_profiler::{Aggregate, EpisodeReport};
+
+/// Per-run overrides layered on a workload's defaults.
+#[derive(Debug, Clone, Default)]
+pub struct RunOverrides {
+    /// Task difficulty (default: the suite default, Medium).
+    pub difficulty: Option<TaskDifficulty>,
+    /// Team size (multi-agent workloads only).
+    pub num_agents: Option<usize>,
+    /// Module toggles (Fig. 3 ablations).
+    pub toggles: Option<ModuleToggles>,
+    /// Memory capacity (Fig. 5 sweep).
+    pub memory_capacity: Option<MemoryCapacity>,
+    /// Planner model replacement (Fig. 4's local-model comparison).
+    pub planner: Option<ModelProfile>,
+    /// Optimization switches (recommendation ablations).
+    pub opts: Option<Optimizations>,
+    /// Environment replacement — run a workload on a different dataset,
+    /// e.g. DEPS on ALFWorld instead of Minecraft (Table II lists both).
+    pub env: Option<crate::workloads::EnvKind>,
+    /// Trajectory-planner replacement (design-choice ablation).
+    pub trajectory_planner: Option<embodied_env::TrajectoryPlanner>,
+    /// Memory retrieval-index replacement (Fig. 5 in-text comparison).
+    pub retrieval_mode: Option<crate::modules::RetrievalMode>,
+}
+
+impl RunOverrides {
+    /// Applies the overrides to a workload's default agent config.
+    pub fn apply(&self, spec: &WorkloadSpec) -> AgentConfig {
+        let mut config = spec.config.clone();
+        if let Some(toggles) = self.toggles {
+            config.toggles = toggles;
+        }
+        if let Some(capacity) = self.memory_capacity {
+            config.memory_capacity = capacity;
+        }
+        if let Some(planner) = &self.planner {
+            config.planner = planner.clone();
+        }
+        if let Some(opts) = self.opts {
+            config.opts = opts;
+        }
+        if let Some(planner) = self.trajectory_planner {
+            config.trajectory_planner = planner;
+        }
+        if let Some(mode) = self.retrieval_mode {
+            config.retrieval_mode = mode;
+        }
+        config
+    }
+}
+
+/// Runs one episode of `spec` with `overrides` at `seed`.
+pub fn run_episode(spec: &WorkloadSpec, overrides: &RunOverrides, seed: u64) -> EpisodeReport {
+    let config = overrides.apply(spec);
+    let difficulty = overrides.difficulty.unwrap_or_default();
+    let num_agents = overrides.num_agents.unwrap_or(spec.default_agents);
+    let mut system = match overrides.env {
+        Some(env) => {
+            let mut swapped = spec.clone();
+            swapped.env = env;
+            swapped.build_system(&config, difficulty, num_agents, seed)
+        }
+        None => spec.build_system(&config, difficulty, num_agents, seed),
+    };
+    system.run()
+}
+
+/// Runs one episode and also returns the Chrome trace-event JSON of its
+/// full module timeline (loadable in `chrome://tracing` / Perfetto).
+pub fn run_episode_traced(
+    spec: &WorkloadSpec,
+    overrides: &RunOverrides,
+    seed: u64,
+) -> (EpisodeReport, String) {
+    let config = overrides.apply(spec);
+    let difficulty = overrides.difficulty.unwrap_or_default();
+    let num_agents = overrides.num_agents.unwrap_or(spec.default_agents);
+    let mut system = match overrides.env {
+        Some(env) => {
+            let mut swapped = spec.clone();
+            swapped.env = env;
+            swapped.build_system(&config, difficulty, num_agents, seed)
+        }
+        None => spec.build_system(&config, difficulty, num_agents, seed),
+    };
+    let report = system.run();
+    let json = embodied_profiler::chrome_trace_json(system.trace());
+    (report, json)
+}
+
+/// Runs `episodes` seeds and aggregates them under `label`.
+pub fn run_many(
+    spec: &WorkloadSpec,
+    overrides: &RunOverrides,
+    episodes: usize,
+    base_seed: u64,
+    label: impl Into<String>,
+) -> Aggregate {
+    let reports: Vec<EpisodeReport> = (0..episodes)
+        .map(|i| run_episode(spec, overrides, base_seed.wrapping_add(i as u64 * 7919)))
+        .collect();
+    Aggregate::from_reports(label, &reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::find;
+    use embodied_profiler::ModuleKind;
+
+    #[test]
+    fn jarvis_episode_runs_and_reports() {
+        let spec = find("JARVIS-1").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            ..Default::default()
+        };
+        let report = run_episode(&spec, &overrides, 1);
+        assert!(report.steps > 0);
+        assert!(report.tokens.calls > 0);
+        assert!(report.latency.as_secs_f64() > 10.0);
+        // Planning must dominate sensing for an LLM workload.
+        assert!(
+            report.breakdown.module(ModuleKind::Planning)
+                > report.breakdown.module(ModuleKind::Sensing)
+        );
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_reports() {
+        let spec = find("DEPS").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            ..Default::default()
+        };
+        let a = run_episode(&spec, &overrides, 9);
+        let b = run_episode(&spec, &overrides, 9);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.tokens, b.tokens);
+    }
+
+    #[test]
+    fn coela_multi_agent_episode_communicates() {
+        let spec = find("CoELA").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            ..Default::default()
+        };
+        let report = run_episode(&spec, &overrides, 3);
+        assert_eq!(report.agents, 2);
+        assert!(report.messages.generated > 0, "decentralized agents talk");
+        assert!(
+            !report.breakdown.module(ModuleKind::Communication).is_zero(),
+            "communication latency must be billed"
+        );
+    }
+
+    #[test]
+    fn centralized_episode_runs() {
+        let spec = find("MindAgent").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            ..Default::default()
+        };
+        let report = run_episode(&spec, &overrides, 5);
+        assert!(report.steps > 0);
+        assert!(report.tokens.calls > 0);
+    }
+
+    #[test]
+    fn hybrid_episode_runs() {
+        let spec = find("HMAS").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            ..Default::default()
+        };
+        let report = run_episode(&spec, &overrides, 5);
+        assert!(report.steps > 0);
+        assert!(report.messages.generated > 0);
+    }
+
+    #[test]
+    fn run_many_aggregates() {
+        let spec = find("DEPS").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            ..Default::default()
+        };
+        let agg = run_many(&spec, &overrides, 3, 0, "DEPS-easy");
+        assert_eq!(agg.episodes, 3);
+        assert!(agg.mean_steps > 0.0);
+    }
+
+    #[test]
+    fn env_override_swaps_dataset() {
+        // DEPS evaluated on ALFWorld instead of Minecraft (Table II).
+        let spec = find("DEPS").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            env: Some(crate::workloads::EnvKind::AlfWorld),
+            ..Default::default()
+        };
+        let report = run_episode(&spec, &overrides, 4);
+        assert!(report.steps > 0);
+        assert_eq!(report.workload, "DEPS");
+    }
+
+    #[test]
+    fn traced_episode_exports_chrome_json() {
+        let spec = find("DEPS").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            ..Default::default()
+        };
+        let (report, json) = run_episode_traced(&spec, &overrides, 2);
+        assert!(report.steps > 0);
+        assert!(json.contains("\"cat\": \"planning\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        // Every span appears as one event.
+        assert!(
+            json.matches("\"ph\": \"X\"").count() > report.steps,
+            "several spans per step expected"
+        );
+    }
+
+    #[test]
+    fn overrides_replace_planner() {
+        let spec = find("JARVIS-1").unwrap();
+        let overrides = RunOverrides {
+            planner: Some(ModelProfile::llama3_8b()),
+            ..Default::default()
+        };
+        let config = overrides.apply(&spec);
+        assert_eq!(config.planner.name, "Llama-3-8B (local)");
+    }
+}

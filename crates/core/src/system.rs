@@ -1,0 +1,558 @@
+//! The embodied system: an environment plus its agents (and, for
+//! centralized paradigms, a central planner), driven step by step while a
+//! [`Trace`] accounts every module's simulated latency.
+
+use crate::agent::ModularAgent;
+use crate::config::AgentConfig;
+use crate::modules::{
+    CommunicationModule, MemoryModule, PlanContext, PlanningModule, Percept, RecordKind,
+};
+use crate::orchestrator::{self, Paradigm};
+use crate::prompt::system_preamble;
+use embodied_env::{Environment, ExecOutcome, Subgoal};
+use embodied_llm::{InferenceOpts, LlmEngine, LlmResponse};
+use embodied_profiler::{
+    EpisodeReport, LatencyBreakdown, MessageStats, ModuleKind, Outcome, Phase, PurposeLedger,
+    StepRecord, TokenStats, Trace,
+};
+
+/// Per-step counters the orchestrators update through [`EmbodiedSystem`]
+/// helpers; they feed the step-record time series (Fig. 6).
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct StepCounters {
+    pub llm_calls: u64,
+    pub max_prompt_tokens: u64,
+    pub progressed: bool,
+}
+
+/// Central planner state for centralized/hybrid paradigms.
+#[derive(Debug)]
+pub(crate) struct CentralPlanner {
+    pub planning: PlanningModule,
+    pub communication: Option<CommunicationModule>,
+    pub memory: MemoryModule,
+    pub preamble: String,
+}
+
+/// A fully assembled embodied system ready to run one episode.
+pub struct EmbodiedSystem {
+    pub(crate) env: Box<dyn Environment>,
+    pub(crate) agents: Vec<ModularAgent>,
+    pub(crate) central: Option<CentralPlanner>,
+    pub(crate) paradigm: Paradigm,
+    pub(crate) trace: Trace,
+    pub(crate) messages: MessageStats,
+    pub(crate) counters: StepCounters,
+    pub(crate) step: usize,
+    pub(crate) by_purpose: PurposeLedger,
+    workload: String,
+    step_records: Vec<StepRecord>,
+}
+
+impl std::fmt::Debug for EmbodiedSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EmbodiedSystem")
+            .field("workload", &self.workload)
+            .field("paradigm", &self.paradigm)
+            .field("agents", &self.agents.len())
+            .field("step", &self.step)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EmbodiedSystem {
+    /// Assembles a system over `env` with one agent per environment agent,
+    /// all sharing `config`.
+    pub fn new(
+        workload: impl Into<String>,
+        env: Box<dyn Environment>,
+        config: &AgentConfig,
+        paradigm: Paradigm,
+        seed: u64,
+    ) -> Self {
+        let workload = workload.into();
+        let landmarks = env.landmarks();
+        let agents: Vec<ModularAgent> = (0..env.num_agents())
+            .map(|id| {
+                ModularAgent::new(id, &workload, config.clone(), landmarks.clone(), seed)
+            })
+            .collect();
+        let central = match paradigm {
+            Paradigm::Centralized | Paradigm::Hybrid => Some(CentralPlanner {
+                planning: PlanningModule::new(LlmEngine::new(
+                    config.planner.clone(),
+                    seed ^ 0xcc01,
+                )),
+                communication: config
+                    .communicator
+                    .as_ref()
+                    .filter(|_| config.toggles.communication)
+                    .map(|p| {
+                        CommunicationModule::new(LlmEngine::new(p.clone(), seed ^ 0xcc02))
+                    }),
+                memory: MemoryModule::new(
+                    config.toggles.memory,
+                    config.memory_capacity,
+                    config.opts.dual_memory,
+                    config.opts.summarization,
+                    landmarks,
+                ),
+                preamble: system_preamble(&workload, "central planning"),
+            }),
+            _ => None,
+        };
+        EmbodiedSystem {
+            env,
+            agents,
+            central,
+            paradigm,
+            trace: Trace::new(),
+            messages: MessageStats::default(),
+            counters: StepCounters::default(),
+            step: 0,
+            by_purpose: PurposeLedger::default(),
+            workload,
+            step_records: Vec::new(),
+        }
+    }
+
+    /// Assembles a *heterogeneous* system: one explicit config per agent
+    /// (COHERENT-style teams of dissimilar robots). The first config also
+    /// parameterizes the central planner for centralized/hybrid paradigms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs.len()` does not match the environment's agent
+    /// count, or is empty.
+    pub fn with_agent_configs(
+        workload: impl Into<String>,
+        env: Box<dyn Environment>,
+        configs: &[AgentConfig],
+        paradigm: Paradigm,
+        seed: u64,
+    ) -> Self {
+        assert!(!configs.is_empty(), "need at least one agent config");
+        assert_eq!(
+            configs.len(),
+            env.num_agents(),
+            "one config per environment agent"
+        );
+        let mut system = Self::new(workload, env, &configs[0], paradigm, seed);
+        let landmarks = system.env.landmarks();
+        let name = system.workload.clone();
+        for (id, config) in configs.iter().enumerate().skip(1) {
+            system.agents[id] =
+                ModularAgent::new(id, &name, config.clone(), landmarks.clone(), seed);
+        }
+        system
+    }
+
+    /// The workload name.
+    pub fn workload(&self) -> &str {
+        &self.workload
+    }
+
+    /// The episode's span timeline (e.g. for [`embodied_profiler::chrome_trace_json`]).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Runs the episode to completion or the step budget, returning the
+    /// full report.
+    pub fn run(&mut self) -> EpisodeReport {
+        let max_steps = self.env.max_steps();
+        while self.step < max_steps && !self.env.is_complete() {
+            self.trace.begin_step(self.step);
+            self.counters = StepCounters::default();
+            let before = self.trace.elapsed();
+            match self.paradigm {
+                Paradigm::SingleModular => orchestrator::single::step(self),
+                Paradigm::Centralized => orchestrator::centralized::step(self),
+                Paradigm::Decentralized => orchestrator::decentralized::step(self),
+                Paradigm::Hybrid => orchestrator::hybrid::step(self),
+            }
+            let latency = self.trace.elapsed().saturating_sub(before);
+            self.step_records.push(StepRecord {
+                step: self.step,
+                latency,
+                max_prompt_tokens: self.counters.max_prompt_tokens,
+                llm_calls: self.counters.llm_calls,
+                progress: self.counters.progressed,
+            });
+            self.step += 1;
+        }
+        self.report()
+    }
+
+    fn report(&self) -> EpisodeReport {
+        let outcome = if self.env.is_complete() {
+            Outcome::Success
+        } else if self.env.progress() == 0.0 {
+            Outcome::Stuck
+        } else {
+            Outcome::StepLimit
+        };
+        let mut tokens = TokenStats::default();
+        for agent in &self.agents {
+            tokens.merge(&agent.total_usage());
+        }
+        if let Some(central) = &self.central {
+            tokens.merge(&central.planning.engine().usage());
+            if let Some(comm) = &central.communication {
+                tokens.merge(&comm.engine().usage());
+            }
+        }
+        let mut by_phase = PurposeLedger::default();
+        for span in self.trace.spans() {
+            by_phase.record(&span.phase.to_string(), span.duration, 0, 0);
+        }
+        EpisodeReport {
+            workload: self.workload.clone(),
+            outcome,
+            steps: self.step,
+            latency: self.trace.elapsed(),
+            breakdown: LatencyBreakdown::from_trace(&self.trace),
+            tokens,
+            by_purpose: self.by_purpose.clone(),
+            by_phase,
+            messages: self.messages,
+            step_records: self.step_records.clone(),
+            agents: self.agents.len(),
+        }
+    }
+
+    // ----- shared phase helpers used by the orchestrators -----
+
+    /// Records an LLM response against the step counters and the
+    /// per-purpose ledger.
+    pub(crate) fn note_llm(&mut self, response: &LlmResponse) {
+        self.counters.llm_calls += 1;
+        self.counters.max_prompt_tokens =
+            self.counters.max_prompt_tokens.max(response.prompt_tokens);
+        self.by_purpose.record(
+            &response.purpose.to_string(),
+            response.latency,
+            response.prompt_tokens,
+            response.output_tokens,
+        );
+    }
+
+    /// Inference options shared by every call an agent makes this episode.
+    /// `team_size` models local-GPU co-tenancy: a multi-agent team serving
+    /// its local model from one box contends for it.
+    pub(crate) fn infer_opts_for(config: &AgentConfig, team_size: usize) -> InferenceOpts {
+        InferenceOpts {
+            quantization: config.opts.quantization,
+            kv_reused_tokens: 0,
+            multiple_choice: config.opts.multiple_choice,
+            server_share: if config.planner.deployment.is_api() {
+                1
+            } else {
+                team_size.max(1) as u32
+            },
+        }
+    }
+
+    /// Sensing + memory-update phase for one agent. Returns the percept.
+    pub(crate) fn sense_phase(&mut self, i: usize) -> Percept {
+        let obs = self.env.observe(i);
+        let agent = &mut self.agents[i];
+        let (percept, latency) = agent.sensing.sense(&obs);
+        self.trace
+            .record(ModuleKind::Sensing, Phase::Encoding, i, latency);
+        agent.memory.begin_step(self.step);
+        agent.memory.store(
+            RecordKind::Observation,
+            percept.text.clone(),
+            percept.entities.clone(),
+        );
+        agent.map.integrate(&percept, self.step);
+        percept
+    }
+
+    /// Executes a subgoal and, on failure, runs the reflection loop: the
+    /// reflector verifies the outcome (paper §II-A: "observes the state
+    /// before and after"), and a caught *transient* error is retried within
+    /// the same step — error correction "with minimal overhead" (Takeaway
+    /// 2) — while a caught *category* error is blacklisted so planning
+    /// cannot loop on it.
+    pub(crate) fn execute_with_reflection(&mut self, i: usize, subgoal: &Subgoal) -> ExecOutcome {
+        let team_size = self.agents.len();
+        let mut outcome = self.execute_phase(i, subgoal);
+        if outcome.completed || outcome.made_progress {
+            return outcome;
+        }
+        if self.agents[i].reflection.is_none() {
+            return outcome;
+        }
+        // Reflection cannot conjure a controller: with execution disabled,
+        // diagnosing the failure does not make raw LLM motor commands work.
+        let can_retry = self.agents[i].execution.mode() == crate::modules::ExecMode::Controller;
+        let difficulty = self.env.difficulty().scalar();
+        let step = self.step;
+        let agent = &mut self.agents[i];
+        let opts = Self::infer_opts_for(&agent.config, team_size);
+        let reflection = agent.reflection.as_mut().expect("checked above");
+        let verdict = reflection
+            .reflect(&agent.preamble, subgoal, &outcome, difficulty, opts)
+            .expect("reflection prompt is never empty");
+        self.trace.record(
+            ModuleKind::Reflection,
+            Phase::LlmInference,
+            i,
+            verdict.response.latency,
+        );
+        if verdict.caught_error {
+            if verdict.category_error {
+                // Never retry a wrong-in-kind action; exclude it and let
+                // the next step replan from corrected beliefs.
+                let agent = &mut self.agents[i];
+                agent.blacklist_subgoal(subgoal, step, 5);
+                for entity in &verdict.stale_entities {
+                    agent.memory.mark_stale(entity);
+                }
+                agent.last_failure = None;
+                agent.failure_streak = 0;
+            } else if can_retry {
+                // Transient slip: retry once within the same step.
+                outcome = self.execute_phase(i, subgoal);
+            }
+        }
+        let response = verdict.response;
+        self.note_llm(&response);
+        outcome
+    }
+
+    /// Planning phase for one agent: knowledge-filter the menus, run the
+    /// LLM (or consume the multi-step plan budget), return the decision.
+    pub(crate) fn plan_phase(
+        &mut self,
+        i: usize,
+        percept: &Percept,
+        dialogue_text: &str,
+    ) -> (Subgoal, bool) {
+        let team_size = self.agents.len();
+        let difficulty = self.env.difficulty().scalar();
+        let goal = self.env.goal_text();
+        let oracle_raw = self.env.oracle_subgoals(i);
+        let candidates_raw = self.env.candidate_subgoals(i);
+        let step = self.step;
+
+        let agent = &mut self.agents[i];
+        let knowledge = agent.knowledge(&percept.entities);
+        let oracle = agent.filter_subgoals(oracle_raw, &knowledge, step);
+        let mut candidates = agent.filter_subgoals(candidates_raw, &knowledge, step);
+        if candidates.is_empty() {
+            candidates.push(Subgoal::Explore);
+        }
+
+        // Rec. 7: a still-valid high-level plan covers this step without a
+        // new inference run.
+        if agent.plan_budget > 0 && !oracle.is_empty() {
+            agent.plan_budget -= 1;
+            return (oracle[0].clone(), true);
+        }
+
+        let retrieval = agent.memory.retrieve();
+        self.trace
+            .record(ModuleKind::Memory, Phase::Retrieval, i, retrieval.latency);
+
+        // Unexplained failures (reflection absent or it missed the error)
+        // leave the context contaminated: the planner reasons from beliefs
+        // the world just contradicted, and the effect compounds while the
+        // streak continues (paper: agents "stuck in loops of invalid
+        // operations" without reflection).
+        let failure_confusion = if agent.last_failure.is_some() {
+            (0.2 * agent.failure_streak as f64).min(0.6)
+        } else {
+            0.0
+        };
+        // The map summary rides with the retrieved memory: spatial
+        // knowledge is part of the context the planner reasons over.
+        let map_summary = agent.map.summary(6);
+        let memory_text = if map_summary.is_empty() {
+            retrieval.text.clone()
+        } else {
+            format!("[map]\n{map_summary}\n{}", retrieval.text)
+        };
+        // Practiced skills plan more reliably (action memory, §II-A): the
+        // bonus keys on the kind of the oracle's preferred next step.
+        let skill_bonus = oracle
+            .first()
+            .map(|sg| agent.memory.skill_bonus(sg.pattern()))
+            .unwrap_or(0.0);
+        let ctx = PlanContext {
+            preamble: &agent.preamble,
+            goal: &goal,
+            percept_text: &percept.text,
+            memory_text: &memory_text,
+            dialogue_text,
+            oracle,
+            candidates,
+            difficulty,
+            opts: Self::infer_opts_for(&agent.config, team_size),
+            quality_penalty: (retrieval.inconsistency_penalty + failure_confusion - skill_bonus)
+                .max(0.0),
+            repeat_bias: agent.last_failure.as_ref().map(|(sg, _)| sg.clone()),
+            failure_streak: agent.failure_streak,
+        };
+        let mut decision = agent
+            .planning
+            .plan(&ctx)
+            .expect("planning prompt is never empty");
+        self.trace.record(
+            ModuleKind::Planning,
+            Phase::LlmInference,
+            i,
+            decision.response.latency,
+        );
+        let mut responses = vec![decision.response.clone()];
+
+        if agent.config.separate_action_selection {
+            decision = agent
+                .planning
+                .select_action(&ctx, decision)
+                .expect("selection prompt is never empty");
+            self.trace.record(
+                ModuleKind::Planning,
+                Phase::LlmInference,
+                i,
+                decision.response.latency,
+            );
+            responses.push(decision.response.clone());
+        }
+        // Pre-execution plan verification: reflective systems check every
+        // plan before acting (MP5's patroller, DEPS's CLIP check); a wrong
+        // plan that is recognized as wrong triggers one replanning pass.
+        if let Some(reflection) = agent.reflection.as_mut() {
+            let (caught, verify_response) = reflection
+                .verify_plan(
+                    &agent.preamble,
+                    &decision.subgoal,
+                    !decision.followed_oracle,
+                    difficulty,
+                    Self::infer_opts_for(&agent.config, team_size),
+                )
+                .expect("verification prompt is never empty");
+            self.trace.record(
+                ModuleKind::Reflection,
+                Phase::LlmInference,
+                i,
+                verify_response.latency,
+            );
+            responses.push(verify_response);
+            if caught {
+                decision = agent
+                    .planning
+                    .plan(&ctx)
+                    .expect("planning prompt is never empty");
+                self.trace.record(
+                    ModuleKind::Planning,
+                    Phase::LlmInference,
+                    i,
+                    decision.response.latency,
+                );
+                responses.push(decision.response.clone());
+            }
+        }
+
+        if decision.followed_oracle && agent.config.opts.plan_horizon > 1 {
+            agent.plan_budget = agent.config.opts.plan_horizon - 1;
+        }
+        let (subgoal, followed) = (decision.subgoal, decision.followed_oracle);
+        for response in &responses {
+            self.note_llm(response);
+        }
+        (subgoal, followed)
+    }
+
+    /// Execution phase for one agent: drive the environment, bill compute
+    /// and actuation, update failure state and memory.
+    pub(crate) fn execute_phase(&mut self, i: usize, subgoal: &Subgoal) -> ExecOutcome {
+        let team_size = self.agents.len();
+        let difficulty = self.env.difficulty().scalar();
+        let agent = &mut self.agents[i];
+        let opts = Self::infer_opts_for(&agent.config, team_size);
+        let report = agent
+            .execution
+            .execute(
+                self.env.as_mut(),
+                i,
+                subgoal,
+                agent.planning.engine_mut(),
+                difficulty,
+                opts,
+            )
+            .expect("micro-control prompt is never empty");
+        for resp in &report.micro_responses {
+            self.trace
+                .record(ModuleKind::Planning, Phase::LlmInference, i, resp.latency);
+        }
+        let outcome = report.outcome;
+        self.trace.record(
+            ModuleKind::Execution,
+            Phase::GeometricPlanning,
+            i,
+            outcome.compute,
+        );
+        self.trace
+            .record(ModuleKind::Execution, Phase::Actuation, i, outcome.actuation);
+
+        let agent = &mut self.agents[i];
+        agent
+            .memory
+            .store(RecordKind::Action, outcome.note.clone(), Vec::new());
+        if outcome.completed {
+            agent.memory.record_skill(subgoal.pattern());
+        }
+        if outcome.completed || outcome.made_progress {
+            agent.last_failure = None;
+            agent.failure_streak = 0;
+        } else if outcome.note.contains("busy") || outcome.note.contains("waiting") {
+            // Resource contention is not an error: the agent queued for a
+            // busy station / held for a partner. No belief is wrong, so no
+            // perseveration loop or confusion follows.
+            agent.plan_budget = 0;
+        } else {
+            agent.plan_budget = 0; // a broken plan must be re-made
+            agent.last_failure = Some((subgoal.clone(), outcome.clone()));
+            agent.failure_streak += 1;
+        }
+        for resp in report.micro_responses {
+            self.note_llm(&resp);
+        }
+        self.counters.progressed |= outcome.made_progress;
+        outcome
+    }
+
+    /// Delivers a broadcast message to `recipients` (excluding the sender),
+    /// counting utility (did any receiver learn something new?).
+    pub(crate) fn deliver_message_to(
+        &mut self,
+        from: usize,
+        text: &str,
+        entities: &[String],
+        recipients: &[usize],
+    ) {
+        self.messages.generated += 1;
+        let mut useful = false;
+        for (idx, agent) in self.agents.iter_mut().enumerate() {
+            if idx == from || !recipients.contains(&idx) {
+                continue;
+            }
+            let known = agent.memory.known_entities();
+            if entities.iter().any(|e| !known.contains(e)) {
+                useful = true;
+            }
+            agent.memory.store(
+                RecordKind::Dialogue,
+                text.to_owned(),
+                entities.to_vec(),
+            );
+            agent.inbox.push(text.to_owned());
+        }
+        if useful {
+            self.messages.useful += 1;
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Definitions of the 14 suite members, mirroring the module/model columns
+//! of the paper's Table II.
+
+use super::{EnvKind, WorkloadSpec};
+use crate::config::{AgentConfig, MemoryCapacity, ModuleToggles, Optimizations};
+use crate::orchestrator::Paradigm;
+use embodied_env::BoxVariant;
+use embodied_llm::{Deployment, EncoderProfile, ModelProfile};
+
+/// A fast, shallow verifier standing in for DEPS's CLIP-based reflection:
+/// an encoder-scored check, not a full LLM.
+fn clip_verifier() -> ModelProfile {
+    ModelProfile {
+        name: "CLIP verifier".into(),
+        params_b: 0.4,
+        deployment: Deployment::Local {
+            prefill_tok_per_s: 20_000.0,
+            decode_tok_per_s: 4_000.0,
+        },
+        context_window: 2_048,
+        base_capability: 0.68,
+        verbosity: 0.1,
+    }
+}
+
+fn base_config(
+    planner: ModelProfile,
+    communicator: Option<ModelProfile>,
+    reflector: Option<ModelProfile>,
+    encoder: Option<EncoderProfile>,
+    memory: bool,
+) -> AgentConfig {
+    AgentConfig {
+        planner,
+        communicator,
+        reflector,
+        encoder,
+        separate_action_selection: false,
+        exec_compute_scale: 1.0,
+        trajectory_planner: embodied_env::TrajectoryPlanner::default(),
+        actuator_reliability: 0.97,
+        grasp_pipeline: false,
+        central_feedback_extraction: false,
+        toggles: ModuleToggles {
+            communication: true,
+            memory,
+            reflection: true,
+            execution: true,
+        },
+        memory_capacity: MemoryCapacity::default(),
+        retrieval_mode: crate::modules::RetrievalMode::default(),
+        opts: Optimizations::default(),
+    }
+}
+
+/// The full 14-system workload suite (Table II).
+pub fn registry() -> Vec<WorkloadSpec> {
+    let gpt4 = ModelProfile::gpt4_api;
+    vec![
+        // ---- single-agent, modularized ----
+        WorkloadSpec {
+            name: "EmbodiedGPT",
+            paradigm: Paradigm::SingleModular,
+            env: EnvKind::Kitchen,
+            default_agents: 1,
+            config: base_config(
+                ModelProfile::llama_7b_embodied(),
+                None,
+                None,
+                Some(EncoderProfile::vit()),
+                false,
+            ),
+            application: "Embodied planning, visual captioning, VQA",
+            datasets: "Franka Kitchen, Meta-World, VirtualHome",
+            exec_label: "MLP",
+        },
+        WorkloadSpec {
+            name: "JARVIS-1",
+            paradigm: Paradigm::SingleModular,
+            env: EnvKind::Craft,
+            default_agents: 1,
+            config: base_config(
+                gpt4(),
+                None,
+                Some(ModelProfile::llama_13b()),
+                Some(EncoderProfile::mineclip()),
+                true,
+            ),
+            application: "Embodied planning (e.g. obtain diamond pickaxe)",
+            datasets: "Minecraft",
+            exec_label: "Action list",
+        },
+        WorkloadSpec {
+            name: "DaDu-E",
+            paradigm: Paradigm::SingleModular,
+            env: EnvKind::Transport,
+            default_agents: 1,
+            config: AgentConfig {
+                grasp_pipeline: true,
+                ..base_config(
+                    ModelProfile::llama_8b_dadu(),
+                    None,
+                    Some(ModelProfile::llava_8b()),
+                    Some(EncoderProfile::pointcloud()),
+                    true,
+                )
+            },
+            application: "Object transport, autonomous decision-making",
+            datasets: "Self-designed four-level tasks",
+            exec_label: "AnyGrasp",
+        },
+        WorkloadSpec {
+            name: "MP5",
+            paradigm: Paradigm::SingleModular,
+            env: EnvKind::Craft,
+            default_agents: 1,
+            config: base_config(
+                gpt4(),
+                None,
+                Some(gpt4()),
+                Some(EncoderProfile::mineclip()),
+                false,
+            ),
+            application: "Object transport, situation-aware long-term planning",
+            datasets: "Minecraft",
+            exec_label: "MineDojo",
+        },
+        WorkloadSpec {
+            name: "DEPS",
+            paradigm: Paradigm::SingleModular,
+            env: EnvKind::Craft,
+            default_agents: 1,
+            config: base_config(
+                gpt4(),
+                None,
+                Some(clip_verifier()),
+                Some(EncoderProfile::symbolic()),
+                false,
+            ),
+            application: "Embodied planning (e.g. obtain diamond pickaxe)",
+            datasets: "Minecraft, MineRL, ALFWorld",
+            exec_label: "MineDojo",
+        },
+        // ---- multi-agent, centralized ----
+        WorkloadSpec {
+            name: "MindAgent",
+            paradigm: Paradigm::Centralized,
+            env: EnvKind::Cuisine,
+            default_agents: 2,
+            config: base_config(gpt4(), Some(gpt4()), None, None, true),
+            application: "Collaborative planning, gaming, housework",
+            datasets: "CuisineWorld, Minecraft",
+            exec_label: "Action list",
+        },
+        WorkloadSpec {
+            name: "OLA",
+            paradigm: Paradigm::Centralized,
+            env: EnvKind::Household,
+            default_agents: 2,
+            config: base_config(gpt4(), Some(gpt4()), Some(gpt4()), None, true),
+            application: "Collaborative planning, object transport",
+            datasets: "VirtualHome, C-WAH",
+            exec_label: "Action list",
+        },
+        WorkloadSpec {
+            name: "COHERENT",
+            paradigm: Paradigm::Centralized,
+            env: EnvKind::Manipulation,
+            default_agents: 3,
+            config: AgentConfig {
+                central_feedback_extraction: true,
+                ..base_config(
+                    gpt4(),
+                    Some(gpt4()),
+                    Some(gpt4()),
+                    Some(EncoderProfile::dino()),
+                    true,
+                )
+            },
+            application: "Collaborative planning, robot arm manipulation",
+            datasets: "BEHAVIOR-1K",
+            exec_label: "RRT/A-star",
+        },
+        WorkloadSpec {
+            name: "CMAS",
+            paradigm: Paradigm::Centralized,
+            env: EnvKind::BoxWorld(BoxVariant::BoxNet1),
+            default_agents: 3,
+            config: base_config(
+                gpt4(),
+                Some(gpt4()),
+                None,
+                Some(EncoderProfile::vild()),
+                true,
+            ),
+            application: "Collaborative planning, manipulator, object transport",
+            datasets: "BoxNet1, BoxNet2, WareHouse, BoxLift",
+            exec_label: "Action list",
+        },
+        // ---- multi-agent, decentralized (incl. hybrid HMAS) ----
+        WorkloadSpec {
+            name: "CoELA",
+            paradigm: Paradigm::Decentralized,
+            env: EnvKind::Transport,
+            default_agents: 2,
+            config: AgentConfig {
+                separate_action_selection: true,
+                ..base_config(
+                    gpt4(),
+                    Some(gpt4()),
+                    None,
+                    Some(EncoderProfile::mask_rcnn()),
+                    true,
+                )
+            },
+            application: "Collaborative object transporting, housework",
+            datasets: "TDW-MAT, C-WAH",
+            exec_label: "A-star",
+        },
+        WorkloadSpec {
+            name: "COMBO",
+            paradigm: Paradigm::Decentralized,
+            env: EnvKind::Cuisine,
+            default_agents: 2,
+            config: base_config(
+                ModelProfile::llava_7b(),
+                Some(ModelProfile::llava_7b()),
+                None,
+                Some(EncoderProfile::diffusion_world_model()),
+                true,
+            ),
+            application: "Collaborative gaming, housework",
+            datasets: "TDW-Game, TDW-Cook",
+            exec_label: "A-star",
+        },
+        WorkloadSpec {
+            name: "RoCo",
+            paradigm: Paradigm::Decentralized,
+            env: EnvKind::Manipulation,
+            default_agents: 2,
+            config: AgentConfig {
+                exec_compute_scale: 2.0,
+                ..base_config(
+                    gpt4(),
+                    Some(gpt4()),
+                    Some(gpt4()),
+                    Some(EncoderProfile::owl_vit()),
+                    true,
+                )
+            },
+            application: "Robot arm motion planning, manipulation",
+            datasets: "RoCoBench",
+            exec_label: "RRT",
+        },
+        WorkloadSpec {
+            name: "DMAS",
+            paradigm: Paradigm::Decentralized,
+            env: EnvKind::BoxWorld(BoxVariant::BoxNet2),
+            default_agents: 3,
+            config: base_config(
+                gpt4(),
+                Some(gpt4()),
+                None,
+                Some(EncoderProfile::vild()),
+                true,
+            ),
+            application: "Collaborative planning, manipulator, object transport",
+            datasets: "BoxNet1, BoxNet2, WareHouse, BoxLift",
+            exec_label: "Action list",
+        },
+        WorkloadSpec {
+            name: "HMAS",
+            paradigm: Paradigm::Hybrid,
+            env: EnvKind::BoxWorld(BoxVariant::BoxLift),
+            default_agents: 3,
+            config: base_config(
+                gpt4(),
+                Some(gpt4()),
+                Some(gpt4()),
+                Some(EncoderProfile::vild()),
+                true,
+            ),
+            application: "Collaborative planning, manipulator, object transport",
+            datasets: "BoxNet1, BoxNet2, WareHouse, BoxLift",
+            exec_label: "Action list",
+        },
+    ]
+}
+
+/// Looks up a workload by (case-insensitive) name.
+pub fn find(name: &str) -> Option<WorkloadSpec> {
+    registry()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clip_verifier_is_fast_and_shallow() {
+        use embodied_profiler::SimDuration;
+        let p = clip_verifier();
+        let lat = embodied_llm::inference_latency(&p, 500, 10, Default::default());
+        assert!(lat < SimDuration::from_millis(500));
+        assert!(p.base_capability < ModelProfile::gpt4_api().base_capability);
+    }
+
+    #[test]
+    fn local_model_workloads_have_zero_api_cost_planners() {
+        for name in ["EmbodiedGPT", "DaDu-E", "COMBO"] {
+            let spec = find(name).unwrap();
+            assert!(
+                !spec.config.planner.deployment.is_api(),
+                "{name} should plan locally"
+            );
+        }
+    }
+
+    #[test]
+    fn gpt4_workloads_use_the_api() {
+        for name in ["JARVIS-1", "CoELA", "MindAgent", "RoCo"] {
+            let spec = find(name).unwrap();
+            assert!(spec.config.planner.deployment.is_api());
+        }
+    }
+
+    #[test]
+    fn exec_labels_match_table2() {
+        assert_eq!(find("RoCo").unwrap().exec_label, "RRT");
+        assert_eq!(find("EmbodiedGPT").unwrap().exec_label, "MLP");
+        assert_eq!(find("DaDu-E").unwrap().exec_label, "AnyGrasp");
+        assert_eq!(find("CoELA").unwrap().exec_label, "A-star");
+    }
+}

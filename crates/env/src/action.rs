@@ -1,0 +1,257 @@
+//! High-level subgoals — the vocabulary the planning module chooses from —
+//! and the outcome record execution produces.
+
+use embodied_exec::Cell;
+use embodied_profiler::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A high-level subgoal, the unit of decision for the planning module.
+///
+/// Every environment expresses its tasks with this shared vocabulary so the
+/// agent framework (prompting, memory, oracle-guided choice) stays
+/// environment-independent. Entity references are stable string names that
+/// also appear in observations, which is how knowledge (memory) gates what
+/// an agent can plan about.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Subgoal {
+    /// Navigate to a named location.
+    GoTo {
+        /// Target entity or room name.
+        target: String,
+        /// Target cell for grid navigation.
+        cell: Cell,
+    },
+    /// Pick up a named object (must be co-located).
+    Pick {
+        /// Object name.
+        object: String,
+    },
+    /// Place the carried object at/in a named destination.
+    Place {
+        /// Object name being placed.
+        object: String,
+        /// Destination name.
+        dest: String,
+    },
+    /// Open a named container/receptacle.
+    Open {
+        /// Container name.
+        container: String,
+    },
+    /// Gather a raw resource from the world (Minecraft-style).
+    Gather {
+        /// Resource name, e.g. `"log"`.
+        resource: String,
+    },
+    /// Craft an item from inventory ingredients.
+    Craft {
+        /// Item name, e.g. `"stone_pickaxe"`.
+        item: String,
+    },
+    /// Perform a cooking/preparation step on a dish.
+    Cook {
+        /// Dish name.
+        dish: String,
+        /// Preparation stage, e.g. `"chop"`, `"fry"`.
+        stage: String,
+    },
+    /// Serve a completed dish.
+    Serve {
+        /// Dish name.
+        dish: String,
+    },
+    /// Move a box to an adjacent zone (box-world arms).
+    MoveBox {
+        /// Box name.
+        box_name: String,
+        /// Destination zone name.
+        dest: String,
+    },
+    /// Jointly lift a heavy box with a partner agent (BoxLift).
+    LiftTogether {
+        /// Box name.
+        box_name: String,
+        /// Partner agent index.
+        partner: usize,
+    },
+    /// Move an object with a robot arm to a workspace position.
+    ArmMove {
+        /// Object name.
+        object: String,
+        /// Target position (meters).
+        to: (f64, f64),
+    },
+    /// Execute a named low-level skill (Franka-Kitchen style).
+    Skill {
+        /// Skill name, e.g. `"open_microwave"`.
+        name: String,
+    },
+    /// Explore to discover unseen entities.
+    Explore,
+    /// Do nothing this step.
+    Wait,
+}
+
+impl Subgoal {
+    /// Entity names this subgoal refers to; an agent can only *usefully*
+    /// plan a subgoal whose entities it knows about.
+    pub fn referenced_entities(&self) -> Vec<&str> {
+        match self {
+            Subgoal::GoTo { target, .. } => vec![target],
+            Subgoal::Pick { object } => vec![object],
+            Subgoal::Place { object, dest } => vec![object, dest],
+            Subgoal::Open { container } => vec![container],
+            Subgoal::Gather { resource } => vec![resource],
+            Subgoal::Craft { item } => vec![item],
+            Subgoal::Cook { dish, .. } => vec![dish],
+            Subgoal::Serve { dish } => vec![dish],
+            Subgoal::MoveBox { box_name, dest } => vec![box_name, dest],
+            Subgoal::LiftTogether { box_name, .. } => vec![box_name],
+            Subgoal::ArmMove { object, .. } => vec![object],
+            Subgoal::Skill { .. } | Subgoal::Explore | Subgoal::Wait => vec![],
+        }
+    }
+
+    /// Whether this is a no-progress filler subgoal.
+    pub fn is_idle(&self) -> bool {
+        matches!(self, Subgoal::Explore | Subgoal::Wait)
+    }
+
+    /// The skill *pattern* of this subgoal — its kind, independent of the
+    /// referenced entities — the key under which action memory accumulates
+    /// procedural knowledge (paper §II-A).
+    pub fn pattern(&self) -> &'static str {
+        match self {
+            Subgoal::GoTo { .. } => "goto",
+            Subgoal::Pick { .. } => "pick",
+            Subgoal::Place { .. } => "place",
+            Subgoal::Open { .. } => "open",
+            Subgoal::Gather { .. } => "gather",
+            Subgoal::Craft { .. } => "craft",
+            Subgoal::Cook { .. } => "cook",
+            Subgoal::Serve { .. } => "serve",
+            Subgoal::MoveBox { .. } => "move-box",
+            Subgoal::LiftTogether { .. } => "lift-together",
+            Subgoal::ArmMove { .. } => "arm-move",
+            Subgoal::Skill { .. } => "skill",
+            Subgoal::Explore => "explore",
+            Subgoal::Wait => "wait",
+        }
+    }
+}
+
+impl fmt::Display for Subgoal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Subgoal::GoTo { target, .. } => write!(f, "go to {target}"),
+            Subgoal::Pick { object } => write!(f, "pick up {object}"),
+            Subgoal::Place { object, dest } => write!(f, "place {object} at {dest}"),
+            Subgoal::Open { container } => write!(f, "open the {container}"),
+            Subgoal::Gather { resource } => write!(f, "gather {resource}"),
+            Subgoal::Craft { item } => write!(f, "craft {item}"),
+            Subgoal::Cook { dish, stage } => write!(f, "{stage} {dish}"),
+            Subgoal::Serve { dish } => write!(f, "serve {dish}"),
+            Subgoal::MoveBox { box_name, dest } => write!(f, "move {box_name} to {dest}"),
+            Subgoal::LiftTogether { box_name, partner } => {
+                write!(f, "lift {box_name} with agent {partner}")
+            }
+            Subgoal::ArmMove { object, to } => {
+                write!(f, "move {object} to ({:.1}, {:.1})", to.0, to.1)
+            }
+            Subgoal::Skill { name } => write!(f, "execute skill {name}"),
+            Subgoal::Explore => f.write_str("explore the environment"),
+            Subgoal::Wait => f.write_str("wait"),
+        }
+    }
+}
+
+/// What executing one subgoal did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecOutcome {
+    /// Whether the subgoal completed as intended.
+    pub completed: bool,
+    /// Whether any goal progress was made (an incomplete `GoTo` that moved
+    /// closer still made progress).
+    pub made_progress: bool,
+    /// Low-level planning compute time (A*, RRT, grasp scoring, …).
+    pub compute: SimDuration,
+    /// Physical actuation time.
+    pub actuation: SimDuration,
+    /// One-line account for reflection and memory, e.g.
+    /// `"picked up apple_1"` or `"craft failed: missing planks"`.
+    pub note: String,
+}
+
+impl ExecOutcome {
+    /// A failed outcome with a note and only trivial time spent.
+    pub fn failure(note: impl Into<String>) -> Self {
+        ExecOutcome {
+            completed: false,
+            made_progress: false,
+            compute: SimDuration::from_millis(10),
+            actuation: SimDuration::ZERO,
+            note: note.into(),
+        }
+    }
+
+    /// Total time consumed by the execution.
+    pub fn total_time(&self) -> SimDuration {
+        self.compute + self.actuation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn referenced_entities_cover_all_fields() {
+        let sg = Subgoal::Place {
+            object: "apple".into(),
+            dest: "table".into(),
+        };
+        assert_eq!(sg.referenced_entities(), vec!["apple", "table"]);
+        assert!(Subgoal::Explore.referenced_entities().is_empty());
+    }
+
+    #[test]
+    fn idle_detection() {
+        assert!(Subgoal::Wait.is_idle());
+        assert!(Subgoal::Explore.is_idle());
+        assert!(!Subgoal::Pick {
+            object: "x".into()
+        }
+        .is_idle());
+    }
+
+    #[test]
+    fn patterns_are_entity_agnostic() {
+        let a = Subgoal::Pick { object: "apple".into() };
+        let b = Subgoal::Pick { object: "plate_7".into() };
+        assert_eq!(a.pattern(), b.pattern());
+        assert_ne!(a.pattern(), Subgoal::Explore.pattern());
+    }
+
+    #[test]
+    fn display_is_promptable() {
+        let sg = Subgoal::Craft {
+            item: "stone_pickaxe".into(),
+        };
+        assert_eq!(sg.to_string(), "craft stone_pickaxe");
+        let sg = Subgoal::LiftTogether {
+            box_name: "box_2".into(),
+            partner: 1,
+        };
+        assert_eq!(sg.to_string(), "lift box_2 with agent 1");
+    }
+
+    #[test]
+    fn failure_outcome_is_cheap_and_unproductive() {
+        let o = ExecOutcome::failure("missing prerequisites");
+        assert!(!o.completed);
+        assert!(!o.made_progress);
+        assert!(o.total_time() < SimDuration::from_millis(100));
+        assert!(o.note.contains("missing"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Shared spatial world model: a room-partitioned occupancy grid.
+
+use embodied_exec::{Cell, NavGrid};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A rectangular room within the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Room {
+    /// Room index (stable identifier used in entity names).
+    pub id: usize,
+    /// Inclusive min corner.
+    pub min: Cell,
+    /// Inclusive max corner.
+    pub max: Cell,
+}
+
+impl Room {
+    /// Whether `cell` lies inside the room.
+    pub fn contains(&self, cell: Cell) -> bool {
+        (self.min.x..=self.max.x).contains(&cell.x) && (self.min.y..=self.max.y).contains(&cell.y)
+    }
+
+    /// The room's center cell.
+    pub fn center(&self) -> Cell {
+        Cell::new((self.min.x + self.max.x) / 2, (self.min.y + self.max.y) / 2)
+    }
+
+    /// Human-readable room name used in prompts and subgoals.
+    pub fn name(&self) -> String {
+        format!("room_{}", self.id)
+    }
+}
+
+/// A grid world partitioned into rooms connected by doorways.
+///
+/// Walls separate rooms; each interior wall has one doorway cell, producing
+/// the multi-room navigation structure of TDW-MAT / VirtualHome scenes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridWorld {
+    width: i32,
+    height: i32,
+    walls: HashSet<Cell>,
+    rooms: Vec<Room>,
+}
+
+impl GridWorld {
+    /// An open (single-room) world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is < 3.
+    pub fn open(width: i32, height: i32) -> Self {
+        assert!(width >= 3 && height >= 3, "world too small");
+        GridWorld {
+            width,
+            height,
+            walls: HashSet::new(),
+            rooms: vec![Room {
+                id: 0,
+                min: Cell::new(0, 0),
+                max: Cell::new(width - 1, height - 1),
+            }],
+        }
+    }
+
+    /// A world split into `cols` rooms side-by-side, each wall pierced by a
+    /// doorway at mid-height.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested rooms don't fit (each needs ≥ 3 columns).
+    pub fn rooms_in_row(width: i32, height: i32, cols: usize) -> Self {
+        assert!(cols >= 1, "need at least one room");
+        assert!(
+            width >= (cols as i32) * 3 + (cols as i32 - 1),
+            "width {width} too small for {cols} rooms"
+        );
+        let mut world = Self::open(width, height);
+        if cols == 1 {
+            return world;
+        }
+        let span = width / cols as i32;
+        let mut rooms = Vec::new();
+        let mut start_x = 0;
+        for id in 0..cols {
+            let end_x = if id == cols - 1 {
+                width - 1
+            } else {
+                start_x + span - 2
+            };
+            rooms.push(Room {
+                id,
+                min: Cell::new(start_x, 0),
+                max: Cell::new(end_x, height - 1),
+            });
+            if id != cols - 1 {
+                let wall_x = start_x + span - 1;
+                let door_y = height / 2;
+                for y in 0..height {
+                    if y != door_y {
+                        world.walls.insert(Cell::new(wall_x, y));
+                    }
+                }
+                start_x = wall_x + 1;
+            }
+        }
+        world.rooms = rooms;
+        world
+    }
+
+    /// A world partitioned into a `cols` × `rows` lattice of rooms, each
+    /// `room_w` × `room_h` cells, with a doorway in every shared wall —
+    /// the floor-plan family used for custom household/transport scenes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is < 1 or a room side is < 3.
+    pub fn room_grid(cols: usize, rows: usize, room_w: i32, room_h: i32) -> Self {
+        assert!(cols >= 1 && rows >= 1, "need at least one room");
+        assert!(room_w >= 3 && room_h >= 3, "rooms must be at least 3×3");
+        // +1 cell of wall between adjacent rooms.
+        let width = cols as i32 * (room_w + 1) - 1;
+        let height = rows as i32 * (room_h + 1) - 1;
+        let mut world = Self::open(width.max(3), height.max(3));
+        world.rooms.clear();
+        for ry in 0..rows {
+            for rx in 0..cols {
+                let id = ry * cols + rx;
+                let min = Cell::new(rx as i32 * (room_w + 1), ry as i32 * (room_h + 1));
+                let max = Cell::new(min.x + room_w - 1, min.y + room_h - 1);
+                world.rooms.push(Room { id, min, max });
+                // Vertical wall to the right, with a mid-height doorway.
+                if rx + 1 < cols {
+                    let wall_x = max.x + 1;
+                    let door_y = min.y + room_h / 2;
+                    for y in min.y..=max.y {
+                        if y != door_y {
+                            world.walls.insert(Cell::new(wall_x, y));
+                        }
+                    }
+                }
+                // Horizontal wall below, with a mid-width doorway.
+                if ry + 1 < rows {
+                    let wall_y = max.y + 1;
+                    let door_x = min.x + room_w / 2;
+                    for x in min.x..=max.x {
+                        if x != door_x {
+                            world.walls.insert(Cell::new(x, wall_y));
+                        }
+                    }
+                    // Seal the wall intersection corner.
+                    if rx + 1 < cols {
+                        world.walls.insert(Cell::new(max.x + 1, wall_y));
+                    }
+                }
+            }
+        }
+        world
+    }
+
+    /// Grid width.
+    pub fn grid_width(&self) -> i32 {
+        self.width
+    }
+
+    /// Grid height.
+    pub fn grid_height(&self) -> i32 {
+        self.height
+    }
+
+    /// The rooms of this world.
+    pub fn rooms(&self) -> &[Room] {
+        &self.rooms
+    }
+
+    /// The room containing `cell`, if any (wall cells belong to no room).
+    pub fn room_of(&self, cell: Cell) -> Option<&Room> {
+        if self.walls.contains(&cell) {
+            return None;
+        }
+        self.rooms.iter().find(|r| r.contains(cell))
+    }
+
+    /// Whether two cells are in the same room (false if either is a wall).
+    pub fn same_room(&self, a: Cell, b: Cell) -> bool {
+        match (self.room_of(a), self.room_of(b)) {
+            (Some(ra), Some(rb)) => ra.id == rb.id,
+            _ => false,
+        }
+    }
+}
+
+impl NavGrid for GridWorld {
+    fn width(&self) -> i32 {
+        self.width
+    }
+    fn height(&self) -> i32 {
+        self.height
+    }
+    fn passable(&self, cell: Cell) -> bool {
+        self.in_bounds(cell) && !self.walls.contains(&cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embodied_exec::astar;
+
+    #[test]
+    fn open_world_is_one_room() {
+        let w = GridWorld::open(10, 8);
+        assert_eq!(w.rooms().len(), 1);
+        assert!(w.passable(Cell::new(5, 5)));
+    }
+
+    #[test]
+    fn rooms_in_row_partition_and_connect() {
+        let w = GridWorld::rooms_in_row(20, 10, 4);
+        assert_eq!(w.rooms().len(), 4);
+        // Every room center reachable from every other (doors work).
+        for a in w.rooms() {
+            for b in w.rooms() {
+                let plan = astar(&w, a.center(), b.center());
+                assert!(plan.is_ok(), "room {} unreachable from {}", b.id, a.id);
+            }
+        }
+    }
+
+    #[test]
+    fn walls_separate_rooms() {
+        let w = GridWorld::rooms_in_row(20, 10, 2);
+        let r0 = w.rooms()[0].center();
+        let r1 = w.rooms()[1].center();
+        assert!(!w.same_room(r0, r1));
+        assert!(w.same_room(r0, r0));
+        // Cross-room path must be longer than straight-line distance
+        // because it detours through the doorway (unless the door is on the
+        // straight line, so just check it exists and is connected).
+        let plan = astar(&w, r0, r1).unwrap();
+        assert!(plan.length() as u32 >= r0.manhattan(r1));
+    }
+
+    #[test]
+    fn room_of_identifies_rooms_and_walls() {
+        let w = GridWorld::rooms_in_row(20, 10, 2);
+        let center0 = w.rooms()[0].center();
+        assert_eq!(w.room_of(center0).unwrap().id, 0);
+        // Find a wall cell: boundary between the rooms, off the door row.
+        let wall_x = w.rooms()[0].max.x + 1;
+        let wall = Cell::new(wall_x, 0);
+        assert!(!w.passable(wall));
+        assert!(w.room_of(wall).is_none());
+    }
+
+    #[test]
+    fn room_grid_is_fully_connected() {
+        let w = GridWorld::room_grid(3, 2, 5, 4);
+        assert_eq!(w.rooms().len(), 6);
+        let origin = w.rooms()[0].center();
+        for room in w.rooms() {
+            assert!(
+                astar(&w, origin, room.center()).is_ok(),
+                "room {} unreachable",
+                room.id
+            );
+        }
+    }
+
+    #[test]
+    fn room_grid_rooms_are_disjoint() {
+        let w = GridWorld::room_grid(2, 2, 4, 4);
+        for a in w.rooms() {
+            for b in w.rooms() {
+                if a.id != b.id {
+                    assert!(!a.contains(b.center()), "rooms {} and {} overlap", a.id, b.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3×3")]
+    fn tiny_room_grid_rejected() {
+        let _ = GridWorld::room_grid(2, 2, 2, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn too_many_rooms_rejected() {
+        let _ = GridWorld::rooms_in_row(8, 8, 4);
+    }
+
+    #[test]
+    fn room_names_are_stable() {
+        let w = GridWorld::rooms_in_row(20, 10, 3);
+        assert_eq!(w.rooms()[2].name(), "room_2");
+    }
+}

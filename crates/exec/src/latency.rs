@@ -1,0 +1,94 @@
+//! Conversion from planner *work* (nodes, iterations, FLOPs, candidates) to
+//! simulated compute time, plus actuation-time models.
+//!
+//! The paper bills execution latency on an Intel i7 CPU; these constants are
+//! calibrated so the execution shares of Fig. 2a land where the paper
+//! reports them (RoCo ≈49%, DaDu-E ≈38%, EmbodiedGPT ≈24%, grid A* systems
+//! smaller but not negligible).
+
+use embodied_profiler::SimDuration;
+
+/// Compute time of an A* run that expanded `nodes` nodes.
+pub fn astar_compute(nodes: usize) -> SimDuration {
+    SimDuration::from_millis(20) + SimDuration::from_micros(50) * nodes as u64
+}
+
+/// Time for a mobile base to traverse `cells` grid cells.
+pub fn grid_motion(cells: usize) -> SimDuration {
+    SimDuration::from_millis(300) * cells as u64
+}
+
+/// Compute time of an RRT run that consumed `iterations` iterations.
+pub fn rrt_compute(iterations: usize) -> SimDuration {
+    SimDuration::from_millis(600) + SimDuration::from_micros(2_500) * iterations as u64
+}
+
+/// Time for an arm to sweep a trajectory of `length_m` meters.
+pub fn arm_motion(length_m: f64) -> SimDuration {
+    SimDuration::from_secs_f64(length_m.max(0.0) * 6.0)
+}
+
+/// Compute time of an MLP forward pass of `flops` FLOPs (plus dispatch
+/// overhead; the network itself is tiny).
+pub fn mlp_compute(flops: usize) -> SimDuration {
+    SimDuration::from_millis(1) + SimDuration::from_micros((flops / 500_000).max(1) as u64)
+}
+
+/// Time to execute one low-level skill primitive (gripper close, knob turn…).
+pub fn skill_actuation() -> SimDuration {
+    SimDuration::from_millis(1_200)
+}
+
+/// Compute time of grasp-candidate scoring for `candidates` proposals.
+pub fn grasp_compute(candidates: usize) -> SimDuration {
+    SimDuration::from_millis(150) + SimDuration::from_millis(18) * candidates as u64
+}
+
+/// Time for the gripper to physically attempt one grasp.
+pub fn grasp_actuation() -> SimDuration {
+    SimDuration::from_millis(2_500)
+}
+
+/// Time to execute one symbolic action-list primitive (the "Action list"
+/// executors of JARVIS-1, MindAgent, CMAS, …).
+pub fn action_list_step() -> SimDuration {
+    SimDuration::from_millis(900)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn astar_scales_with_nodes() {
+        assert!(astar_compute(10_000) > astar_compute(100));
+        // A big search on the order of tens of thousands of nodes costs
+        // O(seconds) — visible in a 10–30 s step but not dominant.
+        let big = astar_compute(40_000).as_secs_f64();
+        assert!((1.0..5.0).contains(&big), "{big}");
+    }
+
+    #[test]
+    fn rrt_is_expensive_enough_to_bottleneck() {
+        // A 4000-iteration RRT plus ~2 m arm sweep should approach the
+        // multi-second territory that makes RoCo execution-bound.
+        let total = (rrt_compute(4_000) + arm_motion(2.0)).as_secs_f64();
+        assert!((10.0..25.0).contains(&total), "{total}");
+    }
+
+    #[test]
+    fn mlp_is_cheap() {
+        assert!(mlp_compute(1_000_000).as_millis() < 10);
+    }
+
+    #[test]
+    fn grasp_attempt_costs_seconds() {
+        let total = (grasp_compute(64) + grasp_actuation()).as_secs_f64();
+        assert!((2.0..8.0).contains(&total), "{total}");
+    }
+
+    #[test]
+    fn negative_arm_length_is_free_not_negative() {
+        assert_eq!(arm_motion(-1.0), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,223 @@
+//! A small byte-pair-encoding tokenizer, trained deterministically at
+//! construction on an embedded embodied-domain corpus.
+//!
+//! The default [`crate::Tokenizer`] is a fast heuristic; [`BpeTokenizer`]
+//! is the reference implementation for when closer-to-real token counts
+//! matter (e.g. validating the heuristic's calibration — see the tests,
+//! which hold the two within a band on domain text).
+
+use std::collections::HashMap;
+
+/// Embedded training corpus: representative of what the suite's prompts
+/// contain (observations, plans, messages, action menus).
+const CORPUS: &str = "\
+you are the planning module of an embodied agent system operating in a \
+partially observable environment you must pursue the long horizon task \
+goal efficiently reason step by step about the current observation your \
+memory of the world and any messages from teammates before committing to \
+a decision transport all target objects to the goal zone pick up the red \
+apple from the kitchen counter and place it on the dining table go to the \
+living room open the fridge gather logs in the forest craft a wooden \
+pickaxe then a stone pickaxe then an iron pickaxe move the box to zone \
+three lift the heavy box together with agent one cook the soup chop the \
+vegetables serve the dish at the counter the robot arm moves the part to \
+its assembly pose avoid repeating actions that recently failed answer \
+with exactly one choice from the provided action list followed by a brief \
+justification of how it advances the task agent zero reports carrying \
+nothing and exploring room two the station is busy waiting for a partner \
+observed entity locations are stored in memory and retrieved for planning \
+communication generates messages sharing discovered object locations with \
+teammates reflection verifies whether the action achieved its intent";
+
+/// A trained BPE vocabulary and its greedy encoder.
+#[derive(Debug, Clone)]
+pub struct BpeTokenizer {
+    /// Merge ranks: pair of token strings → priority (lower merges first).
+    merges: HashMap<(String, String), usize>,
+}
+
+impl BpeTokenizer {
+    /// Trains a tokenizer with `num_merges` merge rules on the embedded
+    /// corpus. Training is deterministic (ties broken lexicographically).
+    pub fn new(num_merges: usize) -> Self {
+        // Words as sequences of single-char tokens with an end marker.
+        let mut words: Vec<(Vec<String>, usize)> = {
+            let mut counts: HashMap<&str, usize> = HashMap::new();
+            for w in CORPUS.split_whitespace() {
+                *counts.entry(w).or_insert(0) += 1;
+            }
+            let mut words: Vec<(Vec<String>, usize)> = counts
+                .into_iter()
+                .map(|(w, c)| {
+                    let mut toks: Vec<String> =
+                        w.chars().map(|ch| ch.to_string()).collect();
+                    if let Some(last) = toks.last_mut() {
+                        last.push('·'); // word-final marker
+                    }
+                    (toks, c)
+                })
+                .collect();
+            words.sort(); // determinism independent of HashMap order
+            words
+        };
+
+        let mut merges = HashMap::new();
+        for rank in 0..num_merges {
+            // Count adjacent pairs.
+            let mut pair_counts: HashMap<(String, String), usize> = HashMap::new();
+            for (toks, count) in &words {
+                for pair in toks.windows(2) {
+                    *pair_counts
+                        .entry((pair[0].clone(), pair[1].clone()))
+                        .or_insert(0) += count;
+                }
+            }
+            let Some(best) = pair_counts
+                .into_iter()
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+                .filter(|(_, c)| *c >= 2)
+                .map(|(pair, _)| pair)
+            else {
+                break;
+            };
+            // Apply the merge everywhere.
+            let merged = format!("{}{}", best.0, best.1);
+            for (toks, _) in &mut words {
+                let mut i = 0;
+                while i + 1 < toks.len() {
+                    if toks[i] == best.0 && toks[i + 1] == best.1 {
+                        toks[i] = merged.clone();
+                        toks.remove(i + 1);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            merges.insert(best, rank);
+        }
+        BpeTokenizer { merges }
+    }
+
+    /// Number of learned merge rules.
+    pub fn merge_count(&self) -> usize {
+        self.merges.len()
+    }
+
+    /// Encodes one word into BPE tokens.
+    pub fn encode_word(&self, word: &str) -> Vec<String> {
+        let mut toks: Vec<String> = word.chars().map(|c| c.to_string()).collect();
+        if let Some(last) = toks.last_mut() {
+            last.push('·');
+        }
+        loop {
+            // Find the lowest-rank applicable merge.
+            let mut best: Option<(usize, usize)> = None; // (rank, index)
+            for i in 0..toks.len().saturating_sub(1) {
+                if let Some(&rank) = self
+                    .merges
+                    .get(&(toks[i].clone(), toks[i + 1].clone()))
+                {
+                    if best.is_none_or(|(r, _)| rank < r) {
+                        best = Some((rank, i));
+                    }
+                }
+            }
+            let Some((_, i)) = best else { break };
+            let merged = format!("{}{}", toks[i], toks[i + 1]);
+            toks[i] = merged;
+            toks.remove(i + 1);
+        }
+        toks
+    }
+
+    /// Token count of a text (whitespace-split words, BPE within words).
+    pub fn count(&self, text: &str) -> u64 {
+        text.split_whitespace()
+            .map(|w| self.encode_word(w).len() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::Tokenizer;
+
+    fn tok() -> BpeTokenizer {
+        BpeTokenizer::new(400)
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = BpeTokenizer::new(200);
+        let b = BpeTokenizer::new(200);
+        assert_eq!(a.encode_word("transport"), b.encode_word("transport"));
+        assert_eq!(a.merge_count(), b.merge_count());
+    }
+
+    #[test]
+    fn common_domain_words_compress_to_few_tokens() {
+        let t = tok();
+        // Frequent corpus words should encode compactly.
+        for word in ["the", "agent", "planning", "room"] {
+            let tokens = t.encode_word(word);
+            assert!(
+                tokens.len() <= 3,
+                "{word} encoded as {tokens:?} ({} tokens)",
+                tokens.len()
+            );
+        }
+    }
+
+    #[test]
+    fn rare_words_fall_back_to_subwords() {
+        let t = tok();
+        let tokens = t.encode_word("xylophonic");
+        assert!(tokens.len() >= 3, "unseen word should split: {tokens:?}");
+    }
+
+    #[test]
+    fn encoding_round_trips_characters() {
+        let t = tok();
+        for word in ["exploration", "pickaxe", "zz"] {
+            let joined: String = t.encode_word(word).concat();
+            assert_eq!(joined.trim_end_matches('·'), word);
+        }
+    }
+
+    #[test]
+    fn heuristic_tokenizer_is_calibrated_against_bpe() {
+        // The fast heuristic should track the reference BPE within ±40% on
+        // domain prose — close enough that latency/quality conclusions are
+        // insensitive to the tokenizer choice.
+        let bpe = tok();
+        let heuristic = Tokenizer::default();
+        let text = "the agent transports the red apple from the kitchen \
+                    counter to the dining table then reports progress to \
+                    its teammates and updates the shared memory of object \
+                    locations before planning the next exploration step";
+        let b = bpe.count(text) as f64;
+        let h = heuristic.count(text) as f64;
+        let ratio = h / b;
+        assert!(
+            (0.6..1.4).contains(&ratio),
+            "heuristic {h} vs bpe {b} (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn zero_merge_tokenizer_is_character_level() {
+        let t = BpeTokenizer::new(0);
+        assert_eq!(t.count("abc de"), 5);
+        assert_eq!(t.merge_count(), 0);
+    }
+
+    #[test]
+    fn count_is_additive_over_words() {
+        let t = tok();
+        assert_eq!(
+            t.count("open the fridge"),
+            t.count("open") + t.count("the") + t.count("fridge")
+        );
+    }
+}

@@ -1,0 +1,427 @@
+//! The simulated inference engine: deterministic, seeded, and instrumented.
+
+use crate::latency::{batch_latency, inference_cost, inference_latency};
+use crate::profile::ModelProfile;
+use crate::quality::QualityModel;
+use crate::request::{LlmRequest, LlmResponse};
+use crate::tokenizer::Tokenizer;
+use embodied_profiler::TokenStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Errors returned by [`LlmEngine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LlmError {
+    /// The request carried an empty prompt — a caller bug, since every
+    /// module assembles at least a system preamble.
+    EmptyPrompt,
+}
+
+impl std::fmt::Display for LlmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LlmError::EmptyPrompt => f.write_str("request prompt was empty"),
+        }
+    }
+}
+
+impl std::error::Error for LlmError {}
+
+/// Largest index ≤ `max` that is a char boundary of `s`.
+fn floor_char(s: &str, max: usize) -> usize {
+    let mut i = max.min(s.len());
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+/// A seeded, instrumented simulated-LLM endpoint.
+///
+/// One engine instance stands for one model deployment (one API key, or one
+/// local serving process); agents sharing a model share an engine. All
+/// randomness (output-length jitter, quality noise) flows from the seed, so
+/// an episode replays bit-identically.
+///
+/// ```
+/// use embodied_llm::{LlmEngine, LlmRequest, ModelProfile, Purpose};
+///
+/// let mut engine = LlmEngine::new(ModelProfile::gpt4_api(), 7);
+/// let resp = engine
+///     .infer(LlmRequest::new(Purpose::Planning, "goal: set the table. plan:", 120))
+///     .unwrap();
+/// assert!(resp.latency.as_secs_f64() > 0.5);
+/// assert!(resp.quality > 0.5);
+/// assert_eq!(engine.usage().calls, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LlmEngine {
+    profile: ModelProfile,
+    tokenizer: Tokenizer,
+    quality_model: QualityModel,
+    rng: StdRng,
+    usage: TokenStats,
+    overflows: u64,
+    last_prompt_tokens: u64,
+    kv_reuse: bool,
+    last_prompt: Option<String>,
+}
+
+impl LlmEngine {
+    /// Creates an engine for `profile` with a deterministic seed.
+    pub fn new(profile: ModelProfile, seed: u64) -> Self {
+        LlmEngine {
+            profile,
+            tokenizer: Tokenizer::default(),
+            quality_model: QualityModel::default(),
+            rng: StdRng::seed_from_u64(seed ^ 0x5eed_11a3),
+            usage: TokenStats::default(),
+            overflows: 0,
+            last_prompt_tokens: 0,
+            kv_reuse: false,
+            last_prompt: None,
+        }
+    }
+
+    /// Enables KV-cache prefix reuse (paper Rec. 1): consecutive calls that
+    /// share a prompt prefix (system preamble, goal, stable memory head)
+    /// skip re-prefilling the shared tokens.
+    pub fn with_kv_reuse(mut self, enabled: bool) -> Self {
+        self.kv_reuse = enabled;
+        self
+    }
+
+    /// Replaces the quality model (for sensitivity experiments).
+    pub fn with_quality_model(mut self, model: QualityModel) -> Self {
+        self.quality_model = model;
+        self
+    }
+
+    /// The model profile this engine serves.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// The tokenizer in use.
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
+    /// Accumulated usage counters (including context-window overflows).
+    pub fn usage(&self) -> TokenStats {
+        let mut usage = self.usage;
+        usage.overflows = self.overflows;
+        usage
+    }
+
+    /// Number of calls whose prompt exceeded the context window.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Runs one inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::EmptyPrompt`] if the prompt contains no tokens.
+    ///
+    /// Over-long prompts do not error: as in the paper ("occasionally exceed
+    /// LLM's token limit"), the prompt is tail-truncated to fit, the response
+    /// is flagged `truncated`, and the quality model is applied to the
+    /// *original* length — the information was composed for the model but
+    /// could not all reach it.
+    pub fn infer(&mut self, req: LlmRequest) -> Result<LlmResponse, LlmError> {
+        let raw_prompt_tokens = self.tokenizer.count(&req.prompt);
+        if raw_prompt_tokens == 0 {
+            return Err(LlmError::EmptyPrompt);
+        }
+
+        // Reserve room for the completion within the window.
+        let nominal_output =
+            (req.expected_output_tokens as f64 * self.profile.verbosity).round() as u64;
+        let output_budget = nominal_output.max(8);
+        let prompt_budget = self
+            .profile
+            .context_window
+            .saturating_sub(output_budget)
+            .max(64);
+        let truncated = raw_prompt_tokens > prompt_budget;
+        let prompt_tokens = raw_prompt_tokens.min(prompt_budget);
+        if truncated {
+            self.overflows += 1;
+        }
+
+        // KV prefix reuse: measure the shared prefix with the previous call.
+        let mut opts = req.opts;
+        if self.kv_reuse {
+            if let Some(prev) = &self.last_prompt {
+                let shared_bytes = prev
+                    .as_bytes()
+                    .iter()
+                    .zip(req.prompt.as_bytes())
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                let reused = self.tokenizer.count(&req.prompt[..floor_char(&req.prompt, shared_bytes)]);
+                opts.kv_reused_tokens = opts.kv_reused_tokens.max(reused.min(prompt_tokens));
+            }
+        }
+
+        // Output length jitters ±40% around the verbosity-scaled nominal.
+        let jitter = self.rng.gen_range(0.6..=1.4);
+        let output_tokens = ((nominal_output as f64 * jitter).round() as u64).max(1);
+
+        let latency = inference_latency(&self.profile, prompt_tokens, output_tokens, opts);
+        let cost = inference_cost(&self.profile, prompt_tokens, output_tokens);
+
+        // Quality sees the *intended* prompt length: truncation loses
+        // composed context, and dilution applies to what was composed.
+        let mut quality = self.quality_model.decision_quality(
+            &self.profile,
+            raw_prompt_tokens,
+            req.difficulty,
+            req.opts,
+        );
+        if truncated {
+            quality *= 0.85;
+        }
+        // Small per-call noise so identical prompts are not identically lucky.
+        let noise: f64 = self.rng.gen_range(-0.04..=0.04);
+        quality = (quality + noise).clamp(0.02, 0.99);
+
+        self.usage.record(prompt_tokens, output_tokens, cost);
+        self.last_prompt_tokens = prompt_tokens;
+        if self.kv_reuse {
+            self.last_prompt = Some(req.prompt.clone());
+        }
+
+        Ok(LlmResponse {
+            purpose: req.purpose,
+            prompt_tokens,
+            output_tokens,
+            latency,
+            quality,
+            cost_usd: cost,
+            truncated,
+        })
+    }
+
+    /// Samples a boolean with the response's quality as the success
+    /// probability — the canonical "did the model reason correctly" draw.
+    pub fn sample_correct(&mut self, quality: f64) -> bool {
+        self.rng.gen_bool(quality.clamp(0.0, 1.0))
+    }
+
+    /// Uniform draw in `[0, n)` from the engine's deterministic stream, used
+    /// by callers to pick a *wrong* alternative when reasoning fails.
+    pub fn sample_index(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..n)
+        }
+    }
+
+    /// Runs several requests as one batched call (paper Rec. 1), returning
+    /// per-request responses that all share the batched latency bill: the
+    /// total batch latency is attributed to the *first* response and the
+    /// rest report zero marginal latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::EmptyPrompt`] if any prompt is empty.
+    pub fn infer_batch(&mut self, reqs: Vec<LlmRequest>) -> Result<Vec<LlmResponse>, LlmError> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let opts = reqs[0].opts;
+        let mut sized = Vec::with_capacity(reqs.len());
+        for req in &reqs {
+            let pt = self.tokenizer.count(&req.prompt);
+            if pt == 0 {
+                return Err(LlmError::EmptyPrompt);
+            }
+            let nominal = (req.expected_output_tokens as f64 * self.profile.verbosity).round()
+                as u64;
+            let jitter = self.rng.gen_range(0.6..=1.4);
+            let ot = ((nominal as f64 * jitter).round() as u64).max(1);
+            sized.push((pt.min(self.profile.context_window), ot));
+        }
+        let total_latency = batch_latency(&self.profile, &sized, opts);
+
+        let mut responses = Vec::with_capacity(reqs.len());
+        for (i, (req, &(pt, ot))) in reqs.iter().zip(sized.iter()).enumerate() {
+            let cost = inference_cost(&self.profile, pt, ot);
+            let mut quality =
+                self.quality_model
+                    .decision_quality(&self.profile, pt, req.difficulty, req.opts);
+            let noise: f64 = self.rng.gen_range(-0.04..=0.04);
+            quality = (quality + noise).clamp(0.02, 0.99);
+            self.usage.record(pt, ot, cost);
+            responses.push(LlmResponse {
+                purpose: req.purpose,
+                prompt_tokens: pt,
+                output_tokens: ot,
+                latency: if i == 0 {
+                    total_latency
+                } else {
+                    embodied_profiler::SimDuration::ZERO
+                },
+                quality,
+                cost_usd: cost,
+                truncated: false,
+            });
+        }
+        Ok(responses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Purpose;
+
+    fn planning_req(prompt: &str) -> LlmRequest {
+        LlmRequest::new(Purpose::Planning, prompt, 150)
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let run = |seed| {
+            let mut e = LlmEngine::new(ModelProfile::gpt4_api(), seed);
+            (0..5)
+                .map(|i| e.infer(planning_req(&format!("step {i} plan the task"))).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn empty_prompt_is_an_error() {
+        let mut e = LlmEngine::new(ModelProfile::gpt4_api(), 1);
+        assert_eq!(
+            e.infer(planning_req("   ")).unwrap_err(),
+            LlmError::EmptyPrompt
+        );
+    }
+
+    #[test]
+    fn usage_accumulates_across_calls() {
+        let mut e = LlmEngine::new(ModelProfile::gpt4_api(), 1);
+        for _ in 0..3 {
+            e.infer(planning_req("plan the next action for the agent"))
+                .unwrap();
+        }
+        let usage = e.usage();
+        assert_eq!(usage.calls, 3);
+        assert!(usage.prompt_tokens > 0);
+        assert!(usage.completion_tokens > 0);
+        assert!(usage.cost_usd > 0.0);
+    }
+
+    #[test]
+    fn oversized_prompt_truncates_flags_and_penalizes() {
+        let mut e = LlmEngine::new(ModelProfile::llama_13b(), 1); // 4k window
+        let huge = "observation ".repeat(6_000); // ≫ 4096 tokens
+        let resp = e.infer(planning_req(&huge)).unwrap();
+        assert!(resp.truncated);
+        assert!(resp.prompt_tokens <= e.profile().context_window);
+        assert_eq!(e.overflow_count(), 1);
+
+        // Same engine, short prompt: no overflow, higher quality on average.
+        let short = e.infer(planning_req("short plan request")).unwrap();
+        assert!(!short.truncated);
+        assert!(short.quality > resp.quality);
+    }
+
+    #[test]
+    fn local_model_has_zero_cost() {
+        let mut e = LlmEngine::new(ModelProfile::llama3_8b(), 1);
+        let resp = e.infer(planning_req("plan")).unwrap();
+        assert_eq!(resp.cost_usd, 0.0);
+        assert_eq!(e.usage().cost_usd, 0.0);
+    }
+
+    #[test]
+    fn batch_shares_latency_bill() {
+        let mut e = LlmEngine::new(ModelProfile::gpt4_api(), 9);
+        let reqs: Vec<LlmRequest> = (0..4)
+            .map(|i| planning_req(&format!("agent {i} next action from candidates")))
+            .collect();
+        let resps = e.infer_batch(reqs).unwrap();
+        assert_eq!(resps.len(), 4);
+        assert!(resps[0].latency.as_secs_f64() > 0.0);
+        assert!(resps[1..].iter().all(|r| r.latency.is_zero()));
+        assert_eq!(e.usage().calls, 4);
+    }
+
+    #[test]
+    fn empty_batch_ok() {
+        let mut e = LlmEngine::new(ModelProfile::gpt4_api(), 9);
+        assert!(e.infer_batch(Vec::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sample_correct_respects_extremes() {
+        let mut e = LlmEngine::new(ModelProfile::gpt4_api(), 5);
+        assert!(!e.sample_correct(0.0));
+        assert!(e.sample_correct(1.0));
+    }
+
+    #[test]
+    fn sample_index_bounds() {
+        let mut e = LlmEngine::new(ModelProfile::gpt4_api(), 5);
+        assert_eq!(e.sample_index(0), 0);
+        for _ in 0..100 {
+            assert!(e.sample_index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn kv_reuse_speeds_up_shared_prefix_calls() {
+        let preamble = "you are the planning module of an embodied system ".repeat(40);
+        let run = |kv: bool| {
+            let mut e = LlmEngine::new(ModelProfile::llama3_8b(), 3).with_kv_reuse(kv);
+            let mut total = embodied_profiler::SimDuration::ZERO;
+            for step in 0..5 {
+                let r = e
+                    .infer(LlmRequest::new(
+                        Purpose::Planning,
+                        format!("{preamble} step {step}: decide"),
+                        50,
+                    ))
+                    .unwrap();
+                total += r.latency;
+            }
+            total
+        };
+        let cold = run(false);
+        let warm = run(true);
+        assert!(
+            warm.as_secs_f64() < cold.as_secs_f64() * 0.9,
+            "KV reuse should cut prefill meaningfully ({warm} vs {cold})"
+        );
+    }
+
+    #[test]
+    fn kv_reuse_handles_divergent_prompts() {
+        let mut e = LlmEngine::new(ModelProfile::llama3_8b(), 3).with_kv_reuse(true);
+        e.infer(LlmRequest::new(Purpose::Planning, "alpha beta gamma", 20))
+            .unwrap();
+        let r = e
+            .infer(LlmRequest::new(Purpose::Planning, "zeta eta theta", 20))
+            .unwrap();
+        assert!(r.latency > embodied_profiler::SimDuration::ZERO);
+    }
+
+    #[test]
+    fn quality_noise_stays_in_range() {
+        let mut e = LlmEngine::new(ModelProfile::llama3_8b(), 11);
+        for i in 0..200 {
+            let r = e
+                .infer(planning_req(&format!("request number {i} for planning")))
+                .unwrap();
+            assert!((0.02..=0.99).contains(&r.quality));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! A deterministic subword tokenizer.
+//!
+//! The suite builds *real* prompt strings (system preambles, retrieved
+//! memories, dialogue history), so prompt-length phenomena — Fig. 6's token
+//! growth, context-window overflows, context-dilution quality loss — emerge
+//! from actual text rather than synthetic counters. The tokenizer maps text
+//! to token counts the way BPE vocabularies do in aggregate: whole short
+//! words are one token, long words split into ~4-character subwords, and
+//! punctuation/digits tokenize separately.
+
+use serde::{Deserialize, Serialize};
+
+/// Deterministic subword tokenizer used by every simulated model.
+///
+/// ```
+/// use embodied_llm::Tokenizer;
+///
+/// let tok = Tokenizer::default();
+/// assert_eq!(tok.count("go to the kitchen"), 4);
+/// // Long words split into subwords, like real BPE vocabularies.
+/// assert!(tok.count("antidisestablishmentarianism") > 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tokenizer {
+    /// Maximum characters a single subword token absorbs.
+    subword_len: usize,
+    /// Words up to this length count as a single token.
+    whole_word_len: usize,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        // Calibrated so English prose lands near the familiar
+        // ~4 characters/token (~0.75 tokens/word) ratio.
+        Tokenizer {
+            subword_len: 4,
+            whole_word_len: 7,
+        }
+    }
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer with explicit granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either length is zero.
+    pub fn new(subword_len: usize, whole_word_len: usize) -> Self {
+        assert!(subword_len > 0, "subword_len must be positive");
+        assert!(whole_word_len > 0, "whole_word_len must be positive");
+        Tokenizer {
+            subword_len,
+            whole_word_len,
+        }
+    }
+
+    /// Number of tokens in `text`.
+    pub fn count(&self, text: &str) -> u64 {
+        let mut tokens = 0u64;
+        for word in text.split_whitespace() {
+            tokens += self.count_word(word);
+        }
+        tokens
+    }
+
+    fn count_word(&self, word: &str) -> u64 {
+        // Split off punctuation and digit runs: "kitchen," → "kitchen" + ",".
+        let mut tokens = 0u64;
+        let mut alpha_run = 0usize;
+        for c in word.chars() {
+            if c.is_alphabetic() {
+                alpha_run += 1;
+            } else {
+                tokens += self.alpha_tokens(alpha_run);
+                alpha_run = 0;
+                tokens += 1; // each punctuation char / digit is its own token
+            }
+        }
+        tokens + self.alpha_tokens(alpha_run)
+    }
+
+    fn alpha_tokens(&self, len: usize) -> u64 {
+        if len == 0 {
+            0
+        } else if len <= self.whole_word_len {
+            1
+        } else {
+            len.div_ceil(self.subword_len) as u64
+        }
+    }
+
+    /// Truncates `text` to at most `max_tokens`, keeping the *tail* (the
+    /// convention used when a prompt exceeds the context window: the system
+    /// preamble has already been consumed, and the freshest context matters
+    /// most). Returns the retained suffix.
+    pub fn truncate_to(&self, text: &str, max_tokens: u64) -> String {
+        if self.count(text) <= max_tokens {
+            return text.to_owned();
+        }
+        // Walk words from the end, accumulating until the budget is spent.
+        let words: Vec<&str> = text.split_whitespace().collect();
+        let mut kept = Vec::new();
+        let mut budget = max_tokens;
+        for word in words.iter().rev() {
+            let cost = self.count_word(word);
+            if cost > budget {
+                break;
+            }
+            budget -= cost;
+            kept.push(*word);
+        }
+        kept.reverse();
+        kept.join(" ")
+    }
+
+    /// Estimated character budget for a token budget (for pre-sizing).
+    pub fn chars_for(&self, tokens: u64) -> usize {
+        (tokens as usize) * self.subword_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_whitespace_count_zero() {
+        let tok = Tokenizer::default();
+        assert_eq!(tok.count(""), 0);
+        assert_eq!(tok.count("   \n\t  "), 0);
+    }
+
+    #[test]
+    fn short_words_are_one_token() {
+        let tok = Tokenizer::default();
+        assert_eq!(tok.count("kitchen"), 1);
+        assert_eq!(tok.count("a b c"), 3);
+    }
+
+    #[test]
+    fn long_words_split() {
+        let tok = Tokenizer::default();
+        // 12 letters → ceil(12/4) = 3 tokens
+        assert_eq!(tok.count("transporting"), 3);
+    }
+
+    #[test]
+    fn punctuation_tokenizes_separately() {
+        let tok = Tokenizer::default();
+        assert_eq!(tok.count("go,"), 2);
+        assert_eq!(tok.count("room_3"), 1 + 1 + 1); // "room" + "_" + "3"
+    }
+
+    #[test]
+    fn prose_ratio_is_plausible() {
+        let tok = Tokenizer::default();
+        let text = "the agent moves the red apple from the kitchen counter \
+                    to the dining table and then reports task completion";
+        let tokens = tok.count(text) as f64;
+        let chars = text.len() as f64;
+        let ratio = chars / tokens;
+        assert!(
+            (3.0..7.0).contains(&ratio),
+            "chars/token ratio {ratio} outside plausible band"
+        );
+    }
+
+    #[test]
+    fn truncate_keeps_tail_within_budget() {
+        let tok = Tokenizer::default();
+        let text = "alpha beta gamma delta epsilon";
+        let cut = tok.truncate_to(text, 2);
+        assert!(tok.count(&cut) <= 2);
+        assert!(cut.ends_with("epsilon"));
+    }
+
+    #[test]
+    fn truncate_noop_when_under_budget() {
+        let tok = Tokenizer::default();
+        assert_eq!(tok.truncate_to("short text", 100), "short text");
+    }
+
+    #[test]
+    fn count_is_additive_over_concatenation_with_space() {
+        let tok = Tokenizer::default();
+        let a = "pick up the box";
+        let b = "move to room three";
+        assert_eq!(
+            tok.count(&format!("{a} {b}")),
+            tok.count(a) + tok.count(b)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "subword_len")]
+    fn zero_subword_rejected() {
+        let _ = Tokenizer::new(0, 5);
+    }
+}

@@ -1,0 +1,55 @@
+//! # embodied-profiler
+//!
+//! Virtual-time profiling substrate for the embodied-agent workload suite.
+//!
+//! The ISPASS 2025 paper this suite reproduces ("Generative AI in Embodied
+//! Systems") is a *measurement* study: every result is a latency breakdown,
+//! a success rate, a step count, or a token count. This crate provides the
+//! shared measurement vocabulary:
+//!
+//! * [`SimDuration`] / [`SimInstant`] / [`SimClock`] — analytic (virtual)
+//!   time, so 40-minute episodes simulate in milliseconds;
+//! * [`ModuleKind`] / [`Phase`] — the six agent building blocks every span
+//!   is attributed to;
+//! * [`Trace`] / [`Span`] — the per-episode event log;
+//! * [`LatencyBreakdown`], [`TokenStats`], [`MessageStats`], [`StepRecord`]
+//!   — derived metrics;
+//! * [`EpisodeReport`] / [`Aggregate`] — what experiment binaries print;
+//! * [`Table`] / [`ascii_bar`] / [`pct`] — paper-style text rendering.
+//!
+//! ```
+//! use embodied_profiler::{LatencyBreakdown, ModuleKind, Phase, SimDuration, Trace};
+//!
+//! let mut trace = Trace::new();
+//! trace.begin_step(0);
+//! trace.record(ModuleKind::Planning, Phase::LlmInference, 0, SimDuration::from_secs(8));
+//! trace.record(ModuleKind::Execution, Phase::Actuation, 0, SimDuration::from_secs(2));
+//!
+//! let breakdown = LatencyBreakdown::from_trace(&trace);
+//! assert!((breakdown.fraction(ModuleKind::Planning) - 0.8).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod chrome;
+mod gantt;
+mod metrics;
+mod module;
+mod report;
+mod span;
+mod stats;
+mod table;
+mod time;
+
+pub use chrome::chrome_trace_json;
+pub use gantt::render_step_gantt;
+pub use metrics::{
+    LatencyBreakdown, MessageStats, PurposeLedger, PurposeUsage, StepRecord, TokenStats,
+};
+pub use module::{ModuleKind, Phase};
+pub use report::{Aggregate, EpisodeReport, Outcome};
+pub use span::{Span, Trace};
+pub use stats::{std_normal_cdf, welch_t_test, Sample, WelchTest};
+pub use table::{ascii_bar, pct, Table};
+pub use time::{SimClock, SimDuration, SimInstant};

@@ -1,0 +1,376 @@
+//! Aggregated metrics derived from traces: latency breakdowns, token usage,
+//! and per-step records — the quantities the paper's figures plot.
+
+use crate::module::ModuleKind;
+use crate::span::Trace;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-module latency totals for an episode (or any slice of one).
+///
+/// This is the data behind Fig. 2a: the share of per-step latency each
+/// building block contributes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    totals: [SimDuration; 6],
+}
+
+impl LatencyBreakdown {
+    /// An all-zero breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a breakdown by summing every span in a trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut b = Self::new();
+        for span in trace.spans() {
+            b.add(span.module, span.duration);
+        }
+        b
+    }
+
+    /// Adds time to one module's bucket.
+    pub fn add(&mut self, module: ModuleKind, duration: SimDuration) {
+        self.totals[Self::index(module)] += duration;
+    }
+
+    /// Time accumulated for a module.
+    pub fn module(&self, module: ModuleKind) -> SimDuration {
+        self.totals[Self::index(module)]
+    }
+
+    /// Total across all modules.
+    pub fn total(&self) -> SimDuration {
+        self.totals.iter().copied().sum()
+    }
+
+    /// Fraction of the total attributable to `module` (0 when empty).
+    pub fn fraction(&self, module: ModuleKind) -> f64 {
+        self.module(module).fraction_of(self.total())
+    }
+
+    /// Fraction of total latency in LLM-backed modules
+    /// (planning + communication + reflection) — the paper's ~70.2% figure.
+    pub fn llm_fraction(&self) -> f64 {
+        ModuleKind::ALL
+            .into_iter()
+            .filter(|m| m.is_llm_backed())
+            .map(|m| self.fraction(m))
+            .sum()
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &LatencyBreakdown) {
+        for (a, b) in self.totals.iter_mut().zip(other.totals.iter()) {
+            *a += *b;
+        }
+    }
+
+    fn index(module: ModuleKind) -> usize {
+        ModuleKind::ALL
+            .iter()
+            .position(|m| *m == module)
+            .expect("ModuleKind::ALL covers every variant")
+    }
+}
+
+impl fmt::Display for LatencyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        write!(f, "total {total}: ")?;
+        let mut first = true;
+        for m in ModuleKind::ALL {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{} {:.1}%", m.label(), self.fraction(m) * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// LLM usage counters for an episode.
+///
+/// Drives Fig. 6 (prompt growth) and Fig. 7's call/token scaling analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TokenStats {
+    /// Number of LLM inference runs (API calls or local forward passes).
+    pub calls: u64,
+    /// Total prompt tokens consumed.
+    pub prompt_tokens: u64,
+    /// Total completion tokens produced.
+    pub completion_tokens: u64,
+    /// Accumulated API cost in USD (zero for local models).
+    pub cost_usd: f64,
+    /// Calls whose prompt exceeded the context window and was truncated
+    /// (the Fig. 6 "occasionally exceed LLM's token limit" events).
+    pub overflows: u64,
+}
+
+impl TokenStats {
+    /// Records one inference run.
+    pub fn record(&mut self, prompt_tokens: u64, completion_tokens: u64, cost_usd: f64) {
+        self.calls += 1;
+        self.prompt_tokens += prompt_tokens;
+        self.completion_tokens += completion_tokens;
+        self.cost_usd += cost_usd;
+    }
+
+    /// Total tokens in either direction.
+    pub fn total_tokens(&self) -> u64 {
+        self.prompt_tokens + self.completion_tokens
+    }
+
+    /// Merges counters from another episode slice.
+    pub fn merge(&mut self, other: &TokenStats) {
+        self.calls += other.calls;
+        self.prompt_tokens += other.prompt_tokens;
+        self.completion_tokens += other.completion_tokens;
+        self.cost_usd += other.cost_usd;
+        self.overflows += other.overflows;
+    }
+
+    /// Mean prompt length per call (0 when no calls were made).
+    pub fn mean_prompt_tokens(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.prompt_tokens as f64 / self.calls as f64
+        }
+    }
+}
+
+/// What one environment step looked like, for per-step time series (Fig. 6).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Step index within the episode.
+    pub step: usize,
+    /// Simulated latency of this step across all modules.
+    pub latency: SimDuration,
+    /// Largest prompt (in tokens) submitted during the step.
+    pub max_prompt_tokens: u64,
+    /// LLM calls made during the step.
+    pub llm_calls: u64,
+    /// Whether any agent made goal progress this step.
+    pub progress: bool,
+}
+
+/// Per-purpose LLM usage: the data behind the paper's in-text splits such
+/// as CoELA's three runs per step (message generation / planning / action
+/// selection).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PurposeUsage {
+    /// Purpose label, e.g. `"planning"`.
+    pub purpose: String,
+    /// Inference runs with this purpose.
+    pub calls: u64,
+    /// Total latency of those runs.
+    pub latency: SimDuration,
+    /// Prompt tokens consumed.
+    pub prompt_tokens: u64,
+    /// Completion tokens produced.
+    pub completion_tokens: u64,
+}
+
+/// An accumulating per-purpose usage ledger.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PurposeLedger {
+    entries: Vec<PurposeUsage>,
+}
+
+impl PurposeLedger {
+    /// Records one run under `purpose`.
+    pub fn record(
+        &mut self,
+        purpose: &str,
+        latency: SimDuration,
+        prompt_tokens: u64,
+        completion_tokens: u64,
+    ) {
+        let entry = match self.entries.iter_mut().find(|e| e.purpose == purpose) {
+            Some(entry) => entry,
+            None => {
+                self.entries.push(PurposeUsage {
+                    purpose: purpose.to_owned(),
+                    ..Default::default()
+                });
+                self.entries.last_mut().expect("just pushed")
+            }
+        };
+        entry.calls += 1;
+        entry.latency += latency;
+        entry.prompt_tokens += prompt_tokens;
+        entry.completion_tokens += completion_tokens;
+    }
+
+    /// All entries, in first-seen order.
+    pub fn entries(&self) -> &[PurposeUsage] {
+        &self.entries
+    }
+
+    /// Total latency across purposes.
+    pub fn total_latency(&self) -> SimDuration {
+        self.entries.iter().map(|e| e.latency).sum()
+    }
+
+    /// Latency fraction of one purpose over the ledger total.
+    pub fn fraction(&self, purpose: &str) -> f64 {
+        let total = self.total_latency();
+        self.entries
+            .iter()
+            .find(|e| e.purpose == purpose)
+            .map(|e| e.latency.fraction_of(total))
+            .unwrap_or(0.0)
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &PurposeLedger) {
+        for e in &other.entries {
+            let target = match self.entries.iter_mut().find(|t| t.purpose == e.purpose) {
+                Some(t) => t,
+                None => {
+                    self.entries.push(PurposeUsage {
+                        purpose: e.purpose.clone(),
+                        ..Default::default()
+                    });
+                    self.entries.last_mut().expect("just pushed")
+                }
+            };
+            target.calls += e.calls;
+            target.latency += e.latency;
+            target.prompt_tokens += e.prompt_tokens;
+            target.completion_tokens += e.completion_tokens;
+        }
+    }
+}
+
+/// Communication-utility counters (paper §V-D: only ~20% of CoELA's
+/// pre-generated messages turn out to be useful).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageStats {
+    /// Messages generated by communication modules.
+    pub generated: u64,
+    /// Messages that actually altered a recipient's plan or state.
+    pub useful: u64,
+}
+
+impl MessageStats {
+    /// Fraction of generated messages that were useful (0 when none sent).
+    pub fn utility(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.useful as f64 / self.generated as f64
+        }
+    }
+
+    /// Merge counters.
+    pub fn merge(&mut self, other: &MessageStats) {
+        self.generated += other.generated;
+        self.useful += other.useful;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Phase;
+
+    fn sec(n: u64) -> SimDuration {
+        SimDuration::from_secs(n)
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let mut b = LatencyBreakdown::new();
+        b.add(ModuleKind::Planning, sec(7));
+        b.add(ModuleKind::Execution, sec(3));
+        let sum: f64 = ModuleKind::ALL.into_iter().map(|m| b.fraction(m)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!((b.fraction(ModuleKind::Planning) - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn llm_fraction_counts_only_llm_modules() {
+        let mut b = LatencyBreakdown::new();
+        b.add(ModuleKind::Planning, sec(4));
+        b.add(ModuleKind::Communication, sec(2));
+        b.add(ModuleKind::Reflection, sec(1));
+        b.add(ModuleKind::Execution, sec(3));
+        assert!((b.llm_fraction() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_from_trace_matches_manual() {
+        let mut t = Trace::new();
+        t.record(ModuleKind::Sensing, Phase::Encoding, 0, sec(1));
+        t.record(ModuleKind::Planning, Phase::LlmInference, 0, sec(9));
+        let b = LatencyBreakdown::from_trace(&t);
+        assert_eq!(b.module(ModuleKind::Sensing), sec(1));
+        assert_eq!(b.module(ModuleKind::Planning), sec(9));
+        assert_eq!(b.total(), sec(10));
+    }
+
+    #[test]
+    fn merge_adds_buckets() {
+        let mut a = LatencyBreakdown::new();
+        a.add(ModuleKind::Memory, sec(2));
+        let mut b = LatencyBreakdown::new();
+        b.add(ModuleKind::Memory, sec(3));
+        a.merge(&b);
+        assert_eq!(a.module(ModuleKind::Memory), sec(5));
+    }
+
+    #[test]
+    fn token_stats_accumulate() {
+        let mut s = TokenStats::default();
+        s.record(1_000, 50, 0.03);
+        s.record(2_000, 100, 0.06);
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.total_tokens(), 3_150);
+        assert!((s.mean_prompt_tokens() - 1_500.0).abs() < 1e-9);
+        assert!((s.cost_usd - 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_token_stats_mean_is_zero() {
+        assert_eq!(TokenStats::default().mean_prompt_tokens(), 0.0);
+    }
+
+    #[test]
+    fn purpose_ledger_accumulates_and_fractions() {
+        let mut ledger = PurposeLedger::default();
+        ledger.record("planning", sec(6), 1_000, 100);
+        ledger.record("communication", sec(3), 400, 40);
+        ledger.record("planning", sec(3), 900, 80);
+        assert_eq!(ledger.entries().len(), 2);
+        assert!((ledger.fraction("planning") - 0.75).abs() < 1e-9);
+        assert_eq!(ledger.fraction("unknown"), 0.0);
+        let mut other = PurposeLedger::default();
+        other.record("planning", sec(3), 100, 10);
+        ledger.merge(&other);
+        assert!((ledger.fraction("planning") - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn message_utility() {
+        let mut m = MessageStats::default();
+        assert_eq!(m.utility(), 0.0);
+        m.generated = 10;
+        m.useful = 2;
+        assert!((m.utility() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_display_mentions_every_module() {
+        let mut b = LatencyBreakdown::new();
+        b.add(ModuleKind::Planning, sec(1));
+        let text = b.to_string();
+        for m in ModuleKind::ALL {
+            assert!(text.contains(m.label()), "missing {m} in {text}");
+        }
+    }
+}

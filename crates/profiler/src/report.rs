@@ -1,0 +1,322 @@
+//! Episode reports and multi-episode aggregation — the statistics every
+//! figure binary prints.
+
+use crate::metrics::{LatencyBreakdown, MessageStats, PurposeLedger, StepRecord, TokenStats};
+use crate::module::ModuleKind;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why an episode ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// All goal predicates satisfied before the step limit.
+    Success,
+    /// Step limit reached with goals unmet.
+    StepLimit,
+    /// The system reached a state it could not act from (e.g. execution
+    /// disabled and the planner stuck emitting unexecutable plans).
+    Stuck,
+}
+
+impl Outcome {
+    /// Whether this outcome counts toward the success-rate metric.
+    pub fn is_success(self) -> bool {
+        matches!(self, Outcome::Success)
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Outcome::Success => "success",
+            Outcome::StepLimit => "step-limit",
+            Outcome::Stuck => "stuck",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Everything measured during a single episode of one workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpisodeReport {
+    /// Workload that produced the episode (e.g. `"CoELA"`).
+    pub workload: String,
+    /// How the episode ended.
+    pub outcome: Outcome,
+    /// Environment steps taken.
+    pub steps: usize,
+    /// End-to-end simulated latency.
+    pub latency: SimDuration,
+    /// Per-module latency totals.
+    pub breakdown: LatencyBreakdown,
+    /// LLM usage counters.
+    pub tokens: TokenStats,
+    /// Per-purpose LLM usage (planning vs. message generation vs. action
+    /// selection vs. reflection).
+    pub by_purpose: PurposeLedger,
+    /// Per-phase latency (llm-inference / retrieval / geometric-planning /
+    /// actuation / encoding) — the paper's Rec. 2 needs the split between
+    /// low-level planning compute and physical motion.
+    pub by_phase: PurposeLedger,
+    /// Communication-utility counters.
+    pub messages: MessageStats,
+    /// Per-step time series.
+    pub step_records: Vec<StepRecord>,
+    /// Number of agents that participated.
+    pub agents: usize,
+}
+
+impl EpisodeReport {
+    /// Mean simulated latency per step (zero when no steps ran).
+    pub fn latency_per_step(&self) -> SimDuration {
+        if self.steps == 0 {
+            SimDuration::ZERO
+        } else {
+            self.latency / self.steps as u64
+        }
+    }
+}
+
+/// Summary statistics over a set of episodes of the same configuration.
+///
+/// The paper reports success rate, average steps and average latency per
+/// configuration; [`Aggregate`] computes exactly those (plus spread).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Aggregate {
+    /// Configuration label.
+    pub label: String,
+    /// Episodes aggregated.
+    pub episodes: usize,
+    /// Fraction of episodes that succeeded.
+    pub success_rate: f64,
+    /// Mean steps per episode.
+    pub mean_steps: f64,
+    /// Mean end-to-end latency.
+    pub mean_latency: SimDuration,
+    /// Standard deviation of end-to-end latency (seconds).
+    pub latency_std_secs: f64,
+    /// Median end-to-end latency.
+    pub latency_p50: SimDuration,
+    /// 95th-percentile end-to-end latency (nearest-rank).
+    pub latency_p95: SimDuration,
+    /// Mean per-step latency.
+    pub mean_step_latency: SimDuration,
+    /// Merged per-module breakdown across episodes.
+    pub breakdown: LatencyBreakdown,
+    /// Merged token stats across episodes.
+    pub tokens: TokenStats,
+    /// Merged per-purpose usage across episodes.
+    pub by_purpose: PurposeLedger,
+    /// Merged per-phase latency across episodes.
+    pub by_phase: PurposeLedger,
+    /// Merged message stats across episodes.
+    pub messages: MessageStats,
+}
+
+impl Aggregate {
+    /// Aggregates a non-empty set of episode reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty — an experiment with zero episodes is a
+    /// harness bug, not a measurable configuration.
+    pub fn from_reports(label: impl Into<String>, reports: &[EpisodeReport]) -> Self {
+        assert!(!reports.is_empty(), "cannot aggregate zero episodes");
+        let n = reports.len() as f64;
+        let successes = reports.iter().filter(|r| r.outcome.is_success()).count();
+        let mean_steps = reports.iter().map(|r| r.steps as f64).sum::<f64>() / n;
+        let latencies: Vec<f64> = reports.iter().map(|r| r.latency.as_secs_f64()).collect();
+        let mean_latency_secs = latencies.iter().sum::<f64>() / n;
+        let var = latencies
+            .iter()
+            .map(|l| (l - mean_latency_secs).powi(2))
+            .sum::<f64>()
+            / n;
+        let mut sorted = latencies.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let nearest_rank = |p: f64| {
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            SimDuration::from_secs_f64(sorted[rank - 1])
+        };
+        let latency_p50 = nearest_rank(0.5);
+        let latency_p95 = nearest_rank(0.95);
+        let total_steps: usize = reports.iter().map(|r| r.steps).sum();
+        let total_latency: SimDuration = reports.iter().map(|r| r.latency).sum();
+        let mean_step_latency = if total_steps == 0 {
+            SimDuration::ZERO
+        } else {
+            total_latency / total_steps as u64
+        };
+
+        let mut breakdown = LatencyBreakdown::new();
+        let mut tokens = TokenStats::default();
+        let mut by_purpose = PurposeLedger::default();
+        let mut by_phase = PurposeLedger::default();
+        let mut messages = MessageStats::default();
+        for r in reports {
+            breakdown.merge(&r.breakdown);
+            tokens.merge(&r.tokens);
+            by_purpose.merge(&r.by_purpose);
+            by_phase.merge(&r.by_phase);
+            messages.merge(&r.messages);
+        }
+
+        Aggregate {
+            label: label.into(),
+            episodes: reports.len(),
+            success_rate: successes as f64 / n,
+            mean_steps,
+            mean_latency: SimDuration::from_secs_f64(mean_latency_secs),
+            latency_std_secs: var.sqrt(),
+            latency_p50,
+            latency_p95,
+            mean_step_latency,
+            breakdown,
+            tokens,
+            by_purpose,
+            by_phase,
+            messages,
+        }
+    }
+
+    /// Fraction of latency in `module`, over the merged breakdown.
+    pub fn module_fraction(&self, module: ModuleKind) -> f64 {
+        self.breakdown.fraction(module)
+    }
+
+    /// 95% confidence half-width on the success rate (normal
+    /// approximation of the binomial; small-sample experiments should read
+    /// it as a rough error bar, not an exact interval).
+    pub fn success_ci95(&self) -> f64 {
+        let n = self.episodes as f64;
+        let p = self.success_rate;
+        1.96 * (p * (1.0 - p) / n).sqrt()
+    }
+
+    /// Mean LLM calls per episode.
+    pub fn calls_per_episode(&self) -> f64 {
+        self.tokens.calls as f64 / self.episodes as f64
+    }
+
+    /// Mean total tokens per episode.
+    pub fn tokens_per_episode(&self) -> f64 {
+        self.tokens.total_tokens() as f64 / self.episodes as f64
+    }
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: success {:.0}%, steps {:.1}, latency {} ({}/step), llm {:.1} calls/ep",
+            self.label,
+            self.success_rate * 100.0,
+            self.mean_steps,
+            self.mean_latency,
+            self.mean_step_latency,
+            self.calls_per_episode(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(outcome: Outcome, steps: usize, latency_secs: u64) -> EpisodeReport {
+        let mut breakdown = LatencyBreakdown::new();
+        breakdown.add(ModuleKind::Planning, SimDuration::from_secs(latency_secs));
+        EpisodeReport {
+            workload: "Test".into(),
+            outcome,
+            steps,
+            latency: SimDuration::from_secs(latency_secs),
+            breakdown,
+            tokens: TokenStats::default(),
+            by_purpose: PurposeLedger::default(),
+            by_phase: PurposeLedger::default(),
+            messages: MessageStats::default(),
+            step_records: Vec::new(),
+            agents: 1,
+        }
+    }
+
+    #[test]
+    fn aggregate_success_rate_and_means() {
+        let reports = vec![
+            report(Outcome::Success, 10, 100),
+            report(Outcome::StepLimit, 30, 300),
+        ];
+        let agg = Aggregate::from_reports("t", &reports);
+        assert!((agg.success_rate - 0.5).abs() < 1e-12);
+        assert!((agg.mean_steps - 20.0).abs() < 1e-12);
+        assert_eq!(agg.mean_latency, SimDuration::from_secs(200));
+        // 400 s over 40 steps
+        assert_eq!(agg.mean_step_latency, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn aggregate_latency_std() {
+        let reports = vec![
+            report(Outcome::Success, 1, 100),
+            report(Outcome::Success, 1, 300),
+        ];
+        let agg = Aggregate::from_reports("t", &reports);
+        assert!((agg.latency_std_secs - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn success_ci_shrinks_with_more_episodes() {
+        let few: Vec<EpisodeReport> = (0..4)
+            .map(|i| report(if i % 2 == 0 { Outcome::Success } else { Outcome::StepLimit }, 1, 10))
+            .collect();
+        let many: Vec<EpisodeReport> = (0..64)
+            .map(|i| report(if i % 2 == 0 { Outcome::Success } else { Outcome::StepLimit }, 1, 10))
+            .collect();
+        let few = Aggregate::from_reports("few", &few);
+        let many = Aggregate::from_reports("many", &many);
+        assert!(few.success_ci95() > many.success_ci95());
+        // Degenerate all-success sample: zero-width interval.
+        let all: Vec<EpisodeReport> = (0..8).map(|_| report(Outcome::Success, 1, 10)).collect();
+        assert_eq!(Aggregate::from_reports("all", &all).success_ci95(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let reports: Vec<EpisodeReport> = [10u64, 20, 30, 40, 100]
+            .into_iter()
+            .map(|secs| report(Outcome::Success, 1, secs))
+            .collect();
+        let agg = Aggregate::from_reports("t", &reports);
+        assert_eq!(agg.latency_p50, SimDuration::from_secs(30));
+        assert_eq!(agg.latency_p95, SimDuration::from_secs(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero episodes")]
+    fn aggregate_rejects_empty() {
+        let _ = Aggregate::from_reports("t", &[]);
+    }
+
+    #[test]
+    fn per_step_latency_handles_zero_steps() {
+        let r = report(Outcome::Stuck, 0, 50);
+        assert_eq!(r.latency_per_step(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn outcome_success_flag() {
+        assert!(Outcome::Success.is_success());
+        assert!(!Outcome::StepLimit.is_success());
+        assert!(!Outcome::Stuck.is_success());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let agg = Aggregate::from_reports("CoELA", &[report(Outcome::Success, 5, 60)]);
+        let text = agg.to_string();
+        assert!(text.contains("CoELA"));
+        assert!(text.contains("100%"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Spans and traces: the raw material of every latency figure in the paper.
+
+use crate::module::{ModuleKind, Phase};
+use crate::time::{SimClock, SimDuration, SimInstant};
+use serde::{Deserialize, Serialize};
+
+/// One timed piece of module work on the simulated timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Which building block did the work.
+    pub module: ModuleKind,
+    /// What kind of work it was.
+    pub phase: Phase,
+    /// Agent that performed the work (0 for single-agent / central planner).
+    pub agent: usize,
+    /// Environment step index the work belongs to.
+    pub step: usize,
+    /// When the work started on the simulated timeline.
+    pub start: SimInstant,
+    /// How long it took.
+    pub duration: SimDuration,
+}
+
+impl Span {
+    /// The instant the span ended.
+    pub fn end(&self) -> SimInstant {
+        self.start + self.duration
+    }
+}
+
+/// An append-only log of spans for one episode, tied to a [`SimClock`].
+///
+/// The trace *is* the clock driver: recording a span advances simulated time,
+/// which keeps the timeline and the accounting consistent by construction.
+///
+/// ```
+/// use embodied_profiler::{ModuleKind, Phase, SimDuration, Trace};
+///
+/// let mut trace = Trace::new();
+/// trace.record(ModuleKind::Planning, Phase::LlmInference, 0, SimDuration::from_secs(8));
+/// trace.record(ModuleKind::Execution, Phase::Actuation, 0, SimDuration::from_secs(2));
+/// assert_eq!(trace.elapsed(), SimDuration::from_secs(10));
+/// assert_eq!(trace.spans().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    clock: SimClock,
+    spans: Vec<Span>,
+    step: usize,
+    agent: usize,
+}
+
+impl Trace {
+    /// An empty trace at the episode origin.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the step index attached to subsequently recorded spans.
+    pub fn begin_step(&mut self, step: usize) {
+        self.step = step;
+    }
+
+    /// Sets the agent index attached to subsequently recorded spans.
+    pub fn set_agent(&mut self, agent: usize) {
+        self.agent = agent;
+    }
+
+    /// Current step index.
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// Records a span for `module`, advancing the simulated clock.
+    ///
+    /// Returns the completed span (also retained internally).
+    pub fn record(
+        &mut self,
+        module: ModuleKind,
+        phase: Phase,
+        agent: usize,
+        duration: SimDuration,
+    ) -> Span {
+        let span = Span {
+            module,
+            phase,
+            agent,
+            step: self.step,
+            start: self.clock.now(),
+            duration,
+        };
+        self.clock.advance(duration);
+        self.spans.push(span.clone());
+        span
+    }
+
+    /// Records a span attributed to the trace's current agent.
+    pub fn record_here(&mut self, module: ModuleKind, phase: Phase, duration: SimDuration) -> Span {
+        self.record(module, phase, self.agent, duration)
+    }
+
+    /// Advances time without attributing it to a module (e.g. environment
+    /// settling time). Rarely used; figure breakdowns ignore it.
+    pub fn advance_untracked(&mut self, duration: SimDuration) {
+        self.clock.advance(duration);
+    }
+
+    /// Records a set of spans that run *concurrently* (batched API calls,
+    /// parallel perception): each span starts now and is attributed its own
+    /// duration, but the clock advances only by the longest one — the
+    /// wall-clock benefit the paper's Rec. 1 batching buys.
+    pub fn record_parallel(
+        &mut self,
+        module: ModuleKind,
+        phase: Phase,
+        items: &[(usize, SimDuration)],
+    ) {
+        let start = self.clock.now();
+        let mut longest = SimDuration::ZERO;
+        for &(agent, duration) in items {
+            self.spans.push(Span {
+                module,
+                phase,
+                agent,
+                step: self.step,
+                start,
+                duration,
+            });
+            longest = longest.max(duration);
+        }
+        self.clock.advance(longest);
+    }
+
+    /// All recorded spans in timeline order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Total simulated time elapsed.
+    pub fn elapsed(&self) -> SimDuration {
+        self.clock.elapsed()
+    }
+
+    /// Current simulated instant.
+    pub fn now(&self) -> SimInstant {
+        self.clock.now()
+    }
+
+    /// Sum of span durations for one module.
+    pub fn module_total(&self, module: ModuleKind) -> SimDuration {
+        self.spans
+            .iter()
+            .filter(|s| s.module == module)
+            .map(|s| s.duration)
+            .sum()
+    }
+
+    /// Sum of span durations for one phase.
+    pub fn phase_total(&self, phase: Phase) -> SimDuration {
+        self.spans
+            .iter()
+            .filter(|s| s.phase == phase)
+            .map(|s| s.duration)
+            .sum()
+    }
+
+    /// Spans belonging to a given step.
+    pub fn step_spans(&self, step: usize) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.step == step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sec(n: u64) -> SimDuration {
+        SimDuration::from_secs(n)
+    }
+
+    #[test]
+    fn spans_are_contiguous_on_the_timeline() {
+        let mut t = Trace::new();
+        t.record(ModuleKind::Sensing, Phase::Encoding, 0, sec(1));
+        t.record(ModuleKind::Planning, Phase::LlmInference, 0, sec(5));
+        let spans = t.spans();
+        assert_eq!(spans[0].end(), spans[1].start);
+        assert_eq!(t.elapsed(), sec(6));
+    }
+
+    #[test]
+    fn module_totals_aggregate_across_steps() {
+        let mut t = Trace::new();
+        for step in 0..3 {
+            t.begin_step(step);
+            t.record(ModuleKind::Planning, Phase::LlmInference, 0, sec(4));
+            t.record(ModuleKind::Execution, Phase::Actuation, 0, sec(1));
+        }
+        assert_eq!(t.module_total(ModuleKind::Planning), sec(12));
+        assert_eq!(t.module_total(ModuleKind::Execution), sec(3));
+        assert_eq!(t.module_total(ModuleKind::Memory), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn step_spans_filter_by_step() {
+        let mut t = Trace::new();
+        t.begin_step(0);
+        t.record(ModuleKind::Planning, Phase::LlmInference, 0, sec(2));
+        t.begin_step(1);
+        t.record(ModuleKind::Planning, Phase::LlmInference, 0, sec(2));
+        t.record(ModuleKind::Reflection, Phase::LlmInference, 0, sec(1));
+        assert_eq!(t.step_spans(1).count(), 2);
+        assert_eq!(t.step_spans(0).count(), 1);
+        assert_eq!(t.step_spans(7).count(), 0);
+    }
+
+    #[test]
+    fn record_here_uses_current_agent() {
+        let mut t = Trace::new();
+        t.set_agent(3);
+        let span = t.record_here(ModuleKind::Communication, Phase::LlmInference, sec(1));
+        assert_eq!(span.agent, 3);
+    }
+
+    #[test]
+    fn untracked_time_advances_clock_but_not_modules() {
+        let mut t = Trace::new();
+        t.advance_untracked(sec(5));
+        assert_eq!(t.elapsed(), sec(5));
+        assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn parallel_spans_advance_clock_by_longest() {
+        let mut t = Trace::new();
+        t.record_parallel(
+            ModuleKind::Communication,
+            Phase::LlmInference,
+            &[(0, sec(2)), (1, sec(5)), (2, sec(3))],
+        );
+        assert_eq!(t.elapsed(), sec(5), "wall clock is the longest branch");
+        // Module accounting still attributes every branch's own duration.
+        assert_eq!(t.module_total(ModuleKind::Communication), sec(10));
+        assert_eq!(t.spans().len(), 3);
+        assert!(t.spans().iter().all(|s| s.start.as_micros() == 0));
+    }
+
+    #[test]
+    fn empty_parallel_batch_is_noop() {
+        let mut t = Trace::new();
+        t.record_parallel(ModuleKind::Planning, Phase::LlmInference, &[]);
+        assert_eq!(t.elapsed(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn phase_totals() {
+        let mut t = Trace::new();
+        t.record(ModuleKind::Planning, Phase::LlmInference, 0, sec(3));
+        t.record(ModuleKind::Communication, Phase::LlmInference, 0, sec(2));
+        t.record(ModuleKind::Execution, Phase::GeometricPlanning, 0, sec(1));
+        assert_eq!(t.phase_total(Phase::LlmInference), sec(5));
+        assert_eq!(t.phase_total(Phase::GeometricPlanning), sec(1));
+    }
+}

@@ -1,0 +1,195 @@
+//! Small statistics toolkit for comparing experiment configurations:
+//! Welch's t-test over success indicators / step counts, so claims like
+//! Fig. 3's "disabling communication has **no significant** impact" are
+//! tested rather than eyeballed.
+
+/// Summary of one sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub var: f64,
+}
+
+impl Sample {
+    /// Computes n/mean/variance of a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        };
+        Sample {
+            n,
+            mean,
+            var,
+        }
+    }
+}
+
+/// Result of a two-sample comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WelchTest {
+    /// Welch's t statistic (0 when both variances vanish).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value (normal approximation of the t distribution —
+    /// adequate for the suite's ≥5-episode samples and its "significant /
+    /// not significant at 0.05" verdicts).
+    pub p_value: f64,
+}
+
+impl WelchTest {
+    /// Whether the difference is significant at the given level.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Welch's unequal-variance t-test between two samples.
+pub fn welch_t_test(a: &Sample, b: &Sample) -> WelchTest {
+    let se_a = a.var / a.n as f64;
+    let se_b = b.var / b.n as f64;
+    let se = (se_a + se_b).sqrt();
+    if se == 0.0 {
+        // Identical constants: no evidence of difference unless means differ
+        // exactly (then the difference is deterministic).
+        let differs = (a.mean - b.mean).abs() > 1e-12;
+        return WelchTest {
+            t: if differs { f64::INFINITY } else { 0.0 },
+            df: (a.n + b.n) as f64 - 2.0,
+            p_value: if differs { 0.0 } else { 1.0 },
+        };
+    }
+    let t = (a.mean - b.mean) / se;
+    let df = (se_a + se_b).powi(2)
+        / (se_a.powi(2) / (a.n as f64 - 1.0).max(1.0)
+            + se_b.powi(2) / (b.n as f64 - 1.0).max(1.0));
+    // Two-sided p via the standard normal tail (conservative enough here;
+    // the t distribution has heavier tails, so this slightly understates p
+    // for tiny samples — we compensate by widening t for small df).
+    let correction = if df.is_finite() && df > 2.0 {
+        (df / (df - 2.0)).sqrt()
+    } else {
+        1.6
+    };
+    let z = t.abs() / correction;
+    let p_value = 2.0 * (1.0 - std_normal_cdf(z));
+    WelchTest {
+        t,
+        df,
+        p_value: p_value.clamp(0.0, 1.0),
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (|error| < 1.5e-7 — far below experimental noise).
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_summary() {
+        let s = Sample::from_values(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.var - 5.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singleton_sample_has_zero_variance() {
+        let s = Sample::from_values(&[7.0]);
+        assert_eq!(s.var, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_rejected() {
+        let _ = Sample::from_values(&[]);
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-5);
+        assert!((erf(2.0) - 0.995_322_27).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normal_cdf_is_monotone_and_symmetric() {
+        assert!((std_normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!(std_normal_cdf(1.0) > std_normal_cdf(0.5));
+        let p = std_normal_cdf(1.5) + std_normal_cdf(-1.5);
+        assert!((p - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn clearly_different_samples_are_significant() {
+        let a = Sample::from_values(&[10.0, 11.0, 9.0, 10.5, 9.5, 10.2, 9.8, 10.1]);
+        let b = Sample::from_values(&[20.0, 21.0, 19.0, 20.5, 19.5, 20.2, 19.8, 20.1]);
+        let test = welch_t_test(&a, &b);
+        assert!(test.significant_at(0.01), "p = {}", test.p_value);
+    }
+
+    #[test]
+    fn similar_samples_are_not_significant() {
+        let a = Sample::from_values(&[10.0, 12.0, 9.0, 11.0, 10.5, 9.5]);
+        let b = Sample::from_values(&[10.2, 11.8, 9.1, 11.2, 10.4, 9.6]);
+        let test = welch_t_test(&a, &b);
+        assert!(!test.significant_at(0.05), "p = {}", test.p_value);
+    }
+
+    #[test]
+    fn identical_constant_samples_yield_p_one() {
+        let a = Sample::from_values(&[1.0, 1.0, 1.0]);
+        let b = Sample::from_values(&[1.0, 1.0, 1.0]);
+        let test = welch_t_test(&a, &b);
+        assert_eq!(test.p_value, 1.0);
+        // …and deterministic difference yields p = 0.
+        let c = Sample::from_values(&[2.0, 2.0, 2.0]);
+        assert_eq!(welch_t_test(&a, &c).p_value, 0.0);
+    }
+
+    #[test]
+    fn p_value_shrinks_with_sample_size() {
+        let small_a = Sample::from_values(&[0.0, 1.0, 0.0, 1.0, 1.0]);
+        let small_b = Sample::from_values(&[1.0, 1.0, 1.0, 0.0, 1.0]);
+        let many_a = Sample {
+            n: 200,
+            ..small_a
+        };
+        let many_b = Sample {
+            n: 200,
+            ..small_b
+        };
+        assert!(
+            welch_t_test(&many_a, &many_b).p_value < welch_t_test(&small_a, &small_b).p_value
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Plain-text rendering helpers shared by the figure binaries: markdown
+//! tables and ascii bar charts, so every experiment prints paper-style rows.
+
+use std::fmt::Write as _;
+
+/// Incremental builder for a GitHub-flavoured markdown table.
+///
+/// ```
+/// use embodied_profiler::Table;
+///
+/// let mut t = Table::new(["workload", "success", "steps"]);
+/// t.row(["CoELA", "85%", "24.0"]);
+/// let text = t.render();
+/// assert!(text.contains("| workload | success | steps |"));
+/// assert!(text.contains("| CoELA    | 85%     | 24.0  |"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are right-padded with
+    /// empty cells; longer rows are truncated to the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            out.push('|');
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                let _ = write!(out, " {}{} |", cell, " ".repeat(pad));
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        out.push('|');
+        for w in &widths {
+            let _ = write!(out, "{}|", "-".repeat(w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Renders a horizontal ascii bar scaled so that `max_value` fills `width`
+/// characters. Used for quick visual inspection of latency breakdowns.
+///
+/// ```
+/// use embodied_profiler::ascii_bar;
+/// assert_eq!(ascii_bar(5.0, 10.0, 10), "█████     ");
+/// ```
+pub fn ascii_bar(value: f64, max_value: f64, width: usize) -> String {
+    if width == 0 {
+        return String::new();
+    }
+    let frac = if max_value <= 0.0 || !value.is_finite() {
+        0.0
+    } else {
+        (value / max_value).clamp(0.0, 1.0)
+    };
+    let filled = (frac * width as f64).round() as usize;
+    let filled = filled.min(width);
+    format!("{}{}", "█".repeat(filled), " ".repeat(width - filled))
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `0.702` → `70.2%`.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(["a", "long-header"]);
+        t.row(["wider-cell", "x"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // All lines render to the same display width.
+        let w0 = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == w0));
+    }
+
+    #[test]
+    fn short_rows_are_padded_and_long_rows_truncated() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only"]);
+        t.row(["1", "2", "3"]);
+        let text = t.render();
+        assert!(text.contains("| only |"));
+        assert!(!text.contains('3'));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+
+    #[test]
+    fn bars_clamp() {
+        assert_eq!(ascii_bar(20.0, 10.0, 4), "████");
+        assert_eq!(ascii_bar(-1.0, 10.0, 4), "    ");
+        assert_eq!(ascii_bar(1.0, 0.0, 4), "    ");
+        assert_eq!(ascii_bar(1.0, 2.0, 0), "");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.702), "70.2%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

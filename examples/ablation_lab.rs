@@ -1,0 +1,105 @@
+//! Ablation lab: toggle modules and optimizations on one workload from user
+//! code — the Fig. 3 / recommendation machinery as a library API.
+//!
+//! ```text
+//! cargo run --release --example ablation_lab
+//! ```
+
+use embodied_suite::prelude::*;
+
+fn run(spec: &WorkloadSpec, label: &str, overrides: RunOverrides, table: &mut Table) {
+    let agg = run_many(spec, &overrides, 5, 99, label);
+    table.row([
+        label.to_owned(),
+        format!("{:.0}%", agg.success_rate * 100.0),
+        format!("{:.1}", agg.mean_steps),
+        agg.mean_latency.to_string(),
+        format!("{:.1}", agg.calls_per_episode()),
+    ]);
+}
+
+fn main() {
+    let spec = workloads::find("JARVIS-1").expect("suite member");
+    println!("JARVIS-1 under module ablations and optimizations (5 seeds each)\n");
+
+    let mut table = Table::new(["configuration", "success", "steps", "end-to-end", "calls/ep"]);
+
+    run(&spec, "baseline", RunOverrides::default(), &mut table);
+    run(
+        &spec,
+        "memory disabled",
+        RunOverrides {
+            toggles: Some(ModuleToggles::without_memory()),
+            ..Default::default()
+        },
+        &mut table,
+    );
+    run(
+        &spec,
+        "reflection disabled",
+        RunOverrides {
+            toggles: Some(ModuleToggles::without_reflection()),
+            ..Default::default()
+        },
+        &mut table,
+    );
+    run(
+        &spec,
+        "execution disabled",
+        RunOverrides {
+            toggles: Some(ModuleToggles::without_execution()),
+            ..Default::default()
+        },
+        &mut table,
+    );
+    run(
+        &spec,
+        "tiny memory (2 steps)",
+        RunOverrides {
+            memory_capacity: Some(MemoryCapacity::Steps(2)),
+            ..Default::default()
+        },
+        &mut table,
+    );
+    run(
+        &spec,
+        "multi-step plans (h=3)",
+        RunOverrides {
+            opts: Some(Optimizations {
+                plan_horizon: 3,
+                ..Default::default()
+            }),
+            ..Default::default()
+        },
+        &mut table,
+    );
+    run(
+        &spec,
+        "local 8B planner",
+        RunOverrides {
+            planner: Some(ModelProfile::llama3_8b()),
+            ..Default::default()
+        },
+        &mut table,
+    );
+    run(
+        &spec,
+        "local 8B + multiple-choice",
+        RunOverrides {
+            planner: Some(ModelProfile::llama3_8b()),
+            opts: Some(Optimizations {
+                multiple_choice: true,
+                ..Default::default()
+            }),
+            ..Default::default()
+        },
+        &mut table,
+    );
+
+    println!("{}", table.render());
+    println!(
+        "Expected shapes: ablations hurt (execution most), multi-step plans\n\
+         cut LLM calls at similar success, and multiple-choice mode rescues\n\
+         much of the local model's lost success (paper Recs. 4 & 7)."
+    );
+}

@@ -1,0 +1,43 @@
+//! MindAgent-style centralized CuisineWorld: sweep the kitchen crew size and
+//! watch the central planner's coordination quality and the kitchen's
+//! station contention fight each other.
+//!
+//! ```text
+//! cargo run --release --example multi_agent_kitchen
+//! ```
+
+use embodied_suite::prelude::*;
+
+fn main() {
+    let spec = workloads::find("MindAgent").expect("suite member");
+    println!(
+        "MindAgent ({} paradigm) on CuisineWorld, hard difficulty, 5 seeds per crew size\n",
+        spec.paradigm
+    );
+
+    let mut table = Table::new([
+        "crew", "success", "steps", "end-to-end", "LLM calls/ep", "tokens/ep",
+    ]);
+    for crew in [1usize, 2, 3, 4, 6, 8] {
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Hard),
+            num_agents: Some(crew),
+            ..Default::default()
+        };
+        let agg = run_many(&spec, &overrides, 5, 1000, format!("{crew} cooks"));
+        table.row([
+            format!("{crew}"),
+            format!("{:.0}%", agg.success_rate * 100.0),
+            format!("{:.1}", agg.mean_steps),
+            agg.mean_latency.to_string(),
+            format!("{:.1}", agg.calls_per_episode()),
+            format!("{:.0}", agg.tokens_per_episode()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Two effects compete: more cooks parallelize the orders, but the\n\
+         central planner's joint assignments degrade and the four stations\n\
+         saturate — the paper's centralized-scalability story (Fig. 7a/7d)."
+    );
+}

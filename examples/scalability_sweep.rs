@@ -1,0 +1,48 @@
+//! A user-level Fig.-7-style sweep: compare centralized and decentralized
+//! paradigms on the *same* task family as the team grows, from plain public
+//! API calls.
+//!
+//! ```text
+//! cargo run --release --example scalability_sweep
+//! ```
+
+use embodied_suite::prelude::*;
+
+fn main() {
+    println!("Centralized (MindAgent) vs decentralized (COMBO) on CuisineWorld, medium\n");
+    let mut table = Table::new([
+        "system",
+        "paradigm",
+        "agents",
+        "success",
+        "end-to-end",
+        "calls/step",
+        "tokens/step",
+    ]);
+    for name in ["MindAgent", "COMBO"] {
+        let spec = workloads::find(name).expect("suite member");
+        for agents in [2usize, 4, 8] {
+            let overrides = RunOverrides {
+                num_agents: Some(agents),
+                ..Default::default()
+            };
+            let agg = run_many(&spec, &overrides, 4, 7, name);
+            let steps = agg.mean_steps.max(1e-9) * agg.episodes as f64;
+            table.row([
+                name.to_owned(),
+                spec.paradigm.to_string(),
+                agents.to_string(),
+                format!("{:.0}%", agg.success_rate * 100.0),
+                agg.mean_latency.to_string(),
+                format!("{:.2}", agg.tokens.calls as f64 / steps),
+                format!("{:.0}", agg.tokens.total_tokens() as f64 / steps),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "Centralized per-step calls stay flat and tokens grow ~linearly with\n\
+         the team; decentralized dialogue rounds make both blow up — the\n\
+         paper's linear-vs-quadratic scaling contrast."
+    );
+}

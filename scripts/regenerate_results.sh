@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure under results/ (see EXPERIMENTS.md).
+# Knobs: EMBODIED_EPISODES (default 8), EMBODIED_SEED (default 42).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo build --release -p embodied-bench
+
+for bin in table1_paradigms table2_suite fig1_paradigms fig2_latency \
+           fig3_sensitivity fig4_local_models fig5_memory fig6_tokens \
+           rec_ablations design_ablations endtoend_analysis boxworld_grid; do
+    echo "== $bin =="
+    "./target/release/$bin" > /dev/null
+done
+
+# Fig. 7 sweeps 3 systems × 5 team sizes × 3 difficulties; fewer episodes
+# keep it tractable.
+echo "== fig7_scalability =="
+EMBODIED_EPISODES="${EMBODIED_FIG7_EPISODES:-6}" ./target/release/fig7_scalability > /dev/null
+
+echo "done — see results/*.md"

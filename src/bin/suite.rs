@@ -1,0 +1,113 @@
+//! `suite` — command-line front end for the embodied workload suite.
+//!
+//! ```text
+//! suite list
+//! suite run CoELA [--difficulty easy|medium|hard] [--agents N]
+//!                 [--episodes K] [--seed S] [--planner gpt4|llama3-8b]
+//!                 [--no-memory] [--no-communication] [--no-reflection]
+//!                 [--no-execution] [--memory none|full|<steps>] [--trace FILE]
+//!                 [--env transport|household|cuisine|craft|manipulation|
+//!                        kitchen|alfworld]
+//! ```
+
+use embodied_suite::cli::{parse_run, RunCommand};
+use embodied_suite::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            list();
+            ExitCode::SUCCESS
+        }
+        Some("run") => match parse_run(&args[1..]) {
+            Ok(RunCommand {
+                spec,
+                overrides,
+                episodes,
+                seed,
+                trace_file,
+            }) => {
+                run(&spec, &overrides, episodes, seed);
+                if let Some(path) = trace_file {
+                    let (_, json) = run_episode_traced(&spec, &overrides, seed);
+                    match std::fs::write(&path, json) {
+                        Ok(()) => println!("\nwrote chrome trace of seed {seed} to {path}"),
+                        Err(err) => eprintln!("could not write {path}: {err}"),
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  suite list
+  suite run <workload> [--difficulty easy|medium|hard] [--agents N]
+            [--episodes K] [--seed S] [--planner gpt4|llama3-8b]
+            [--no-memory] [--no-communication] [--no-reflection]
+            [--no-execution] [--memory none|full|<steps>] [--trace FILE]
+            [--env transport|household|cuisine|craft|manipulation|kitchen|alfworld]";
+
+fn list() {
+    let mut table = Table::new(["workload", "paradigm", "agents", "planner", "application"]);
+    for spec in workloads::registry() {
+        table.row([
+            spec.name.to_owned(),
+            spec.paradigm.to_string(),
+            spec.default_agents.to_string(),
+            spec.config.planner.name.clone(),
+            spec.application.to_owned(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn run(spec: &WorkloadSpec, overrides: &RunOverrides, episodes: usize, seed: u64) {
+    println!(
+        "{} ({} paradigm) — {} episode(s), seed {seed}\n",
+        spec.name, spec.paradigm, episodes
+    );
+    let agg = run_many(spec, overrides, episodes, seed, spec.name);
+    println!("success      : {:.0}%", agg.success_rate * 100.0);
+    println!("steps        : {:.1}", agg.mean_steps);
+    println!(
+        "latency      : {} end-to-end, {} per step",
+        agg.mean_latency, agg.mean_step_latency
+    );
+    println!(
+        "LLM usage    : {:.1} calls/ep, {:.0} tokens/ep, ${:.2} total",
+        agg.calls_per_episode(),
+        agg.tokens_per_episode(),
+        agg.tokens.cost_usd
+    );
+    if agg.messages.generated > 0 {
+        println!(
+            "messages     : {:.1}/ep, {:.0}% useful",
+            agg.messages.generated as f64 / agg.episodes as f64,
+            agg.messages.utility() * 100.0
+        );
+    }
+    println!("\nmodule breakdown:");
+    for module in ModuleKind::ALL {
+        let share = agg.module_fraction(module);
+        println!(
+            "  {:>6}: {:>6.1}%  {}",
+            module.label(),
+            share * 100.0,
+            embodied_suite::profiler::ascii_bar(share, 1.0, 28)
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Argument parsing for the `suite` command-line front end — kept in the
+//! library so it is unit-testable.
+
+use crate::prelude::*;
+use embodied_agents::EnvKind;
+
+/// A fully parsed `suite run` invocation.
+#[derive(Debug, Clone)]
+pub struct RunCommand {
+    /// The workload to run.
+    pub spec: WorkloadSpec,
+    /// Accumulated overrides.
+    pub overrides: RunOverrides,
+    /// Episodes to run (≥ 1).
+    pub episodes: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Optional Chrome-trace output path.
+    pub trace_file: Option<String>,
+}
+
+/// Parses `suite run <workload> [flags…]` arguments (everything after
+/// `run`).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown workloads, unknown flags,
+/// or malformed values.
+pub fn parse_run(args: &[String]) -> Result<RunCommand, String> {
+    let mut iter = args.iter();
+    let name = iter.next().ok_or("missing workload name")?;
+    let spec = workloads::find(name).ok_or_else(|| format!("unknown workload '{name}'"))?;
+
+    let mut overrides = RunOverrides::default();
+    let mut toggles = ModuleToggles::all_on();
+    let mut episodes = 1usize;
+    let mut seed = 42u64;
+    let mut trace_file: Option<String> = None;
+
+    while let Some(flag) = iter.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            iter.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--difficulty" => {
+                overrides.difficulty = Some(match value("--difficulty")?.as_str() {
+                    "easy" => TaskDifficulty::Easy,
+                    "medium" => TaskDifficulty::Medium,
+                    "hard" => TaskDifficulty::Hard,
+                    other => return Err(format!("unknown difficulty '{other}'")),
+                });
+            }
+            "--agents" => {
+                overrides.num_agents = Some(
+                    value("--agents")?
+                        .parse()
+                        .map_err(|_| "--agents needs a number".to_owned())?,
+                );
+            }
+            "--episodes" => {
+                episodes = value("--episodes")?
+                    .parse()
+                    .map_err(|_| "--episodes needs a number".to_owned())?;
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs a number".to_owned())?;
+            }
+            "--planner" => {
+                overrides.planner = Some(match value("--planner")?.as_str() {
+                    "gpt4" => ModelProfile::gpt4_api(),
+                    "llama3-8b" => ModelProfile::llama3_8b(),
+                    other => return Err(format!("unknown planner '{other}'")),
+                });
+            }
+            "--memory" => {
+                overrides.memory_capacity = Some(match value("--memory")?.as_str() {
+                    "none" => MemoryCapacity::None,
+                    "full" => MemoryCapacity::Full,
+                    n => MemoryCapacity::Steps(
+                        n.parse()
+                            .map_err(|_| "--memory needs none|full|<steps>".to_owned())?,
+                    ),
+                });
+            }
+            "--env" => {
+                overrides.env = Some(match value("--env")?.as_str() {
+                    "transport" => EnvKind::Transport,
+                    "household" => EnvKind::Household,
+                    "cuisine" => EnvKind::Cuisine,
+                    "craft" => EnvKind::Craft,
+                    "manipulation" => EnvKind::Manipulation,
+                    "kitchen" => EnvKind::Kitchen,
+                    "alfworld" => EnvKind::AlfWorld,
+                    other => return Err(format!("unknown env '{other}'")),
+                });
+            }
+            "--trace" => trace_file = Some(value("--trace")?.clone()),
+            "--no-memory" => toggles.memory = false,
+            "--no-communication" => toggles.communication = false,
+            "--no-reflection" => toggles.reflection = false,
+            "--no-execution" => toggles.execution = false,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if toggles != ModuleToggles::all_on() {
+        overrides.toggles = Some(toggles);
+    }
+    Ok(RunCommand {
+        spec,
+        overrides,
+        episodes: episodes.max(1),
+        seed,
+        trace_file,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(text: &str) -> Vec<String> {
+        text.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn minimal_invocation() {
+        let cmd = parse_run(&args("CoELA")).unwrap();
+        assert_eq!(cmd.spec.name, "CoELA");
+        assert_eq!(cmd.episodes, 1);
+        assert_eq!(cmd.seed, 42);
+        assert!(cmd.trace_file.is_none());
+        assert!(cmd.overrides.toggles.is_none());
+    }
+
+    #[test]
+    fn full_invocation() {
+        let cmd = parse_run(&args(
+            "JARVIS-1 --difficulty hard --agents 4 --episodes 5 --seed 9 \
+             --planner llama3-8b --memory 16 --env alfworld --no-reflection \
+             --trace /tmp/t.json",
+        ))
+        .unwrap();
+        assert_eq!(cmd.spec.name, "JARVIS-1");
+        assert_eq!(cmd.overrides.difficulty, Some(TaskDifficulty::Hard));
+        assert_eq!(cmd.overrides.num_agents, Some(4));
+        assert_eq!(cmd.episodes, 5);
+        assert_eq!(cmd.seed, 9);
+        assert_eq!(
+            cmd.overrides.memory_capacity,
+            Some(MemoryCapacity::Steps(16))
+        );
+        assert!(matches!(cmd.overrides.env, Some(EnvKind::AlfWorld)));
+        assert!(!cmd.overrides.toggles.unwrap().reflection);
+        assert_eq!(cmd.trace_file.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(
+            cmd.overrides.planner.as_ref().unwrap().name,
+            "Llama-3-8B (local)"
+        );
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        let err = parse_run(&args("NotASystem")).unwrap_err();
+        assert!(err.contains("unknown workload"));
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let err = parse_run(&args("CoELA --frobnicate")).unwrap_err();
+        assert!(err.contains("unknown flag"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = parse_run(&args("CoELA --agents")).unwrap_err();
+        assert!(err.contains("needs a value"));
+    }
+
+    #[test]
+    fn malformed_number_is_an_error() {
+        let err = parse_run(&args("CoELA --agents many")).unwrap_err();
+        assert!(err.contains("needs a number"));
+    }
+
+    #[test]
+    fn zero_episodes_clamps_to_one() {
+        let cmd = parse_run(&args("CoELA --episodes 0")).unwrap();
+        assert_eq!(cmd.episodes, 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # embodied-suite
+//!
+//! Facade crate for the embodied-agent workload suite: re-exports the
+//! substrates and the agent framework so examples and downstream users can
+//! depend on one crate.
+//!
+//! ```
+//! use embodied_suite::prelude::*;
+//!
+//! let spec = workloads::find("CoELA").expect("suite member");
+//! let report = run_episode(&spec, &RunOverrides::default(), 7);
+//! println!("{}: {} in {}", report.workload, report.outcome, report.latency);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use embodied_agents as agents;
+pub use embodied_env as env;
+pub use embodied_exec as exec;
+pub use embodied_llm as llm;
+pub use embodied_profiler as profiler;
+
+/// Common imports for examples and quick experiments.
+pub mod prelude {
+    pub use embodied_agents::{
+        run_episode, run_episode_traced, run_many, workloads, AgentConfig, MemoryCapacity,
+        ModuleToggles, Optimizations, Paradigm, RunOverrides, WorkloadSpec,
+    };
+    pub use embodied_env::{Environment, TaskDifficulty};
+    pub use embodied_llm::{LlmEngine, ModelProfile};
+    pub use embodied_profiler::{
+        Aggregate, EpisodeReport, ModuleKind, Outcome, SimDuration, Table,
+    };
+}

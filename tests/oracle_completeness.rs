@@ -1,0 +1,126 @@
+//! Oracle completeness: for every environment, difficulty and sensible
+//! team size, an agent that always follows the oracle finishes comfortably
+//! within the step budget. This is the simulation's keystone guarantee —
+//! if the oracle can't finish, measured "success rates" would be artifacts
+//! of broken tasks rather than of LLM reasoning quality.
+
+use embodied_suite::env::{
+    AlfWorldEnv, BoxVariant, BoxWorldEnv, CraftEnv, CuisineEnv, Environment, HouseholdEnv,
+    KitchenEnv, LowLevel, ManipulationEnv, Subgoal, TaskDifficulty, TransportEnv,
+};
+
+fn oracle_rollout(env: &mut dyn Environment, seed: u64) -> (bool, usize) {
+    let mut low = LowLevel::controller(seed ^ 0x0c1e);
+    let mut steps = 0;
+    // Allow 2× the budget: the oracle should comfortably fit inside 1×,
+    // but actuation is stochastic and the assertion below checks ≤ budget
+    // on at least most seeds, not every unlucky one.
+    while !env.is_complete() && steps < env.max_steps() * 2 {
+        for agent in 0..env.num_agents() {
+            let sg = env
+                .oracle_subgoals(agent)
+                .first()
+                .cloned()
+                .unwrap_or(Subgoal::Wait);
+            env.execute(agent, &sg, &mut low);
+        }
+        steps += 1;
+    }
+    (env.is_complete(), steps)
+}
+
+fn check<F>(name: &str, team_sizes: &[usize], build: F)
+where
+    F: Fn(TaskDifficulty, usize, u64) -> Box<dyn Environment>,
+{
+    for difficulty in TaskDifficulty::ALL {
+        for &agents in team_sizes {
+            let mut within_budget = 0;
+            let mut completed = 0;
+            let seeds = 4;
+            for seed in 0..seeds {
+                let mut env = build(difficulty, agents, seed);
+                let budget = env.max_steps();
+                let (done, steps) = oracle_rollout(env.as_mut(), seed);
+                if done {
+                    completed += 1;
+                    if steps <= budget {
+                        within_budget += 1;
+                    }
+                }
+            }
+            assert_eq!(
+                completed, seeds,
+                "{name} {difficulty}/{agents} agents: oracle failed to finish"
+            );
+            assert!(
+                within_budget * 4 >= seeds * 3,
+                "{name} {difficulty}/{agents} agents: oracle fit the budget \
+                 only {within_budget}/{seeds} times — budget too tight"
+            );
+        }
+    }
+}
+
+#[test]
+fn transport_oracle_completes() {
+    check("TDW-MAT", &[1, 2, 4], |d, a, s| {
+        Box::new(TransportEnv::new(d, a, s))
+    });
+}
+
+#[test]
+fn household_oracle_completes() {
+    check("C-WAH", &[1, 2, 4], |d, a, s| {
+        Box::new(HouseholdEnv::new(d, a, s))
+    });
+}
+
+#[test]
+fn cuisine_oracle_completes() {
+    check("CuisineWorld", &[1, 2, 4], |d, a, s| {
+        Box::new(CuisineEnv::new(d, a, s))
+    });
+}
+
+#[test]
+fn boxworld_oracles_complete() {
+    for variant in [
+        BoxVariant::BoxNet1,
+        BoxVariant::BoxNet2,
+        BoxVariant::Warehouse,
+        BoxVariant::BoxLift,
+    ] {
+        check(&variant.to_string(), &[2, 3], move |d, a, s| {
+            Box::new(BoxWorldEnv::new(variant, d, a, s))
+        });
+    }
+}
+
+#[test]
+fn craft_oracle_completes() {
+    check("Minecraft-Craft", &[1], |d, a, s| {
+        Box::new(CraftEnv::new(d, a, s))
+    });
+}
+
+#[test]
+fn manipulation_oracle_completes() {
+    check("RoCoBench", &[2, 3], |d, a, s| {
+        Box::new(ManipulationEnv::new(d, a, s))
+    });
+}
+
+#[test]
+fn kitchen_oracle_completes() {
+    check("Franka-Kitchen", &[1], |d, a, s| {
+        Box::new(KitchenEnv::new(d, a, s))
+    });
+}
+
+#[test]
+fn alfworld_oracle_completes() {
+    check("ALFWorld", &[1], |d, a, s| {
+        Box::new(AlfWorldEnv::new(d, a, s))
+    });
+}
