@@ -5,7 +5,10 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use embodied_agents::config::MemoryCapacity;
 use embodied_agents::modules::{MemoryModule, RecordKind};
-use embodied_exec::{astar, plan_rrt, plan_rrt_connect, Cell, DenseGrid, GraspPlanner, GraspTarget, MlpPolicy, Point, RrtParams, Workspace};
+use embodied_exec::{
+    astar, plan_rrt, plan_rrt_connect, Cell, DenseGrid, GraspPlanner, GraspTarget, MlpPolicy,
+    Point, RrtParams, Workspace,
+};
 use embodied_llm::{LlmEngine, LlmRequest, ModelProfile, Purpose, Tokenizer};
 
 fn bench_astar(c: &mut Criterion) {
@@ -33,7 +36,10 @@ fn bench_rrt(c: &mut Criterion) {
         .with_obstacle(Point::new(2.0, 2.0), 0.5)
         .with_obstacle(Point::new(1.0, 3.0), 0.3);
     let mut group = c.benchmark_group("rrt");
-    for (label, params) in [("rrt", RrtParams::default()), ("rrt_star", RrtParams::star())] {
+    for (label, params) in [
+        ("rrt", RrtParams::default()),
+        ("rrt_star", RrtParams::star()),
+    ] {
         group.bench_function(label, |b| {
             let mut seed = 0u64;
             b.iter(|| {
@@ -84,7 +90,9 @@ fn bench_tokenizer(c: &mut Criterion) {
     let prompt = "the agent transports the red apple from the kitchen counter \
                   to the dining table while avoiding the moving obstacles "
         .repeat(40);
-    c.bench_function("tokenizer_count_4kb", |b| b.iter(|| tok.count(black_box(&prompt))));
+    c.bench_function("tokenizer_count_4kb", |b| {
+        b.iter(|| tok.count(black_box(&prompt)))
+    });
 }
 
 fn bench_llm_engine(c: &mut Criterion) {
@@ -102,8 +110,13 @@ fn bench_llm_engine(c: &mut Criterion) {
 fn bench_memory_retrieval(c: &mut Criterion) {
     let mut group = c.benchmark_group("memory_retrieval");
     for records in [16usize, 128, 512] {
-        let mut memory =
-            MemoryModule::new(true, MemoryCapacity::Full, false, false, vec!["room_0".into()]);
+        let mut memory = MemoryModule::new(
+            true,
+            MemoryCapacity::Full,
+            false,
+            false,
+            vec!["room_0".into()],
+        );
         for i in 0..records {
             memory.begin_step(i);
             memory.store(
@@ -112,11 +125,9 @@ fn bench_memory_retrieval(c: &mut Criterion) {
                 vec![format!("entity_{i}")],
             );
         }
-        group.bench_with_input(
-            BenchmarkId::from_parameter(records),
-            &records,
-            |b, _| b.iter(|| memory.retrieve()),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(records), &records, |b, _| {
+            b.iter(|| memory.retrieve())
+        });
     }
     group.finish();
 }

@@ -105,7 +105,10 @@ fn perception_frontend(out: &mut ExperimentOutput) {
     let spec = workloads::find("COMBO").expect("suite member");
     let mut table = Table::new(["encoder", "success", "end-to-end", "sensing share"]);
     for (label, encoder) in [
-        ("diffusion world model", EncoderProfile::diffusion_world_model()),
+        (
+            "diffusion world model",
+            EncoderProfile::diffusion_world_model(),
+        ),
         ("Mask R-CNN detector", EncoderProfile::mask_rcnn()),
         ("symbolic state", EncoderProfile::symbolic()),
     ] {

@@ -29,7 +29,14 @@ fn main() {
     );
 
     out.section("Short horizon — Franka-Kitchen skills (easy)");
-    let mut table = Table::new(["system", "paradigm", "success", "steps", "latency/step", "end-to-end"]);
+    let mut table = Table::new([
+        "system",
+        "paradigm",
+        "success",
+        "steps",
+        "latency/step",
+        "end-to-end",
+    ]);
     let vla = vla_agg(EnvKind::Kitchen, TaskDifficulty::Easy, "VLA");
     let egpt = sweep_agg(
         &workloads::find("EmbodiedGPT").expect("suite member"),
@@ -56,7 +63,14 @@ fn main() {
     out.line(table.render());
 
     out.section("Long horizon — Minecraft crafting (hard: diamond pickaxe)");
-    let mut table = Table::new(["system", "paradigm", "success", "steps", "latency/step", "end-to-end"]);
+    let mut table = Table::new([
+        "system",
+        "paradigm",
+        "success",
+        "steps",
+        "latency/step",
+        "end-to-end",
+    ]);
     let vla = vla_agg(EnvKind::Craft, TaskDifficulty::Hard, "VLA");
     let jarvis = sweep_agg(
         &workloads::find("JARVIS-1").expect("suite member"),

@@ -1,0 +1,89 @@
+//! Fault & resilience sweep — graceful degradation measured end-to-end.
+//!
+//! Sweeps injected LLM fault rate × retry policy over one workload per
+//! paradigm (DEPS single-agent, MindAgent centralized, CoELA decentralized)
+//! and reports how success, steps, latency, fault/retry counts, backoff
+//! time, and degraded-step counts move as the substrate gets flakier.
+//!
+//! ```text
+//! cargo run --release -p embodied-bench --bin fault_sweep
+//! ```
+
+use embodied_agents::{workloads, RunOverrides};
+use embodied_bench::{banner, episodes, sweep_agg, ExperimentOutput};
+use embodied_env::TaskDifficulty;
+use embodied_llm::{FaultProfile, RetryPolicy};
+use embodied_profiler::{pct, Table};
+
+type PolicyCtor = fn() -> RetryPolicy;
+
+const SYSTEMS: [&str; 3] = ["DEPS", "MindAgent", "CoELA"];
+const FAULT_RATES: [f64; 5] = [0.0, 0.02, 0.05, 0.10, 0.20];
+const POLICIES: [(&str, PolicyCtor); 3] = [
+    ("none", RetryPolicy::none),
+    ("standard", RetryPolicy::standard),
+    ("aggressive", RetryPolicy::aggressive),
+];
+
+fn main() {
+    let mut out = ExperimentOutput::new("fault_sweep");
+    banner(
+        &mut out,
+        "Fault & resilience sweep",
+        "Injected LLM fault rate x retry policy, one workload per paradigm",
+    );
+
+    for name in SYSTEMS {
+        let spec = workloads::find(name).expect("suite member");
+        out.section(&format!("{name} ({})", spec.paradigm));
+        let mut table = Table::new([
+            "policy",
+            "fault rate",
+            "success",
+            "Δ success",
+            "steps",
+            "end-to-end",
+            "faults/ep",
+            "retries/ep",
+            "gave up",
+            "backoff/ep",
+            "degraded/ep",
+        ]);
+        for (policy_name, policy) in POLICIES {
+            let mut clean_success = None;
+            for rate in FAULT_RATES {
+                let overrides = RunOverrides {
+                    difficulty: Some(TaskDifficulty::Medium),
+                    fault_profile: Some(FaultProfile::uniform(rate)),
+                    retry_policy: Some(policy()),
+                    ..Default::default()
+                };
+                let agg = sweep_agg(&spec, &overrides, episodes(), name);
+                let baseline = *clean_success.get_or_insert(agg.success_rate);
+                table.row([
+                    policy_name.to_owned(),
+                    format!("{:.0}%", rate * 100.0),
+                    pct(agg.success_rate),
+                    format!("{:+.1}pp", (agg.success_rate - baseline) * 100.0),
+                    format!("{:.1}", agg.mean_steps),
+                    agg.mean_latency.to_string(),
+                    format!("{:.1}", agg.faults_per_episode()),
+                    format!("{:.1}", agg.retries_per_episode()),
+                    agg.resilience.gave_up.to_string(),
+                    agg.backoff_per_episode().to_string(),
+                    format!("{:.1}", agg.degraded_per_episode()),
+                ]);
+            }
+        }
+        out.line(table.render());
+    }
+
+    out.line(
+        "Reading: with no retries every fault surfaces as a degraded step \
+         and success decays with the fault rate; the standard policy masks \
+         most faults at the cost of backoff latency, and the aggressive \
+         policy trades even more waiting for the last points of success. \
+         At rate 0 every policy column is identical to the fault-free \
+         baseline — the resilience layer is pay-for-use.",
+    );
+}

@@ -29,7 +29,15 @@ fn main() {
 
     out.section("Fig. 2a — average runtime share per module per step");
     let mut table = Table::new([
-        "Workload", "Sense", "Plan", "Comm", "Mem", "Refl", "Exec", "LLM-backed", "viz(Plan)",
+        "Workload",
+        "Sense",
+        "Plan",
+        "Comm",
+        "Mem",
+        "Refl",
+        "Exec",
+        "LLM-backed",
+        "viz(Plan)",
     ]);
     for agg in &aggs {
         let f = |m: ModuleKind| pct(agg.module_fraction(m));
@@ -82,7 +90,11 @@ fn main() {
             format!("{:.1}", agg.mean_steps),
             agg.mean_step_latency.to_string(),
             agg.mean_latency.to_string(),
-            format!("{} ±{:.0}pp", pct(agg.success_rate), agg.success_ci95() * 100.0),
+            format!(
+                "{} ±{:.0}pp",
+                pct(agg.success_rate),
+                agg.success_ci95() * 100.0
+            ),
             ascii_bar(agg.mean_latency.as_secs_f64(), max_latency, 24),
         ]);
     }
@@ -110,12 +122,7 @@ fn main() {
         if geo + act < 0.02 {
             continue; // pure action-list systems have nothing to split
         }
-        table.row([
-            agg.label.clone(),
-            pct(geo),
-            pct(act),
-            pct(geo + act),
-        ]);
+        table.row([agg.label.clone(), pct(geo), pct(act), pct(geo + act)]);
     }
     out.line(table.render());
     out.line(
@@ -125,7 +132,7 @@ fn main() {
     out.section("In-text findings");
     if let Some(coela) = aggs.iter().find(|a| a.label == "CoELA") {
         let calls_per_step = coela.tokens.calls as f64
-            / (coela.mean_steps * coela.episodes as f64 * 2.0 /* agents */);
+            / (coela.mean_steps * coela.episodes as f64 * 2.0/* agents */);
         out.line(format!(
             "CoELA LLM runs per agent-step: {calls_per_step:.2} (paper: 3 — message \
              generation, planning, action selection)"
@@ -165,10 +172,7 @@ fn main() {
         step_latencies.iter().cloned().fold(f64::INFINITY, f64::min),
         step_latencies.iter().cloned().fold(0.0, f64::max),
     ));
-    let task_minutes: Vec<f64> = aggs
-        .iter()
-        .map(|a| a.mean_latency.as_mins_f64())
-        .collect();
+    let task_minutes: Vec<f64> = aggs.iter().map(|a| a.mean_latency.as_mins_f64()).collect();
     out.line(format!(
         "End-to-end task latency range: {:.1}–{:.1} min (paper: 10–40 min)",
         task_minutes.iter().cloned().fold(f64::INFINITY, f64::min),

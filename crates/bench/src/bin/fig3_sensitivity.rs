@@ -49,11 +49,13 @@ fn main() {
                 ..Default::default()
             };
             let reports = sweep(&spec, &overrides, episodes());
-            pooled_success[idx].extend(
-                reports
-                    .iter()
-                    .map(|r| if r.outcome.is_success() { 1.0 } else { 0.0 }),
-            );
+            pooled_success[idx].extend(reports.iter().map(|r| {
+                if r.outcome.is_success() {
+                    1.0
+                } else {
+                    0.0
+                }
+            }));
             let agg = Aggregate::from_reports(*label, &reports);
             if idx == 0 {
                 baseline_steps = agg.mean_steps;

@@ -24,8 +24,18 @@ fn main() {
     );
 
     // Per-inference premise: one representative planning call.
-    let gpt4_call = inference_latency(&ModelProfile::gpt4_api(), 2_000, 220, InferenceOpts::default());
-    let llama_call = inference_latency(&ModelProfile::llama3_8b(), 2_000, 220, InferenceOpts::default());
+    let gpt4_call = inference_latency(
+        &ModelProfile::gpt4_api(),
+        2_000,
+        220,
+        InferenceOpts::default(),
+    );
+    let llama_call = inference_latency(
+        &ModelProfile::llama3_8b(),
+        2_000,
+        220,
+        InferenceOpts::default(),
+    );
     out.blank();
     out.line(format!(
         "Representative planning inference (2k prompt / 220 output tokens): \

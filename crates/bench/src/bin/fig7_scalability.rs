@@ -52,10 +52,7 @@ fn main() {
                     agg.mean_latency.to_string(),
                     format!("{:.1}", agg.calls_per_episode()),
                     format!("{:.0}", agg.tokens_per_episode()),
-                    format!(
-                        "{:.1}",
-                        agg.messages.generated as f64 / agg.episodes as f64
-                    ),
+                    format!("{:.1}", agg.messages.generated as f64 / agg.episodes as f64),
                 ]);
             }
         }
@@ -63,13 +60,7 @@ fn main() {
     }
 
     out.section("Per-step call/token scaling with team size (medium difficulty)");
-    let mut table = Table::new([
-        "system",
-        "paradigm",
-        "agents",
-        "calls/step",
-        "tokens/step",
-    ]);
+    let mut table = Table::new(["system", "paradigm", "agents", "calls/step", "tokens/step"]);
     for name in SYSTEMS {
         let spec = workloads::find(name).expect("suite member");
         for agents in TEAM_SIZES {

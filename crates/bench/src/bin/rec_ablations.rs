@@ -15,9 +15,7 @@
 
 use embodied_agents::{workloads, MemoryCapacity, Optimizations, RunOverrides};
 use embodied_bench::{banner, episodes, sweep_agg, ExperimentOutput};
-use embodied_llm::{
-    batch_latency, inference_latency, InferenceOpts, ModelProfile, Quantization,
-};
+use embodied_llm::{batch_latency, inference_latency, InferenceOpts, ModelProfile, Quantization};
 use embodied_profiler::{pct, SimDuration, Table};
 
 fn main() {
@@ -109,7 +107,10 @@ fn rec1_quantization(out: &mut ExperimentOutput) {
     out.section("Rec. 1b — AWQ 4-bit quantization (COMBO, local LLaVA-7B)");
     let spec = workloads::find("COMBO").expect("suite member");
     let mut table = Table::new(["quantization", "success", "steps", "end-to-end"]);
-    for (label, quant) in [("fp16", Quantization::None), ("AWQ 4-bit", Quantization::Awq4Bit)] {
+    for (label, quant) in [
+        ("fp16", Quantization::None),
+        ("AWQ 4-bit", Quantization::Awq4Bit),
+    ] {
         let overrides = RunOverrides {
             opts: Some(Optimizations {
                 quantization: quant,
@@ -175,7 +176,9 @@ fn rec1_batched_comm(out: &mut ExperimentOutput) {
 }
 
 fn rec4_multiple_choice(out: &mut ExperimentOutput) {
-    out.section("Rec. 4 — multiple-choice decisions for small local models (JARVIS-1 + Llama-3-8B)");
+    out.section(
+        "Rec. 4 — multiple-choice decisions for small local models (JARVIS-1 + Llama-3-8B)",
+    );
     let spec = workloads::find("JARVIS-1").expect("suite member");
     let mut table = Table::new(["planner", "output mode", "success", "steps", "end-to-end"]);
     for (planner_label, planner) in [
@@ -235,12 +238,7 @@ fn rec5_dual_memory(out: &mut ExperimentOutput) {
 fn rec6_summarization(out: &mut ExperimentOutput) {
     out.section("Rec. 6 — context summarization (CoELA, full history)");
     let spec = workloads::find("CoELA").expect("suite member");
-    let mut table = Table::new([
-        "context",
-        "success",
-        "mean prompt tokens",
-        "end-to-end",
-    ]);
+    let mut table = Table::new(["context", "success", "mean prompt tokens", "end-to-end"]);
     for (label, summarize) in [("concatenated", false), ("summarized", true)] {
         let overrides = RunOverrides {
             memory_capacity: Some(MemoryCapacity::Full),
@@ -334,7 +332,11 @@ fn rec9_clustering(out: &mut ExperimentOutput) {
         "tokens/ep",
         "end-to-end",
     ]);
-    for (label, cluster) in [("flat broadcast", 0usize), ("clusters of 2", 2), ("clusters of 3", 3)] {
+    for (label, cluster) in [
+        ("flat broadcast", 0usize),
+        ("clusters of 2", 2),
+        ("clusters of 3", 3),
+    ] {
         let overrides = RunOverrides {
             num_agents: Some(6),
             opts: Some(Optimizations {

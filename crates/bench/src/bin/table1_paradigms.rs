@@ -39,7 +39,15 @@ fn main() {
             out.blank();
         }
         let mut table = Table::new([
-            "Workload", "Sense", "Plan", "Comm", "Mem", "Refl", "Exec", "Embodied Type", "Action",
+            "Workload",
+            "Sense",
+            "Plan",
+            "Comm",
+            "Mem",
+            "Refl",
+            "Exec",
+            "Embodied Type",
+            "Action",
         ]);
         for e in workloads::taxonomy()
             .into_iter()

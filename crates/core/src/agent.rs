@@ -8,7 +8,7 @@ use crate::modules::{
 };
 use crate::prompt::system_preamble;
 use embodied_env::Subgoal;
-use embodied_llm::LlmEngine;
+use embodied_llm::{LlmEngine, ResilientEngine};
 use std::collections::{HashMap, HashSet};
 
 /// One embodied agent assembled from its configured modules.
@@ -50,6 +50,9 @@ pub struct ModularAgent {
     /// Consecutive steps without progress whose failure reflection has not
     /// resolved — drives compounding planner confusion.
     pub failure_streak: usize,
+    /// The most recent successfully planned subgoal — the graceful-
+    /// degradation fallback when a planner call faults out entirely.
+    pub last_plan: Option<Subgoal>,
 }
 
 impl ModularAgent {
@@ -65,21 +68,40 @@ impl ModularAgent {
         seed: u64,
     ) -> Self {
         let agent_seed = seed ^ ((id as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        let planner_engine = LlmEngine::new(config.planner.clone(), agent_seed ^ 0x01)
-            .with_kv_reuse(config.opts.kv_cache);
+        // Each engine draws faults from its own stream (^ 0xfa0_) and
+        // jitters its backoff from its own hash seed (^ 0xb0_), so fault
+        // arrivals and retry schedules replay deterministically per module.
+        let resilient = |engine: LlmEngine, module: u64| {
+            ResilientEngine::new(
+                engine.with_faults(config.fault_profile, agent_seed ^ 0xfa00 ^ module),
+                config.retry_policy,
+                agent_seed ^ 0xb000 ^ module,
+            )
+        };
+        let planner_engine = resilient(
+            LlmEngine::new(config.planner.clone(), agent_seed ^ 0x01)
+                .with_kv_reuse(config.opts.kv_cache),
+            0x01,
+        );
         let communication = config
             .communicator
             .as_ref()
             .filter(|_| config.toggles.communication)
             .map(|profile| {
-                CommunicationModule::new(LlmEngine::new(profile.clone(), agent_seed ^ 0x02))
+                CommunicationModule::new(resilient(
+                    LlmEngine::new(profile.clone(), agent_seed ^ 0x02),
+                    0x02,
+                ))
             });
         let reflection = config
             .reflector
             .as_ref()
             .filter(|_| config.toggles.reflection)
             .map(|profile| {
-                ReflectionModule::new(LlmEngine::new(profile.clone(), agent_seed ^ 0x03))
+                ReflectionModule::new(resilient(
+                    LlmEngine::new(profile.clone(), agent_seed ^ 0x03),
+                    0x03,
+                ))
             });
         let execution = if config.toggles.execution {
             ExecutionModule::controller_configured(
@@ -117,6 +139,7 @@ impl ModularAgent {
             last_broadcast: HashSet::new(),
             inbox: Vec::new(),
             failure_streak: 0,
+            last_plan: None,
         }
     }
 
@@ -175,6 +198,18 @@ impl ModularAgent {
             usage.merge(&refl.engine().usage());
         }
         usage
+    }
+
+    /// Total fault/retry accounting across this agent's engines.
+    pub fn total_resilience(&self) -> embodied_profiler::ResilienceStats {
+        let mut stats = self.planning.engine().stats();
+        if let Some(comm) = &self.communication {
+            stats.merge(&comm.engine().stats());
+        }
+        if let Some(refl) = &self.reflection {
+            stats.merge(&refl.engine().stats());
+        }
+        stats
     }
 }
 

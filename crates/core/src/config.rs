@@ -2,7 +2,7 @@
 //! (Fig. 5), model overrides (Fig. 4), and the paper's recommended
 //! optimizations (Recs. 1–10) as switchable flags.
 
-use embodied_llm::{EncoderProfile, ModelProfile, Quantization};
+use embodied_llm::{EncoderProfile, FaultProfile, ModelProfile, Quantization, RetryPolicy};
 use serde::{Deserialize, Serialize};
 
 /// Which building blocks are enabled — the knobs of the module-sensitivity
@@ -179,6 +179,13 @@ pub struct AgentConfig {
     pub retrieval_mode: crate::modules::RetrievalMode,
     /// Optimization switches.
     pub opts: Optimizations,
+    /// Injected-fault profile applied to every LLM engine this config
+    /// builds (agents and, for centralized paradigms, the central planner).
+    /// Defaults to [`FaultProfile::none()`] — faults are strictly opt-in.
+    pub fault_profile: FaultProfile,
+    /// Retry/backoff policy the resilience wrapper applies around each
+    /// engine.
+    pub retry_policy: RetryPolicy,
 }
 
 impl AgentConfig {
@@ -200,6 +207,8 @@ impl AgentConfig {
             memory_capacity: MemoryCapacity::default(),
             retrieval_mode: crate::modules::RetrievalMode::default(),
             opts: Optimizations::default(),
+            fault_profile: FaultProfile::none(),
+            retry_policy: RetryPolicy::standard(),
         }
     }
 }

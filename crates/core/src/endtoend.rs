@@ -12,9 +12,7 @@
 
 use crate::orchestrator::Paradigm;
 use embodied_env::{Environment, LowLevel, Subgoal, TaskDifficulty};
-use embodied_llm::{
-    Deployment, LlmEngine, LlmRequest, ModelProfile, Purpose, QualityModel,
-};
+use embodied_llm::{Deployment, LlmEngine, LlmRequest, ModelProfile, Purpose, QualityModel};
 use embodied_profiler::{
     EpisodeReport, LatencyBreakdown, MessageStats, ModuleKind, Outcome, Phase, PurposeLedger,
     StepRecord, Trace,
@@ -136,15 +134,11 @@ impl EndToEndSystem {
             // reliability decays along the episode — fine for the
             // short-horizon tasks it is built for, fatal for deep chains.
             let horizon_decay = 1.0 / (1.0 + 0.03 * self.step as f64);
-            let quality =
-                (response.quality * (1.0 - confusion) * horizon_decay).clamp(0.02, 0.99);
-            let perseverate = self
-                .last_failure
-                .clone()
-                .filter(|_| {
-                    let p = (0.4 + 0.15 * self.failure_streak as f64).min(0.7);
-                    self.engine.sample_correct(p)
-                });
+            let quality = (response.quality * (1.0 - confusion) * horizon_decay).clamp(0.02, 0.99);
+            let perseverate = self.last_failure.clone().filter(|_| {
+                let p = (0.4 + 0.15 * self.failure_streak as f64).min(0.7);
+                self.engine.sample_correct(p)
+            });
             let action = if let Some(repeat) = perseverate {
                 repeat
             } else if self.engine.sample_correct(quality) && !oracle.is_empty() {
@@ -200,6 +194,7 @@ impl EndToEndSystem {
             by_purpose,
             by_phase,
             messages: MessageStats::default(),
+            resilience: embodied_profiler::ResilienceStats::default(),
             step_records: self.step_records.clone(),
             agents: 1,
         }
@@ -268,10 +263,7 @@ mod tests {
     fn single_llm_call_per_step() {
         let report = run_vla_episode(EnvKind::Kitchen, TaskDifficulty::Easy, 1);
         assert_eq!(report.tokens.calls as usize, report.steps);
-        assert!(report
-            .step_records
-            .iter()
-            .all(|r| r.llm_calls == 1));
+        assert!(report.step_records.iter().all(|r| r.llm_calls == 1));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! communication" finding (§V-D).
 
 use crate::prompt::PromptBuilder;
-use embodied_llm::{InferenceOpts, LlmEngine, LlmError, LlmRequest, LlmResponse, Purpose};
+use embodied_llm::{InferenceOpts, LlmError, LlmRequest, LlmResponse, Purpose, ResilientEngine};
 
 /// A message produced by one agent for broadcast.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,21 +22,29 @@ pub struct OutgoingMessage {
     pub response: LlmResponse,
 }
 
-/// The communication module, wrapping one LLM engine.
+/// The communication module, wrapping one resilient LLM engine.
 #[derive(Debug, Clone)]
 pub struct CommunicationModule {
-    engine: LlmEngine,
+    engine: ResilientEngine,
 }
 
 impl CommunicationModule {
-    /// Wraps an engine.
-    pub fn new(engine: LlmEngine) -> Self {
-        CommunicationModule { engine }
+    /// Wraps an engine; a bare [`embodied_llm::LlmEngine`] converts via the
+    /// standard retry policy.
+    pub fn new(engine: impl Into<ResilientEngine>) -> Self {
+        CommunicationModule {
+            engine: engine.into(),
+        }
     }
 
-    /// Read access to the engine (usage counters).
-    pub fn engine(&self) -> &LlmEngine {
+    /// Read access to the engine (usage and resilience counters).
+    pub fn engine(&self) -> &ResilientEngine {
         &self.engine
+    }
+
+    /// Mutable access to the engine (stall draining).
+    pub fn engine_mut(&mut self) -> &mut ResilientEngine {
+        &mut self.engine
     }
 
     /// Generates one outgoing message.
@@ -102,7 +110,7 @@ impl CommunicationModule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use embodied_llm::ModelProfile;
+    use embodied_llm::{LlmEngine, ModelProfile};
 
     fn module() -> CommunicationModule {
         CommunicationModule::new(LlmEngine::new(ModelProfile::gpt4_api(), 3))

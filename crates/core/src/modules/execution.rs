@@ -5,7 +5,7 @@
 //! slowing down the inference process").
 
 use embodied_env::{Environment, ExecOutcome, LowLevel, Subgoal};
-use embodied_llm::{InferenceOpts, LlmEngine, LlmError, LlmRequest, LlmResponse, Purpose};
+use embodied_llm::{InferenceEndpoint, InferenceOpts, LlmError, LlmRequest, LlmResponse, Purpose};
 use serde::{Deserialize, Serialize};
 
 /// Extra LLM micro-control calls per subgoal when execution is disabled.
@@ -27,6 +27,9 @@ pub struct ExecutionReport {
     pub outcome: ExecOutcome,
     /// LLM responses incurred by micro-control (empty in controller mode).
     pub micro_responses: Vec<LlmResponse>,
+    /// Whether a micro-control call ultimately failed and the primitive was
+    /// driven without its guidance (graceful degradation).
+    pub degraded: bool,
 }
 
 /// The execution module.
@@ -60,10 +63,7 @@ impl ExecutionModule {
     }
 
     /// Selects the sampling-based trajectory planner (design ablation).
-    pub fn with_trajectory_planner(
-        mut self,
-        planner: embodied_env::TrajectoryPlanner,
-    ) -> Self {
+    pub fn with_trajectory_planner(mut self, planner: embodied_env::TrajectoryPlanner) -> Self {
         self.low.trajectory_planner = planner;
         self
     }
@@ -91,22 +91,27 @@ impl ExecutionModule {
     /// Executes `subgoal` for `agent` against the environment.
     ///
     /// In [`ExecMode::LlmMicro`], each subgoal additionally costs
-    /// micro-control inference runs on `planner_engine`, billed to the
-    /// caller via [`ExecutionReport::micro_responses`].
+    /// micro-control inference runs on `planner_engine` (any
+    /// [`InferenceEndpoint`] — a raw engine or a resilient wrapper), billed
+    /// to the caller via [`ExecutionReport::micro_responses`]. A transient
+    /// micro-call fault that survives the endpoint's own retries degrades
+    /// gracefully: the primitive is driven without that call's guidance and
+    /// the report is flagged [`ExecutionReport::degraded`].
     ///
     /// # Errors
     ///
-    /// Propagates [`LlmError`] from micro-control inference.
-    pub fn execute(
+    /// Propagates non-transient [`LlmError`]s (empty prompt — a caller bug).
+    pub fn execute<E: InferenceEndpoint>(
         &mut self,
         env: &mut dyn Environment,
         agent: usize,
         subgoal: &Subgoal,
-        planner_engine: &mut LlmEngine,
+        planner_engine: &mut E,
         difficulty: f64,
         opts: InferenceOpts,
     ) -> Result<ExecutionReport, LlmError> {
         let mut micro_responses = Vec::new();
+        let mut degraded = false;
         if self.mode == ExecMode::LlmMicro {
             for i in 0..MICRO_CALLS {
                 let prompt = format!(
@@ -115,17 +120,22 @@ impl ExecutionModule {
                      out: {subgoal}. Micro-step {i}: enumerate the next \
                      primitive and its parameters given the kinematic state."
                 );
-                micro_responses.push(planner_engine.infer(
+                match planner_engine.infer(
                     LlmRequest::new(Purpose::ActionSelection, prompt, 80)
                         .with_difficulty((difficulty + 0.3).min(1.0))
                         .with_opts(opts),
-                )?);
+                ) {
+                    Ok(resp) => micro_responses.push(resp),
+                    Err(err) if err.is_transient() => degraded = true,
+                    Err(err) => return Err(err),
+                }
             }
         }
         let outcome = env.execute(agent, subgoal, &mut self.low);
         Ok(ExecutionReport {
             outcome,
             micro_responses,
+            degraded,
         })
     }
 }
@@ -134,7 +144,7 @@ impl ExecutionModule {
 mod tests {
     use super::*;
     use embodied_env::{TaskDifficulty, TransportEnv};
-    use embodied_llm::ModelProfile;
+    use embodied_llm::{LlmEngine, ModelProfile};
 
     fn setup() -> (TransportEnv, LlmEngine) {
         (

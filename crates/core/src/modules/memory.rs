@@ -322,7 +322,13 @@ mod tests {
 
     #[test]
     fn disabled_memory_keeps_only_a_one_step_working_buffer() {
-        let mut m = MemoryModule::new(false, MemoryCapacity::Full, false, false, vec!["room_0".into()]);
+        let mut m = MemoryModule::new(
+            false,
+            MemoryCapacity::Full,
+            false,
+            false,
+            vec!["room_0".into()],
+        );
         m.begin_step(1);
         m.store(RecordKind::Observation, "saw apple", vec!["apple_1".into()]);
         // The immediately preceding turn is still in working context…
@@ -422,7 +428,8 @@ mod tests {
     fn text_embedding_mode_misses_some_entities() {
         let entities: Vec<String> = (0..40).map(|i| format!("entity_{i}")).collect();
         let mut multi = module(MemoryCapacity::Full);
-        let mut text = module(MemoryCapacity::Full).with_retrieval_mode(RetrievalMode::TextEmbedding);
+        let mut text =
+            module(MemoryCapacity::Full).with_retrieval_mode(RetrievalMode::TextEmbedding);
         for m in [&mut multi, &mut text] {
             m.begin_step(1);
             m.store(RecordKind::Observation, "saw things", entities.clone());

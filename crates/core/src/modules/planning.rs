@@ -8,7 +8,7 @@
 
 use crate::prompt::PromptBuilder;
 use embodied_env::Subgoal;
-use embodied_llm::{InferenceOpts, LlmEngine, LlmError, LlmRequest, LlmResponse, Purpose};
+use embodied_llm::{InferenceOpts, LlmError, LlmRequest, LlmResponse, Purpose, ResilientEngine};
 
 /// Everything the planner needs for one decision.
 #[derive(Debug, Clone)]
@@ -53,26 +53,29 @@ pub struct PlanDecision {
     pub response: LlmResponse,
 }
 
-/// The planning module, wrapping one LLM engine.
+/// The planning module, wrapping one resilient LLM engine.
 #[derive(Debug, Clone)]
 pub struct PlanningModule {
-    engine: LlmEngine,
+    engine: ResilientEngine,
 }
 
 impl PlanningModule {
-    /// Wraps an engine.
-    pub fn new(engine: LlmEngine) -> Self {
-        PlanningModule { engine }
+    /// Wraps an engine; a bare [`embodied_llm::LlmEngine`] converts via the
+    /// standard retry policy.
+    pub fn new(engine: impl Into<ResilientEngine>) -> Self {
+        PlanningModule {
+            engine: engine.into(),
+        }
     }
 
-    /// Read access to the engine (usage counters).
-    pub fn engine(&self) -> &LlmEngine {
+    /// Read access to the engine (usage and resilience counters).
+    pub fn engine(&self) -> &ResilientEngine {
         &self.engine
     }
 
     /// Mutable access to the engine, for callers that drive raw inference
     /// through the planner's deployment (central planners, micro-control).
-    pub fn engine_mut(&mut self) -> &mut LlmEngine {
+    pub fn engine_mut(&mut self) -> &mut ResilientEngine {
         &mut self.engine
     }
 
@@ -113,8 +116,8 @@ impl PlanningModule {
                 });
             }
         }
-        let quality = (response.quality * (1.0 - ctx.quality_penalty.clamp(0.0, 1.0)))
-            .clamp(0.02, 0.99);
+        let quality =
+            (response.quality * (1.0 - ctx.quality_penalty.clamp(0.0, 1.0))).clamp(0.02, 0.99);
         let correct = self.engine.sample_correct(quality) && !ctx.oracle.is_empty();
         let subgoal = if correct {
             ctx.oracle[0].clone()
@@ -185,11 +188,7 @@ impl PlanningModule {
         // confabulate *active* plans — they almost never answer "wait" — so
         // idle candidates are drawn only when nothing else is on the menu.
         let active: Vec<&Subgoal> = ctx.candidates.iter().filter(|sg| !sg.is_idle()).collect();
-        if let Some(pick) = active
-            .is_empty()
-            .then(|| ctx.candidates.first())
-            .flatten()
-        {
+        if let Some(pick) = active.is_empty().then(|| ctx.candidates.first()).flatten() {
             return pick.clone();
         }
         if active.is_empty() {
@@ -202,7 +201,7 @@ impl PlanningModule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use embodied_llm::ModelProfile;
+    use embodied_llm::{LlmEngine, ModelProfile};
 
     fn ctx<'a>(oracle: &'a [Subgoal], candidates: &'a [Subgoal]) -> PlanContext<'a> {
         PlanContext {

@@ -4,7 +4,7 @@
 
 use crate::prompt::PromptBuilder;
 use embodied_env::{ExecOutcome, Subgoal};
-use embodied_llm::{InferenceOpts, LlmEngine, LlmError, LlmRequest, LlmResponse, Purpose};
+use embodied_llm::{InferenceOpts, LlmError, LlmRequest, LlmResponse, Purpose, ResilientEngine};
 
 /// Reflection's judgement of the last action.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,10 +25,17 @@ pub struct ReflectionVerdict {
 /// Whether a failure note indicates the referenced entity no longer exists
 /// in the believed state (vs. a transient physical failure worth retrying).
 fn implies_absence(note: &str) -> bool {
-    ["not available", "does not exist", "was already", "already delivered",
-     "already served", "already placed", "already done"]
-        .iter()
-        .any(|pat| note.contains(pat))
+    [
+        "not available",
+        "does not exist",
+        "was already",
+        "already delivered",
+        "already served",
+        "already placed",
+        "already done",
+    ]
+    .iter()
+    .any(|pat| note.contains(pat))
 }
 
 /// Whether a failure note marks a category error — an action that is wrong
@@ -53,21 +60,29 @@ fn implies_category_error(note: &str) -> bool {
     .any(|pat| note.contains(pat))
 }
 
-/// The reflection module, wrapping one LLM engine.
+/// The reflection module, wrapping one resilient LLM engine.
 #[derive(Debug, Clone)]
 pub struct ReflectionModule {
-    engine: LlmEngine,
+    engine: ResilientEngine,
 }
 
 impl ReflectionModule {
-    /// Wraps an engine.
-    pub fn new(engine: LlmEngine) -> Self {
-        ReflectionModule { engine }
+    /// Wraps an engine; a bare [`embodied_llm::LlmEngine`] converts via the
+    /// standard retry policy.
+    pub fn new(engine: impl Into<ResilientEngine>) -> Self {
+        ReflectionModule {
+            engine: engine.into(),
+        }
     }
 
-    /// Read access to the engine (usage counters).
-    pub fn engine(&self) -> &LlmEngine {
+    /// Read access to the engine (usage and resilience counters).
+    pub fn engine(&self) -> &ResilientEngine {
         &self.engine
+    }
+
+    /// Mutable access to the engine (stall draining).
+    pub fn engine_mut(&mut self) -> &mut ResilientEngine {
+        &mut self.engine
     }
 
     /// Reflects on a failed (or unproductive) action.
@@ -154,7 +169,7 @@ impl ReflectionModule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use embodied_llm::ModelProfile;
+    use embodied_llm::{LlmEngine, ModelProfile};
 
     fn failed_outcome() -> ExecOutcome {
         ExecOutcome::failure("object_1 is not available")

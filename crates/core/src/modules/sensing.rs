@@ -131,8 +131,7 @@ mod tests {
     #[test]
     fn deterministic_for_seed() {
         let run = |seed| {
-            let mut s =
-                SensingModule::new(Some(embodied_llm::EncoderProfile::vild()), seed);
+            let mut s = SensingModule::new(Some(embodied_llm::EncoderProfile::vild()), seed);
             (0..10)
                 .map(|_| s.sense(&obs(8)).0.entities.len())
                 .collect::<Vec<_>>()

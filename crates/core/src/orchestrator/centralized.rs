@@ -85,7 +85,8 @@ pub(crate) fn plan_assignments(
     let mut oracles = Vec::with_capacity(n);
     let mut menus = Vec::with_capacity(n);
     for i in 0..n {
-        let oracle = sys.agents[i].filter_subgoals(sys.env.oracle_subgoals(i), &central_known, step);
+        let oracle =
+            sys.agents[i].filter_subgoals(sys.env.oracle_subgoals(i), &central_known, step);
         let mut menu =
             sys.agents[i].filter_subgoals(sys.env.candidate_subgoals(i), &central_known, step);
         if menu.is_empty() {
@@ -113,15 +114,22 @@ pub(crate) fn plan_assignments(
          and interdependencies between their actions.",
     );
     let opts = EmbodiedSystem::infer_opts_for(&sys.agents[0].config, sys.agents.len());
-    let response = central
-        .planning
-        .engine_mut()
-        .infer(
-            LlmRequest::new(Purpose::Planning, b.build(), 60 + 45 * n as u64)
-                .with_difficulty(joint_difficulty)
-                .with_opts(opts),
-        )
-        .expect("central prompt is never empty");
+    let result = central.planning.engine_mut().infer(
+        LlmRequest::new(Purpose::Planning, b.build(), 60 + 45 * n as u64)
+            .with_difficulty(joint_difficulty)
+            .with_opts(opts),
+    );
+    let stall = central.planning.engine_mut().take_stall();
+    EmbodiedSystem::note_stall(&mut sys.trace, ModuleKind::Planning, 0, stall);
+    let response = match result {
+        Ok(r) => r,
+        Err(_) => {
+            // Graceful degradation: the central planner is down this step,
+            // so every agent falls back to exploring on its own.
+            sys.degradations.degraded_planning += 1;
+            return vec![Subgoal::Explore; n];
+        }
+    };
     sys.trace.record(
         ModuleKind::Planning,
         Phase::LlmInference,
@@ -171,18 +179,26 @@ pub(crate) fn extract_feedback(sys: &mut EmbodiedSystem, assignments: &[Subgoal]
             return;
         };
         let preamble = central.preamble.clone();
-        let msg = comm
-            .generate(
-                i,
-                &preamble,
-                &goal,
-                &format!("extract agent {i}'s feedback on the proposal: {sg}"),
-                "",
-                &[],
-                difficulty,
-                opts,
-            )
-            .expect("feedback prompt is never empty");
+        let result = comm.generate(
+            i,
+            &preamble,
+            &goal,
+            &format!("extract agent {i}'s feedback on the proposal: {sg}"),
+            "",
+            &[],
+            difficulty,
+            opts,
+        );
+        let stall = comm.engine_mut().take_stall();
+        EmbodiedSystem::note_stall(&mut sys.trace, ModuleKind::Communication, i, stall);
+        let msg = match result {
+            Ok(m) => m,
+            Err(_) => {
+                // Degradation: this agent's feedback is lost this step.
+                sys.degradations.degraded_communication += 1;
+                continue;
+            }
+        };
         sys.trace.record(
             ModuleKind::Communication,
             Phase::LlmInference,
@@ -219,18 +235,27 @@ pub(crate) fn broadcast_instructions(sys: &mut EmbodiedSystem, assignments: &[Su
         .map(|(i, sg)| format!("agent {i}: {sg}"))
         .collect();
     let preamble = central.preamble.clone();
-    let msg = comm
-        .generate(
-            usize::MAX, // the center itself
-            &preamble,
-            &goal,
-            &format!("instructions: {}", instruction_text.join("; ")),
-            "",
-            &[],
-            difficulty,
-            opts,
-        )
-        .expect("instruction prompt is never empty");
+    let result = comm.generate(
+        usize::MAX, // the center itself
+        &preamble,
+        &goal,
+        &format!("instructions: {}", instruction_text.join("; ")),
+        "",
+        &[],
+        difficulty,
+        opts,
+    );
+    let stall = comm.engine_mut().take_stall();
+    EmbodiedSystem::note_stall(&mut sys.trace, ModuleKind::Communication, 0, stall);
+    let msg = match result {
+        Ok(m) => m,
+        Err(_) => {
+            // Degradation: the broadcast is dropped — agents keep their
+            // assignments but never hear them, so no messages are counted.
+            sys.degradations.degraded_communication += 1;
+            return;
+        }
+    };
     sys.trace.record(
         ModuleKind::Communication,
         Phase::LlmInference,

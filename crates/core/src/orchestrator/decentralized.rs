@@ -58,18 +58,27 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
             let preamble = agent.preamble.clone();
             let dialogue_so_far = agent.inbox.join("\n");
             let comm = agent.communication.as_mut().expect("checked above");
-            let msg = comm
-                .generate(
-                    i,
-                    &preamble,
-                    &goal,
-                    &percepts[i].text,
-                    &dialogue_so_far,
-                    &delta,
-                    difficulty,
-                    opts,
-                )
-                .expect("communication prompt is never empty");
+            let result = comm.generate(
+                i,
+                &preamble,
+                &goal,
+                &percepts[i].text,
+                &dialogue_so_far,
+                &delta,
+                difficulty,
+                opts,
+            );
+            let stall = comm.engine_mut().take_stall();
+            EmbodiedSystem::note_stall(&mut sys.trace, ModuleKind::Communication, i, stall);
+            let msg = match result {
+                Ok(m) => m,
+                Err(_) => {
+                    // Degradation: the message is dropped; the agent keeps
+                    // its knowledge delta for the next broadcast attempt.
+                    sys.degradations.degraded_communication += 1;
+                    continue;
+                }
+            };
             agent.last_broadcast = knowledge;
             if batching {
                 batch.push((i, msg.response.latency));
@@ -124,9 +133,8 @@ mod tests {
         // Recipients with cluster size 2 over 6 agents: {0,1},{2,3},{4,5}.
         let n = 6usize;
         let cluster = 2usize;
-        let recipients_of = |i: usize| -> Vec<usize> {
-            (0..n).filter(|&j| j / cluster == i / cluster).collect()
-        };
+        let recipients_of =
+            |i: usize| -> Vec<usize> { (0..n).filter(|&j| j / cluster == i / cluster).collect() };
         assert_eq!(recipients_of(0), vec![0, 1]);
         assert_eq!(recipients_of(3), vec![2, 3]);
         assert_eq!(recipients_of(5), vec![4, 5]);

@@ -31,9 +31,18 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
         let preamble = agent.preamble.clone();
         let status = format!("{} | primed task: {}", percepts[i].text, primer[i]);
         let comm = agent.communication.as_mut().expect("checked above");
-        let msg = comm
-            .generate(i, &preamble, &goal, &status, "", &delta, difficulty, opts)
-            .expect("feedback prompt is never empty");
+        let result = comm.generate(i, &preamble, &goal, &status, "", &delta, difficulty, opts);
+        let stall = comm.engine_mut().take_stall();
+        EmbodiedSystem::note_stall(&mut sys.trace, ModuleKind::Communication, i, stall);
+        let msg = match result {
+            Ok(m) => m,
+            Err(_) => {
+                // Degradation: the center refines without this agent's
+                // feedback this step.
+                sys.degradations.degraded_communication += 1;
+                continue;
+            }
+        };
         agent.last_broadcast = knowledge;
         sys.trace.record(
             ModuleKind::Communication,

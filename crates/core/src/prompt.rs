@@ -136,7 +136,8 @@ mod tests {
     #[test]
     fn sections_render_in_order() {
         let mut b = PromptBuilder::new("be helpful");
-        b.push("goal", "deliver things").push("memory", "saw an apple");
+        b.push("goal", "deliver things")
+            .push("memory", "saw an apple");
         let text = b.build();
         let goal_at = text.find("[goal]").unwrap();
         let mem_at = text.find("[memory]").unwrap();
@@ -178,8 +179,20 @@ mod tests {
     #[test]
     fn every_suite_member_has_flavor() {
         for name in [
-            "EmbodiedGPT", "JARVIS-1", "DaDu-E", "MP5", "DEPS", "MindAgent",
-            "OLA", "COHERENT", "CMAS", "CoELA", "COMBO", "RoCo", "DMAS", "HMAS",
+            "EmbodiedGPT",
+            "JARVIS-1",
+            "DaDu-E",
+            "MP5",
+            "DEPS",
+            "MindAgent",
+            "OLA",
+            "COHERENT",
+            "CMAS",
+            "CoELA",
+            "COMBO",
+            "RoCo",
+            "DMAS",
+            "HMAS",
         ] {
             assert!(
                 !workload_flavor(name).is_empty(),

@@ -29,6 +29,10 @@ pub struct RunOverrides {
     pub trajectory_planner: Option<embodied_env::TrajectoryPlanner>,
     /// Memory retrieval-index replacement (Fig. 5 in-text comparison).
     pub retrieval_mode: Option<crate::modules::RetrievalMode>,
+    /// Injected-fault profile for every LLM engine (resilience sweeps).
+    pub fault_profile: Option<embodied_llm::FaultProfile>,
+    /// Retry/backoff policy for the resilience wrapper.
+    pub retry_policy: Option<embodied_llm::RetryPolicy>,
 }
 
 impl RunOverrides {
@@ -53,24 +57,35 @@ impl RunOverrides {
         if let Some(mode) = self.retrieval_mode {
             config.retrieval_mode = mode;
         }
+        if let Some(profile) = self.fault_profile {
+            config.fault_profile = profile;
+        }
+        if let Some(policy) = self.retry_policy {
+            config.retry_policy = policy;
+        }
         config
+    }
+
+    /// Resolves overrides against `spec` into the concrete system to run:
+    /// the shared setup of [`run_episode`] and [`run_episode_traced`].
+    fn build_system(&self, spec: &WorkloadSpec, seed: u64) -> crate::system::EmbodiedSystem {
+        let config = self.apply(spec);
+        let difficulty = self.difficulty.unwrap_or_default();
+        let num_agents = self.num_agents.unwrap_or(spec.default_agents);
+        match self.env {
+            Some(env) => {
+                let mut swapped = spec.clone();
+                swapped.env = env;
+                swapped.build_system(&config, difficulty, num_agents, seed)
+            }
+            None => spec.build_system(&config, difficulty, num_agents, seed),
+        }
     }
 }
 
 /// Runs one episode of `spec` with `overrides` at `seed`.
 pub fn run_episode(spec: &WorkloadSpec, overrides: &RunOverrides, seed: u64) -> EpisodeReport {
-    let config = overrides.apply(spec);
-    let difficulty = overrides.difficulty.unwrap_or_default();
-    let num_agents = overrides.num_agents.unwrap_or(spec.default_agents);
-    let mut system = match overrides.env {
-        Some(env) => {
-            let mut swapped = spec.clone();
-            swapped.env = env;
-            swapped.build_system(&config, difficulty, num_agents, seed)
-        }
-        None => spec.build_system(&config, difficulty, num_agents, seed),
-    };
-    system.run()
+    overrides.build_system(spec, seed).run()
 }
 
 /// Runs one episode and also returns the Chrome trace-event JSON of its
@@ -80,17 +95,7 @@ pub fn run_episode_traced(
     overrides: &RunOverrides,
     seed: u64,
 ) -> (EpisodeReport, String) {
-    let config = overrides.apply(spec);
-    let difficulty = overrides.difficulty.unwrap_or_default();
-    let num_agents = overrides.num_agents.unwrap_or(spec.default_agents);
-    let mut system = match overrides.env {
-        Some(env) => {
-            let mut swapped = spec.clone();
-            swapped.env = env;
-            swapped.build_system(&config, difficulty, num_agents, seed)
-        }
-        None => spec.build_system(&config, difficulty, num_agents, seed),
-    };
+    let mut system = overrides.build_system(spec, seed);
     let report = system.run();
     let json = embodied_profiler::chrome_trace_json(system.trace());
     (report, json)
@@ -229,6 +234,66 @@ mod tests {
         assert!(
             json.matches("\"ph\": \"X\"").count() > report.steps,
             "several spans per step expected"
+        );
+    }
+
+    #[test]
+    fn default_runs_keep_resilience_quiet() {
+        let spec = find("DEPS").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            ..Default::default()
+        };
+        let report = run_episode(&spec, &overrides, 9);
+        assert!(
+            report.resilience.is_quiet(),
+            "no faults configured, none may appear: {}",
+            report.resilience
+        );
+    }
+
+    #[test]
+    fn fault_overrides_inject_and_replay_deterministically() {
+        let spec = find("CoELA").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            fault_profile: Some(embodied_llm::FaultProfile::uniform(0.25)),
+            retry_policy: Some(embodied_llm::RetryPolicy::standard()),
+            ..Default::default()
+        };
+        let a = run_episode(&spec, &overrides, 7);
+        let b = run_episode(&spec, &overrides, 7);
+        assert!(a.resilience.faults() > 0, "{}", a.resilience);
+        assert_eq!(a.resilience, b.resilience);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.tokens, b.tokens);
+    }
+
+    #[test]
+    fn faults_slow_episodes_down() {
+        let spec = find("DEPS").unwrap();
+        let clean = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            ..Default::default()
+        };
+        let faulty = RunOverrides {
+            fault_profile: Some(embodied_llm::FaultProfile::uniform(0.3)),
+            ..clean.clone()
+        };
+        let a = run_episode(&spec, &clean, 11);
+        let b = run_episode(&spec, &faulty, 11);
+        assert!(
+            b.resilience.backoff + b.resilience.wasted_latency
+                > embodied_profiler::SimDuration::ZERO,
+            "faulted run must bill retry time: {}",
+            b.resilience
+        );
+        // Per-step latency must not shrink when a third of calls fault.
+        assert!(
+            b.latency.as_secs_f64() / b.steps.max(1) as f64
+                >= a.latency.as_secs_f64() / a.steps.max(1) as f64,
+            "faults cannot make steps faster"
         );
     }
 

@@ -5,15 +5,15 @@
 use crate::agent::ModularAgent;
 use crate::config::AgentConfig;
 use crate::modules::{
-    CommunicationModule, MemoryModule, PlanContext, PlanningModule, Percept, RecordKind,
+    CommunicationModule, MemoryModule, Percept, PlanContext, PlanningModule, RecordKind,
 };
 use crate::orchestrator::{self, Paradigm};
 use crate::prompt::system_preamble;
 use embodied_env::{Environment, ExecOutcome, Subgoal};
-use embodied_llm::{InferenceOpts, LlmEngine, LlmResponse};
+use embodied_llm::{InferenceOpts, LlmEngine, LlmResponse, ResilientEngine};
 use embodied_profiler::{
     EpisodeReport, LatencyBreakdown, MessageStats, ModuleKind, Outcome, Phase, PurposeLedger,
-    StepRecord, TokenStats, Trace,
+    ResilienceStats, SimDuration, StepRecord, TokenStats, Trace,
 };
 
 /// Per-step counters the orchestrators update through [`EmbodiedSystem`]
@@ -45,6 +45,9 @@ pub struct EmbodiedSystem {
     pub(crate) counters: StepCounters,
     pub(crate) step: usize,
     pub(crate) by_purpose: PurposeLedger,
+    /// Graceful-degradation events (per-module counters); engine-level
+    /// fault/retry tallies are collected from the engines at report time.
+    pub(crate) degradations: ResilienceStats,
     workload: String,
     step_records: Vec<StepRecord>,
 }
@@ -73,22 +76,30 @@ impl EmbodiedSystem {
         let workload = workload.into();
         let landmarks = env.landmarks();
         let agents: Vec<ModularAgent> = (0..env.num_agents())
-            .map(|id| {
-                ModularAgent::new(id, &workload, config.clone(), landmarks.clone(), seed)
-            })
+            .map(|id| ModularAgent::new(id, &workload, config.clone(), landmarks.clone(), seed))
             .collect();
+        let resilient = |engine: LlmEngine, module: u64| {
+            ResilientEngine::new(
+                engine.with_faults(config.fault_profile, seed ^ 0xfacc00 ^ module),
+                config.retry_policy,
+                seed ^ 0xb0cc00 ^ module,
+            )
+        };
         let central = match paradigm {
             Paradigm::Centralized | Paradigm::Hybrid => Some(CentralPlanner {
-                planning: PlanningModule::new(LlmEngine::new(
-                    config.planner.clone(),
-                    seed ^ 0xcc01,
+                planning: PlanningModule::new(resilient(
+                    LlmEngine::new(config.planner.clone(), seed ^ 0xcc01),
+                    0x01,
                 )),
                 communication: config
                     .communicator
                     .as_ref()
                     .filter(|_| config.toggles.communication)
                     .map(|p| {
-                        CommunicationModule::new(LlmEngine::new(p.clone(), seed ^ 0xcc02))
+                        CommunicationModule::new(resilient(
+                            LlmEngine::new(p.clone(), seed ^ 0xcc02),
+                            0x02,
+                        ))
                     }),
                 memory: MemoryModule::new(
                     config.toggles.memory,
@@ -111,6 +122,7 @@ impl EmbodiedSystem {
             counters: StepCounters::default(),
             step: 0,
             by_purpose: PurposeLedger::default(),
+            degradations: ResilienceStats::default(),
             workload,
             step_records: Vec::new(),
         }
@@ -206,6 +218,16 @@ impl EmbodiedSystem {
         for span in self.trace.spans() {
             by_phase.record(&span.phase.to_string(), span.duration, 0, 0);
         }
+        let mut resilience = self.degradations;
+        for agent in &self.agents {
+            resilience.merge(&agent.total_resilience());
+        }
+        if let Some(central) = &self.central {
+            resilience.merge(&central.planning.engine().stats());
+            if let Some(comm) = &central.communication {
+                resilience.merge(&comm.engine().stats());
+            }
+        }
         EpisodeReport {
             workload: self.workload.clone(),
             outcome,
@@ -216,12 +238,27 @@ impl EmbodiedSystem {
             by_purpose: self.by_purpose.clone(),
             by_phase,
             messages: self.messages,
+            resilience,
             step_records: self.step_records.clone(),
             agents: self.agents.len(),
         }
     }
 
     // ----- shared phase helpers used by the orchestrators -----
+
+    /// Records a non-zero backoff stall as a `Phase::Backoff` span so retry
+    /// waiting extends episode latency end-to-end. Zero stalls are dropped,
+    /// keeping no-fault traces byte-identical to pre-resilience runs.
+    pub(crate) fn note_stall(
+        trace: &mut Trace,
+        module: ModuleKind,
+        agent: usize,
+        stall: SimDuration,
+    ) {
+        if !stall.is_zero() {
+            trace.record(module, Phase::Backoff, agent, stall);
+        }
+    }
 
     /// Records an LLM response against the step counters and the
     /// per-purpose ledger.
@@ -293,9 +330,18 @@ impl EmbodiedSystem {
         let agent = &mut self.agents[i];
         let opts = Self::infer_opts_for(&agent.config, team_size);
         let reflection = agent.reflection.as_mut().expect("checked above");
-        let verdict = reflection
-            .reflect(&agent.preamble, subgoal, &outcome, difficulty, opts)
-            .expect("reflection prompt is never empty");
+        let result = reflection.reflect(&agent.preamble, subgoal, &outcome, difficulty, opts);
+        let stall = reflection.engine_mut().take_stall();
+        Self::note_stall(&mut self.trace, ModuleKind::Reflection, i, stall);
+        let verdict = match result {
+            Ok(v) => v,
+            Err(_) => {
+                // Degrade: the failure stays undiagnosed this step — no
+                // retry, no blacklist, no belief cleanup.
+                self.degradations.degraded_reflection += 1;
+                return outcome;
+            }
+        };
         self.trace.record(
             ModuleKind::Reflection,
             Phase::LlmInference,
@@ -396,10 +442,19 @@ impl EmbodiedSystem {
             repeat_bias: agent.last_failure.as_ref().map(|(sg, _)| sg.clone()),
             failure_streak: agent.failure_streak,
         };
-        let mut decision = agent
-            .planning
-            .plan(&ctx)
-            .expect("planning prompt is never empty");
+        let planned = agent.planning.plan(&ctx);
+        let stall = agent.planning.engine_mut().take_stall();
+        Self::note_stall(&mut self.trace, ModuleKind::Planning, i, stall);
+        let mut decision = match planned {
+            Ok(d) => d,
+            Err(_) => {
+                // Degrade: fall back to the last successfully planned
+                // subgoal (stale but coherent), else explore.
+                self.degradations.degraded_planning += 1;
+                let fallback = agent.last_plan.clone().unwrap_or(Subgoal::Explore);
+                return (fallback, false);
+            }
+        };
         self.trace.record(
             ModuleKind::Planning,
             Phase::LlmInference,
@@ -409,50 +464,75 @@ impl EmbodiedSystem {
         let mut responses = vec![decision.response.clone()];
 
         if agent.config.separate_action_selection {
-            decision = agent
-                .planning
-                .select_action(&ctx, decision)
-                .expect("selection prompt is never empty");
-            self.trace.record(
-                ModuleKind::Planning,
-                Phase::LlmInference,
-                i,
-                decision.response.latency,
-            );
-            responses.push(decision.response.clone());
+            let selected = agent.planning.select_action(&ctx, decision.clone());
+            let stall = agent.planning.engine_mut().take_stall();
+            Self::note_stall(&mut self.trace, ModuleKind::Planning, i, stall);
+            match selected {
+                Ok(d) => {
+                    decision = d;
+                    self.trace.record(
+                        ModuleKind::Planning,
+                        Phase::LlmInference,
+                        i,
+                        decision.response.latency,
+                    );
+                    responses.push(decision.response.clone());
+                }
+                Err(_) => {
+                    // Degrade: skip the selection pass, keep the plan.
+                    self.degradations.degraded_planning += 1;
+                }
+            }
         }
         // Pre-execution plan verification: reflective systems check every
         // plan before acting (MP5's patroller, DEPS's CLIP check); a wrong
         // plan that is recognized as wrong triggers one replanning pass.
         if let Some(reflection) = agent.reflection.as_mut() {
-            let (caught, verify_response) = reflection
-                .verify_plan(
-                    &agent.preamble,
-                    &decision.subgoal,
-                    !decision.followed_oracle,
-                    difficulty,
-                    Self::infer_opts_for(&agent.config, team_size),
-                )
-                .expect("verification prompt is never empty");
-            self.trace.record(
-                ModuleKind::Reflection,
-                Phase::LlmInference,
-                i,
-                verify_response.latency,
+            let verified = reflection.verify_plan(
+                &agent.preamble,
+                &decision.subgoal,
+                !decision.followed_oracle,
+                difficulty,
+                Self::infer_opts_for(&agent.config, team_size),
             );
-            responses.push(verify_response);
-            if caught {
-                decision = agent
-                    .planning
-                    .plan(&ctx)
-                    .expect("planning prompt is never empty");
-                self.trace.record(
-                    ModuleKind::Planning,
-                    Phase::LlmInference,
-                    i,
-                    decision.response.latency,
-                );
-                responses.push(decision.response.clone());
+            let stall = reflection.engine_mut().take_stall();
+            Self::note_stall(&mut self.trace, ModuleKind::Reflection, i, stall);
+            match verified {
+                Ok((caught, verify_response)) => {
+                    self.trace.record(
+                        ModuleKind::Reflection,
+                        Phase::LlmInference,
+                        i,
+                        verify_response.latency,
+                    );
+                    responses.push(verify_response);
+                    if caught {
+                        let replanned = agent.planning.plan(&ctx);
+                        let stall = agent.planning.engine_mut().take_stall();
+                        Self::note_stall(&mut self.trace, ModuleKind::Planning, i, stall);
+                        match replanned {
+                            Ok(d) => {
+                                decision = d;
+                                self.trace.record(
+                                    ModuleKind::Planning,
+                                    Phase::LlmInference,
+                                    i,
+                                    decision.response.latency,
+                                );
+                                responses.push(decision.response.clone());
+                            }
+                            Err(_) => {
+                                // Degrade: act on the suspect plan rather
+                                // than stall the step.
+                                self.degradations.degraded_planning += 1;
+                            }
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Degrade: skip pre-execution verification.
+                    self.degradations.degraded_reflection += 1;
+                }
             }
         }
 
@@ -460,6 +540,7 @@ impl EmbodiedSystem {
             agent.plan_budget = agent.config.opts.plan_horizon - 1;
         }
         let (subgoal, followed) = (decision.subgoal, decision.followed_oracle);
+        agent.last_plan = Some(subgoal.clone());
         for response in &responses {
             self.note_llm(response);
         }
@@ -484,6 +565,13 @@ impl EmbodiedSystem {
                 opts,
             )
             .expect("micro-control prompt is never empty");
+        let stall = agent.planning.engine_mut().take_stall();
+        Self::note_stall(&mut self.trace, ModuleKind::Execution, i, stall);
+        if report.degraded {
+            // A micro-control call faulted out even after retries; the
+            // primitive ran without that guidance.
+            self.degradations.degraded_execution += 1;
+        }
         for resp in &report.micro_responses {
             self.trace
                 .record(ModuleKind::Planning, Phase::LlmInference, i, resp.latency);
@@ -495,8 +583,12 @@ impl EmbodiedSystem {
             i,
             outcome.compute,
         );
-        self.trace
-            .record(ModuleKind::Execution, Phase::Actuation, i, outcome.actuation);
+        self.trace.record(
+            ModuleKind::Execution,
+            Phase::Actuation,
+            i,
+            outcome.actuation,
+        );
 
         let agent = &mut self.agents[i];
         agent
@@ -544,11 +636,9 @@ impl EmbodiedSystem {
             if entities.iter().any(|e| !known.contains(e)) {
                 useful = true;
             }
-            agent.memory.store(
-                RecordKind::Dialogue,
-                text.to_owned(),
-                entities.to_vec(),
-            );
+            agent
+                .memory
+                .store(RecordKind::Dialogue, text.to_owned(), entities.to_vec());
             agent.inbox.push(text.to_owned());
         }
         if useful {

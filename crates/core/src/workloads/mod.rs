@@ -54,9 +54,7 @@ impl EnvKind {
                 Box::new(BoxWorldEnv::new(variant, difficulty, num_agents, seed))
             }
             EnvKind::Craft => Box::new(CraftEnv::new(difficulty, num_agents, seed)),
-            EnvKind::Manipulation => {
-                Box::new(ManipulationEnv::new(difficulty, num_agents, seed))
-            }
+            EnvKind::Manipulation => Box::new(ManipulationEnv::new(difficulty, num_agents, seed)),
             EnvKind::Kitchen => Box::new(KitchenEnv::new(difficulty, num_agents, seed)),
             EnvKind::AlfWorld => Box::new(AlfWorldEnv::new(difficulty, num_agents, seed)),
         }

@@ -50,6 +50,8 @@ fn base_config(
         memory_capacity: MemoryCapacity::default(),
         retrieval_mode: crate::modules::RetrievalMode::default(),
         opts: Optimizations::default(),
+        fault_profile: embodied_llm::FaultProfile::none(),
+        retry_policy: embodied_llm::RetryPolicy::standard(),
     }
 }
 

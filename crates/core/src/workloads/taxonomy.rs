@@ -87,50 +87,337 @@ macro_rules! row {
 pub fn taxonomy() -> Vec<TaxonomyEntry> {
     vec![
         // ---- single-agent, modularized ----
-        row!("Mobile-Agent", SingleModularized, [1, 1, 0, 0, 1, 1], "Device Control", Tool, 0),
-        row!("AppAgent", SingleModularized, [1, 1, 0, 0, 0, 1], "Device Control", Tool, 0),
-        row!("PDDL", SingleModularized, [0, 1, 0, 0, 1, 0], "Simulation", Virtual, 0),
-        row!("RoboGPT", SingleModularized, [1, 1, 0, 0, 0, 1], "Simulation", Virtual, 0),
-        row!("VOYAGER", SingleModularized, [0, 1, 0, 1, 1, 1], "Simulation", Virtual, 0),
-        row!("MP5", SingleModularized, [1, 1, 0, 0, 1, 1], "Simulation", Virtual, 1),
-        row!("RILA", SingleModularized, [1, 1, 0, 1, 1, 1], "Navigation", Virtual, 0),
-        row!("CRADLE", SingleModularized, [1, 1, 0, 1, 1, 1], "Device Control", Tool, 0),
-        row!("STEVE", SingleModularized, [1, 1, 0, 0, 0, 1], "Simulation", Virtual, 0),
-        row!("DEPS", SingleModularized, [1, 1, 0, 0, 1, 1], "Simulation", Virtual, 1),
-        row!("JARVIS-1", SingleModularized, [1, 1, 0, 1, 1, 1], "Simulation", Virtual, 1),
-        row!("FILM", SingleModularized, [1, 1, 0, 0, 0, 1], "Simulation", Virtual, 0),
-        row!("LLM-Planner", SingleModularized, [0, 1, 0, 0, 1, 1], "Simulation", Virtual, 0),
-        row!("EmbodiedGPT", SingleModularized, [1, 1, 0, 0, 0, 1], "Simulation", Virtual, 1),
-        row!("Dadu-E", SingleModularized, [1, 1, 0, 1, 1, 1], "Simulation", Virtual, 1),
-        row!("MINEDOJO", SingleModularized, [1, 1, 0, 1, 0, 1], "Simulation", Virtual, 0),
-        row!("Luban", SingleModularized, [1, 1, 0, 1, 1, 1], "Simulation", Virtual, 0),
-        row!("MetaGPT", SingleModularized, [0, 1, 1, 1, 1, 1], "Programming", Tool, 0),
-        row!("Mobile-Agent-V2", SingleModularized, [1, 1, 0, 1, 1, 1], "Device Control", Tool, 0),
+        row!(
+            "Mobile-Agent",
+            SingleModularized,
+            [1, 1, 0, 0, 1, 1],
+            "Device Control",
+            Tool,
+            0
+        ),
+        row!(
+            "AppAgent",
+            SingleModularized,
+            [1, 1, 0, 0, 0, 1],
+            "Device Control",
+            Tool,
+            0
+        ),
+        row!(
+            "PDDL",
+            SingleModularized,
+            [0, 1, 0, 0, 1, 0],
+            "Simulation",
+            Virtual,
+            0
+        ),
+        row!(
+            "RoboGPT",
+            SingleModularized,
+            [1, 1, 0, 0, 0, 1],
+            "Simulation",
+            Virtual,
+            0
+        ),
+        row!(
+            "VOYAGER",
+            SingleModularized,
+            [0, 1, 0, 1, 1, 1],
+            "Simulation",
+            Virtual,
+            0
+        ),
+        row!(
+            "MP5",
+            SingleModularized,
+            [1, 1, 0, 0, 1, 1],
+            "Simulation",
+            Virtual,
+            1
+        ),
+        row!(
+            "RILA",
+            SingleModularized,
+            [1, 1, 0, 1, 1, 1],
+            "Navigation",
+            Virtual,
+            0
+        ),
+        row!(
+            "CRADLE",
+            SingleModularized,
+            [1, 1, 0, 1, 1, 1],
+            "Device Control",
+            Tool,
+            0
+        ),
+        row!(
+            "STEVE",
+            SingleModularized,
+            [1, 1, 0, 0, 0, 1],
+            "Simulation",
+            Virtual,
+            0
+        ),
+        row!(
+            "DEPS",
+            SingleModularized,
+            [1, 1, 0, 0, 1, 1],
+            "Simulation",
+            Virtual,
+            1
+        ),
+        row!(
+            "JARVIS-1",
+            SingleModularized,
+            [1, 1, 0, 1, 1, 1],
+            "Simulation",
+            Virtual,
+            1
+        ),
+        row!(
+            "FILM",
+            SingleModularized,
+            [1, 1, 0, 0, 0, 1],
+            "Simulation",
+            Virtual,
+            0
+        ),
+        row!(
+            "LLM-Planner",
+            SingleModularized,
+            [0, 1, 0, 0, 1, 1],
+            "Simulation",
+            Virtual,
+            0
+        ),
+        row!(
+            "EmbodiedGPT",
+            SingleModularized,
+            [1, 1, 0, 0, 0, 1],
+            "Simulation",
+            Virtual,
+            1
+        ),
+        row!(
+            "Dadu-E",
+            SingleModularized,
+            [1, 1, 0, 1, 1, 1],
+            "Simulation",
+            Virtual,
+            1
+        ),
+        row!(
+            "MINEDOJO",
+            SingleModularized,
+            [1, 1, 0, 1, 0, 1],
+            "Simulation",
+            Virtual,
+            0
+        ),
+        row!(
+            "Luban",
+            SingleModularized,
+            [1, 1, 0, 1, 1, 1],
+            "Simulation",
+            Virtual,
+            0
+        ),
+        row!(
+            "MetaGPT",
+            SingleModularized,
+            [0, 1, 1, 1, 1, 1],
+            "Programming",
+            Tool,
+            0
+        ),
+        row!(
+            "Mobile-Agent-V2",
+            SingleModularized,
+            [1, 1, 0, 1, 1, 1],
+            "Device Control",
+            Tool,
+            0
+        ),
         // ---- single-agent, end-to-end ----
-        row!("RT-2", SingleEndToEnd, [1, 1, 0, 0, 0, 1], "Robot Control", Physical, 0),
-        row!("RoboVLMs", SingleEndToEnd, [1, 1, 0, 0, 0, 1], "Robot Control", Physical, 0),
-        row!("GAIA-1", SingleEndToEnd, [1, 1, 0, 0, 0, 1], "Autonomous Driving", Physical, 0),
-        row!("3D-VLA", SingleEndToEnd, [1, 1, 0, 0, 0, 1], "Robot Control", Physical, 0),
-        row!("Octo", SingleEndToEnd, [1, 1, 0, 0, 0, 1], "Robot Control", Physical, 0),
-        row!("Diffusion Policy", SingleEndToEnd, [1, 1, 0, 0, 0, 1], "Robot Control", Physical, 0),
+        row!(
+            "RT-2",
+            SingleEndToEnd,
+            [1, 1, 0, 0, 0, 1],
+            "Robot Control",
+            Physical,
+            0
+        ),
+        row!(
+            "RoboVLMs",
+            SingleEndToEnd,
+            [1, 1, 0, 0, 0, 1],
+            "Robot Control",
+            Physical,
+            0
+        ),
+        row!(
+            "GAIA-1",
+            SingleEndToEnd,
+            [1, 1, 0, 0, 0, 1],
+            "Autonomous Driving",
+            Physical,
+            0
+        ),
+        row!(
+            "3D-VLA",
+            SingleEndToEnd,
+            [1, 1, 0, 0, 0, 1],
+            "Robot Control",
+            Physical,
+            0
+        ),
+        row!(
+            "Octo",
+            SingleEndToEnd,
+            [1, 1, 0, 0, 0, 1],
+            "Robot Control",
+            Physical,
+            0
+        ),
+        row!(
+            "Diffusion Policy",
+            SingleEndToEnd,
+            [1, 1, 0, 0, 0, 1],
+            "Robot Control",
+            Physical,
+            0
+        ),
         // ---- multi-agent, centralized ----
-        row!("LLaMAC", MultiCentralized, [0, 1, 1, 1, 0, 1], "Simulation", Virtual, 0),
-        row!("MindAgent", MultiCentralized, [0, 1, 1, 1, 0, 1], "Simulation", Virtual, 1),
-        row!("OLA", MultiCentralized, [0, 1, 1, 1, 1, 1], "Simulation", Virtual, 1),
-        row!("ALGPT", MultiCentralized, [1, 1, 1, 1, 0, 1], "Navigation", Virtual, 0),
-        row!("CMAS", MultiCentralized, [1, 1, 1, 1, 0, 1], "Simulation", Virtual, 1),
-        row!("ReAd", MultiCentralized, [0, 1, 1, 0, 1, 1], "Simulation", Virtual, 0),
-        row!("Co-NavGPT", MultiCentralized, [1, 1, 1, 0, 0, 1], "Navigation", Virtual, 0),
-        row!("COHERENT", MultiCentralized, [1, 1, 1, 1, 1, 1], "Simulation", Virtual, 1),
+        row!(
+            "LLaMAC",
+            MultiCentralized,
+            [0, 1, 1, 1, 0, 1],
+            "Simulation",
+            Virtual,
+            0
+        ),
+        row!(
+            "MindAgent",
+            MultiCentralized,
+            [0, 1, 1, 1, 0, 1],
+            "Simulation",
+            Virtual,
+            1
+        ),
+        row!(
+            "OLA",
+            MultiCentralized,
+            [0, 1, 1, 1, 1, 1],
+            "Simulation",
+            Virtual,
+            1
+        ),
+        row!(
+            "ALGPT",
+            MultiCentralized,
+            [1, 1, 1, 1, 0, 1],
+            "Navigation",
+            Virtual,
+            0
+        ),
+        row!(
+            "CMAS",
+            MultiCentralized,
+            [1, 1, 1, 1, 0, 1],
+            "Simulation",
+            Virtual,
+            1
+        ),
+        row!(
+            "ReAd",
+            MultiCentralized,
+            [0, 1, 1, 0, 1, 1],
+            "Simulation",
+            Virtual,
+            0
+        ),
+        row!(
+            "Co-NavGPT",
+            MultiCentralized,
+            [1, 1, 1, 0, 0, 1],
+            "Navigation",
+            Virtual,
+            0
+        ),
+        row!(
+            "COHERENT",
+            MultiCentralized,
+            [1, 1, 1, 1, 1, 1],
+            "Simulation",
+            Virtual,
+            1
+        ),
         // ---- multi-agent, decentralized ----
-        row!("DMAS", MultiDecentralized, [1, 1, 1, 1, 0, 1], "Simulation", Virtual, 1),
-        row!("HMAS", MultiDecentralized, [1, 1, 1, 1, 1, 1], "Simulation", Virtual, 1),
-        row!("AGA", MultiDecentralized, [1, 1, 1, 1, 1, 1], "Simulation", Virtual, 0),
-        row!("CoELA", MultiDecentralized, [1, 1, 1, 1, 0, 1], "Simulation", Virtual, 1),
-        row!("FMA", MultiDecentralized, [0, 1, 1, 1, 1, 1], "Programming", Tool, 0),
-        row!("COMBO", MultiDecentralized, [1, 1, 1, 1, 0, 1], "Simulation", Virtual, 1),
-        row!("RoCo", MultiDecentralized, [1, 1, 1, 1, 1, 1], "Simulation", Virtual, 1),
-        row!("AgentVerse", MultiDecentralized, [0, 1, 1, 0, 0, 1], "Simulation", Virtual, 0),
+        row!(
+            "DMAS",
+            MultiDecentralized,
+            [1, 1, 1, 1, 0, 1],
+            "Simulation",
+            Virtual,
+            1
+        ),
+        row!(
+            "HMAS",
+            MultiDecentralized,
+            [1, 1, 1, 1, 1, 1],
+            "Simulation",
+            Virtual,
+            1
+        ),
+        row!(
+            "AGA",
+            MultiDecentralized,
+            [1, 1, 1, 1, 1, 1],
+            "Simulation",
+            Virtual,
+            0
+        ),
+        row!(
+            "CoELA",
+            MultiDecentralized,
+            [1, 1, 1, 1, 0, 1],
+            "Simulation",
+            Virtual,
+            1
+        ),
+        row!(
+            "FMA",
+            MultiDecentralized,
+            [0, 1, 1, 1, 1, 1],
+            "Programming",
+            Tool,
+            0
+        ),
+        row!(
+            "COMBO",
+            MultiDecentralized,
+            [1, 1, 1, 1, 0, 1],
+            "Simulation",
+            Virtual,
+            1
+        ),
+        row!(
+            "RoCo",
+            MultiDecentralized,
+            [1, 1, 1, 1, 1, 1],
+            "Simulation",
+            Virtual,
+            1
+        ),
+        row!(
+            "AgentVerse",
+            MultiDecentralized,
+            [0, 1, 1, 0, 0, 1],
+            "Simulation",
+            Virtual,
+            0
+        ),
     ]
 }
 
@@ -160,9 +447,9 @@ mod tests {
         let t = taxonomy();
         for spec in super::super::registry() {
             // Registry "DaDu-E" appears as "Dadu-E" in Table I.
-            let found = t.iter().any(|e| {
-                e.in_suite && e.name.eq_ignore_ascii_case(spec.name)
-            });
+            let found = t
+                .iter()
+                .any(|e| e.in_suite && e.name.eq_ignore_ascii_case(spec.name));
             assert!(found, "{} missing from taxonomy", spec.name);
         }
         assert_eq!(t.iter().filter(|e| e.in_suite).count(), 14);

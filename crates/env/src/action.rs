@@ -219,16 +219,17 @@ mod tests {
     fn idle_detection() {
         assert!(Subgoal::Wait.is_idle());
         assert!(Subgoal::Explore.is_idle());
-        assert!(!Subgoal::Pick {
-            object: "x".into()
-        }
-        .is_idle());
+        assert!(!Subgoal::Pick { object: "x".into() }.is_idle());
     }
 
     #[test]
     fn patterns_are_entity_agnostic() {
-        let a = Subgoal::Pick { object: "apple".into() };
-        let b = Subgoal::Pick { object: "plate_7".into() };
+        let a = Subgoal::Pick {
+            object: "apple".into(),
+        };
+        let b = Subgoal::Pick {
+            object: "plate_7".into(),
+        };
         assert_eq!(a.pattern(), b.pattern());
         assert_ne!(a.pattern(), Subgoal::Explore.pattern());
     }

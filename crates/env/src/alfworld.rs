@@ -148,8 +148,7 @@ impl Environment for AlfWorldEnv {
     fn landmarks(&self) -> Vec<String> {
         // The task statement names the objects and every receptacle; where
         // the objects are *hidden* must be discovered.
-        let mut names: Vec<String> =
-            RECEPTACLES.iter().map(|r| (*r).to_owned()).collect();
+        let mut names: Vec<String> = RECEPTACLES.iter().map(|r| (*r).to_owned()).collect();
         names.extend(self.objects.iter().map(|o| o.name.clone()));
         names
     }
@@ -234,9 +233,9 @@ impl Environment for AlfWorldEnv {
         }
         // Otherwise: search — open the nearest closed receptacle (here
         // first), else walk to one.
-        if let Some(here) = Some(self.agent_at).filter(|&i| {
-            self.receptacles[i].openable && !self.receptacles[i].opened
-        }) {
+        if let Some(here) = Some(self.agent_at)
+            .filter(|&i| self.receptacles[i].openable && !self.receptacles[i].opened)
+        {
             return vec![Subgoal::Open {
                 container: self.receptacles[here].name.to_owned(),
             }];

@@ -228,13 +228,13 @@ impl Environment for BoxWorldEnv {
             .collect();
         Observation {
             agent_pos: None,
-            location: format!(
-                "arm covering zones {}..={}",
-                reach.start(),
-                reach.end()
-            ),
+            location: format!("arm covering zones {}..={}", reach.start(), reach.end()),
             visible,
-            status: format!("{}/{} boxes delivered", self.delivered_count(), self.boxes.len()),
+            status: format!(
+                "{}/{} boxes delivered",
+                self.delivered_count(),
+                self.boxes.len()
+            ),
         }
     }
 
@@ -299,8 +299,7 @@ impl Environment for BoxWorldEnv {
     fn execute(&mut self, agent: usize, subgoal: &Subgoal, low: &mut LowLevel) -> ExecOutcome {
         self.calls += 1;
         let window = self.num_agents; // lift requests stay live for one round
-        self.pending_lifts
-            .retain(|p| self.calls - p.call <= window);
+        self.pending_lifts.retain(|p| self.calls - p.call <= window);
         match subgoal {
             Subgoal::MoveBox { box_name, dest } => {
                 let Some(idx) = self.box_index(box_name) else {
@@ -330,8 +329,8 @@ impl Environment for BoxWorldEnv {
                 let success = drive.success && low.rng.gen_bool(low.competence.clamp(0.0, 1.0));
                 let mut made_progress = false;
                 if success {
-                    let toward =
-                        dest_zone.abs_diff(self.boxes[idx].target) < self.boxes[idx].zone.abs_diff(self.boxes[idx].target);
+                    let toward = dest_zone.abs_diff(self.boxes[idx].target)
+                        < self.boxes[idx].zone.abs_diff(self.boxes[idx].target);
                     let b = &mut self.boxes[idx];
                     b.zone = dest_zone;
                     b.delivered = b.zone == b.target;
@@ -363,8 +362,7 @@ impl Environment for BoxWorldEnv {
                 if !b.heavy {
                     return ExecOutcome::failure(format!("{box_name} does not need a joint lift"));
                 }
-                if !self.reach(agent).contains(&b.zone) || !self.reach(*partner).contains(&b.zone)
-                {
+                if !self.reach(agent).contains(&b.zone) || !self.reach(*partner).contains(&b.zone) {
                     return ExecOutcome::failure(format!("{box_name} is outside joint reach"));
                 }
                 let synced = self
@@ -454,7 +452,11 @@ mod tests {
     fn warehouse_relay_completes() {
         let mut e = BoxWorldEnv::new(BoxVariant::Warehouse, TaskDifficulty::Medium, 3, 1);
         let steps = oracle_rollout(&mut e, 2);
-        assert!(e.is_complete(), "delivered {} after {steps}", e.delivered_count());
+        assert!(
+            e.is_complete(),
+            "delivered {} after {steps}",
+            e.delivered_count()
+        );
     }
 
     #[test]
@@ -504,7 +506,12 @@ mod tests {
     fn boxlift_oracle_rollout_completes() {
         let mut e = BoxWorldEnv::new(BoxVariant::BoxLift, TaskDifficulty::Medium, 3, 11);
         let steps = oracle_rollout(&mut e, 4);
-        assert!(e.is_complete(), "delivered {}/{} after {steps}", e.delivered_count(), e.boxes.len());
+        assert!(
+            e.is_complete(),
+            "delivered {}/{} after {steps}",
+            e.delivered_count(),
+            e.boxes.len()
+        );
     }
 
     #[test]
@@ -547,7 +554,14 @@ mod tests {
         let arm = (0..2).find(|&a| e.reach(a).contains(&zone)).unwrap();
         let dest = BoxWorldEnv::zone_name(*e.reach(arm).start());
         let mut low = LowLevel::controller(1);
-        let out = e.execute(arm, &Subgoal::MoveBox { box_name: name, dest }, &mut low);
+        let out = e.execute(
+            arm,
+            &Subgoal::MoveBox {
+                box_name: name,
+                dest,
+            },
+            &mut low,
+        );
         assert!(!out.completed);
         assert!(out.note.contains("heavy"));
     }

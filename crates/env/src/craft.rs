@@ -487,7 +487,11 @@ mod tests {
     fn oracle_reaches_wooden_pickaxe() {
         let mut e = CraftEnv::new(TaskDifficulty::Easy, 1, 0);
         let steps = oracle_rollout(&mut e, 3);
-        assert!(e.is_complete(), "stuck after {steps} steps: {:?}", e.inventory);
+        assert!(
+            e.is_complete(),
+            "stuck after {steps} steps: {:?}",
+            e.inventory
+        );
         assert!(steps <= e.max_steps());
     }
 
@@ -495,14 +499,22 @@ mod tests {
     fn oracle_reaches_iron_pickaxe() {
         let mut e = CraftEnv::new(TaskDifficulty::Medium, 1, 0);
         let steps = oracle_rollout(&mut e, 4);
-        assert!(e.is_complete(), "stuck after {steps} steps: {:?}", e.inventory);
+        assert!(
+            e.is_complete(),
+            "stuck after {steps} steps: {:?}",
+            e.inventory
+        );
     }
 
     #[test]
     fn oracle_reaches_diamond_pickaxe() {
         let mut e = CraftEnv::new(TaskDifficulty::Hard, 1, 0);
         let steps = oracle_rollout(&mut e, 5);
-        assert!(e.is_complete(), "stuck after {steps} steps: {:?}", e.inventory);
+        assert!(
+            e.is_complete(),
+            "stuck after {steps} steps: {:?}",
+            e.inventory
+        );
         assert!((e.progress() - 1.0).abs() < 1e-12);
     }
 
@@ -589,9 +601,18 @@ mod tests {
 
     #[test]
     fn difficulty_sets_target_depth() {
-        assert_eq!(CraftEnv::new(TaskDifficulty::Easy, 1, 0).target(), "wooden_pickaxe");
-        assert_eq!(CraftEnv::new(TaskDifficulty::Medium, 1, 0).target(), "iron_pickaxe");
-        assert_eq!(CraftEnv::new(TaskDifficulty::Hard, 1, 0).target(), "diamond_pickaxe");
+        assert_eq!(
+            CraftEnv::new(TaskDifficulty::Easy, 1, 0).target(),
+            "wooden_pickaxe"
+        );
+        assert_eq!(
+            CraftEnv::new(TaskDifficulty::Medium, 1, 0).target(),
+            "iron_pickaxe"
+        );
+        assert_eq!(
+            CraftEnv::new(TaskDifficulty::Hard, 1, 0).target(),
+            "diamond_pickaxe"
+        );
     }
 
     #[test]

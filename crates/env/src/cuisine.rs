@@ -148,10 +148,7 @@ impl Environment for CuisineEnv {
             .active_orders()
             .map(|o| {
                 let stage = o.next_stage().unwrap_or("serve");
-                SeenEntity::new(
-                    o.dish.clone(),
-                    format!("order {} awaiting {stage}", o.dish),
-                )
+                SeenEntity::new(o.dish.clone(), format!("order {} awaiting {stage}", o.dish))
             })
             .collect();
         for s in STATIONS {
@@ -259,9 +256,9 @@ impl Environment for CuisineEnv {
                             },
                         }
                     }
-                    Some(expected) => ExecOutcome::failure(format!(
-                        "{dish} needs {expected} before {stage}"
-                    )),
+                    Some(expected) => {
+                        ExecOutcome::failure(format!("{dish} needs {expected} before {stage}"))
+                    }
                     None => ExecOutcome::failure(format!("{dish} is ready to serve, not {stage}")),
                 }
             }
@@ -344,7 +341,11 @@ mod tests {
     fn oracle_serves_everything_single_agent() {
         let mut e = CuisineEnv::new(TaskDifficulty::Easy, 1, 0);
         let steps = oracle_rollout(&mut e, 1);
-        assert!(e.is_complete(), "only served {} after {steps}", e.served_count());
+        assert!(
+            e.is_complete(),
+            "only served {} after {steps}",
+            e.served_count()
+        );
     }
 
     #[test]

@@ -154,11 +154,13 @@ impl Environment for HouseholdEnv {
     }
 
     fn goal_text(&self) -> String {
-        let plates = self.items.iter().filter(|i| i.kind == ItemKind::Plate).count();
+        let plates = self
+            .items
+            .iter()
+            .filter(|i| i.kind == ItemKind::Plate)
+            .count();
         let food = self.items.len() - plates;
-        format!(
-            "Set the table with {plates} plates and put {food} groceries in the fridge."
-        )
+        format!("Set the table with {plates} plates and put {food} groceries in the fridge.")
     }
 
     fn landmarks(&self) -> Vec<String> {
@@ -179,7 +181,10 @@ impl Environment for HouseholdEnv {
                         format!(
                             "{} in {}",
                             item.name,
-                            self.world.room_of(pos).map(|r| r.name()).unwrap_or_default()
+                            self.world
+                                .room_of(pos)
+                                .map(|r| r.name())
+                                .unwrap_or_default()
                         ),
                     ));
                 }
@@ -463,7 +468,12 @@ mod tests {
     fn oracle_completes_medium_with_two_agents() {
         let mut e = HouseholdEnv::new(TaskDifficulty::Medium, 2, 0);
         let steps = oracle_rollout(&mut e, 1);
-        assert!(e.is_complete(), "done {}/{} after {steps}", e.done_count(), e.items.len());
+        assert!(
+            e.is_complete(),
+            "done {}/{} after {steps}",
+            e.done_count(),
+            e.items.len()
+        );
     }
 
     #[test]
@@ -471,12 +481,22 @@ mod tests {
         let mut e = HouseholdEnv::new(TaskDifficulty::Easy, 1, 0);
         let mut low = LowLevel::controller(1);
         // Teleport agent next to a plate and pick it.
-        let plate_idx = e.items.iter().position(|i| i.kind == ItemKind::Plate).unwrap();
+        let plate_idx = e
+            .items
+            .iter()
+            .position(|i| i.kind == ItemKind::Plate)
+            .unwrap();
         let plate_pos = e.items[plate_idx].pos.unwrap();
         let name = e.items[plate_idx].name.clone();
         e.agents[0].pos = plate_pos;
         while !e
-            .execute(0, &Subgoal::Pick { object: name.clone() }, &mut low)
+            .execute(
+                0,
+                &Subgoal::Pick {
+                    object: name.clone(),
+                },
+                &mut low,
+            )
             .completed
         {}
         // Walk to the fridge room and try to put the plate in the fridge.
@@ -513,14 +533,20 @@ mod tests {
     fn items_start_hidden_from_start_room() {
         let e = HouseholdEnv::new(TaskDifficulty::Medium, 1, 0);
         let obs = e.observe(0);
-        assert!(!obs.visible.iter().any(|v| v.name.starts_with("plate_")
-            || v.name.starts_with("food_")));
+        assert!(!obs
+            .visible
+            .iter()
+            .any(|v| v.name.starts_with("plate_") || v.name.starts_with("food_")));
     }
 
     #[test]
     fn candidates_include_wrong_destination_trap() {
         let mut e = HouseholdEnv::new(TaskDifficulty::Easy, 1, 0);
-        let plate_idx = e.items.iter().position(|i| i.kind == ItemKind::Plate).unwrap();
+        let plate_idx = e
+            .items
+            .iter()
+            .position(|i| i.kind == ItemKind::Plate)
+            .unwrap();
         e.items[plate_idx].pos = None;
         e.agents[0].carrying = Some(plate_idx);
         let candidates = e.candidate_subgoals(0);

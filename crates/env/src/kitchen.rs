@@ -95,10 +95,7 @@ impl Environment for KitchenEnv {
             .iter()
             .zip(&self.done)
             .map(|(s, d)| {
-                SeenEntity::new(
-                    *s,
-                    format!("{s}: {}", if *d { "done" } else { "pending" }),
-                )
+                SeenEntity::new(*s, format!("{s}: {}", if *d { "done" } else { "pending" }))
             })
             .collect();
         Observation {
@@ -238,10 +235,7 @@ mod tests {
         let mut e = KitchenEnv::new(TaskDifficulty::Easy, 1, 0);
         let mut low = LowLevel::controller(1);
         let sg = e.oracle_subgoals(0)[0].clone();
-        while !e
-            .execute(0, &sg, &mut low)
-            .completed
-        {}
+        while !e.execute(0, &sg, &mut low).completed {}
         let out = e.execute(0, &sg, &mut low);
         assert!(!out.completed);
         assert!(out.note.contains("already done"));
@@ -259,9 +253,18 @@ mod tests {
 
     #[test]
     fn difficulty_scales_skill_count() {
-        assert_eq!(KitchenEnv::new(TaskDifficulty::Easy, 1, 0).required.len(), 3);
-        assert_eq!(KitchenEnv::new(TaskDifficulty::Medium, 1, 0).required.len(), 5);
-        assert_eq!(KitchenEnv::new(TaskDifficulty::Hard, 1, 0).required.len(), 7);
+        assert_eq!(
+            KitchenEnv::new(TaskDifficulty::Easy, 1, 0).required.len(),
+            3
+        );
+        assert_eq!(
+            KitchenEnv::new(TaskDifficulty::Medium, 1, 0).required.len(),
+            5
+        );
+        assert_eq!(
+            KitchenEnv::new(TaskDifficulty::Hard, 1, 0).required.len(),
+            7
+        );
     }
 
     #[test]

@@ -6,7 +6,9 @@
 use crate::action::{ExecOutcome, Subgoal};
 use crate::environment::{Environment, LowLevel, TaskDifficulty, TrajectoryPlanner};
 use crate::observation::{Observation, SeenEntity};
-use embodied_exec::{latency, plan_rrt, plan_rrt_connect, smooth_trajectory, Point, RrtParams, Workspace};
+use embodied_exec::{
+    latency, plan_rrt, plan_rrt_connect, smooth_trajectory, Point, RrtParams, Workspace,
+};
 use embodied_profiler::SimDuration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -128,11 +130,7 @@ impl ManipulationEnv {
             // Objects close to the pick or place point are not obstacles:
             // the arm lifts over / places alongside them (otherwise crowded
             // handoff spots and assembly targets would deadlock planning).
-            if i != moving_object
-                && !o.placed
-                && o.pos.dist(dest) > 0.3
-                && o.pos.dist(from) > 0.3
-            {
+            if i != moving_object && !o.placed && o.pos.dist(dest) > 0.3 && o.pos.dist(from) > 0.3 {
                 ws = ws.with_obstacle(o.pos, 0.12);
             }
         }
@@ -161,14 +159,12 @@ impl Environment for ManipulationEnv {
         let goals: Vec<String> = self
             .objects
             .iter()
-            .map(|o| {
-                format!(
-                    "{} to ({:.1}, {:.1})",
-                    o.name, o.target.x, o.target.y
-                )
-            })
+            .map(|o| format!("{} to ({:.1}, {:.1})", o.name, o.target.x, o.target.y))
             .collect();
-        format!("Move every part to its assembly pose: {}.", goals.join(", "))
+        format!(
+            "Move every part to its assembly pose: {}.",
+            goals.join(", ")
+        )
     }
 
     fn landmarks(&self) -> Vec<String> {
@@ -192,7 +188,11 @@ impl Environment for ManipulationEnv {
             agent_pos: None,
             location: format!("arm_{agent} workspace"),
             visible,
-            status: format!("{}/{} parts placed", self.placed_count(), self.objects.len()),
+            status: format!(
+                "{}/{} parts placed",
+                self.placed_count(),
+                self.objects.len()
+            ),
         }
     }
 
@@ -383,14 +383,24 @@ mod tests {
     fn two_arms_complete_easy_assembly() {
         let mut e = ManipulationEnv::new(TaskDifficulty::Easy, 2, 3);
         let steps = oracle_rollout(&mut e, 1);
-        assert!(e.is_complete(), "placed {}/{} after {steps}", e.placed_count(), e.objects.len());
+        assert!(
+            e.is_complete(),
+            "placed {}/{} after {steps}",
+            e.placed_count(),
+            e.objects.len()
+        );
     }
 
     #[test]
     fn three_arms_complete_medium_assembly() {
         let mut e = ManipulationEnv::new(TaskDifficulty::Medium, 3, 9);
         let steps = oracle_rollout(&mut e, 2);
-        assert!(e.is_complete(), "placed {}/{} after {steps}", e.placed_count(), e.objects.len());
+        assert!(
+            e.is_complete(),
+            "placed {}/{} after {steps}",
+            e.placed_count(),
+            e.objects.len()
+        );
     }
 
     #[test]
@@ -400,12 +410,17 @@ mod tests {
         let mut e = ManipulationEnv::new(TaskDifficulty::Easy, 2, 3);
         let mut low = LowLevel::controller(1);
         let sg = e.oracle_subgoals(0).into_iter().next().unwrap_or_else(|| {
-            e.oracle_subgoals(1).into_iter().next().expect("some arm has work")
+            e.oracle_subgoals(1)
+                .into_iter()
+                .next()
+                .expect("some arm has work")
         });
         // Find which agent can do it.
         let agent = (0..2)
             .find(|&a| {
-                let Subgoal::ArmMove { object, .. } = &sg else { return false };
+                let Subgoal::ArmMove { object, .. } = &sg else {
+                    return false;
+                };
                 let idx = e.object_index(object).unwrap();
                 e.in_reach(a, e.objects[idx].pos)
             })

@@ -64,7 +64,11 @@ impl Observation {
             s.push_str("You see nothing notable.");
         } else {
             s.push_str("You see: ");
-            let descs: Vec<&str> = self.visible.iter().map(|e| e.description.as_str()).collect();
+            let descs: Vec<&str> = self
+                .visible
+                .iter()
+                .map(|e| e.description.as_str())
+                .collect();
             s.push_str(&descs.join("; "));
             s.push('.');
         }

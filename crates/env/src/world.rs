@@ -274,7 +274,12 @@ mod tests {
         for a in w.rooms() {
             for b in w.rooms() {
                 if a.id != b.id {
-                    assert!(!a.contains(b.center()), "rooms {} and {} overlap", a.id, b.id);
+                    assert!(
+                        !a.contains(b.center()),
+                        "rooms {} and {} overlap",
+                        a.id,
+                        b.id
+                    );
                 }
             }
         }

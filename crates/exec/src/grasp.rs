@@ -96,7 +96,9 @@ impl GraspPlanner {
             score: 0.0,
         };
         for _ in 0..self.candidates_per_attempt {
-            let angle = self.rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+            let angle = self
+                .rng
+                .gen_range(-std::f64::consts::PI..std::f64::consts::PI);
             let width = target.size * self.rng.gen_range(0.8..1.6);
             // Score favors near-perpendicular approaches and snug widths.
             let angle_fit = 1.0 - (angle.sin()).abs() * 0.3;
@@ -144,7 +146,10 @@ mod tests {
     fn deterministic_for_seed() {
         let mut a = GraspPlanner::with_seed(5);
         let mut b = GraspPlanner::with_seed(5);
-        assert_eq!(a.attempt(GraspTarget::household()), b.attempt(GraspTarget::household()));
+        assert_eq!(
+            a.attempt(GraspTarget::household()),
+            b.attempt(GraspTarget::household())
+        );
     }
 
     #[test]

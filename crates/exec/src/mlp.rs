@@ -93,11 +93,7 @@ impl MlpPolicy {
     ///
     /// Panics if `features.len() != self.input_dim()`.
     pub fn scores(&self, features: &[f64]) -> Vec<f64> {
-        assert_eq!(
-            features.len(),
-            self.input_dim,
-            "feature dimension mismatch"
-        );
+        assert_eq!(features.len(), self.input_dim, "feature dimension mismatch");
         let mut x = features.to_vec();
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {

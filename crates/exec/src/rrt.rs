@@ -306,10 +306,7 @@ pub fn plan_rrt_connect(
     }
     let mut rng = StdRng::seed_from_u64(seed ^ 0xc0c7);
     // Tree storage: nodes + parent indices, one per side.
-    let mut trees = [
-        (vec![start], vec![0usize]),
-        (vec![goal], vec![0usize]),
-    ];
+    let mut trees = [(vec![start], vec![0usize]), (vec![goal], vec![0usize])];
     let mut active = 0usize;
 
     for iter in 1..=params.max_iterations {
@@ -510,7 +507,10 @@ mod tests {
             },
             3,
         );
-        assert!(matches!(result, Err(RrtError::Exhausted { iterations: 300 })));
+        assert!(matches!(
+            result,
+            Err(RrtError::Exhausted { iterations: 300 })
+        ));
     }
 
     #[test]

@@ -49,8 +49,7 @@ impl BpeTokenizer {
             let mut words: Vec<(Vec<String>, usize)> = counts
                 .into_iter()
                 .map(|(w, c)| {
-                    let mut toks: Vec<String> =
-                        w.chars().map(|ch| ch.to_string()).collect();
+                    let mut toks: Vec<String> = w.chars().map(|ch| ch.to_string()).collect();
                     if let Some(last) = toks.last_mut() {
                         last.push('·'); // word-final marker
                     }
@@ -113,10 +112,7 @@ impl BpeTokenizer {
             // Find the lowest-rank applicable merge.
             let mut best: Option<(usize, usize)> = None; // (rank, index)
             for i in 0..toks.len().saturating_sub(1) {
-                if let Some(&rank) = self
-                    .merges
-                    .get(&(toks[i].clone(), toks[i + 1].clone()))
-                {
+                if let Some(&rank) = self.merges.get(&(toks[i].clone(), toks[i + 1].clone())) {
                     if best.is_none_or(|(r, _)| rank < r) {
                         best = Some((rank, i));
                     }

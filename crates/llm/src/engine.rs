@@ -1,26 +1,54 @@
 //! The simulated inference engine: deterministic, seeded, and instrumented.
 
+use crate::fault::{FaultInjector, FaultKind, FaultProfile};
 use crate::latency::{batch_latency, inference_cost, inference_latency};
 use crate::profile::ModelProfile;
 use crate::quality::QualityModel;
 use crate::request::{LlmRequest, LlmResponse};
 use crate::tokenizer::Tokenizer;
-use embodied_profiler::TokenStats;
+use embodied_profiler::{ResilienceStats, SimDuration, TokenStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Errors returned by [`LlmEngine`].
+///
+/// All variants except [`LlmError::EmptyPrompt`] are *transient*: they model
+/// deployment faults (see [`FaultProfile`]) and are worth retrying.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LlmError {
     /// The request carried an empty prompt — a caller bug, since every
     /// module assembles at least a system preamble.
     EmptyPrompt,
+    /// The call hung past the client deadline and was abandoned.
+    Timeout,
+    /// The provider shed load and asked the client to wait.
+    RateLimited {
+        /// How long the provider asked the client to wait before retrying.
+        retry_after: SimDuration,
+    },
+    /// The provider returned a 5xx response.
+    ServerError,
+    /// The completion stream cut off; the partial output is unusable.
+    TruncatedOutput,
+}
+
+impl LlmError {
+    /// Whether retrying the call can plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        !matches!(self, LlmError::EmptyPrompt)
+    }
 }
 
 impl std::fmt::Display for LlmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LlmError::EmptyPrompt => f.write_str("request prompt was empty"),
+            LlmError::Timeout => f.write_str("inference call timed out"),
+            LlmError::RateLimited { retry_after } => {
+                write!(f, "rate limited (retry after {retry_after})")
+            }
+            LlmError::ServerError => f.write_str("provider returned a server error"),
+            LlmError::TruncatedOutput => f.write_str("completion stream cut off"),
         }
     }
 }
@@ -65,6 +93,9 @@ pub struct LlmEngine {
     last_prompt_tokens: u64,
     kv_reuse: bool,
     last_prompt: Option<String>,
+    injector: FaultInjector,
+    faults: ResilienceStats,
+    last_fault_cost: SimDuration,
 }
 
 impl LlmEngine {
@@ -80,7 +111,18 @@ impl LlmEngine {
             last_prompt_tokens: 0,
             kv_reuse: false,
             last_prompt: None,
+            injector: FaultInjector::new(FaultProfile::none(), seed),
+            faults: ResilienceStats::default(),
+            last_fault_cost: SimDuration::ZERO,
         }
+    }
+
+    /// Enables fault injection from `profile`, drawn on a dedicated stream
+    /// seeded by `fault_seed` so clean calls stay byte-identical to an
+    /// engine without injection.
+    pub fn with_faults(mut self, profile: FaultProfile, fault_seed: u64) -> Self {
+        self.injector = FaultInjector::new(profile, fault_seed);
+        self
     }
 
     /// Enables KV-cache prefix reuse (paper Rec. 1): consecutive calls that
@@ -119,6 +161,74 @@ impl LlmEngine {
         self.overflows
     }
 
+    /// The fault profile in force ([`FaultProfile::none()`] by default).
+    pub fn fault_profile(&self) -> &FaultProfile {
+        self.injector.profile()
+    }
+
+    /// Injected-fault tallies (fault kinds and wasted latency only; retry
+    /// counters live in the resilience wrapper).
+    pub fn fault_stats(&self) -> ResilienceStats {
+        self.faults
+    }
+
+    /// Simulated time the most recent *faulted* call burned before failing
+    /// (deadline waited out, partial stream received, …). The resilience
+    /// wrapper folds this into its latency accounting.
+    pub fn last_fault_cost(&self) -> SimDuration {
+        self.last_fault_cost
+    }
+
+    /// Books one injected fault: tallies it, computes the wall-clock the
+    /// caller lost on the attempt, bills tokens the provider still charged
+    /// for, and returns the error to surface.
+    fn faulted(
+        &mut self,
+        kind: FaultKind,
+        prompt_tokens: u64,
+        nominal_output: u64,
+        opts: crate::latency::InferenceOpts,
+    ) -> LlmError {
+        let nominal = inference_latency(&self.profile, prompt_tokens, nominal_output.max(1), opts);
+        let err = match kind {
+            FaultKind::Timeout => {
+                // The client waited out a deadline well past nominal; the
+                // provider still processed (and bills) the prompt.
+                self.faults.timeouts += 1;
+                self.last_fault_cost = nominal.mul_f64(2.5);
+                let cost = inference_cost(&self.profile, prompt_tokens, 0);
+                self.usage.record(prompt_tokens, 0, cost);
+                LlmError::Timeout
+            }
+            FaultKind::RateLimited => {
+                // Rejected before any processing: cheap and unbilled.
+                self.faults.rate_limits += 1;
+                self.last_fault_cost = SimDuration::from_millis(80);
+                LlmError::RateLimited {
+                    retry_after: self.injector.profile().retry_after,
+                }
+            }
+            FaultKind::ServerError => {
+                self.faults.server_errors += 1;
+                self.last_fault_cost = nominal.mul_f64(0.3);
+                LlmError::ServerError
+            }
+            FaultKind::TruncatedOutput => {
+                // The stream ran to completion-ish before dying: full
+                // nominal latency, and half the output tokens were billed.
+                self.faults.truncated_outputs += 1;
+                self.last_fault_cost = nominal;
+                let out = (nominal_output / 2).max(1);
+                let cost = inference_cost(&self.profile, prompt_tokens, out);
+                self.usage.record(prompt_tokens, out, cost);
+                LlmError::TruncatedOutput
+            }
+            FaultKind::LatencySpike => unreachable!("spikes are successes, not errors"),
+        };
+        self.faults.wasted_latency += self.last_fault_cost;
+        err
+    }
+
     /// Runs one inference.
     ///
     /// # Errors
@@ -147,6 +257,17 @@ impl LlmEngine {
             .max(64);
         let truncated = raw_prompt_tokens > prompt_budget;
         let prompt_tokens = raw_prompt_tokens.min(prompt_budget);
+
+        // Fault injection, on its own stream. Faulted calls return before
+        // any main-stream draw, so a retry sees exactly the jitter/noise the
+        // clean call would have seen — and a none() profile draws nothing.
+        let mut spiked = false;
+        match self.injector.sample() {
+            Some(FaultKind::LatencySpike) => spiked = true,
+            Some(kind) => return Err(self.faulted(kind, prompt_tokens, nominal_output, req.opts)),
+            None => {}
+        }
+
         if truncated {
             self.overflows += 1;
         }
@@ -161,7 +282,9 @@ impl LlmEngine {
                     .zip(req.prompt.as_bytes())
                     .take_while(|(a, b)| a == b)
                     .count();
-                let reused = self.tokenizer.count(&req.prompt[..floor_char(&req.prompt, shared_bytes)]);
+                let reused = self
+                    .tokenizer
+                    .count(&req.prompt[..floor_char(&req.prompt, shared_bytes)]);
                 opts.kv_reused_tokens = opts.kv_reused_tokens.max(reused.min(prompt_tokens));
             }
         }
@@ -170,7 +293,13 @@ impl LlmEngine {
         let jitter = self.rng.gen_range(0.6..=1.4);
         let output_tokens = ((nominal_output as f64 * jitter).round() as u64).max(1);
 
-        let latency = inference_latency(&self.profile, prompt_tokens, output_tokens, opts);
+        let mut latency = inference_latency(&self.profile, prompt_tokens, output_tokens, opts);
+        if spiked {
+            let stretched = latency.mul_f64(self.injector.profile().spike_factor.max(1.0));
+            self.faults.latency_spikes += 1;
+            self.faults.wasted_latency += stretched.saturating_sub(latency);
+            latency = stretched;
+        }
         let cost = inference_cost(&self.profile, prompt_tokens, output_tokens);
 
         // Quality sees the *intended* prompt length: truncation loses
@@ -240,8 +369,8 @@ impl LlmEngine {
             if pt == 0 {
                 return Err(LlmError::EmptyPrompt);
             }
-            let nominal = (req.expected_output_tokens as f64 * self.profile.verbosity).round()
-                as u64;
+            let nominal =
+                (req.expected_output_tokens as f64 * self.profile.verbosity).round() as u64;
             let jitter = self.rng.gen_range(0.6..=1.4);
             let ot = ((nominal as f64 * jitter).round() as u64).max(1);
             sized.push((pt.min(self.profile.context_window), ot));
@@ -289,7 +418,10 @@ mod tests {
         let run = |seed| {
             let mut e = LlmEngine::new(ModelProfile::gpt4_api(), seed);
             (0..5)
-                .map(|i| e.infer(planning_req(&format!("step {i} plan the task"))).unwrap())
+                .map(|i| {
+                    e.infer(planning_req(&format!("step {i} plan the task")))
+                        .unwrap()
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(42), run(42));
@@ -412,6 +544,98 @@ mod tests {
             .infer(LlmRequest::new(Purpose::Planning, "zeta eta theta", 20))
             .unwrap();
         assert!(r.latency > embodied_profiler::SimDuration::ZERO);
+    }
+
+    #[test]
+    fn floor_char_respects_multibyte_boundaries() {
+        // "é" is 2 bytes, "漢" is 3, "🦀" is 4.
+        let s = "aé漢🦀z";
+        assert_eq!(floor_char(s, 0), 0);
+        assert_eq!(floor_char(s, 1), 1); // after 'a'
+        assert_eq!(floor_char(s, 2), 1); // inside 'é' → floor to 1
+        assert_eq!(floor_char(s, 3), 3); // after 'é'
+        assert_eq!(floor_char(s, 4), 3); // inside '漢'
+        assert_eq!(floor_char(s, 5), 3);
+        assert_eq!(floor_char(s, 6), 6); // after '漢'
+        assert_eq!(floor_char(s, 7), 6); // inside '🦀'
+        assert_eq!(floor_char(s, 9), 6);
+        assert_eq!(floor_char(s, 10), 10); // after '🦀'
+        assert_eq!(floor_char(s, 11), 11); // after 'z' == len
+        assert_eq!(floor_char(s, 999), s.len()); // clamps past the end
+        assert_eq!(floor_char("", 5), 0);
+        // Every returned index is a valid boundary: slicing never panics.
+        for max in 0..=12 {
+            let _ = &s[..floor_char(s, max)];
+        }
+    }
+
+    #[test]
+    fn kv_reuse_truncation_survives_multibyte_prompts() {
+        // Shared prefix ends mid-emoji: the prefix measurement must floor to
+        // a char boundary instead of panicking.
+        let mut e = LlmEngine::new(ModelProfile::llama3_8b(), 3).with_kv_reuse(true);
+        e.infer(LlmRequest::new(Purpose::Planning, "plan 🦀🦀A tail", 20))
+            .unwrap();
+        let r = e.infer(LlmRequest::new(Purpose::Planning, "plan 🦀🦞B tail", 20));
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn no_fault_profile_is_byte_identical_to_unwrapped() {
+        let run = |with_injector: bool| {
+            let mut e = LlmEngine::new(ModelProfile::gpt4_api(), 21);
+            if with_injector {
+                e = e.with_faults(crate::fault::FaultProfile::none(), 99);
+            }
+            (0..20)
+                .map(|i| e.infer(planning_req(&format!("step {i} plan"))).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn injected_faults_bill_tokens_and_report_cost() {
+        let profile = crate::fault::FaultProfile {
+            timeout: 1.0,
+            ..crate::fault::FaultProfile::none()
+        };
+        let mut e = LlmEngine::new(ModelProfile::gpt4_api(), 21).with_faults(profile, 4);
+        assert_eq!(
+            e.infer(planning_req("plan the task")).unwrap_err(),
+            LlmError::Timeout
+        );
+        assert_eq!(e.fault_stats().timeouts, 1);
+        assert!(e.last_fault_cost() > embodied_profiler::SimDuration::ZERO);
+        let usage = e.usage();
+        assert_eq!(usage.calls, 1, "timed-out prompt is still billed");
+        assert!(usage.prompt_tokens > 0);
+        assert_eq!(usage.completion_tokens, 0);
+    }
+
+    #[test]
+    fn latency_spike_stretches_successful_calls() {
+        let profile = crate::fault::FaultProfile {
+            latency_spike: 1.0,
+            spike_factor: 3.0,
+            ..crate::fault::FaultProfile::none()
+        };
+        let clean = LlmEngine::new(ModelProfile::gpt4_api(), 21)
+            .infer(planning_req("plan the task"))
+            .unwrap();
+        let mut e = LlmEngine::new(ModelProfile::gpt4_api(), 21).with_faults(profile, 4);
+        let spiked = e.infer(planning_req("plan the task")).unwrap();
+        assert_eq!(e.fault_stats().latency_spikes, 1);
+        assert!(
+            (spiked.latency.as_secs_f64() - 3.0 * clean.latency.as_secs_f64()).abs() < 1e-3,
+            "{} vs {}",
+            spiked.latency,
+            clean.latency
+        );
+        assert_eq!(
+            spiked.quality, clean.quality,
+            "spike leaves the main stream alone"
+        );
     }
 
     #[test]

@@ -101,8 +101,7 @@ pub fn inference_latency(
             // Hosted endpoints don't expose KV reuse across calls, but
             // retried prefixes are cheap server-side; model reuse as a
             // 50% discount on the reused prefix.
-            let discounted =
-                billable_prefill + opts.kv_reused_tokens.min(prompt_tokens) / 2;
+            let discounted = billable_prefill + opts.kv_reused_tokens.min(prompt_tokens) / 2;
             round_trip + per_prompt_token * discounted + per_output_token * output_tokens
         }
         Deployment::Local {
@@ -110,10 +109,8 @@ pub fn inference_latency(
             decode_tok_per_s,
         } => {
             let contention = opts.contention_factor();
-            let prefill_rate =
-                prefill_tok_per_s * opts.quantization.prefill_speedup() / contention;
-            let decode_rate =
-                decode_tok_per_s * opts.quantization.decode_speedup() / contention;
+            let prefill_rate = prefill_tok_per_s * opts.quantization.prefill_speedup() / contention;
+            let decode_rate = decode_tok_per_s * opts.quantization.decode_speedup() / contention;
             let prefill = SimDuration::from_secs_f64(billable_prefill as f64 / prefill_rate);
             let decode = SimDuration::from_secs_f64(output_tokens as f64 / decode_rate);
             prefill + decode
@@ -283,7 +280,10 @@ mod tests {
     #[test]
     fn cost_only_for_api() {
         assert!(inference_cost(&ModelProfile::gpt4_api(), 1_000, 1_000) > 0.0);
-        assert_eq!(inference_cost(&ModelProfile::llama3_8b(), 1_000, 1_000), 0.0);
+        assert_eq!(
+            inference_cost(&ModelProfile::llama3_8b(), 1_000, 1_000),
+            0.0
+        );
         // GPT-4 pricing: $0.03/1k prompt + $0.06/1k completion.
         let c = inference_cost(&ModelProfile::gpt4_api(), 1_000, 1_000);
         assert!((c - 0.09).abs() < 1e-12);

@@ -38,16 +38,20 @@
 
 mod bpe;
 mod engine;
+mod fault;
 mod latency;
 mod profile;
 mod quality;
 mod request;
+mod resilience;
 mod tokenizer;
 
 pub use bpe::BpeTokenizer;
 pub use engine::{LlmEngine, LlmError};
+pub use fault::{FaultInjector, FaultKind, FaultProfile};
 pub use latency::{batch_latency, inference_cost, inference_latency, InferenceOpts, Quantization};
 pub use profile::{Deployment, EncoderProfile, ModelProfile};
 pub use quality::QualityModel;
 pub use request::{LlmRequest, LlmResponse, Purpose};
+pub use resilience::{InferenceEndpoint, ResilientEngine, RetryPolicy};
 pub use tokenizer::Tokenizer;

@@ -319,9 +319,16 @@ mod tests {
     fn bigger_llama_is_slower_but_smarter() {
         let small = ModelProfile::llama3_8b();
         let big = ModelProfile::llama_70b();
-        let (Deployment::Local { decode_tok_per_s: ds, .. },
-             Deployment::Local { decode_tok_per_s: db, .. }) =
-            (small.deployment, big.deployment)
+        let (
+            Deployment::Local {
+                decode_tok_per_s: ds,
+                ..
+            },
+            Deployment::Local {
+                decode_tok_per_s: db,
+                ..
+            },
+        ) = (small.deployment, big.deployment)
         else {
             panic!("expected local deployments");
         };

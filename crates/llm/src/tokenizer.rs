@@ -185,10 +185,7 @@ mod tests {
         let tok = Tokenizer::default();
         let a = "pick up the box";
         let b = "move to room three";
-        assert_eq!(
-            tok.count(&format!("{a} {b}")),
-            tok.count(a) + tok.count(b)
-        );
+        assert_eq!(tok.count(&format!("{a} {b}")), tok.count(a) + tok.count(b));
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Property tests for [`RetryPolicy`] backoff schedules: monotonicity,
+//! budget compliance, and seed determinism over randomly drawn policies.
+
+use embodied_llm::RetryPolicy;
+use embodied_profiler::SimDuration;
+use proptest::prelude::*;
+
+/// Draws a policy whose multiplier satisfies `multiplier ≥ 1 + jitter` —
+/// the documented precondition for a monotone backoff ladder.
+fn policy(base_ms: u64, jitter: f64, slack: f64, cap_s: u64, budget_s: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 8,
+        base_backoff: SimDuration::from_millis(base_ms),
+        multiplier: 1.0 + jitter + slack,
+        jitter,
+        max_backoff: SimDuration::from_secs(cap_s),
+        budget: SimDuration::from_secs(budget_s),
+        ..RetryPolicy::standard()
+    }
+}
+
+proptest! {
+    #[test]
+    fn backoff_is_monotone_and_capped(
+        base_ms in 1u64..2_000,
+        jitter in 0.0f64..1.0,
+        slack in 0.0f64..2.0,
+        cap_s in 1u64..30,
+        seed in 0u64..u64::MAX,
+    ) {
+        let p = policy(base_ms, jitter, slack, cap_s, 600);
+        let mut prev = SimDuration::ZERO;
+        for k in 1..p.max_attempts {
+            let wait = p.backoff(seed, k);
+            prop_assert!(
+                wait >= prev,
+                "wait {wait} shrank below {prev} at retry {k} (policy {p:?})"
+            );
+            prop_assert!(wait <= p.max_backoff);
+            prev = wait;
+        }
+    }
+
+    #[test]
+    fn schedule_never_exceeds_wall_clock_budget(
+        base_ms in 1u64..5_000,
+        jitter in 0.0f64..1.0,
+        slack in 0.0f64..2.0,
+        cap_s in 1u64..60,
+        budget_s in 0u64..20,
+        seed in 0u64..u64::MAX,
+    ) {
+        let p = policy(base_ms, jitter, slack, cap_s, budget_s);
+        let schedule = p.schedule(seed);
+        prop_assert!(schedule.len() < p.max_attempts as usize);
+        let total: SimDuration = schedule.iter().copied().sum();
+        prop_assert!(
+            total <= p.budget,
+            "schedule sums to {total}, over the {} budget",
+            p.budget
+        );
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_schedules(
+        base_ms in 1u64..2_000,
+        jitter in 0.0f64..1.0,
+        slack in 0.0f64..2.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let p = policy(base_ms, jitter, slack, 10, 120);
+        prop_assert_eq!(p.schedule(seed), p.schedule(seed));
+        for k in 1..p.max_attempts {
+            prop_assert_eq!(p.backoff(seed, k), p.backoff(seed, k));
+        }
+    }
+}

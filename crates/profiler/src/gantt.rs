@@ -24,8 +24,16 @@ pub fn render_step_gantt(trace: &Trace, step: usize, width: usize) -> String {
     if spans.is_empty() || width == 0 {
         return String::new();
     }
-    let t0 = spans.iter().map(|s| s.start.as_micros()).min().expect("non-empty");
-    let t1 = spans.iter().map(|s| s.end().as_micros()).max().expect("non-empty");
+    let t0 = spans
+        .iter()
+        .map(|s| s.start.as_micros())
+        .min()
+        .expect("non-empty");
+    let t1 = spans
+        .iter()
+        .map(|s| s.end().as_micros())
+        .max()
+        .expect("non-empty");
     let total = (t1 - t0).max(1);
 
     // Stable row order: (agent, module) by first appearance.
@@ -55,8 +63,8 @@ pub fn render_step_gantt(trace: &Trace, step: usize, width: usize) -> String {
             .filter(|s| s.agent == *agent && s.module.to_string() == *module)
         {
             let begin = ((s.start.as_micros() - t0) as f64 / total as f64 * width as f64) as usize;
-            let end = ((s.end().as_micros() - t0) as f64 / total as f64 * width as f64)
-                .ceil() as usize;
+            let end =
+                ((s.end().as_micros() - t0) as f64 / total as f64 * width as f64).ceil() as usize;
             for cell in lane
                 .iter_mut()
                 .take(end.min(width))
@@ -85,12 +93,22 @@ mod tests {
     #[test]
     fn sequential_spans_do_not_overlap_in_the_chart() {
         let mut t = Trace::new();
-        t.record(ModuleKind::Planning, Phase::LlmInference, 0, SimDuration::from_secs(5));
-        t.record(ModuleKind::Execution, Phase::Actuation, 0, SimDuration::from_secs(5));
+        t.record(
+            ModuleKind::Planning,
+            Phase::LlmInference,
+            0,
+            SimDuration::from_secs(5),
+        );
+        t.record(
+            ModuleKind::Execution,
+            Phase::Actuation,
+            0,
+            SimDuration::from_secs(5),
+        );
         let chart = render_step_gantt(&t, 0, 20);
         let lines: Vec<&str> = chart.lines().collect();
         assert_eq!(lines.len(), 3); // header + 2 lanes
-        // Planning occupies the first half, execution the second.
+                                    // Planning occupies the first half, execution the second.
         let plan_lane = lines.iter().find(|l| l.contains("planning")).unwrap();
         let exec_lane = lines.iter().find(|l| l.contains("execution")).unwrap();
         let plan_cells: Vec<char> = plan_lane.chars().collect();
@@ -106,7 +124,10 @@ mod tests {
         t.record_parallel(
             ModuleKind::Communication,
             Phase::LlmInference,
-            &[(0, SimDuration::from_secs(4)), (1, SimDuration::from_secs(4))],
+            &[
+                (0, SimDuration::from_secs(4)),
+                (1, SimDuration::from_secs(4)),
+            ],
         );
         let chart = render_step_gantt(&t, 0, 16);
         let full_rows = chart

@@ -274,6 +274,109 @@ impl MessageStats {
     }
 }
 
+/// Fault-injection and resilience counters for an episode.
+///
+/// Fault and retry counters come from the LLM substrate (how often the
+/// simulated endpoint misbehaved and what the retry layer paid to hide it);
+/// the degraded-step counters come from the agent layer (how often a module
+/// had to fall back to a cheaper behaviour because retries were exhausted).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceStats {
+    /// Timeout faults injected by the substrate.
+    pub timeouts: u64,
+    /// Rate-limit faults injected by the substrate.
+    pub rate_limits: u64,
+    /// Server-error faults injected by the substrate.
+    pub server_errors: u64,
+    /// Truncated-output faults injected by the substrate.
+    pub truncated_outputs: u64,
+    /// Latency-spike faults injected (the call succeeded, slowly).
+    pub latency_spikes: u64,
+    /// Retry attempts issued by the resilience layer.
+    pub retries: u64,
+    /// Calls that exhausted their retry budget and surfaced an error.
+    pub gave_up: u64,
+    /// Calls rejected immediately because the circuit breaker was open.
+    pub breaker_fast_fails: u64,
+    /// Total simulated time spent waiting out retry backoffs.
+    pub backoff: SimDuration,
+    /// Total simulated latency burned in attempts that ultimately failed.
+    pub wasted_latency: SimDuration,
+    /// Steps where planning fell back to a cached plan or exploration.
+    pub degraded_planning: u64,
+    /// Steps where a message was dropped instead of sent.
+    pub degraded_communication: u64,
+    /// Steps where reflection was skipped.
+    pub degraded_reflection: u64,
+    /// Steps where LLM micro-control fell back to the scripted controller.
+    pub degraded_execution: u64,
+}
+
+impl ResilienceStats {
+    /// Total faults injected across every kind.
+    pub fn faults(&self) -> u64 {
+        self.timeouts
+            + self.rate_limits
+            + self.server_errors
+            + self.truncated_outputs
+            + self.latency_spikes
+    }
+
+    /// Total module degradations across the episode.
+    pub fn degraded(&self) -> u64 {
+        self.degraded_planning
+            + self.degraded_communication
+            + self.degraded_reflection
+            + self.degraded_execution
+    }
+
+    /// Whether nothing fault-related happened (the `FaultProfile::none()`
+    /// fast path — reports stay visually identical to pre-fault builds).
+    pub fn is_quiet(&self) -> bool {
+        self.faults() == 0 && self.retries == 0 && self.breaker_fast_fails == 0
+    }
+
+    /// Merge counters from another episode slice.
+    pub fn merge(&mut self, other: &ResilienceStats) {
+        self.timeouts += other.timeouts;
+        self.rate_limits += other.rate_limits;
+        self.server_errors += other.server_errors;
+        self.truncated_outputs += other.truncated_outputs;
+        self.latency_spikes += other.latency_spikes;
+        self.retries += other.retries;
+        self.gave_up += other.gave_up;
+        self.breaker_fast_fails += other.breaker_fast_fails;
+        self.backoff += other.backoff;
+        self.wasted_latency += other.wasted_latency;
+        self.degraded_planning += other.degraded_planning;
+        self.degraded_communication += other.degraded_communication;
+        self.degraded_reflection += other.degraded_reflection;
+        self.degraded_execution += other.degraded_execution;
+    }
+}
+
+impl fmt::Display for ResilienceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "faults {} (to {}, rl {}, 5xx {}, trunc {}, spike {}), retries {}, \
+             gave up {}, fast-fails {}, backoff {}, wasted {}, degraded {}",
+            self.faults(),
+            self.timeouts,
+            self.rate_limits,
+            self.server_errors,
+            self.truncated_outputs,
+            self.latency_spikes,
+            self.retries,
+            self.gave_up,
+            self.breaker_fast_fails,
+            self.backoff,
+            self.wasted_latency,
+            self.degraded(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +465,32 @@ mod tests {
         m.generated = 10;
         m.useful = 2;
         assert!((m.utility() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resilience_stats_merge_and_rollups() {
+        let mut a = ResilienceStats {
+            timeouts: 2,
+            retries: 3,
+            backoff: sec(4),
+            degraded_planning: 1,
+            ..Default::default()
+        };
+        assert!(!a.is_quiet());
+        let b = ResilienceStats {
+            server_errors: 1,
+            gave_up: 1,
+            wasted_latency: sec(2),
+            degraded_communication: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.faults(), 3);
+        assert_eq!(a.degraded(), 3);
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.backoff, sec(4));
+        assert_eq!(a.wasted_latency, sec(2));
+        assert!(ResilienceStats::default().is_quiet());
     }
 
     #[test]

@@ -96,6 +96,8 @@ pub enum Phase {
     Actuation,
     /// Vision / sensor encoder forward pass.
     Encoding,
+    /// Waiting out a retry backoff after a faulted LLM call.
+    Backoff,
 }
 
 impl fmt::Display for Phase {
@@ -107,6 +109,7 @@ impl fmt::Display for Phase {
             Phase::GeometricPlanning => "geometric-planning",
             Phase::Actuation => "actuation",
             Phase::Encoding => "encoding",
+            Phase::Backoff => "backoff",
         };
         f.write_str(name)
     }

@@ -1,7 +1,9 @@
 //! Episode reports and multi-episode aggregation — the statistics every
 //! figure binary prints.
 
-use crate::metrics::{LatencyBreakdown, MessageStats, PurposeLedger, StepRecord, TokenStats};
+use crate::metrics::{
+    LatencyBreakdown, MessageStats, PurposeLedger, ResilienceStats, StepRecord, TokenStats,
+};
 use crate::module::ModuleKind;
 use crate::time::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -61,6 +63,9 @@ pub struct EpisodeReport {
     pub by_phase: PurposeLedger,
     /// Communication-utility counters.
     pub messages: MessageStats,
+    /// Fault-injection / retry / degradation counters (all zero when the
+    /// episode ran with `FaultProfile::none()`).
+    pub resilience: ResilienceStats,
     /// Per-step time series.
     pub step_records: Vec<StepRecord>,
     /// Number of agents that participated.
@@ -112,6 +117,8 @@ pub struct Aggregate {
     pub by_phase: PurposeLedger,
     /// Merged message stats across episodes.
     pub messages: MessageStats,
+    /// Merged resilience counters across episodes.
+    pub resilience: ResilienceStats,
 }
 
 impl Aggregate {
@@ -154,12 +161,14 @@ impl Aggregate {
         let mut by_purpose = PurposeLedger::default();
         let mut by_phase = PurposeLedger::default();
         let mut messages = MessageStats::default();
+        let mut resilience = ResilienceStats::default();
         for r in reports {
             breakdown.merge(&r.breakdown);
             tokens.merge(&r.tokens);
             by_purpose.merge(&r.by_purpose);
             by_phase.merge(&r.by_phase);
             messages.merge(&r.messages);
+            resilience.merge(&r.resilience);
         }
 
         Aggregate {
@@ -177,6 +186,7 @@ impl Aggregate {
             by_purpose,
             by_phase,
             messages,
+            resilience,
         }
     }
 
@@ -202,6 +212,26 @@ impl Aggregate {
     /// Mean total tokens per episode.
     pub fn tokens_per_episode(&self) -> f64 {
         self.tokens.total_tokens() as f64 / self.episodes as f64
+    }
+
+    /// Mean injected faults per episode.
+    pub fn faults_per_episode(&self) -> f64 {
+        self.resilience.faults() as f64 / self.episodes as f64
+    }
+
+    /// Mean retry attempts per episode.
+    pub fn retries_per_episode(&self) -> f64 {
+        self.resilience.retries as f64 / self.episodes as f64
+    }
+
+    /// Mean backoff waiting time per episode.
+    pub fn backoff_per_episode(&self) -> SimDuration {
+        self.resilience.backoff / (self.episodes as u64).max(1)
+    }
+
+    /// Mean degraded module-steps per episode.
+    pub fn degraded_per_episode(&self) -> f64 {
+        self.resilience.degraded() as f64 / self.episodes as f64
     }
 }
 
@@ -237,9 +267,26 @@ mod tests {
             by_purpose: PurposeLedger::default(),
             by_phase: PurposeLedger::default(),
             messages: MessageStats::default(),
+            resilience: ResilienceStats::default(),
             step_records: Vec::new(),
             agents: 1,
         }
+    }
+
+    #[test]
+    fn aggregate_merges_resilience() {
+        let mut faulty = report(Outcome::StepLimit, 5, 50);
+        faulty.resilience.timeouts = 2;
+        faulty.resilience.retries = 3;
+        faulty.resilience.backoff = SimDuration::from_secs(6);
+        faulty.resilience.degraded_planning = 1;
+        let reports = vec![report(Outcome::Success, 5, 50), faulty];
+        let agg = Aggregate::from_reports("t", &reports);
+        assert_eq!(agg.resilience.faults(), 2);
+        assert!((agg.faults_per_episode() - 1.0).abs() < 1e-12);
+        assert!((agg.retries_per_episode() - 1.5).abs() < 1e-12);
+        assert_eq!(agg.backoff_per_episode(), SimDuration::from_secs(3));
+        assert!((agg.degraded_per_episode() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -269,10 +316,30 @@ mod tests {
     #[test]
     fn success_ci_shrinks_with_more_episodes() {
         let few: Vec<EpisodeReport> = (0..4)
-            .map(|i| report(if i % 2 == 0 { Outcome::Success } else { Outcome::StepLimit }, 1, 10))
+            .map(|i| {
+                report(
+                    if i % 2 == 0 {
+                        Outcome::Success
+                    } else {
+                        Outcome::StepLimit
+                    },
+                    1,
+                    10,
+                )
+            })
             .collect();
         let many: Vec<EpisodeReport> = (0..64)
-            .map(|i| report(if i % 2 == 0 { Outcome::Success } else { Outcome::StepLimit }, 1, 10))
+            .map(|i| {
+                report(
+                    if i % 2 == 0 {
+                        Outcome::Success
+                    } else {
+                        Outcome::StepLimit
+                    },
+                    1,
+                    10,
+                )
+            })
             .collect();
         let few = Aggregate::from_reports("few", &few);
         let many = Aggregate::from_reports("many", &many);

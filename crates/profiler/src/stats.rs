@@ -29,11 +29,7 @@ impl Sample {
         } else {
             values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
         };
-        Sample {
-            n,
-            mean,
-            var,
-        }
+        Sample { n, mean, var }
     }
 }
 
@@ -74,8 +70,7 @@ pub fn welch_t_test(a: &Sample, b: &Sample) -> WelchTest {
     }
     let t = (a.mean - b.mean) / se;
     let df = (se_a + se_b).powi(2)
-        / (se_a.powi(2) / (a.n as f64 - 1.0).max(1.0)
-            + se_b.powi(2) / (b.n as f64 - 1.0).max(1.0));
+        / (se_a.powi(2) / (a.n as f64 - 1.0).max(1.0) + se_b.powi(2) / (b.n as f64 - 1.0).max(1.0));
     // Two-sided p via the standard normal tail (conservative enough here;
     // the t distribution has heavier tails, so this slightly understates p
     // for tiny samples — we compensate by widening t for small df).
@@ -105,7 +100,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -180,16 +176,8 @@ mod tests {
     fn p_value_shrinks_with_sample_size() {
         let small_a = Sample::from_values(&[0.0, 1.0, 0.0, 1.0, 1.0]);
         let small_b = Sample::from_values(&[1.0, 1.0, 1.0, 0.0, 1.0]);
-        let many_a = Sample {
-            n: 200,
-            ..small_a
-        };
-        let many_b = Sample {
-            n: 200,
-            ..small_b
-        };
-        assert!(
-            welch_t_test(&many_a, &many_b).p_value < welch_t_test(&small_a, &small_b).p_value
-        );
+        let many_a = Sample { n: 200, ..small_a };
+        let many_b = Sample { n: 200, ..small_b };
+        assert!(welch_t_test(&many_a, &many_b).p_value < welch_t_test(&small_a, &small_b).p_value);
     }
 }

@@ -258,10 +258,7 @@ mod tests {
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
-        assert_eq!(
-            SimDuration::from_millis(5),
-            SimDuration::from_micros(5_000)
-        );
+        assert_eq!(SimDuration::from_millis(5), SimDuration::from_micros(5_000));
         assert_eq!(SimDuration::from_secs_f64(1.5).as_millis(), 1_500);
         assert_eq!(SimDuration::from_millis_f64(2.5).as_micros(), 2_500);
     }
@@ -302,7 +299,10 @@ mod tests {
 
     #[test]
     fn fraction_of_handles_zero_total() {
-        assert_eq!(SimDuration::from_secs(1).fraction_of(SimDuration::ZERO), 0.0);
+        assert_eq!(
+            SimDuration::from_secs(1).fraction_of(SimDuration::ZERO),
+            0.0
+        );
         let half = SimDuration::from_secs(1).fraction_of(SimDuration::from_secs(2));
         assert!((half - 0.5).abs() < 1e-12);
     }

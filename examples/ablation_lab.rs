@@ -22,7 +22,13 @@ fn main() {
     let spec = workloads::find("JARVIS-1").expect("suite member");
     println!("JARVIS-1 under module ablations and optimizations (5 seeds each)\n");
 
-    let mut table = Table::new(["configuration", "success", "steps", "end-to-end", "calls/ep"]);
+    let mut table = Table::new([
+        "configuration",
+        "success",
+        "steps",
+        "end-to-end",
+        "calls/ep",
+    ]);
 
     run(&spec, "baseline", RunOverrides::default(), &mut table);
     run(

@@ -80,5 +80,8 @@ fn main() {
         },
         &mut low,
     );
-    println!("\nWrong-plan demo: 'craft diamond_pickaxe' from empty inventory -> {}", bad.note);
+    println!(
+        "\nWrong-plan demo: 'craft diamond_pickaxe' from empty inventory -> {}",
+        bad.note
+    );
 }

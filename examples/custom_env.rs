@@ -163,9 +163,7 @@ impl Environment for DoorButtonPuzzle {
                     return ExecOutcome::failure("the door is sealed");
                 }
                 if self.button_held_by == Some(agent) {
-                    return ExecOutcome::failure(
-                        "cannot pass while holding the button",
-                    );
+                    return ExecOutcome::failure("cannot pass while holding the button");
                 }
                 self.past_door[agent] = true;
                 ok(format!("agent {agent} slipped through the door"))

@@ -16,7 +16,12 @@ fn main() {
     );
 
     let mut table = Table::new([
-        "crew", "success", "steps", "end-to-end", "LLM calls/ep", "tokens/ep",
+        "crew",
+        "success",
+        "steps",
+        "end-to-end",
+        "LLM calls/ep",
+        "tokens/ep",
     ]);
     for crew in [1usize, 2, 3, 4, 6, 8] {
         let overrides = RunOverrides {

@@ -17,4 +17,8 @@ done
 echo "== fig7_scalability =="
 EMBODIED_EPISODES="${EMBODIED_FIG7_EPISODES:-6}" ./target/release/fig7_scalability > /dev/null
 
+# Fault/resilience sweep: 3 systems × 5 fault rates × 3 retry policies.
+echo "== fault_sweep =="
+EMBODIED_EPISODES="${EMBODIED_FAULT_EPISODES:-6}" ./target/release/fault_sweep > /dev/null
+
 echo "done — see results/*.md"

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full verification gate: build, tests, formatting, lints.
+# Run before every commit; CI runs the same sequence.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test =="
+cargo test -q
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: all gates passed"

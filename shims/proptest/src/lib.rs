@@ -1,0 +1,131 @@
+//! Workspace-local stand-in for the subset of `proptest` this suite uses.
+//!
+//! The build container cannot reach crates.io, so the workspace pins
+//! `proptest` to this path crate. It keeps the same public shape —
+//! `proptest! { fn name(arg in strategy) { .. } }`, `prop_assert*!`,
+//! `prop_oneof!`, `Strategy::prop_map`, `collection::vec`,
+//! `string::string_regex` — backed by a plain seeded random-value generator.
+//! There is no shrinking: a failing case reports its generated inputs
+//! instead. Test names seed the generator, so runs are deterministic.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]`-able function running `ProptestConfig::cases` cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __runner = $crate::test_runner::TestRunner::new(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::new_value(&($strat), &mut __runner);
+                    )+
+                    let __inputs = [
+                        $(format!("{} = {:?}", stringify!($arg), &$arg)),+
+                    ].join(", ");
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__err) = __outcome {
+                        panic!(
+                            "property '{}' failed at case {}/{}:\n  {}\n  inputs: {}",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __err,
+                            __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a `proptest!` body, failing the case (not panicking
+/// directly) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            __left == __right,
+            "assertion failed: `{:?} == {:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(__left == __right, $($fmt)+);
+    }};
+}
+
+/// Inequality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            __left != __right,
+            "assertion failed: `{:?} != {:?}`",
+            __left,
+            __right
+        );
+    }};
+}
+
+/// Uniformly picks one of several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

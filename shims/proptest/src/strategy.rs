@@ -1,0 +1,200 @@
+//! The [`Strategy`] trait and its core combinators: ranges, literals,
+//! tuples, `prop_map`, boxing, and uniform unions (`prop_oneof!`).
+
+use crate::test_runner::TestRunner;
+use rand::Rng;
+use std::rc::Rc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no value tree or shrinking: a strategy
+/// simply draws a fresh value from the runner's deterministic stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Transforms generated values through `map`.
+    fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, map }
+    }
+
+    /// Erases the concrete strategy type (needed by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |runner: &mut TestRunner| {
+            self.new_value(runner)
+        }))
+    }
+}
+
+/// A type-erased strategy producing `T`.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRunner) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        (self.0)(runner)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn new_value(&self, runner: &mut TestRunner) -> U {
+        (self.map)(self.source.new_value(runner))
+    }
+}
+
+/// Uniform choice between same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms`; panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        let arm = runner.rng().gen_range(0..self.arms.len());
+        self.arms[arm].new_value(runner)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(i32, u32, i64, u64, usize, f32, f64);
+
+/// String literals act as regex strategies, e.g. `a in "[a-z]{1,12}"`.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, runner: &mut TestRunner) -> String {
+        crate::string::string_regex(self)
+            .unwrap_or_else(|err| panic!("invalid regex strategy {self:?}: {err:?}"))
+            .new_value(runner)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($S:ident $v:ident),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.new_value(runner),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A a);
+tuple_strategy!(A a, B b);
+tuple_strategy!(A a, B b, C c);
+tuple_strategy!(A a, B b, C c, D d);
+tuple_strategy!(A a, B b, C c, D d, E e);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_maps_compose() {
+        let mut runner = TestRunner::new("ranges_and_maps_compose");
+        let strat = (0u64..10, (-5i32..5).prop_map(|v| v * 2));
+        for _ in 0..200 {
+            let (a, b) = strat.new_value(&mut runner);
+            assert!(a < 10);
+            assert!((-10..10).contains(&b) && b % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let mut runner = TestRunner::new("union_hits_every_arm");
+        let strat = Union::new(vec![
+            Just(0u8).boxed(),
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+        ]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[strat.new_value(&mut runner) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn same_test_name_same_stream() {
+        let mut a = TestRunner::new("stream");
+        let mut b = TestRunner::new("stream");
+        let strat = 0u64..1_000_000;
+        for _ in 0..50 {
+            assert_eq!(strat.new_value(&mut a), strat.new_value(&mut b));
+        }
+    }
+}

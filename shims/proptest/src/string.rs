@@ -1,0 +1,320 @@
+//! String strategies from a regex subset: literals, character classes
+//! (`[a-z0-9_]`), groups, alternation, and the `?`/`*`/`+`/`{m}`/`{m,n}`
+//! quantifiers — enough to generate every pattern the suite's tests use.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+use rand::{Rng, RngCore, StdRng};
+use std::fmt;
+
+/// Unbounded quantifiers (`*`, `+`, `{m,}`) generate at most this many extra
+/// repetitions; generation needs finite strings.
+const UNBOUNDED_REPEAT_CAP: u32 = 4;
+
+/// Rejected pattern, with a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Sequence(Vec<Node>),
+    Alternation(Vec<Node>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// Builds a [`Strategy`] generating strings matched by `pattern`.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let mut parser = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+    };
+    let node = parser.parse_alternation()?;
+    if parser.pos != parser.chars.len() {
+        return Err(Error(format!(
+            "unexpected '{}' at offset {}",
+            parser.chars[parser.pos], parser.pos
+        )));
+    }
+    Ok(RegexGeneratorStrategy { node })
+}
+
+/// Output of [`string_regex`].
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    node: Node,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn new_value(&self, runner: &mut TestRunner) -> String {
+        let mut out = String::new();
+        generate(&self.node, runner.rng(), &mut out);
+        out
+    }
+}
+
+fn generate(node: &Node, rng: &mut StdRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
+            let mut pick = (rng.next_u64() % u64::from(total)) as u32;
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick).expect("class range is valid"));
+                    return;
+                }
+                pick -= span;
+            }
+        }
+        Node::Sequence(items) => {
+            for item in items {
+                generate(item, rng, out);
+            }
+        }
+        Node::Alternation(arms) => {
+            let arm = rng.gen_range(0..arms.len());
+            generate(&arms[arm], rng, out);
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = rng.gen_range(*lo..=*hi);
+            for _ in 0..n {
+                generate(inner, rng, out);
+            }
+        }
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), Error> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            other => Err(Error(format!("expected '{want}', found {other:?}"))),
+        }
+    }
+
+    fn parse_alternation(&mut self) -> Result<Node, Error> {
+        let mut arms = vec![self.parse_sequence()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            arms.push(self.parse_sequence()?);
+        }
+        Ok(if arms.len() == 1 {
+            arms.pop().expect("one arm")
+        } else {
+            Node::Alternation(arms)
+        })
+    }
+
+    fn parse_sequence(&mut self) -> Result<Node, Error> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom()?;
+            items.push(self.parse_quantifier(atom)?);
+        }
+        Ok(if items.len() == 1 {
+            items.pop().expect("one item")
+        } else {
+            Node::Sequence(items)
+        })
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, Error> {
+        match self.bump() {
+            Some('(') => {
+                let inner = self.parse_alternation()?;
+                self.expect(')')?;
+                Ok(inner)
+            }
+            Some('[') => self.parse_class(),
+            Some('\\') => match self.bump() {
+                Some('d') => Ok(Node::Class(vec![('0', '9')])),
+                Some('w') => Ok(Node::Class(vec![
+                    ('a', 'z'),
+                    ('A', 'Z'),
+                    ('0', '9'),
+                    ('_', '_'),
+                ])),
+                Some('s') => Ok(Node::Literal(' ')),
+                Some(c) => Ok(Node::Literal(c)),
+                None => Err(Error("dangling escape".into())),
+            },
+            Some(c @ ('?' | '*' | '+' | '{' | '}' | ']')) => {
+                Err(Error(format!("unexpected metacharacter '{c}'")))
+            }
+            Some('.') => Ok(Node::Class(vec![
+                ('a', 'z'),
+                ('A', 'Z'),
+                ('0', '9'),
+                (' ', ' '),
+            ])),
+            Some(c) => Ok(Node::Literal(c)),
+            None => Err(Error("unexpected end of pattern".into())),
+        }
+    }
+
+    fn parse_quantifier(&mut self, atom: Node) -> Result<Node, Error> {
+        let node = match self.peek() {
+            Some('?') => Node::Repeat(Box::new(atom), 0, 1),
+            Some('*') => Node::Repeat(Box::new(atom), 0, UNBOUNDED_REPEAT_CAP),
+            Some('+') => Node::Repeat(Box::new(atom), 1, 1 + UNBOUNDED_REPEAT_CAP),
+            Some('{') => {
+                self.bump();
+                let lo = self.parse_number()?;
+                let hi = match self.peek() {
+                    Some(',') => {
+                        self.bump();
+                        if self.peek() == Some('}') {
+                            lo + UNBOUNDED_REPEAT_CAP
+                        } else {
+                            self.parse_number()?
+                        }
+                    }
+                    _ => lo,
+                };
+                self.expect('}')?;
+                if hi < lo {
+                    return Err(Error(format!("inverted repetition {{{lo},{hi}}}")));
+                }
+                return Ok(Node::Repeat(Box::new(atom), lo, hi));
+            }
+            _ => return Ok(atom),
+        };
+        self.bump();
+        Ok(node)
+    }
+
+    fn parse_number(&mut self) -> Result<u32, Error> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(Error("expected a number in repetition".into()));
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .map_err(|e| Error(format!("bad repetition count: {e}")))
+    }
+
+    fn parse_class(&mut self) -> Result<Node, Error> {
+        let mut ranges = Vec::new();
+        loop {
+            let c = match self.bump() {
+                Some(']') if !ranges.is_empty() => break,
+                Some('\\') => self.bump().ok_or_else(|| Error("dangling escape".into()))?,
+                Some(c) => c,
+                None => return Err(Error("unterminated character class".into())),
+            };
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump();
+                let hi = self
+                    .bump()
+                    .ok_or_else(|| Error("unterminated class range".into()))?;
+                if hi < c {
+                    return Err(Error(format!("inverted class range {c}-{hi}")));
+                }
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        Ok(Node::Class(ranges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(pattern: &str, n: usize) -> Vec<String> {
+        let strat = string_regex(pattern).expect("valid pattern");
+        let mut runner = TestRunner::new(pattern);
+        (0..n).map(|_| strat.new_value(&mut runner)).collect()
+    }
+
+    #[test]
+    fn word_lists_match_shape() {
+        for s in sample("[a-z]{1,12}( [a-z]{1,12}){0,8}", 200) {
+            assert!(!s.is_empty());
+            for word in s.split(' ') {
+                assert!((1..=12).contains(&word.len()), "bad word in {s:?}");
+                assert!(word.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    #[test]
+    fn optional_suffix_pattern() {
+        let mut with_suffix = 0;
+        for s in sample("[a-z]{1,8}(_[0-9]{1,2})?", 200) {
+            let (stem, suffix) = match s.split_once('_') {
+                Some((stem, suffix)) => {
+                    with_suffix += 1;
+                    (stem, Some(suffix))
+                }
+                None => (s.as_str(), None),
+            };
+            assert!((1..=8).contains(&stem.len()));
+            assert!(stem.chars().all(|c| c.is_ascii_lowercase()));
+            if let Some(suffix) = suffix {
+                assert!((1..=2).contains(&suffix.len()));
+                assert!(suffix.chars().all(|c| c.is_ascii_digit()));
+            }
+        }
+        assert!(with_suffix > 20, "suffix arm never taken");
+    }
+
+    #[test]
+    fn alternation_and_exact_counts() {
+        for s in sample("(ab|cd){3}", 50) {
+            assert_eq!(s.len(), 6);
+            assert!(s.as_bytes().chunks(2).all(|c| c == b"ab" || c == b"cd"));
+        }
+    }
+
+    #[test]
+    fn bad_patterns_are_rejected() {
+        assert!(string_regex("[a-z").is_err());
+        assert!(string_regex("(ab").is_err());
+        assert!(string_regex("a{3,1}").is_err());
+        assert!(string_regex("*a").is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Test-runner plumbing: per-test configuration, the deterministic value
+//! source strategies draw from, and the error type `prop_assert!` returns.
+
+use rand::{RngCore, SeedableRng, StdRng};
+use std::fmt;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Deterministic value source for strategies. Seeded from the property's
+/// name, so every run of the suite generates the same cases.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A runner whose stream is a pure function of `name`.
+    pub fn new(name: &str) -> Self {
+        // FNV-1a over the test name keeps distinct tests on distinct streams.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            rng: StdRng::seed_from_u64(hash),
+        }
+    }
+
+    /// The underlying generator strategies sample from.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+impl RngCore for TestRunner {
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// Failure of a single generated case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property's assertion did not hold.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure from a rendered assertion message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result alias used by `prop_assert!` expansions.
+pub type TestCaseResult = Result<(), TestCaseError>;

@@ -1,0 +1,221 @@
+//! Workspace-local stand-in for the subset of the `rand` 0.8 API the suite
+//! uses: `StdRng::seed_from_u64` plus `gen_range` / `gen_bool` / `gen` on the
+//! [`Rng`] trait.
+//!
+//! The container this suite builds in has no network access to crates.io, so
+//! the workspace pins `rand` to this path crate. The generator is
+//! xoshiro256++ seeded through SplitMix64 — deterministic, well distributed,
+//! and identical across platforms, which is all the simulation needs (every
+//! consumer seeds explicitly; there is no OS entropy source here on purpose).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+
+pub use rngs::StdRng;
+
+/// Core trait: a source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Rngs that can be deterministically constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (SplitMix64-expanded).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Converts the top 53 bits of a word into a float in `[0, 1)`.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types that can be sampled uniformly from an rng via [`Rng::gen`].
+pub trait Uniform: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Uniform for u64 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Uniform for u32 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Uniform for f64 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+/// Types with a uniform sampler over `[low, high)` / `[low, high]` bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws one value; `inclusive` selects the closed upper bound.
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range. Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_between(rng, start, end, true)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (high as i128 - low as i128) as u128 + u128::from(inclusive);
+                let offset = (rng.next_u64() as u128) % span;
+                (low as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let unit = unit_f64(rng.next_u64()) as $t;
+                let value = low + unit * (high - low);
+                // Guard the open upper bound against rounding.
+                if inclusive || value < high {
+                    value
+                } else {
+                    low
+                }
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform draw from `range` (half-open or inclusive).
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (must be in `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Uniform draw of a whole value (`u32`, `u64`, or `f64` in `[0,1)`).
+    fn gen<T: Uniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-5i32..40);
+            assert!((-5..40).contains(&v));
+            let f = rng.gen_range(0.6..=1.4);
+            assert!((0.6..=1.4).contains(&f));
+            let u = rng.gen_range(3usize..4);
+            assert_eq!(u, 3);
+            let x = rng.gen_range(-0.9..0.9);
+            assert!((-0.9..0.9).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_span() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_balance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn uniform_f64_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mean: f64 = (0..10_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean = {mean}");
+    }
+}

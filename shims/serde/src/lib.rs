@@ -1,0 +1,20 @@
+//! Workspace-local stand-in for the `serde` trait surface.
+//!
+//! The suite derives `Serialize`/`Deserialize` on its data types as API
+//! surface for downstream consumers, but contains no serialization call
+//! sites (all rendered output is hand-formatted markdown / Chrome JSON).
+//! Since the build container cannot reach crates.io, the workspace pins
+//! `serde` to this path crate: the traits exist as markers and the derives
+//! expand to nothing. Swapping back to upstream serde is a one-line change
+//! in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that declare themselves serializable.
+pub trait Serialize {}
+
+/// Marker for types that declare themselves deserializable.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! No-op derive macros backing the workspace-local `serde` stand-in: the
+//! derives accept the same attribute grammar (`#[serde(...)]`) but emit no
+//! code, since nothing in the workspace serializes at runtime.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

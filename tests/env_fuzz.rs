@@ -27,8 +27,7 @@ fn any_subgoal() -> impl Strategy<Value = Subgoal> {
         name().prop_map(|item| Subgoal::Craft { item }),
         (name(), name()).prop_map(|(dish, stage)| Subgoal::Cook { dish, stage }),
         name().prop_map(|dish| Subgoal::Serve { dish }),
-        (name(), name())
-            .prop_map(|(box_name, dest)| Subgoal::MoveBox { box_name, dest }),
+        (name(), name()).prop_map(|(box_name, dest)| Subgoal::MoveBox { box_name, dest }),
         (name(), 0usize..6)
             .prop_map(|(box_name, partner)| Subgoal::LiftTogether { box_name, partner }),
         (name(), -2.0f64..8.0, -2.0f64..8.0)
@@ -44,7 +43,12 @@ fn envs(seed: u64) -> Vec<Box<dyn Environment>> {
         Box::new(TransportEnv::new(TaskDifficulty::Medium, 2, seed)),
         Box::new(HouseholdEnv::new(TaskDifficulty::Medium, 2, seed)),
         Box::new(CuisineEnv::new(TaskDifficulty::Medium, 2, seed)),
-        Box::new(BoxWorldEnv::new(BoxVariant::BoxLift, TaskDifficulty::Medium, 2, seed)),
+        Box::new(BoxWorldEnv::new(
+            BoxVariant::BoxLift,
+            TaskDifficulty::Medium,
+            2,
+            seed,
+        )),
         Box::new(CraftEnv::new(TaskDifficulty::Medium, 1, seed)),
         Box::new(ManipulationEnv::new(TaskDifficulty::Medium, 2, seed)),
         Box::new(KitchenEnv::new(TaskDifficulty::Medium, 1, seed)),

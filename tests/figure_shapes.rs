@@ -151,8 +151,7 @@ fn memory_capacity_tradeoff() {
         "full",
     );
     let per_step_retrieval = |a: &Aggregate| {
-        a.breakdown.module(ModuleKind::Memory).as_secs_f64()
-            / (a.mean_steps * a.episodes as f64)
+        a.breakdown.module(ModuleKind::Memory).as_secs_f64() / (a.mean_steps * a.episodes as f64)
     };
     assert!(
         per_step_retrieval(&full) > per_step_retrieval(&none),
