@@ -10,7 +10,7 @@
 //! ```
 
 use embodied_agents::{workloads, EnvKind, RunOverrides};
-use embodied_bench::{banner, episodes, sweep_agg, ExperimentOutput};
+use embodied_bench::{banner, episodes, ExperimentOutput, SweepPlan};
 use embodied_env::BoxVariant;
 use embodied_profiler::{pct, Table};
 
@@ -30,6 +30,20 @@ fn main() {
         "CMAS / DMAS / HMAS across BoxNet1, BoxNet2, Warehouse and BoxLift",
     );
 
+    // Plan pass: the full 4-variant × 3-system grid in one pool fan-out.
+    let mut plan = SweepPlan::new();
+    for variant in VARIANTS {
+        for name in SYSTEMS {
+            let spec = workloads::find(name).expect("suite member");
+            let overrides = RunOverrides {
+                env: Some(EnvKind::BoxWorld(variant)),
+                ..Default::default()
+            };
+            plan.add(&spec, &overrides, episodes());
+        }
+    }
+    let mut results = plan.run();
+
     for variant in VARIANTS {
         out.section(&variant.to_string());
         let mut table = Table::new([
@@ -42,11 +56,7 @@ fn main() {
         ]);
         for name in SYSTEMS {
             let spec = workloads::find(name).expect("suite member");
-            let overrides = RunOverrides {
-                env: Some(EnvKind::BoxWorld(variant)),
-                ..Default::default()
-            };
-            let agg = sweep_agg(&spec, &overrides, episodes(), name);
+            let agg = results.take_agg(name);
             table.row([
                 name.to_owned(),
                 spec.paradigm.to_string(),

@@ -13,7 +13,7 @@
 //! ```
 
 use embodied_agents::{workloads, AgentConfig, RunOverrides};
-use embodied_bench::{banner, episodes, sweep_agg, ExperimentOutput};
+use embodied_bench::{banner, episodes, grid_agg, ExperimentOutput, SweepPlan};
 use embodied_env::TrajectoryPlanner;
 use embodied_llm::{EncoderProfile, InferenceOpts, ModelProfile, QualityModel};
 use embodied_profiler::{pct, ModuleKind, Table};
@@ -42,15 +42,23 @@ fn failure_injection(out: &mut ExperimentOutput) {
         "with reflection",
         "without reflection",
     ]);
-    for reliability in [0.97f64, 0.7, 0.45, 0.25] {
-        let mut cells = vec![format!("{:.0}%", reliability * 100.0)];
+    let reliabilities = [0.97f64, 0.7, 0.45, 0.25];
+    let mut plan = SweepPlan::new();
+    for reliability in reliabilities {
         for reflection in [true, false] {
             let mut config = spec.config.clone();
             config.actuator_reliability = reliability;
             config.toggles.reflection = reflection;
             let mut swapped = spec.clone();
             swapped.config = config;
-            let agg = sweep_agg(&swapped, &RunOverrides::default(), episodes(), "fi");
+            plan.add(&swapped, &RunOverrides::default(), episodes());
+        }
+    }
+    let mut results = plan.run();
+    for reliability in reliabilities {
+        let mut cells = vec![format!("{:.0}%", reliability * 100.0)];
+        for _reflection in [true, false] {
+            let agg = results.take_agg("fi");
             cells.push(format!(
                 "{} ({:.1} steps)",
                 pct(agg.success_rate),
@@ -75,18 +83,27 @@ fn trajectory_planner(out: &mut ExperimentOutput) {
         "end-to-end",
         "execution share",
     ]);
-    for (label, planner) in [
-        ("RRT", TrajectoryPlanner::Rrt),
-        ("RRT*", TrajectoryPlanner::RrtStar),
-        ("RRT-Connect", TrajectoryPlanner::RrtConnect),
-    ] {
-        let overrides = RunOverrides {
-            trajectory_planner: Some(planner),
-            ..Default::default()
-        };
-        let agg = sweep_agg(&spec, &overrides, episodes(), label);
+    let aggs = grid_agg(
+        &spec,
+        [
+            ("RRT", TrajectoryPlanner::Rrt),
+            ("RRT*", TrajectoryPlanner::RrtStar),
+            ("RRT-Connect", TrajectoryPlanner::RrtConnect),
+        ]
+        .map(|(label, planner)| {
+            (
+                label.to_owned(),
+                RunOverrides {
+                    trajectory_planner: Some(planner),
+                    ..Default::default()
+                },
+            )
+        }),
+        episodes(),
+    );
+    for agg in aggs {
         table.row([
-            label.to_owned(),
+            agg.label.clone(),
             pct(agg.success_rate),
             format!("{:.1}", agg.mean_steps),
             agg.mean_latency.to_string(),
@@ -104,20 +121,26 @@ fn perception_frontend(out: &mut ExperimentOutput) {
     out.section("Perception front-end under COMBO (cuisine)");
     let spec = workloads::find("COMBO").expect("suite member");
     let mut table = Table::new(["encoder", "success", "end-to-end", "sensing share"]);
-    for (label, encoder) in [
+    let encoders = [
         (
             "diffusion world model",
             EncoderProfile::diffusion_world_model(),
         ),
         ("Mask R-CNN detector", EncoderProfile::mask_rcnn()),
         ("symbolic state", EncoderProfile::symbolic()),
-    ] {
+    ];
+    let mut plan = SweepPlan::new();
+    for (_, encoder) in &encoders {
         // Encoder is part of the workload config; swap it directly.
         let mut config: AgentConfig = spec.config.clone();
-        config.encoder = Some(encoder);
+        config.encoder = Some(encoder.clone());
         let mut swapped = spec.clone();
         swapped.config = config;
-        let agg = sweep_agg(&swapped, &RunOverrides::default(), episodes(), label);
+        plan.add(&swapped, &RunOverrides::default(), episodes());
+    }
+    let mut results = plan.run();
+    for (label, _) in encoders {
+        let agg = results.take_agg(label);
         table.row([
             label.to_owned(),
             pct(agg.success_rate),

@@ -8,15 +8,16 @@
 //! ```
 
 use embodied_agents::endtoend::run_vla_episode;
-use embodied_agents::{workloads, EnvKind, RunOverrides};
-use embodied_bench::{banner, base_seed, episodes, sweep_agg, ExperimentOutput};
+use embodied_agents::{episode_seed, workloads, EnvKind, RunOverrides};
+use embodied_bench::{banner, base_seed, episodes, par_map, sweep_agg, ExperimentOutput};
 use embodied_env::TaskDifficulty;
 use embodied_profiler::{pct, Aggregate, Table};
 
 fn vla_agg(env: EnvKind, difficulty: TaskDifficulty, label: &str) -> Aggregate {
-    let reports: Vec<_> = (0..episodes())
-        .map(|i| run_vla_episode(env, difficulty, base_seed().wrapping_add(i as u64 * 7919)))
-        .collect();
+    let seed = base_seed();
+    let reports = par_map(episodes(), |i| {
+        run_vla_episode(env, difficulty, episode_seed(seed, i))
+    });
     Aggregate::from_reports(label, &reports)
 }
 

@@ -10,7 +10,7 @@
 //! ```
 
 use embodied_agents::{workloads, RunOverrides};
-use embodied_bench::{banner, episodes, sweep_agg, ExperimentOutput};
+use embodied_bench::{banner, episodes, ExperimentOutput, SweepPlan};
 use embodied_env::TaskDifficulty;
 use embodied_llm::{FaultProfile, RetryPolicy};
 use embodied_profiler::{pct, Table};
@@ -33,6 +33,24 @@ fn main() {
         "Injected LLM fault rate x retry policy, one workload per paradigm",
     );
 
+    // Plan pass: the full system × policy × fault-rate grid in one fan-out.
+    let mut plan = SweepPlan::new();
+    for name in SYSTEMS {
+        let spec = workloads::find(name).expect("suite member");
+        for (_, policy) in POLICIES {
+            for rate in FAULT_RATES {
+                let overrides = RunOverrides {
+                    difficulty: Some(TaskDifficulty::Medium),
+                    fault_profile: Some(FaultProfile::uniform(rate)),
+                    retry_policy: Some(policy()),
+                    ..Default::default()
+                };
+                plan.add(&spec, &overrides, episodes());
+            }
+        }
+    }
+    let mut results = plan.run();
+
     for name in SYSTEMS {
         let spec = workloads::find(name).expect("suite member");
         out.section(&format!("{name} ({})", spec.paradigm));
@@ -49,16 +67,10 @@ fn main() {
             "backoff/ep",
             "degraded/ep",
         ]);
-        for (policy_name, policy) in POLICIES {
+        for (policy_name, _) in POLICIES {
             let mut clean_success = None;
             for rate in FAULT_RATES {
-                let overrides = RunOverrides {
-                    difficulty: Some(TaskDifficulty::Medium),
-                    fault_profile: Some(FaultProfile::uniform(rate)),
-                    retry_policy: Some(policy()),
-                    ..Default::default()
-                };
-                let agg = sweep_agg(&spec, &overrides, episodes(), name);
+                let agg = results.take_agg(name);
                 let baseline = *clean_success.get_or_insert(agg.success_rate);
                 table.row([
                     policy_name.to_owned(),

@@ -62,25 +62,21 @@ fn main() {
              -> central refined plan -> execute(all)",
         ),
     ];
-    for (title, workload, pipeline) in pipelines {
-        out.section(title);
-        out.line(format!("pipeline : {pipeline}"));
+    // Run the four illustrative episodes across the worker pool; workers
+    // return data (report + step-0 span line) and the main thread renders.
+    let traced = embodied_bench::par_map(pipelines.len(), |i| {
+        let (_, workload, _) = pipelines[i];
         let spec = workloads::find(workload).expect("suite member");
         let overrides = RunOverrides {
             difficulty: Some(TaskDifficulty::Easy),
             ..Default::default()
         };
         let (report, _) = embodied_agents::run_episode_traced(&spec, &overrides, 7);
-        out.line(format!(
-            "example  : one {} episode = {} steps, {}, modules: {}",
-            workload, report.steps, report.latency, report.breakdown
-        ));
-        // Show the first step's actual span sequence from the trace.
-        let spec2 = workloads::find(workload).expect("suite member");
-        let mut system = spec2.build_system(
-            &overrides.apply(&spec2),
+        // The first step's actual span sequence from a fresh trace.
+        let mut system = spec.build_system(
+            &overrides.apply(&spec),
             TaskDifficulty::Easy,
-            spec2.default_agents,
+            spec.default_agents,
             7,
         );
         let _ = system.run();
@@ -89,6 +85,16 @@ fn main() {
             .step_spans(0)
             .map(|s| format!("{}[a{}]", s.module, s.agent))
             .collect();
-        out.line(format!("step 0   : {}", first_step.join(" -> ")));
+        (report, first_step.join(" -> "))
+    });
+
+    for ((title, workload, pipeline), (report, first_step)) in pipelines.into_iter().zip(traced) {
+        out.section(title);
+        out.line(format!("pipeline : {pipeline}"));
+        out.line(format!(
+            "example  : one {} episode = {} steps, {}, modules: {}",
+            workload, report.steps, report.latency, report.breakdown
+        ));
+        out.line(format!("step 0   : {first_step}"));
     }
 }

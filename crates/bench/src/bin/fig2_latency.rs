@@ -10,7 +10,7 @@
 //! ```
 
 use embodied_agents::{workloads, RunOverrides};
-use embodied_bench::{banner, episodes, sweep_agg, ExperimentOutput};
+use embodied_bench::{banner, episodes, ExperimentOutput, SweepPlan};
 use embodied_profiler::{ascii_bar, pct, ModuleKind, Table};
 
 fn main() {
@@ -21,10 +21,17 @@ fn main() {
         "Per-module latency breakdown and end-to-end task latency, all 14 workloads",
     );
 
+    // Submit the whole suite to the worker pool, then aggregate in order.
     let overrides = RunOverrides::default();
-    let aggs: Vec<_> = workloads::registry()
+    let registry = workloads::registry();
+    let mut plan = SweepPlan::new();
+    for spec in &registry {
+        plan.add(spec, &overrides, episodes());
+    }
+    let mut results = plan.run();
+    let aggs: Vec<_> = registry
         .iter()
-        .map(|spec| sweep_agg(spec, &overrides, episodes(), spec.name))
+        .map(|spec| results.take_agg(spec.name))
         .collect();
 
     out.section("Fig. 2a — average runtime share per module per step");

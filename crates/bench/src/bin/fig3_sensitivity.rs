@@ -12,7 +12,7 @@
 //! ```
 
 use embodied_agents::{workloads, ModuleToggles, RunOverrides};
-use embodied_bench::{banner, episodes, sweep, ExperimentOutput};
+use embodied_bench::{banner, episodes, ExperimentOutput, SweepPlan};
 use embodied_profiler::{pct, welch_t_test, Aggregate, Sample, Table};
 
 const SYSTEMS: [&str; 6] = ["JARVIS-1", "DaDu-E", "OLA", "COHERENT", "CoELA", "HMAS"];
@@ -38,17 +38,26 @@ fn main() {
     let mut means = vec![(0.0f64, 0.0f64); settings.len()];
     let mut pooled_success: Vec<Vec<f64>> = vec![Vec::new(); settings.len()];
 
+    // Plan pass: the full 6-system × 5-setting grid in one pool fan-out.
+    let mut plan = SweepPlan::new();
     for name in SYSTEMS {
         let spec = workloads::find(name).expect("suite member");
-        out.section(name);
-        let mut table = Table::new(["setting", "success", "steps", "vs full steps", "latency"]);
-        let mut baseline_steps = 0.0;
-        for (idx, (label, toggles)) in settings.iter().enumerate() {
+        for (_, toggles) in &settings {
             let overrides = RunOverrides {
                 toggles: Some(*toggles),
                 ..Default::default()
             };
-            let reports = sweep(&spec, &overrides, episodes());
+            plan.add(&spec, &overrides, episodes());
+        }
+    }
+    let mut results = plan.run();
+
+    for name in SYSTEMS {
+        out.section(name);
+        let mut table = Table::new(["setting", "success", "steps", "vs full steps", "latency"]);
+        let mut baseline_steps = 0.0;
+        for (idx, (label, _)) in settings.iter().enumerate() {
+            let reports = results.take();
             pooled_success[idx].extend(reports.iter().map(|r| {
                 if r.outcome.is_success() {
                     1.0

@@ -9,7 +9,7 @@
 //! ```
 
 use embodied_agents::{workloads, RunOverrides};
-use embodied_bench::{banner, episodes, sweep_agg, ExperimentOutput};
+use embodied_bench::{banner, episodes, ExperimentOutput, SweepPlan};
 use embodied_llm::{inference_latency, InferenceOpts, ModelProfile};
 use embodied_profiler::{pct, Table};
 
@@ -52,26 +52,37 @@ fn main() {
         "end-to-end",
         "LLM calls/ep",
     ]);
-    for name in SYSTEMS {
+    // Plan pass: queue the full workload × planner grid for the pool.
+    let grid = || {
+        SYSTEMS.iter().flat_map(|&name| {
+            [
+                ("GPT-4 (API)", None),
+                ("Llama-3-8B (local)", Some(ModelProfile::llama3_8b())),
+            ]
+            .map(|(label, planner)| (name, label, planner))
+        })
+    };
+    let mut plan = SweepPlan::new();
+    for (name, _, planner) in grid() {
         let spec = workloads::find(name).expect("suite member");
-        for (label, planner) in [
-            ("GPT-4 (API)", None),
-            ("Llama-3-8B (local)", Some(ModelProfile::llama3_8b())),
-        ] {
-            let overrides = RunOverrides {
-                planner: planner.clone(),
-                ..Default::default()
-            };
-            let agg = sweep_agg(&spec, &overrides, episodes(), label);
-            table.row([
-                name.to_owned(),
-                label.to_owned(),
-                pct(agg.success_rate),
-                format!("{:.1}", agg.mean_steps),
-                agg.mean_latency.to_string(),
-                format!("{:.1}", agg.calls_per_episode()),
-            ]);
-        }
+        let overrides = RunOverrides {
+            planner,
+            ..Default::default()
+        };
+        plan.add(&spec, &overrides, episodes());
+    }
+    let mut results = plan.run();
+
+    for (name, label, _) in grid() {
+        let agg = results.take_agg(label);
+        table.row([
+            name.to_owned(),
+            label.to_owned(),
+            pct(agg.success_rate),
+            format!("{:.1}", agg.mean_steps),
+            agg.mean_latency.to_string(),
+            format!("{:.1}", agg.calls_per_episode()),
+        ]);
     }
     out.line(table.render());
     out.line(

@@ -8,7 +8,7 @@
 
 use embodied_agents::modules::RetrievalMode;
 use embodied_agents::{workloads, MemoryCapacity, RunOverrides};
-use embodied_bench::{banner, episodes, sweep, ExperimentOutput};
+use embodied_bench::{banner, episodes, ExperimentOutput, SweepPlan};
 use embodied_profiler::{pct, Aggregate, ModuleKind, SimDuration, Table};
 
 const SYSTEMS: [&str; 3] = ["JARVIS-1", "DaDu-E", "CoELA"];
@@ -30,8 +30,34 @@ fn main() {
         "Success/steps/retrieval-latency vs. stored past-step window, three systems",
     );
 
+    // Plan pass: the capacity grid plus the DaDu-E retrieval comparison,
+    // all submitted to the pool before any rendering starts.
+    let retrieval_modes = [
+        ("multimodal states", RetrievalMode::Multimodal),
+        ("text embeddings only", RetrievalMode::TextEmbedding),
+    ];
+    let mut plan = SweepPlan::new();
     for name in SYSTEMS {
         let spec = workloads::find(name).expect("suite member");
+        for (_, capacity) in capacities() {
+            let overrides = RunOverrides {
+                memory_capacity: Some(capacity),
+                ..Default::default()
+            };
+            plan.add(&spec, &overrides, episodes());
+        }
+    }
+    let dadu = workloads::find("DaDu-E").expect("suite member");
+    for (_, mode) in retrieval_modes {
+        let overrides = RunOverrides {
+            retrieval_mode: Some(mode),
+            ..Default::default()
+        };
+        plan.add(&dadu, &overrides, episodes());
+    }
+    let mut results = plan.run();
+
+    for name in SYSTEMS {
         out.section(name);
         let mut table = Table::new([
             "capacity",
@@ -40,12 +66,8 @@ fn main() {
             "retrieval/step",
             "mean prompt tokens",
         ]);
-        for (label, capacity) in capacities() {
-            let overrides = RunOverrides {
-                memory_capacity: Some(capacity),
-                ..Default::default()
-            };
-            let reports = sweep(&spec, &overrides, episodes());
+        for (label, _) in capacities() {
+            let reports = results.take();
             let total_steps: usize = reports.iter().map(|r| r.steps).sum();
             let retrieval: SimDuration = reports
                 .iter()
@@ -69,18 +91,9 @@ fn main() {
     }
 
     out.section("In-text: multimodal vs. text-embedding retrieval (DaDu-E)");
-    let spec = workloads::find("DaDu-E").expect("suite member");
     let mut table = Table::new(["retrieval index", "success", "steps", "end-to-end"]);
-    for (label, mode) in [
-        ("multimodal states", RetrievalMode::Multimodal),
-        ("text embeddings only", RetrievalMode::TextEmbedding),
-    ] {
-        let overrides = RunOverrides {
-            retrieval_mode: Some(mode),
-            ..Default::default()
-        };
-        let reports = sweep(&spec, &overrides, episodes());
-        let agg = Aggregate::from_reports(label, &reports);
+    for (label, _) in retrieval_modes {
+        let agg = results.take_agg(label);
         table.row([
             label.to_owned(),
             pct(agg.success_rate),

@@ -7,7 +7,7 @@
 //! ```
 
 use embodied_agents::{workloads, MemoryCapacity, RunOverrides};
-use embodied_bench::{banner, episodes, sweep, ExperimentOutput};
+use embodied_bench::{banner, episodes, ExperimentOutput, SweepPlan};
 use embodied_profiler::{ascii_bar, Table};
 
 const SYSTEMS: [&str; 3] = ["CoELA", "MindAgent", "JARVIS-1"];
@@ -20,14 +20,20 @@ fn main() {
         "Max prompt tokens per step over task time, three systems (full memory)",
     );
 
+    // Full history shows the paper's unbounded growth regime.
+    let overrides = RunOverrides {
+        memory_capacity: Some(MemoryCapacity::Full),
+        ..Default::default()
+    };
+    let mut plan = SweepPlan::new();
     for name in SYSTEMS {
         let spec = workloads::find(name).expect("suite member");
-        // Full history shows the paper's unbounded growth regime.
-        let overrides = RunOverrides {
-            memory_capacity: Some(MemoryCapacity::Full),
-            ..Default::default()
-        };
-        let reports = sweep(&spec, &overrides, episodes());
+        plan.add(&spec, &overrides, episodes());
+    }
+    let mut results = plan.run();
+
+    for name in SYSTEMS {
+        let reports = results.take();
 
         // Average the per-step series across episodes (ragged lengths).
         let horizon = reports

@@ -8,7 +8,7 @@
 //! ```
 
 use embodied_agents::{workloads, RunOverrides};
-use embodied_bench::{banner, episodes, sweep_agg, ExperimentOutput};
+use embodied_bench::{banner, episodes, ExperimentOutput, SweepPlan};
 use embodied_env::TaskDifficulty;
 use embodied_profiler::{pct, Table};
 
@@ -22,6 +22,34 @@ fn main() {
         "Fig. 7: Multi-Agent System Scalability Analysis",
         "Success and latency vs. team size and difficulty; call/token scaling",
     );
+
+    // Plan pass: both grids — system × difficulty × team size, then the
+    // medium-difficulty scaling grid — in one pool fan-out.
+    let mut plan = SweepPlan::new();
+    for name in SYSTEMS {
+        let spec = workloads::find(name).expect("suite member");
+        for difficulty in TaskDifficulty::ALL {
+            for agents in TEAM_SIZES {
+                let overrides = RunOverrides {
+                    difficulty: Some(difficulty),
+                    num_agents: Some(agents),
+                    ..Default::default()
+                };
+                plan.add(&spec, &overrides, episodes());
+            }
+        }
+    }
+    for name in SYSTEMS {
+        let spec = workloads::find(name).expect("suite member");
+        for agents in TEAM_SIZES {
+            let overrides = RunOverrides {
+                num_agents: Some(agents),
+                ..Default::default()
+            };
+            plan.add(&spec, &overrides, episodes());
+        }
+    }
+    let mut results = plan.run();
 
     for name in SYSTEMS {
         let spec = workloads::find(name).expect("suite member");
@@ -38,12 +66,7 @@ fn main() {
         ]);
         for difficulty in TaskDifficulty::ALL {
             for agents in TEAM_SIZES {
-                let overrides = RunOverrides {
-                    difficulty: Some(difficulty),
-                    num_agents: Some(agents),
-                    ..Default::default()
-                };
-                let agg = sweep_agg(&spec, &overrides, episodes(), name);
+                let agg = results.take_agg(name);
                 table.row([
                     difficulty.to_string(),
                     agents.to_string(),
@@ -64,11 +87,7 @@ fn main() {
     for name in SYSTEMS {
         let spec = workloads::find(name).expect("suite member");
         for agents in TEAM_SIZES {
-            let overrides = RunOverrides {
-                num_agents: Some(agents),
-                ..Default::default()
-            };
-            let agg = sweep_agg(&spec, &overrides, episodes(), name);
+            let agg = results.take_agg(name);
             let steps = agg.mean_steps.max(1e-9) * agg.episodes as f64;
             table.row([
                 name.to_owned(),

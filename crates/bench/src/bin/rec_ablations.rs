@@ -14,7 +14,7 @@
 //! ```
 
 use embodied_agents::{workloads, MemoryCapacity, Optimizations, RunOverrides};
-use embodied_bench::{banner, episodes, sweep_agg, ExperimentOutput};
+use embodied_bench::{banner, episodes, grid_agg, ExperimentOutput};
 use embodied_llm::{batch_latency, inference_latency, InferenceOpts, ModelProfile, Quantization};
 use embodied_profiler::{pct, SimDuration, Table};
 
@@ -63,17 +63,26 @@ fn optimized_stack(out: &mut ExperimentOutput) {
         "LLM calls/ep",
         "tokens/ep",
     ]);
-    for (label, opts) in [
-        ("baseline", Optimizations::default()),
-        ("all recommendations", all_on),
-    ] {
-        let overrides = RunOverrides {
-            opts: Some(opts),
-            ..Default::default()
-        };
-        let agg = sweep_agg(&spec, &overrides, episodes(), label);
+    let aggs = grid_agg(
+        &spec,
+        [
+            ("baseline", Optimizations::default()),
+            ("all recommendations", all_on),
+        ]
+        .map(|(label, opts)| {
+            (
+                label.to_owned(),
+                RunOverrides {
+                    opts: Some(opts),
+                    ..Default::default()
+                },
+            )
+        }),
+        episodes(),
+    );
+    for agg in aggs {
         table.row([
-            label.to_owned(),
+            agg.label.clone(),
             pct(agg.success_rate),
             format!("{:.1}", agg.mean_steps),
             agg.mean_latency.to_string(),
@@ -107,20 +116,29 @@ fn rec1_quantization(out: &mut ExperimentOutput) {
     out.section("Rec. 1b — AWQ 4-bit quantization (COMBO, local LLaVA-7B)");
     let spec = workloads::find("COMBO").expect("suite member");
     let mut table = Table::new(["quantization", "success", "steps", "end-to-end"]);
-    for (label, quant) in [
-        ("fp16", Quantization::None),
-        ("AWQ 4-bit", Quantization::Awq4Bit),
-    ] {
-        let overrides = RunOverrides {
-            opts: Some(Optimizations {
-                quantization: quant,
-                ..Default::default()
-            }),
-            ..Default::default()
-        };
-        let agg = sweep_agg(&spec, &overrides, episodes(), label);
+    let aggs = grid_agg(
+        &spec,
+        [
+            ("fp16", Quantization::None),
+            ("AWQ 4-bit", Quantization::Awq4Bit),
+        ]
+        .map(|(label, quant)| {
+            (
+                label.to_owned(),
+                RunOverrides {
+                    opts: Some(Optimizations {
+                        quantization: quant,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+            )
+        }),
+        episodes(),
+    );
+    for agg in aggs {
         table.row([
-            label.to_owned(),
+            agg.label.clone(),
             pct(agg.success_rate),
             format!("{:.1}", agg.mean_steps),
             agg.mean_latency.to_string(),
@@ -133,17 +151,25 @@ fn rec1_kv_cache(out: &mut ExperimentOutput) {
     out.section("Rec. 1c — KV-cache prefix reuse (COMBO, local LLaVA-7B)");
     let spec = workloads::find("COMBO").expect("suite member");
     let mut table = Table::new(["kv cache", "success", "steps", "end-to-end"]);
-    for (label, kv) in [("cold prefill", false), ("prefix reuse", true)] {
-        let overrides = RunOverrides {
-            opts: Some(Optimizations {
-                kv_cache: kv,
-                ..Default::default()
-            }),
-            ..Default::default()
-        };
-        let agg = sweep_agg(&spec, &overrides, episodes(), label);
+    let aggs = grid_agg(
+        &spec,
+        [("cold prefill", false), ("prefix reuse", true)].map(|(label, kv)| {
+            (
+                label.to_owned(),
+                RunOverrides {
+                    opts: Some(Optimizations {
+                        kv_cache: kv,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+            )
+        }),
+        episodes(),
+    );
+    for agg in aggs {
         table.row([
-            label.to_owned(),
+            agg.label.clone(),
             pct(agg.success_rate),
             format!("{:.1}", agg.mean_steps),
             agg.mean_latency.to_string(),
@@ -156,18 +182,26 @@ fn rec1_batched_comm(out: &mut ExperimentOutput) {
     out.section("Rec. 1d — batched dialogue rounds (CoELA @4 agents)");
     let spec = workloads::find("CoELA").expect("suite member");
     let mut table = Table::new(["round execution", "success", "end-to-end"]);
-    for (label, batching) in [("sequential calls", false), ("one batch per round", true)] {
-        let overrides = RunOverrides {
-            num_agents: Some(4),
-            opts: Some(Optimizations {
-                batching,
-                ..Default::default()
-            }),
-            ..Default::default()
-        };
-        let agg = sweep_agg(&spec, &overrides, episodes(), label);
+    let aggs = grid_agg(
+        &spec,
+        [("sequential calls", false), ("one batch per round", true)].map(|(label, batching)| {
+            (
+                label.to_owned(),
+                RunOverrides {
+                    num_agents: Some(4),
+                    opts: Some(Optimizations {
+                        batching,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+            )
+        }),
+        episodes(),
+    );
+    for agg in aggs {
         table.row([
-            label.to_owned(),
+            agg.label.clone(),
             pct(agg.success_rate),
             agg.mean_latency.to_string(),
         ]);
@@ -181,22 +215,35 @@ fn rec4_multiple_choice(out: &mut ExperimentOutput) {
     );
     let spec = workloads::find("JARVIS-1").expect("suite member");
     let mut table = Table::new(["planner", "output mode", "success", "steps", "end-to-end"]);
-    for (planner_label, planner) in [
+    let planners = [
         ("GPT-4", None),
         ("Llama-3-8B", Some(ModelProfile::llama3_8b())),
-    ] {
-        for (mode, mcq) in [("free-form", false), ("multiple-choice", true)] {
-            let overrides = RunOverrides {
-                planner: planner.clone(),
-                opts: Some(Optimizations {
-                    multiple_choice: mcq,
-                    ..Default::default()
-                }),
-                ..Default::default()
-            };
-            let agg = sweep_agg(&spec, &overrides, episodes(), mode);
+    ];
+    let modes = [("free-form", false), ("multiple-choice", true)];
+    let configs: Vec<(String, RunOverrides)> = planners
+        .iter()
+        .flat_map(|(_, planner)| {
+            modes.map(|(mode, mcq)| {
+                (
+                    mode.to_owned(),
+                    RunOverrides {
+                        planner: planner.clone(),
+                        opts: Some(Optimizations {
+                            multiple_choice: mcq,
+                            ..Default::default()
+                        }),
+                        ..Default::default()
+                    },
+                )
+            })
+        })
+        .collect();
+    let mut aggs = grid_agg(&spec, configs, episodes()).into_iter();
+    for (planner_label, _) in &planners {
+        for (mode, _) in modes {
+            let agg = aggs.next().expect("one aggregate per grid cell");
             table.row([
-                planner_label.to_owned(),
+                (*planner_label).to_owned(),
                 mode.to_owned(),
                 pct(agg.success_rate),
                 format!("{:.1}", agg.mean_steps),
@@ -215,18 +262,26 @@ fn rec5_dual_memory(out: &mut ExperimentOutput) {
     out.section("Rec. 5 — dual long/short-term memory under full history (CoELA)");
     let spec = workloads::find("CoELA").expect("suite member");
     let mut table = Table::new(["memory structure", "success", "steps", "end-to-end"]);
-    for (label, dual) in [("flat full history", false), ("dual memory", true)] {
-        let overrides = RunOverrides {
-            memory_capacity: Some(MemoryCapacity::Full),
-            opts: Some(Optimizations {
-                dual_memory: dual,
-                ..Default::default()
-            }),
-            ..Default::default()
-        };
-        let agg = sweep_agg(&spec, &overrides, episodes(), label);
+    let aggs = grid_agg(
+        &spec,
+        [("flat full history", false), ("dual memory", true)].map(|(label, dual)| {
+            (
+                label.to_owned(),
+                RunOverrides {
+                    memory_capacity: Some(MemoryCapacity::Full),
+                    opts: Some(Optimizations {
+                        dual_memory: dual,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+            )
+        }),
+        episodes(),
+    );
+    for agg in aggs {
         table.row([
-            label.to_owned(),
+            agg.label.clone(),
             pct(agg.success_rate),
             format!("{:.1}", agg.mean_steps),
             agg.mean_latency.to_string(),
@@ -239,18 +294,26 @@ fn rec6_summarization(out: &mut ExperimentOutput) {
     out.section("Rec. 6 — context summarization (CoELA, full history)");
     let spec = workloads::find("CoELA").expect("suite member");
     let mut table = Table::new(["context", "success", "mean prompt tokens", "end-to-end"]);
-    for (label, summarize) in [("concatenated", false), ("summarized", true)] {
-        let overrides = RunOverrides {
-            memory_capacity: Some(MemoryCapacity::Full),
-            opts: Some(Optimizations {
-                summarization: summarize,
-                ..Default::default()
-            }),
-            ..Default::default()
-        };
-        let agg = sweep_agg(&spec, &overrides, episodes(), label);
+    let aggs = grid_agg(
+        &spec,
+        [("concatenated", false), ("summarized", true)].map(|(label, summarize)| {
+            (
+                label.to_owned(),
+                RunOverrides {
+                    memory_capacity: Some(MemoryCapacity::Full),
+                    opts: Some(Optimizations {
+                        summarization: summarize,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+            )
+        }),
+        episodes(),
+    );
+    for agg in aggs {
         table.row([
-            label.to_owned(),
+            agg.label.clone(),
             pct(agg.success_rate),
             format!("{:.0}", agg.tokens.mean_prompt_tokens()),
             agg.mean_latency.to_string(),
@@ -269,15 +332,24 @@ fn rec7_multi_step(out: &mut ExperimentOutput) {
         "LLM calls/ep",
         "end-to-end",
     ]);
-    for horizon in [1usize, 2, 4] {
-        let overrides = RunOverrides {
-            opts: Some(Optimizations {
-                plan_horizon: horizon,
-                ..Default::default()
-            }),
-            ..Default::default()
-        };
-        let agg = sweep_agg(&spec, &overrides, episodes(), format!("h={horizon}"));
+    let horizons = [1usize, 2, 4];
+    let aggs = grid_agg(
+        &spec,
+        horizons.map(|horizon| {
+            (
+                format!("h={horizon}"),
+                RunOverrides {
+                    opts: Some(Optimizations {
+                        plan_horizon: horizon,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+            )
+        }),
+        episodes(),
+    );
+    for (horizon, agg) in horizons.iter().zip(aggs) {
         table.row([
             format!("{horizon} step(s) per plan"),
             pct(agg.success_rate),
@@ -299,20 +371,29 @@ fn rec8_plan_then_communicate(out: &mut ExperimentOutput) {
         "msg utility",
         "end-to-end",
     ]);
-    for (label, gated) in [
-        ("message every step", false),
-        ("plan-then-communicate", true),
-    ] {
-        let overrides = RunOverrides {
-            opts: Some(Optimizations {
-                plan_then_communicate: gated,
-                ..Default::default()
-            }),
-            ..Default::default()
-        };
-        let agg = sweep_agg(&spec, &overrides, episodes(), label);
+    let aggs = grid_agg(
+        &spec,
+        [
+            ("message every step", false),
+            ("plan-then-communicate", true),
+        ]
+        .map(|(label, gated)| {
+            (
+                label.to_owned(),
+                RunOverrides {
+                    opts: Some(Optimizations {
+                        plan_then_communicate: gated,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+            )
+        }),
+        episodes(),
+    );
+    for agg in aggs {
         table.row([
-            label.to_owned(),
+            agg.label.clone(),
             pct(agg.success_rate),
             format!("{:.1}", agg.messages.generated as f64 / agg.episodes as f64),
             pct(agg.messages.utility()),
@@ -332,22 +413,31 @@ fn rec9_clustering(out: &mut ExperimentOutput) {
         "tokens/ep",
         "end-to-end",
     ]);
-    for (label, cluster) in [
-        ("flat broadcast", 0usize),
-        ("clusters of 2", 2),
-        ("clusters of 3", 3),
-    ] {
-        let overrides = RunOverrides {
-            num_agents: Some(6),
-            opts: Some(Optimizations {
-                cluster_size: cluster,
-                ..Default::default()
-            }),
-            ..Default::default()
-        };
-        let agg = sweep_agg(&spec, &overrides, episodes(), label);
+    let aggs = grid_agg(
+        &spec,
+        [
+            ("flat broadcast", 0usize),
+            ("clusters of 2", 2),
+            ("clusters of 3", 3),
+        ]
+        .map(|(label, cluster)| {
+            (
+                label.to_owned(),
+                RunOverrides {
+                    num_agents: Some(6),
+                    opts: Some(Optimizations {
+                        cluster_size: cluster,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+            )
+        }),
+        episodes(),
+    );
+    for agg in aggs {
         table.row([
-            label.to_owned(),
+            agg.label.clone(),
             pct(agg.success_rate),
             format!("{:.1}", agg.messages.generated as f64 / agg.episodes as f64),
             format!("{:.0}", agg.tokens_per_episode()),

@@ -6,7 +6,9 @@
 //!
 //! Knobs (environment variables):
 //! * `EMBODIED_EPISODES` — episodes per configuration (default 8);
-//! * `EMBODIED_SEED` — base seed (default 42).
+//! * `EMBODIED_SEED` — base seed (default 42);
+//! * `EMBODIED_JOBS` — worker threads for episode sweeps (default: available
+//!   hardware parallelism; results are bit-identical at any value).
 //!
 //! Every binary prints a paper-style table to stdout and appends the same
 //! text to `results/<target>.md` for EXPERIMENTS.md bookkeeping.
@@ -14,7 +16,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use embodied_agents::{run_episode, RunOverrides, WorkloadSpec};
+pub mod parallel;
+
+pub use parallel::{jobs, par_map, par_map_with, SweepPlan, SweepResults};
+
+use embodied_agents::{episode_seed, run_episode, RunOverrides, WorkloadSpec};
 use embodied_profiler::{Aggregate, EpisodeReport};
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -36,11 +42,31 @@ pub fn base_seed() -> u64 {
         .unwrap_or(42)
 }
 
-/// Runs `n` episodes of a configuration and returns the raw reports.
+/// Runs `n` episodes of a configuration across the worker pool
+/// ([`parallel::jobs`] threads) and returns the raw reports in seed order —
+/// bit-identical to a sequential loop at any worker count.
 pub fn sweep(spec: &WorkloadSpec, overrides: &RunOverrides, n: usize) -> Vec<EpisodeReport> {
     let seed = base_seed();
-    (0..n)
-        .map(|i| run_episode(spec, overrides, seed.wrapping_add(i as u64 * 7919)))
+    par_map(n, |i| run_episode(spec, overrides, episode_seed(seed, i)))
+}
+
+/// Runs a labelled grid of override settings for one workload across the
+/// worker pool and returns the per-setting aggregates in submission order —
+/// the common shape of small ablation sections.
+pub fn grid_agg(
+    spec: &WorkloadSpec,
+    configs: impl IntoIterator<Item = (String, RunOverrides)>,
+    n: usize,
+) -> Vec<Aggregate> {
+    let configs: Vec<(String, RunOverrides)> = configs.into_iter().collect();
+    let mut plan = SweepPlan::new();
+    for (_, overrides) in &configs {
+        plan.add(spec, overrides, n);
+    }
+    let mut results = plan.run();
+    configs
+        .into_iter()
+        .map(|(label, _)| results.take_agg(label))
         .collect()
 }
 
@@ -60,12 +86,25 @@ pub struct ExperimentOutput {
 }
 
 impl ExperimentOutput {
-    /// Creates the sink, truncating any previous result file.
+    /// Creates the sink, truncating any previous result file. If `results/`
+    /// cannot be created or the file cannot be opened, output still goes to
+    /// stdout and a warning is printed to stderr (once per process) instead
+    /// of silently dropping the artifact.
     pub fn new(name: &str) -> Self {
         let dir = PathBuf::from("results");
+        let path = dir.join(format!("{name}.md"));
         let file = std::fs::create_dir_all(&dir)
-            .ok()
-            .and_then(|_| std::fs::File::create(dir.join(format!("{name}.md"))).ok());
+            .and_then(|()| std::fs::File::create(&path))
+            .map_err(|err| {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: cannot write {} ({err}); results go to stdout only",
+                        path.display()
+                    );
+                });
+            })
+            .ok();
         ExperimentOutput { file }
     }
 

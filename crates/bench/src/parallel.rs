@@ -1,0 +1,294 @@
+//! Parallel episode execution.
+//!
+//! Episodes are embarrassingly parallel: each one is a pure function of
+//! `(spec, overrides, seed)` — every RNG stream is derived from the seed and
+//! no state is shared between episodes — so a sweep can fan out across
+//! threads and still produce *bit-identical* results to a sequential run.
+//! The pool is a hand-rolled scoped-thread work-stealing loop (no extra
+//! crates): workers pull job indices from one shared atomic counter, so a
+//! slow episode on one thread never blocks the others, and results are
+//! reassembled in job-index order before anyone looks at them.
+//!
+//! Worker count comes from `EMBODIED_JOBS` (default: available hardware
+//! parallelism). `EMBODIED_JOBS=1` degenerates to a plain sequential loop on
+//! the calling thread.
+
+use crate::base_seed;
+use embodied_agents::{episode_seed, run_episode, RunOverrides, WorkloadSpec};
+use embodied_profiler::{Aggregate, EpisodeReport};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-thread count: `EMBODIED_JOBS` if set and positive, otherwise the
+/// host's available hardware parallelism (1 if that cannot be determined).
+pub fn jobs() -> usize {
+    std::env::var("EMBODIED_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `f(0), f(1), …, f(n-1)` across [`jobs()`] scoped worker threads and
+/// returns the results **in index order**, exactly as the sequential loop
+/// `(0..n).map(f).collect()` would.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_with(jobs(), n, f)
+}
+
+/// [`par_map`] with an explicit worker count (tests pin this instead of
+/// mutating the process environment, which would race with the parallel
+/// test harness).
+pub fn par_map_with<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = workers.min(n);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    // Work stealing: whichever worker is free claims the
+                    // next job index; nothing is pre-partitioned.
+                    let mut produced: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        produced.push((i, f(i)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("episode worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job index produces exactly one result"))
+        .collect()
+}
+
+/// One queued sweep configuration: `episodes` seeds of `spec` under
+/// `overrides`, seeded from `base_seed` with the shared episode stride.
+struct SweepConfig {
+    spec: WorkloadSpec,
+    overrides: RunOverrides,
+    episodes: usize,
+    base_seed: u64,
+}
+
+/// A whole experiment's sweep grid, submitted up front and executed across
+/// the worker pool in one fan-out.
+///
+/// Binaries queue every configuration first (the *plan* pass), call
+/// [`SweepPlan::run`], then render results **in submission order** (the
+/// *render* pass) — so all episode work parallelizes across the entire grid
+/// while stdout/`results/*.md` writes stay on the main thread in a
+/// deterministic order.
+///
+/// ```no_run
+/// use embodied_bench::{episodes, SweepPlan};
+/// use embodied_agents::{workloads, RunOverrides};
+///
+/// let mut plan = SweepPlan::new();
+/// for spec in workloads::registry() {
+///     plan.add(&spec, &RunOverrides::default(), episodes());
+/// }
+/// let mut results = plan.run();
+/// for spec in workloads::registry() {
+///     let agg = results.take_agg(spec.name);
+///     println!("{}: {:.1} steps", spec.name, agg.mean_steps);
+/// }
+/// ```
+#[derive(Default)]
+pub struct SweepPlan {
+    configs: Vec<SweepConfig>,
+}
+
+impl SweepPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues `n` episodes of `spec` under `overrides` at the harness base
+    /// seed; returns the configuration's index (submission order).
+    pub fn add(&mut self, spec: &WorkloadSpec, overrides: &RunOverrides, n: usize) -> usize {
+        self.add_seeded(spec, overrides, n, base_seed())
+    }
+
+    /// [`SweepPlan::add`] with an explicit base seed.
+    pub fn add_seeded(
+        &mut self,
+        spec: &WorkloadSpec,
+        overrides: &RunOverrides,
+        n: usize,
+        base_seed: u64,
+    ) -> usize {
+        self.configs.push(SweepConfig {
+            spec: spec.clone(),
+            overrides: overrides.clone(),
+            episodes: n,
+            base_seed,
+        });
+        self.configs.len() - 1
+    }
+
+    /// Number of queued configurations.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether no configuration has been queued.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Executes every queued episode across the worker pool and returns the
+    /// per-configuration reports, grouped back in submission order.
+    pub fn run(self) -> SweepResults {
+        self.run_with(jobs())
+    }
+
+    /// [`SweepPlan::run`] with an explicit worker count.
+    pub fn run_with(self, workers: usize) -> SweepResults {
+        // Flatten the grid to (config, episode) jobs so the pool balances
+        // across the whole experiment, not within one configuration.
+        let mut index: Vec<(usize, usize)> = Vec::new();
+        for (c, cfg) in self.configs.iter().enumerate() {
+            for e in 0..cfg.episodes {
+                index.push((c, e));
+            }
+        }
+        let reports = par_map_with(workers, index.len(), |j| {
+            let (c, e) = index[j];
+            let cfg = &self.configs[c];
+            run_episode(&cfg.spec, &cfg.overrides, episode_seed(cfg.base_seed, e))
+        });
+        let mut grouped: Vec<Vec<EpisodeReport>> = self
+            .configs
+            .iter()
+            .map(|c| Vec::with_capacity(c.episodes))
+            .collect();
+        // `index` is ordered (c asc, e asc) and `reports` matches it, so
+        // each group receives its episodes in seed order.
+        for ((c, _), report) in index.into_iter().zip(reports) {
+            grouped[c].push(report);
+        }
+        SweepResults {
+            reports: grouped,
+            cursor: 0,
+        }
+    }
+}
+
+/// Results of an executed [`SweepPlan`], consumed in submission order.
+pub struct SweepResults {
+    reports: Vec<Vec<EpisodeReport>>,
+    cursor: usize,
+}
+
+impl SweepResults {
+    /// The reports of configuration `idx` (submission order).
+    pub fn reports(&self, idx: usize) -> &[EpisodeReport] {
+        &self.reports[idx]
+    }
+
+    /// Takes the next configuration's reports, advancing the cursor — the
+    /// render pass mirrors the plan pass by calling this in the same order
+    /// it called [`SweepPlan::add`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if more configurations are taken than were submitted.
+    pub fn take(&mut self) -> Vec<EpisodeReport> {
+        let idx = self.cursor;
+        self.cursor += 1;
+        std::mem::take(&mut self.reports[idx])
+    }
+
+    /// [`SweepResults::take`], aggregated under `label`.
+    pub fn take_agg(&mut self, label: impl Into<String>) -> Aggregate {
+        let reports = self.take();
+        Aggregate::from_reports(label, &reports)
+    }
+
+    /// Number of submitted configurations.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Whether the plan held no configurations.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embodied_agents::workloads;
+    use embodied_env::TaskDifficulty;
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        let seq: Vec<usize> = (0..97).map(|i| i * i).collect();
+        assert_eq!(par_map_with(1, 97, |i| i * i), seq);
+        assert_eq!(par_map_with(4, 97, |i| i * i), seq);
+        assert_eq!(par_map_with(16, 97, |i| i * i), seq);
+        // More workers than jobs, and empty input.
+        assert_eq!(par_map_with(8, 3, |i| i), vec![0, 1, 2]);
+        assert_eq!(par_map_with(4, 0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn plan_groups_reports_like_sequential_sweeps() {
+        let spec = workloads::find("DEPS").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            ..Default::default()
+        };
+        let mut plan = SweepPlan::new();
+        plan.add_seeded(&spec, &overrides, 2, 42);
+        plan.add_seeded(&spec, &overrides, 3, 1000);
+        let mut results = plan.run_with(3);
+        assert_eq!(results.len(), 2);
+
+        let first = results.take();
+        let second = results.take();
+        assert_eq!(first.len(), 2);
+        assert_eq!(second.len(), 3);
+        for (i, report) in first.iter().enumerate() {
+            let reference = run_episode(&spec, &overrides, episode_seed(42, i));
+            assert_eq!(format!("{report:?}"), format!("{reference:?}"));
+        }
+        for (i, report) in second.iter().enumerate() {
+            let reference = run_episode(&spec, &overrides, episode_seed(1000, i));
+            assert_eq!(format!("{report:?}"), format!("{reference:?}"));
+        }
+    }
+
+    #[test]
+    fn jobs_defaults_to_positive() {
+        assert!(jobs() >= 1);
+    }
+}

@@ -36,6 +36,8 @@ pub mod workloads;
 pub use agent::ModularAgent;
 pub use config::{AgentConfig, MemoryCapacity, ModuleToggles, Optimizations};
 pub use orchestrator::Paradigm;
-pub use runner::{run_episode, run_episode_traced, run_many, RunOverrides};
+pub use runner::{
+    episode_seed, run_episode, run_episode_traced, run_many, RunOverrides, EPISODE_SEED_STRIDE,
+};
 pub use system::EmbodiedSystem;
 pub use workloads::{EnvKind, WorkloadSpec};

@@ -6,9 +6,10 @@
 //! oracle or draws a wrong candidate — so success rates, wasted steps and
 //! replanning loops all flow from the quality model.
 
-use crate::prompt::PromptBuilder;
+use crate::prompt::PromptWriter;
 use embodied_env::Subgoal;
 use embodied_llm::{InferenceOpts, LlmError, LlmRequest, LlmResponse, Purpose, ResilientEngine};
+use std::fmt::Write as _;
 
 /// Everything the planner needs for one decision.
 #[derive(Debug, Clone)]
@@ -57,6 +58,9 @@ pub struct PlanDecision {
 #[derive(Debug, Clone)]
 pub struct PlanningModule {
     engine: ResilientEngine,
+    /// Prompt assembly buffer, reused across steps so prompt capacity is
+    /// paid once per episode instead of once per decision.
+    prompt_buf: String,
 }
 
 impl PlanningModule {
@@ -65,6 +69,7 @@ impl PlanningModule {
     pub fn new(engine: impl Into<ResilientEngine>) -> Self {
         PlanningModule {
             engine: engine.into(),
+            prompt_buf: String::new(),
         }
     }
 
@@ -81,13 +86,19 @@ impl PlanningModule {
 
     /// Builds the planning prompt for a context.
     pub fn build_prompt(ctx: &PlanContext<'_>) -> String {
-        let mut b = PromptBuilder::new(ctx.preamble);
-        b.push("task goal", ctx.goal)
+        let mut out = String::new();
+        Self::write_prompt(ctx, &mut out);
+        out
+    }
+
+    /// Renders the planning prompt into a reusable buffer.
+    fn write_prompt(ctx: &PlanContext<'_>, out: &mut String) {
+        PromptWriter::new(out, ctx.preamble)
+            .push("task goal", ctx.goal)
             .push("current observation", ctx.percept_text)
             .push("memory", ctx.memory_text)
             .push("dialogue", ctx.dialogue_text)
             .push_candidates(&ctx.candidates);
-        b.build()
     }
 
     /// Makes one planning decision.
@@ -96,10 +107,10 @@ impl PlanningModule {
     ///
     /// Propagates [`LlmError`] from the engine (empty prompt).
     pub fn plan(&mut self, ctx: &PlanContext<'_>) -> Result<PlanDecision, LlmError> {
-        let prompt = Self::build_prompt(ctx);
+        Self::write_prompt(ctx, &mut self.prompt_buf);
         let expected_output = if ctx.opts.multiple_choice { 8 } else { 190 };
         let response = self.engine.infer(
-            LlmRequest::new(Purpose::Planning, prompt, expected_output)
+            LlmRequest::new(Purpose::Planning, self.prompt_buf.as_str(), expected_output)
                 .with_difficulty(ctx.difficulty)
                 .with_opts(ctx.opts),
         )?;
@@ -143,13 +154,14 @@ impl PlanningModule {
         ctx: &PlanContext<'_>,
         decision: PlanDecision,
     ) -> Result<PlanDecision, LlmError> {
-        let mut prompt = Self::build_prompt(ctx);
-        prompt.push_str(&format!(
+        Self::write_prompt(ctx, &mut self.prompt_buf);
+        let _ = write!(
+            self.prompt_buf,
             "\n[proposed plan]\n{}\nConfirm or pick the best action.",
             decision.subgoal
-        ));
+        );
         let response = self.engine.infer(
-            LlmRequest::new(Purpose::ActionSelection, prompt, 24)
+            LlmRequest::new(Purpose::ActionSelection, self.prompt_buf.as_str(), 24)
                 .with_difficulty(ctx.difficulty)
                 .with_opts(ctx.opts),
         )?;

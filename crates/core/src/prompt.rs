@@ -8,6 +8,7 @@
 
 use embodied_env::Subgoal;
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 
 /// Builder for one module's prompt at one step.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -39,7 +40,7 @@ impl PromptBuilder {
         }
         let mut body = String::new();
         for (i, sg) in candidates.iter().enumerate() {
-            body.push_str(&format!("({i}) {sg}\n"));
+            let _ = writeln!(body, "({i}) {sg}");
         }
         self.push("available actions", &body)
     }
@@ -47,10 +48,66 @@ impl PromptBuilder {
     /// Renders the final prompt text.
     pub fn build(&self) -> String {
         let mut out = String::new();
-        for (title, body) in &self.sections {
-            out.push_str(&format!("[{title}]\n{body}\n"));
-        }
+        self.build_into(&mut out);
         out
+    }
+
+    /// Renders the prompt into `out`, clearing it first. Callers on the
+    /// per-step hot path hold one buffer across steps so the prompt's
+    /// capacity is allocated once per episode instead of once per call.
+    pub fn build_into(&self, out: &mut String) {
+        out.clear();
+        let needed: usize = self
+            .sections
+            .iter()
+            .map(|(title, body)| title.len() + body.len() + 4)
+            .sum();
+        out.reserve(needed);
+        for (title, body) in &self.sections {
+            let _ = write!(out, "[{title}]\n{body}\n");
+        }
+    }
+}
+
+/// Zero-copy sibling of [`PromptBuilder`]: renders sections straight into a
+/// caller-owned `String` instead of collecting owned `(title, body)` pairs
+/// first. Produces byte-identical text to building a [`PromptBuilder`] with
+/// the same pushes and calling [`PromptBuilder::build`], but performs no
+/// per-section allocations — the per-step hot path reuses one buffer across
+/// an entire episode.
+pub struct PromptWriter<'a> {
+    out: &'a mut String,
+}
+
+impl<'a> PromptWriter<'a> {
+    /// Clears `out` and starts a prompt with the workload's system preamble.
+    pub fn new(out: &'a mut String, preamble: &str) -> Self {
+        out.clear();
+        let mut w = PromptWriter { out };
+        w.push("system", preamble);
+        w
+    }
+
+    /// Appends a named section (skipped when `body` is empty).
+    pub fn push(&mut self, title: &str, body: &str) -> &mut Self {
+        if !body.trim().is_empty() {
+            let _ = write!(self.out, "[{title}]\n{body}\n");
+        }
+        self
+    }
+
+    /// Appends the candidate-subgoal menu, numbered like
+    /// [`PromptBuilder::push_candidates`].
+    pub fn push_candidates(&mut self, candidates: &[Subgoal]) -> &mut Self {
+        if candidates.is_empty() {
+            return self;
+        }
+        self.out.push_str("[available actions]\n");
+        for (i, sg) in candidates.iter().enumerate() {
+            let _ = writeln!(self.out, "({i}) {sg}");
+        }
+        self.out.push('\n');
+        self
     }
 }
 
@@ -146,10 +203,51 @@ mod tests {
     }
 
     #[test]
+    fn build_into_reuses_buffer_and_matches_build() {
+        let mut b = PromptBuilder::new("be helpful");
+        b.push("goal", "deliver things");
+        let mut buf = String::from("stale content from the previous step");
+        b.build_into(&mut buf);
+        assert_eq!(buf, b.build());
+        // A second render into the same buffer is identical too.
+        let before_ptr = buf.as_ptr();
+        b.build_into(&mut buf);
+        assert_eq!(buf, b.build());
+        assert_eq!(before_ptr, buf.as_ptr(), "capacity should be reused");
+    }
+
+    #[test]
     fn empty_sections_skipped() {
         let mut b = PromptBuilder::new("x");
         b.push("empty", " ");
         assert!(!b.build().contains("[empty]"));
+    }
+
+    #[test]
+    fn writer_matches_builder_byte_for_byte() {
+        let candidates = [
+            Subgoal::Explore,
+            Subgoal::Pick {
+                object: "apple_1".into(),
+            },
+        ];
+        let mut b = PromptBuilder::new("be helpful");
+        b.push("goal", "deliver things")
+            .push("empty", "  ")
+            .push("memory", "saw an apple")
+            .push_candidates(&candidates);
+        let mut buf = String::from("stale");
+        PromptWriter::new(&mut buf, "be helpful")
+            .push("goal", "deliver things")
+            .push("empty", "  ")
+            .push("memory", "saw an apple")
+            .push_candidates(&candidates);
+        assert_eq!(buf, b.build());
+        // Empty candidate menus are skipped by both paths.
+        let mut b = PromptBuilder::new("x");
+        b.push_candidates(&[]);
+        PromptWriter::new(&mut buf, "x").push_candidates(&[]);
+        assert_eq!(buf, b.build());
     }
 
     #[test]

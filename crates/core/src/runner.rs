@@ -83,6 +83,19 @@ impl RunOverrides {
     }
 }
 
+/// Stride between consecutive episode seeds. A prime comfortably larger
+/// than any per-episode RNG-stream offset, so episode streams never
+/// overlap; shared by every sweep path (sequential and parallel) so the
+/// two can never drift apart.
+pub const EPISODE_SEED_STRIDE: u64 = 7919;
+
+/// The seed of episode `i` in a sweep starting at `base`. Every harness
+/// that derives per-episode seeds must go through this helper — it is what
+/// makes parallel and sequential sweeps bit-identical.
+pub fn episode_seed(base: u64, i: usize) -> u64 {
+    base.wrapping_add(i as u64 * EPISODE_SEED_STRIDE)
+}
+
 /// Runs one episode of `spec` with `overrides` at `seed`.
 pub fn run_episode(spec: &WorkloadSpec, overrides: &RunOverrides, seed: u64) -> EpisodeReport {
     overrides.build_system(spec, seed).run()
@@ -110,7 +123,7 @@ pub fn run_many(
     label: impl Into<String>,
 ) -> Aggregate {
     let reports: Vec<EpisodeReport> = (0..episodes)
-        .map(|i| run_episode(spec, overrides, base_seed.wrapping_add(i as u64 * 7919)))
+        .map(|i| run_episode(spec, overrides, episode_seed(base_seed, i)))
         .collect();
     Aggregate::from_reports(label, &reports)
 }

@@ -6,6 +6,7 @@
 //! matter (e.g. validating the heuristic's calibration — see the tests,
 //! which hold the two within a band on domain text).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// Embedded training corpus: representative of what the suite's prompts
@@ -34,6 +35,11 @@ teammates reflection verifies whether the action achieved its intent";
 pub struct BpeTokenizer {
     /// Merge ranks: pair of token strings → priority (lower merges first).
     merges: HashMap<(String, String), usize>,
+    /// Per-word encoded-length memo. Greedy encoding is a pure function of
+    /// the trained merges, so a word's token count never changes for a
+    /// given tokenizer — prompts repeat the same vocabulary step after
+    /// step, and the memo turns each repeat into a hash lookup.
+    word_counts: RefCell<HashMap<String, u64>>,
 }
 
 impl BpeTokenizer {
@@ -94,7 +100,10 @@ impl BpeTokenizer {
             }
             merges.insert(best, rank);
         }
-        BpeTokenizer { merges }
+        BpeTokenizer {
+            merges,
+            word_counts: RefCell::new(HashMap::new()),
+        }
     }
 
     /// Number of learned merge rules.
@@ -127,9 +136,20 @@ impl BpeTokenizer {
     }
 
     /// Token count of a text (whitespace-split words, BPE within words).
+    /// Word counts are memoized, so repeated vocabulary costs one hash
+    /// lookup instead of a full greedy merge loop; the memoized count is
+    /// exactly `encode_word(w).len()` (see the cache-consistency test).
     pub fn count(&self, text: &str) -> u64 {
+        let mut memo = self.word_counts.borrow_mut();
         text.split_whitespace()
-            .map(|w| self.encode_word(w).len() as u64)
+            .map(|w| match memo.get(w) {
+                Some(&n) => n,
+                None => {
+                    let n = self.encode_word(w).len() as u64;
+                    memo.insert(w.to_owned(), n);
+                    n
+                }
+            })
             .sum()
     }
 }
@@ -206,6 +226,27 @@ mod tests {
         let t = BpeTokenizer::new(0);
         assert_eq!(t.count("abc de"), 5);
         assert_eq!(t.merge_count(), 0);
+    }
+
+    #[test]
+    fn memoized_count_matches_uncached_encoding() {
+        let warm = tok();
+        let text = "the agent transports the red apple to the kitchen \
+                    counter the agent transports another apple";
+        // First call populates the memo, second is served from it.
+        let first = warm.count(text);
+        let second = warm.count(text);
+        // A fresh tokenizer has a cold memo.
+        let cold = tok().count(text);
+        assert_eq!(first, second);
+        assert_eq!(first, cold);
+        // And both equal per-word greedy encoding, the uncached reference.
+        let fresh = tok();
+        let reference: u64 = text
+            .split_whitespace()
+            .map(|w| fresh.encode_word(w).len() as u64)
+            .sum();
+        assert_eq!(first, reference);
     }
 
     #[test]

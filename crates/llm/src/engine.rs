@@ -5,7 +5,7 @@ use crate::latency::{batch_latency, inference_cost, inference_latency};
 use crate::profile::ModelProfile;
 use crate::quality::QualityModel;
 use crate::request::{LlmRequest, LlmResponse};
-use crate::tokenizer::Tokenizer;
+use crate::tokenizer::{PromptTokens, Tokenizer};
 use embodied_profiler::{ResilienceStats, SimDuration, TokenStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -86,6 +86,12 @@ fn floor_char(s: &str, max: usize) -> usize {
 pub struct LlmEngine {
     profile: ModelProfile,
     tokenizer: Tokenizer,
+    /// Incremental counter over this engine's prompt stream. Purely a count
+    /// accelerator: it returns exactly what `tokenizer.count` would, it just
+    /// avoids re-tokenizing the stable prefix of step-over-step prompts.
+    /// (Distinct from `last_prompt`, which carries KV-reuse *semantics*:
+    /// faulted calls update the cache text but never `last_prompt`.)
+    prompt_cache: PromptTokens,
     quality_model: QualityModel,
     rng: StdRng,
     usage: TokenStats,
@@ -104,6 +110,7 @@ impl LlmEngine {
         LlmEngine {
             profile,
             tokenizer: Tokenizer::default(),
+            prompt_cache: PromptTokens::new(),
             quality_model: QualityModel::default(),
             rng: StdRng::seed_from_u64(seed ^ 0x5eed_11a3),
             usage: TokenStats::default(),
@@ -241,7 +248,9 @@ impl LlmEngine {
     /// *original* length — the information was composed for the model but
     /// could not all reach it.
     pub fn infer(&mut self, req: LlmRequest) -> Result<LlmResponse, LlmError> {
-        let raw_prompt_tokens = self.tokenizer.count(&req.prompt);
+        let raw_prompt_tokens = self
+            .tokenizer
+            .count_incremental(&mut self.prompt_cache, &req.prompt);
         if raw_prompt_tokens == 0 {
             return Err(LlmError::EmptyPrompt);
         }
@@ -282,9 +291,12 @@ impl LlmEngine {
                     .zip(req.prompt.as_bytes())
                     .take_while(|(a, b)| a == b)
                     .count();
+                // The cache holds `req.prompt` (counted above), so the
+                // prefix count is served from its checkpoints instead of
+                // re-tokenizing the whole shared prefix every call.
                 let reused = self
-                    .tokenizer
-                    .count(&req.prompt[..floor_char(&req.prompt, shared_bytes)]);
+                    .prompt_cache
+                    .count_prefix(&self.tokenizer, floor_char(&req.prompt, shared_bytes));
                 opts.kv_reused_tokens = opts.kv_reused_tokens.max(reused.min(prompt_tokens));
             }
         }
@@ -636,6 +648,25 @@ mod tests {
             spiked.quality, clean.quality,
             "spike leaves the main stream alone"
         );
+    }
+
+    #[test]
+    fn cached_prompt_counts_match_plain_counts() {
+        // The engine's incremental counter must report exactly what a plain
+        // recount reports, for a growing multi-byte prompt stream with the
+        // KV-reuse path exercised too.
+        let mut e = LlmEngine::new(ModelProfile::gpt4_api(), 17).with_kv_reuse(true);
+        let tok = e.tokenizer().clone();
+        let mut prompt = String::from("[system] plan the long-horizon task\n");
+        for step in 0..12 {
+            prompt.push_str(&format!(
+                "step {step}: observed 物体_{step} 🤖 at (3,{step})\n"
+            ));
+            let r = e
+                .infer(LlmRequest::new(Purpose::Planning, prompt.as_str(), 40))
+                .unwrap();
+            assert_eq!(r.prompt_tokens, tok.count(&prompt));
+        }
     }
 
     #[test]

@@ -54,4 +54,4 @@ pub use profile::{Deployment, EncoderProfile, ModelProfile};
 pub use quality::QualityModel;
 pub use request::{LlmRequest, LlmResponse, Purpose};
 pub use resilience::{InferenceEndpoint, ResilientEngine, RetryPolicy};
-pub use tokenizer::Tokenizer;
+pub use tokenizer::{PromptTokens, Tokenizer};

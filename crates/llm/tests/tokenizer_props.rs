@@ -1,0 +1,130 @@
+//! Property tests for the incremental prompt-token accumulator and the
+//! memoized BPE counter: under arbitrary multi-byte append/rewrite
+//! sequences, cached counts must equal full recounts exactly.
+
+use embodied_llm::{BpeTokenizer, PromptTokens, Tokenizer};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Prompt fragments mixing ASCII, CJK, emoji, exotic whitespace (U+3000
+/// ideographic space) and long words — the shapes that stress the
+/// checkpoint seam and UTF-8 boundary handling.
+fn segment() -> BoxedStrategy<String> {
+    prop_oneof![
+        Just("[system] plan the next step\n".to_owned()),
+        Just("observation: the fridge is open ".to_owned()),
+        Just("漢字のトークン化を確認する ".to_owned()),
+        Just("🍎🍐🦀 emoji\u{3000}and ideographic space ".to_owned()),
+        Just("supercalifragilisticexpialidocious ".to_owned()),
+        Just("x ".to_owned()),
+        Just("  \t\n ".to_owned()),
+        Just("re-plan; retry(2) -> pick_up(apple_🍎) ".to_owned()),
+        Just("0123456789 ".to_owned()),
+        Just("ωμέγα και ελληνικά ".to_owned()),
+    ]
+    .boxed()
+}
+
+/// Largest `k <= upto` that is a char boundary of `s`.
+fn floor_char(s: &str, upto: usize) -> usize {
+    let mut k = upto.min(s.len());
+    while !s.is_char_boundary(k) {
+        k -= 1;
+    }
+    k
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Growing a prompt by arbitrary multi-byte appends: every incremental
+    /// count equals a from-scratch recount of the full text.
+    #[test]
+    fn incremental_equals_full_recount_on_appends(
+        segments in collection::vec(segment(), 1..14),
+    ) {
+        let tok = Tokenizer::default();
+        let mut cache = PromptTokens::new();
+        let mut prompt = String::new();
+        for seg in &segments {
+            prompt.push_str(seg);
+            prop_assert_eq!(
+                tok.count_incremental(&mut cache, &prompt),
+                tok.count(&prompt),
+                "append diverged on {:?}",
+                prompt
+            );
+        }
+    }
+
+    /// Arbitrary edit sequences — append, truncate to a mid-text char
+    /// boundary, or replace wholesale — still recount exactly. This covers
+    /// shrinking and divergent prefixes, not just Fig. 6-style growth.
+    #[test]
+    fn incremental_equals_full_recount_on_rewrites(
+        edits in collection::vec((0u32..4, segment()), 1..14),
+    ) {
+        let tok = Tokenizer::default();
+        let mut cache = PromptTokens::new();
+        let mut prompt = String::new();
+        for (op, seg) in &edits {
+            match op {
+                0 | 1 => prompt.push_str(seg),
+                2 => {
+                    let half = floor_char(&prompt, prompt.len() / 2);
+                    prompt.truncate(half);
+                }
+                _ => prompt = seg.clone(),
+            }
+            prop_assert_eq!(
+                tok.count_incremental(&mut cache, &prompt),
+                tok.count(&prompt),
+                "edit op {} diverged on {:?}",
+                op,
+                prompt
+            );
+        }
+    }
+
+    /// `count_prefix` answers from checkpoints; it must agree with a plain
+    /// count of the prefix at every sampled char boundary.
+    #[test]
+    fn count_prefix_equals_plain_prefix_count(
+        segments in collection::vec(segment(), 1..10),
+        cut in 0.0f64..1.0,
+    ) {
+        let tok = Tokenizer::default();
+        let mut cache = PromptTokens::new();
+        let prompt: String = segments.concat();
+        tok.count_incremental(&mut cache, &prompt);
+        let upto = floor_char(&prompt, (prompt.len() as f64 * cut) as usize);
+        prop_assert_eq!(
+            cache.count_prefix(&tok, upto),
+            tok.count(&prompt[..upto]),
+            "prefix count diverged at byte {} of {:?}",
+            upto,
+            prompt
+        );
+    }
+}
+
+proptest! {
+    // BPE training is expensive; a handful of cases against one shared
+    // tokenizer still exercises cold-vs-warm memo paths on every word.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The per-word memo never changes a count: a warm tokenizer agrees
+    /// with a freshly trained (cold) one on arbitrary texts.
+    #[test]
+    fn bpe_memo_matches_fresh_tokenizer(
+        segments in collection::vec(segment(), 1..8),
+    ) {
+        let warm = BpeTokenizer::new(120);
+        let text: String = segments.concat();
+        let first = warm.count(&text);
+        let second = warm.count(&text); // fully memoized pass
+        let cold = BpeTokenizer::new(120).count(&text);
+        prop_assert_eq!(first, cold);
+        prop_assert_eq!(second, cold);
+    }
+}

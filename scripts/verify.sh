@@ -10,6 +10,15 @@ cargo build --release
 echo "== cargo test =="
 cargo test -q
 
+echo "== cargo test (workspace) =="
+cargo test -q --workspace
+
+echo "== parallel determinism (EMBODIED_JOBS=4) =="
+EMBODIED_JOBS=4 cargo test --release -q -p embodied-bench --test parallel_determinism
+
+echo "== bench_all --smoke (sequential vs parallel byte-identity) =="
+cargo run --release -q -p embodied-bench --bin bench_all -- --smoke
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
