@@ -1,0 +1,172 @@
+//! Resilience scalability — how each coordination paradigm degrades when
+//! *agents themselves* fail, not just the LLM substrate underneath them.
+//!
+//! Sweeps team size × agent-fault rate (crash/stall/coordinator-crash) over
+//! a decentralized system (CoELA) and a centralized one (MindAgent) with
+//! coordinator failover off and on, then sweeps channel loss at a fixed
+//! team size. The headline contrast: decentralized teams degrade gracefully
+//! because surviving peers replan around suspected teammates, while a
+//! centralized team without failover falls off a cliff the first time its
+//! coordinator dies — failover buys that cliff back for a resync cost.
+//!
+//! ```text
+//! cargo run --release -p embodied-bench --bin resilience_scalability [-- --smoke]
+//! ```
+//!
+//! `--smoke` shrinks the grid and episode count for a fast correctness
+//! pass (used by `scripts/verify.sh` from a scratch directory so the
+//! canonical `results/resilience_scalability.md` is not clobbered).
+
+use embodied_agents::{workloads, AgentFaultProfile, ChannelProfile, RunOverrides};
+use embodied_bench::{banner, episodes, ExperimentOutput, SweepPlan};
+use embodied_env::TaskDifficulty;
+use embodied_profiler::{pct, Table};
+
+type FaultCtor = fn(f64) -> AgentFaultProfile;
+
+/// workload, row label, agent-fault profile constructor.
+const VARIANTS: [(&str, &str, FaultCtor); 3] = [
+    ("CoELA", "decentralized", AgentFaultProfile::uniform),
+    (
+        "MindAgent",
+        "centralized, no failover",
+        AgentFaultProfile::uniform,
+    ),
+    (
+        "MindAgent",
+        "centralized, failover",
+        AgentFaultProfile::uniform_with_failover,
+    ),
+];
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let team_sizes: &[usize] = if smoke { &[4] } else { &[2, 4, 6] };
+    let fault_rates: &[f64] = if smoke {
+        &[0.0, 0.05]
+    } else {
+        &[0.0, 0.02, 0.05, 0.10]
+    };
+    let drop_rates: &[f64] = if smoke {
+        &[0.10]
+    } else {
+        &[0.0, 0.05, 0.10, 0.20]
+    };
+    let n = if smoke { 2 } else { episodes() };
+
+    let mut out = ExperimentOutput::new("resilience_scalability");
+    banner(
+        &mut out,
+        "Resilience scalability: agent faults across paradigms",
+        "Team size x agent-fault rate x paradigm, plus channel loss",
+    );
+
+    // Plan pass: both grids in one pool fan-out.
+    let mut plan = SweepPlan::new();
+    for (name, _, fault) in VARIANTS {
+        let spec = workloads::find(name).expect("suite member");
+        for &agents in team_sizes {
+            for &rate in fault_rates {
+                let overrides = RunOverrides {
+                    difficulty: Some(TaskDifficulty::Medium),
+                    num_agents: Some(agents),
+                    agent_faults: Some(fault(rate)),
+                    ..Default::default()
+                };
+                plan.add(&spec, &overrides, n);
+            }
+        }
+    }
+    for (name, _, _) in VARIANTS {
+        let spec = workloads::find(name).expect("suite member");
+        for &rate in drop_rates {
+            let overrides = RunOverrides {
+                difficulty: Some(TaskDifficulty::Medium),
+                num_agents: Some(4),
+                channel: Some(ChannelProfile::lossy(rate)),
+                ..Default::default()
+            };
+            plan.add(&spec, &overrides, n);
+        }
+    }
+    let mut results = plan.run();
+
+    for (name, label, _) in VARIANTS {
+        out.section(&format!("{name} ({label})"));
+        let mut table = Table::new([
+            "agents",
+            "fault rate",
+            "success",
+            "Δ success",
+            "steps",
+            "end-to-end",
+            "crashes/ep",
+            "downtime/ep",
+            "coord down",
+            "failovers",
+            "resync tok",
+        ]);
+        for &agents in team_sizes {
+            let mut clean_success = None;
+            for &rate in fault_rates {
+                let agg = results.take_agg(name);
+                let baseline = *clean_success.get_or_insert(agg.success_rate);
+                let eps = agg.episodes.max(1) as f64;
+                table.row([
+                    agents.to_string(),
+                    format!("{:.0}%", rate * 100.0),
+                    pct(agg.success_rate),
+                    format!("{:+.1}pp", (agg.success_rate - baseline) * 100.0),
+                    format!("{:.1}", agg.mean_steps),
+                    agg.mean_latency.to_string(),
+                    format!("{:.1}", agg.agent_faults_per_episode()),
+                    format!("{:.1}", agg.downtime_per_episode()),
+                    format!(
+                        "{:.1}",
+                        agg.agent_faults.coordinator_down_steps as f64 / eps
+                    ),
+                    agg.agent_faults.failovers.to_string(),
+                    agg.agent_faults.resync_tokens.to_string(),
+                ]);
+            }
+        }
+        out.line(table.render());
+    }
+
+    out.section("Channel loss (4 agents, medium difficulty)");
+    let mut table = Table::new([
+        "system",
+        "drop rate",
+        "success",
+        "steps",
+        "channel events/ep",
+        "lost assignments",
+        "suspected peers",
+    ]);
+    for (name, label, _) in VARIANTS {
+        for &rate in drop_rates {
+            let agg = results.take_agg(name);
+            table.row([
+                format!("{name} ({label})"),
+                format!("{:.0}%", rate * 100.0),
+                pct(agg.success_rate),
+                format!("{:.1}", agg.mean_steps),
+                format!("{:.1}", agg.channel_events_per_episode()),
+                agg.agent_faults.lost_assignments.to_string(),
+                agg.agent_faults.suspected_peers.to_string(),
+            ]);
+        }
+    }
+    out.line(table.render());
+
+    out.line(
+        "Reading: decentralized success decays smoothly with the agent-fault \
+         rate — surviving peers suspect silent teammates and replan around \
+         them. Centralized without failover collapses once the coordinator \
+         crashes (the team executes stale assignments headlessly for the rest \
+         of the episode); enabling failover promotes the lowest-id survivor \
+         after a detection delay and pays a one-off resync prompt, recovering \
+         most of the lost success. At rate 0 every row matches the fault-free \
+         baseline — the fault layer is pay-for-use.",
+    );
+}

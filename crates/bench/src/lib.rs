@@ -18,7 +18,9 @@
 
 pub mod parallel;
 
-pub use parallel::{jobs, par_map, par_map_with, SweepPlan, SweepResults};
+pub use parallel::{
+    jobs, par_map, par_map_with, try_par_map, try_par_map_with, SweepPlan, SweepResults,
+};
 
 use embodied_agents::{episode_seed, run_episode, RunOverrides, WorkloadSpec};
 use embodied_profiler::{Aggregate, EpisodeReport};

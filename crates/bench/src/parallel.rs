@@ -16,7 +16,20 @@
 use crate::base_seed;
 use embodied_agents::{episode_seed, run_episode, RunOverrides, WorkloadSpec};
 use embodied_profiler::{Aggregate, EpisodeReport};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Renders a caught panic payload into a printable message (panics carry
+/// `&str` or `String` in practice; anything else gets a generic label).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "episode job panicked with a non-string payload".to_string()
+    }
+}
 
 /// Worker-thread count: `EMBODIED_JOBS` if set and positive, otherwise the
 /// host's available hardware parallelism (1 if that cannot be determined).
@@ -51,32 +64,61 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    try_par_map_with(workers, n, f)
+        .into_iter()
+        .enumerate()
+        .map(|(i, result)| result.unwrap_or_else(|msg| panic!("job {i} panicked: {msg}")))
+        .collect()
+}
+
+/// [`par_map`] with per-job panic isolation: each job runs under
+/// `catch_unwind`, so one poisoned input yields an `Err` in its own slot
+/// while every other job still completes and returns `Ok`. The returned
+/// vector is in index order, like [`par_map`].
+pub fn try_par_map<T, F>(n: usize, f: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    try_par_map_with(jobs(), n, f)
+}
+
+/// [`try_par_map`] with an explicit worker count.
+pub fn try_par_map_with<T, F>(workers: usize, n: usize, f: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let guarded = |i: usize| catch_unwind(AssertUnwindSafe(|| f(i))).map_err(panic_message);
     if workers <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n).map(guarded).collect();
     }
     let workers = workers.min(n);
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut slots: Vec<Option<Result<T, String>>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
                     // Work stealing: whichever worker is free claims the
                     // next job index; nothing is pre-partitioned.
-                    let mut produced: Vec<(usize, T)> = Vec::new();
+                    let mut produced: Vec<(usize, Result<T, String>)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        produced.push((i, f(i)));
+                        produced.push((i, guarded(i)));
                     }
                     produced
                 })
             })
             .collect();
         for handle in handles {
-            for (i, value) in handle.join().expect("episode worker panicked") {
+            // Job panics are caught inside the loop above, so a worker
+            // thread itself only dies on catastrophic failures (e.g. stack
+            // exhaustion in the harness itself).
+            for (i, value) in handle.join().expect("episode worker pool thread died") {
                 slots[i] = Some(value);
             }
         }
@@ -171,6 +213,18 @@ impl SweepPlan {
 
     /// [`SweepPlan::run`] with an explicit worker count.
     pub fn run_with(self, workers: usize) -> SweepResults {
+        self.run_with_runner(workers, run_episode)
+    }
+
+    /// [`SweepPlan::run_with`] with a custom episode runner — the seam the
+    /// panic-isolation tests use to inject a poisoned job without needing a
+    /// workload that panics organically. Each `(spec, overrides, seed)` job
+    /// runs under `catch_unwind`; a panic marks only its own configuration
+    /// failed, and every other grid cell still completes.
+    pub fn run_with_runner<F>(self, workers: usize, runner: F) -> SweepResults
+    where
+        F: Fn(&WorkloadSpec, &RunOverrides, u64) -> EpisodeReport + Sync,
+    {
         // Flatten the grid to (config, episode) jobs so the pool balances
         // across the whole experiment, not within one configuration.
         let mut index: Vec<(usize, usize)> = Vec::new();
@@ -179,20 +233,26 @@ impl SweepPlan {
                 index.push((c, e));
             }
         }
-        let reports = par_map_with(workers, index.len(), |j| {
+        let outcomes = try_par_map_with(workers, index.len(), |j| {
             let (c, e) = index[j];
             let cfg = &self.configs[c];
-            run_episode(&cfg.spec, &cfg.overrides, episode_seed(cfg.base_seed, e))
+            runner(&cfg.spec, &cfg.overrides, episode_seed(cfg.base_seed, e))
         });
-        let mut grouped: Vec<Vec<EpisodeReport>> = self
+        let mut grouped: Vec<Result<Vec<EpisodeReport>, String>> = self
             .configs
             .iter()
-            .map(|c| Vec::with_capacity(c.episodes))
+            .map(|c| Ok(Vec::with_capacity(c.episodes)))
             .collect();
-        // `index` is ordered (c asc, e asc) and `reports` matches it, so
-        // each group receives its episodes in seed order.
-        for ((c, _), report) in index.into_iter().zip(reports) {
-            grouped[c].push(report);
+        // `index` is ordered (c asc, e asc) and `outcomes` matches it, so
+        // each group receives its episodes in seed order. A failed episode
+        // poisons its configuration (first failure message wins) — never
+        // its neighbours in the grid.
+        for ((c, _), outcome) in index.into_iter().zip(outcomes) {
+            match (&mut grouped[c], outcome) {
+                (Ok(group), Ok(report)) => group.push(report),
+                (slot @ Ok(_), Err(msg)) => *slot = Err(msg),
+                (Err(_), _) => {}
+            }
         }
         SweepResults {
             reports: grouped,
@@ -203,27 +263,50 @@ impl SweepPlan {
 
 /// Results of an executed [`SweepPlan`], consumed in submission order.
 pub struct SweepResults {
-    reports: Vec<Vec<EpisodeReport>>,
+    reports: Vec<Result<Vec<EpisodeReport>, String>>,
     cursor: usize,
 }
 
 impl SweepResults {
     /// The reports of configuration `idx` (submission order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an episode of that configuration panicked.
     pub fn reports(&self, idx: usize) -> &[EpisodeReport] {
-        &self.reports[idx]
+        match &self.reports[idx] {
+            Ok(group) => group,
+            Err(msg) => panic!("sweep configuration {idx} failed: {msg}"),
+        }
     }
 
     /// Takes the next configuration's reports, advancing the cursor — the
     /// render pass mirrors the plan pass by calling this in the same order
-    /// it called [`SweepPlan::add`].
+    /// it called [`SweepPlan::add`]. `Err` carries the panic message of the
+    /// configuration's first failed episode.
+    pub fn take_result(&mut self) -> Result<Vec<EpisodeReport>, String> {
+        let idx = self.cursor;
+        self.cursor += 1;
+        std::mem::replace(&mut self.reports[idx], Ok(Vec::new()))
+    }
+
+    /// [`SweepResults::take_result`], aggregated under `label`.
+    pub fn take_agg_result(&mut self, label: impl Into<String>) -> Result<Aggregate, String> {
+        self.take_result()
+            .map(|reports| Aggregate::from_reports(label, &reports))
+    }
+
+    /// Takes the next configuration's reports, advancing the cursor.
     ///
     /// # Panics
     ///
-    /// Panics if more configurations are taken than were submitted.
+    /// Panics if more configurations are taken than were submitted, or if
+    /// an episode of this configuration panicked — binaries that want one
+    /// bad grid cell to spare the rest use [`SweepResults::take_result`].
     pub fn take(&mut self) -> Vec<EpisodeReport> {
         let idx = self.cursor;
-        self.cursor += 1;
-        std::mem::take(&mut self.reports[idx])
+        self.take_result()
+            .unwrap_or_else(|msg| panic!("sweep configuration {idx} failed: {msg}"))
     }
 
     /// [`SweepResults::take`], aggregated under `label`.
@@ -290,5 +373,62 @@ mod tests {
     #[test]
     fn jobs_defaults_to_positive() {
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn try_par_map_isolates_a_panicking_job() {
+        for workers in [1, 4] {
+            let results = try_par_map_with(workers, 8, |i| {
+                if i == 3 {
+                    panic!("poisoned job {i}");
+                }
+                i * 10
+            });
+            for (i, result) in results.iter().enumerate() {
+                if i == 3 {
+                    let msg = result.as_ref().expect_err("job 3 panics");
+                    assert!(msg.contains("poisoned job 3"), "unexpected message: {msg}");
+                } else {
+                    assert_eq!(*result.as_ref().expect("other jobs survive"), i * 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_episode_fails_only_its_own_grid_cell() {
+        let spec = workloads::find("DEPS").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            ..Default::default()
+        };
+        let poisoned_seed = episode_seed(1000, 1);
+        for workers in [1, 4] {
+            let mut plan = SweepPlan::new();
+            plan.add_seeded(&spec, &overrides, 2, 42);
+            plan.add_seeded(&spec, &overrides, 3, 1000);
+            plan.add_seeded(&spec, &overrides, 2, 7);
+            let mut results = plan.run_with_runner(workers, |spec, overrides, seed| {
+                if seed == poisoned_seed {
+                    panic!("injected episode failure at seed {seed}");
+                }
+                run_episode(spec, overrides, seed)
+            });
+            let first = results
+                .take_result()
+                .expect("cell before the poison survives");
+            assert_eq!(first.len(), 2);
+            let msg = results.take_result().expect_err("poisoned cell fails");
+            assert!(msg.contains("injected episode failure"), "got: {msg}");
+            let third = results
+                .take_result()
+                .expect("cell after the poison survives");
+            assert_eq!(third.len(), 2);
+            // The surviving cells still match their sequential reference runs.
+            for (i, report) in third.iter().enumerate() {
+                let reference = run_episode(&spec, &overrides, episode_seed(7, i));
+                assert_eq!(format!("{report:?}"), format!("{reference:?}"));
+            }
+        }
     }
 }

@@ -1,0 +1,59 @@
+//! Fault-injected sweeps must stay bit-identical across worker counts:
+//! every crash schedule, channel draw and failover election is a pure
+//! function of the episode seed, so `EMBODIED_JOBS=1` and `EMBODIED_JOBS=4`
+//! produce byte-for-byte the same aggregates.
+
+use embodied_agents::{
+    episode_seed, run_episode, workloads, AgentFaultProfile, ChannelProfile, RunOverrides,
+};
+use embodied_bench::{par_map_with, SweepPlan};
+use embodied_profiler::Aggregate;
+
+const EPISODES: usize = 4;
+const BASE_SEED: u64 = 42;
+
+fn fault_overrides() -> RunOverrides {
+    RunOverrides {
+        num_agents: Some(4),
+        agent_faults: Some(AgentFaultProfile::uniform_with_failover(0.05)),
+        channel: Some(ChannelProfile::lossy(0.10)),
+        ..Default::default()
+    }
+}
+
+/// Debug rendering of the aggregate — includes every stat the fault layer
+/// writes, so any cross-worker divergence shows up as a byte diff.
+fn agg_bytes(spec_name: &str, workers: usize) -> String {
+    let spec = workloads::find(spec_name).expect("suite member");
+    let overrides = fault_overrides();
+    let reports = par_map_with(workers, EPISODES, |i| {
+        run_episode(&spec, &overrides, episode_seed(BASE_SEED, i))
+    });
+    format!("{:?}", Aggregate::from_reports(spec_name, &reports))
+}
+
+#[test]
+fn faulted_sweeps_bit_identical_across_worker_counts() {
+    for name in ["MindAgent", "CoELA", "RoCo"] {
+        let seq = agg_bytes(name, 1);
+        let par = agg_bytes(name, 4);
+        assert_eq!(seq, par, "{name}: faulted jobs=4 diverged from jobs=1");
+    }
+}
+
+#[test]
+fn faulted_sweep_plan_matches_sequential_reference() {
+    let spec = workloads::find("MindAgent").expect("suite member");
+    let overrides = fault_overrides();
+    let mut plan = SweepPlan::new();
+    plan.add_seeded(&spec, &overrides, EPISODES, BASE_SEED);
+    let mut results = plan.run_with(4);
+    for (i, report) in results.take().iter().enumerate() {
+        let reference = run_episode(&spec, &overrides, episode_seed(BASE_SEED, i));
+        assert_eq!(
+            format!("{report:?}"),
+            format!("{reference:?}"),
+            "episode {i} diverged from its sequential reference"
+        );
+    }
+}

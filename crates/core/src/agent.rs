@@ -53,6 +53,14 @@ pub struct ModularAgent {
     /// The most recent successfully planned subgoal — the graceful-
     /// degradation fallback when a planner call faults out entirely.
     pub last_plan: Option<Subgoal>,
+    /// Step at which each peer's heartbeat was last heard (sized lazily to
+    /// the team on the first fault-aware step; empty when the agent-fault
+    /// layer is inactive).
+    pub peer_last_heard: Vec<usize>,
+    /// Peers this agent currently believes are down (heartbeat silent past
+    /// the staleness threshold) — planning routes joint subgoals around
+    /// them until they are heard again.
+    pub suspected: HashSet<usize>,
 }
 
 impl ModularAgent {
@@ -140,6 +148,8 @@ impl ModularAgent {
             inbox: Vec::new(),
             failure_streak: 0,
             last_plan: None,
+            peer_last_heard: Vec::new(),
+            suspected: HashSet::new(),
         }
     }
 

@@ -186,6 +186,13 @@ pub struct AgentConfig {
     /// Retry/backoff policy the resilience wrapper applies around each
     /// engine.
     pub retry_policy: RetryPolicy,
+    /// Agent-process fault schedule (crash/stall/recover, coordinator
+    /// failover). Defaults to [`crate::faults::AgentFaultProfile::none()`]
+    /// — agent faults are strictly opt-in.
+    pub agent_fault_profile: crate::faults::AgentFaultProfile,
+    /// Message-channel fault profile (drop/duplicate/corrupt/delay/
+    /// partition). Defaults to [`crate::faults::ChannelProfile::none()`].
+    pub channel_profile: crate::faults::ChannelProfile,
 }
 
 impl AgentConfig {
@@ -209,6 +216,8 @@ impl AgentConfig {
             opts: Optimizations::default(),
             fault_profile: FaultProfile::none(),
             retry_policy: RetryPolicy::standard(),
+            agent_fault_profile: crate::faults::AgentFaultProfile::none(),
+            channel_profile: crate::faults::ChannelProfile::none(),
         }
     }
 }

@@ -195,6 +195,8 @@ impl EndToEndSystem {
             by_phase,
             messages: MessageStats::default(),
             resilience: embodied_profiler::ResilienceStats::default(),
+            agent_faults: embodied_profiler::AgentFaultStats::default(),
+            channel: embodied_profiler::ChannelStats::default(),
             step_records: self.step_records.clone(),
             agents: 1,
         }

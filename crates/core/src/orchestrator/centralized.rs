@@ -19,6 +19,13 @@ const JOINT_DIFFICULTY_PER_AGENT: f64 = 0.09;
 
 /// Runs one environment step for a centralized system.
 pub(crate) fn step(sys: &mut EmbodiedSystem) {
+    // A dead coordinator takes the whole planning pipeline with it: no
+    // joint plan, no instructions, no feedback loop. Agents run headless
+    // until the episode ends or a failover promotes a survivor.
+    if sys.agent_faults.coordinator_down() {
+        headless_step(sys);
+        return;
+    }
     let assignments = central_round(sys, 0.0);
     // Instruction broadcast: one communication call distributing the plan.
     broadcast_instructions(sys, &assignments);
@@ -28,8 +35,36 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
     if sys.agents[0].config.central_feedback_extraction {
         extract_feedback(sys, &assignments);
     }
-    for (i, subgoal) in assignments.iter().enumerate() {
-        let outcome = sys.execute_with_reflection(i, subgoal);
+    execute_assignments(sys, &assignments);
+}
+
+/// Executes the center's per-agent assignments, each delivered over the
+/// instruction channel: a lost, garbled, or late instruction leaves the
+/// agent on its stale plan (or exploring) this step. Crashed and stalled
+/// agents do nothing. A `none()` channel delivers every assignment intact
+/// with zero draws.
+pub(crate) fn execute_assignments(sys: &mut EmbodiedSystem, assignments: &[Subgoal]) {
+    let n = sys.agents.len();
+    for (i, assigned) in assignments.iter().enumerate() {
+        if !sys.agent_faults.is_active(i) {
+            continue;
+        }
+        let center_host = sys.agent_faults.coordinator;
+        let subgoal = match sys.channel.fate(center_host, i, n) {
+            crate::faults::DeliveryFate::Deliver {
+                corrupt: false,
+                delay: 0,
+                ..
+            } => {
+                sys.agents[i].last_plan = Some(assigned.clone());
+                assigned.clone()
+            }
+            _ => {
+                sys.agent_faults.stats.lost_assignments += 1;
+                sys.agents[i].last_plan.clone().unwrap_or(Subgoal::Explore)
+            }
+        };
+        let outcome = sys.execute_with_reflection(i, &subgoal);
         // Local feedback flows back into the central memory.
         if let Some(central) = sys.central.as_mut() {
             central.memory.store(
@@ -41,12 +76,29 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
     }
 }
 
+/// One step with the coordinator dead and no failover (yet): surviving
+/// agents still sense and act, but only on their last instruction (or by
+/// exploring) — coordination is gone, which is the centralized
+/// single-point-of-failure cliff the resilience experiments measure.
+pub(crate) fn headless_step(sys: &mut EmbodiedSystem) {
+    sys.agent_faults.note_headless_step();
+    let n = sys.agents.len();
+    for i in 0..n {
+        if !sys.agent_faults.is_active(i) {
+            continue;
+        }
+        let _ = sys.sense_phase(i);
+        let subgoal = sys.agents[i].last_plan.clone().unwrap_or(Subgoal::Explore);
+        sys.execute_with_reflection(i, &subgoal);
+    }
+}
+
 /// One central planning pass: joint prompt → one inference → per-agent
 /// assignments. `quality_bonus` lets the hybrid refine pass model the value
 /// of agent feedback. Also runs sensing/reflection for every agent.
 pub(crate) fn central_round(sys: &mut EmbodiedSystem, quality_bonus: f64) -> Vec<Subgoal> {
     let n = sys.agents.len();
-    let percepts: Vec<Percept> = (0..n).map(|i| sys.sense_phase(i)).collect();
+    let percepts: Vec<Percept> = (0..n).map(|i| sys.sense_phase_or_placeholder(i)).collect();
     plan_assignments(sys, &percepts, quality_bonus, false)
 }
 
@@ -85,10 +137,24 @@ pub(crate) fn plan_assignments(
     let mut oracles = Vec::with_capacity(n);
     let mut menus = Vec::with_capacity(n);
     for i in 0..n {
-        let oracle =
+        // The center knows exactly who is unresponsive (it just saw their
+        // report slots empty) and assigns them Wait, routing joint work
+        // around them until they rejoin.
+        if !sys.agent_faults.is_active(i) {
+            oracles.push(Vec::new());
+            menus.push(vec![Subgoal::Wait]);
+            continue;
+        }
+        let mut oracle =
             sys.agents[i].filter_subgoals(sys.env.oracle_subgoals(i), &central_known, step);
         let mut menu =
             sys.agents[i].filter_subgoals(sys.env.candidate_subgoals(i), &central_known, step);
+        let partner_missing = |sg: &Subgoal| {
+            matches!(sg, Subgoal::LiftTogether { partner, .. }
+                if *partner < n && !sys.agent_faults.is_active(*partner))
+        };
+        oracle.retain(|sg| !partner_missing(sg));
+        menu.retain(|sg| !partner_missing(sg));
         if menu.is_empty() {
             menu.push(Subgoal::Explore);
         }
@@ -172,6 +238,10 @@ pub(crate) fn extract_feedback(sys: &mut EmbodiedSystem, assignments: &[Subgoal]
     let difficulty = sys.env.difficulty().scalar();
     let opts = EmbodiedSystem::infer_opts_for(&sys.agents[0].config, sys.agents.len());
     for (i, sg) in assignments.iter().enumerate() {
+        // An unresponsive agent has no feedback to extract.
+        if !sys.agent_faults.is_active(i) {
+            continue;
+        }
         let Some(central) = sys.central.as_mut() else {
             return;
         };
@@ -264,8 +334,13 @@ pub(crate) fn broadcast_instructions(sys: &mut EmbodiedSystem, assignments: &[Su
     );
     sys.note_llm(&msg.response);
     // Every instruction is a message; productive ones count as useful.
+    // Crashed agents miss theirs outright.
     for (i, sg) in assignments.iter().enumerate() {
         sys.messages.generated += 1;
+        if sys.agent_faults.is_down(i) {
+            sys.agent_faults.stats.missed_messages += 1;
+            continue;
+        }
         if !sg.is_idle() {
             sys.messages.useful += 1;
         }

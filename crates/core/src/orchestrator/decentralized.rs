@@ -24,7 +24,16 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
     for agent in &mut sys.agents {
         agent.inbox.clear();
     }
-    let percepts: Vec<_> = (0..n).map(|i| sys.sense_phase(i)).collect();
+    // Channel-held messages from earlier steps land first, so late dialogue
+    // still reaches this step's planning context.
+    sys.flush_delayed();
+    // Heartbeat/staleness pass: peers that have gone silent past the
+    // threshold get suspected and planned around. Skipped entirely (zero
+    // draws, zero state) when the fault layer is inactive.
+    if n > 1 && sys.faults_active() {
+        heartbeat_round(sys, n);
+    }
+    let percepts: Vec<_> = (0..n).map(|i| sys.sense_phase_or_placeholder(i)).collect();
 
     // Communication rounds (skipped entirely when the module is disabled).
     let cluster = sys.agents[0].config.opts.cluster_size;
@@ -34,7 +43,7 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
         // as one concurrent batch — wall-clock pays only the slowest.
         let mut batch: Vec<(usize, embodied_profiler::SimDuration)> = Vec::new();
         for i in 0..n {
-            if sys.agents[i].communication.is_none() {
+            if sys.agents[i].communication.is_none() || !sys.agent_faults.is_active(i) {
                 continue;
             }
             // Coordination need: a pending joint action (e.g. BoxLift).
@@ -106,11 +115,63 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
     }
 
     // Plan + execute, sequentially (the paper's sequential-processing
-    // pipeline; each agent's prompt carries the full dialogue).
+    // pipeline; each agent's prompt carries the full dialogue). Crashed and
+    // stalled agents lose the step.
     for i in 0..n {
+        if !sys.agent_faults.is_active(i) {
+            continue;
+        }
         let dialogue = sys.agents[i].inbox.join("\n");
         let (subgoal, _) = sys.plan_phase(i, &percepts[i], &dialogue);
         sys.execute_with_reflection(i, &subgoal);
+    }
+}
+
+/// One heartbeat exchange: every active agent pings every live peer over
+/// the (possibly lossy / partitioned) channel, receivers update
+/// last-heard stamps, and any peer silent past the staleness threshold
+/// becomes *suspected* — its joint subgoals are planned around until it is
+/// heard again. Deterministic: draws follow the fixed (sender, receiver)
+/// iteration order.
+fn heartbeat_round(sys: &mut EmbodiedSystem, n: usize) {
+    let step = sys.step;
+    for j in 0..n {
+        if sys.agents[j].peer_last_heard.len() != n {
+            // First fault-aware step: everyone was heard "just now".
+            sys.agents[j].peer_last_heard = vec![step; n];
+        }
+    }
+    for i in 0..n {
+        if !sys.agent_faults.is_active(i) {
+            continue; // a crashed or frozen process emits no heartbeat
+        }
+        for j in 0..n {
+            if i == j || sys.agent_faults.is_down(j) {
+                continue;
+            }
+            if sys.channel.heartbeat_delivered(i, j, n) {
+                sys.agents[j].peer_last_heard[i] = step;
+            }
+        }
+    }
+    let threshold = sys.agent_faults.profile().staleness_after.max(1);
+    for j in 0..n {
+        if sys.agent_faults.is_down(j) {
+            continue;
+        }
+        for i in 0..n {
+            if i == j {
+                continue;
+            }
+            let silent_for = step.saturating_sub(sys.agents[j].peer_last_heard[i]);
+            if silent_for >= threshold {
+                if sys.agents[j].suspected.insert(i) {
+                    sys.agent_faults.stats.suspected_peers += 1;
+                }
+            } else {
+                sys.agents[j].suspected.remove(&i);
+            }
+        }
     }
 }
 

@@ -12,14 +12,21 @@ const FEEDBACK_BONUS: f64 = 0.06;
 
 /// Runs one environment step for a hybrid system.
 pub(crate) fn step(sys: &mut EmbodiedSystem) {
+    // Hybrid still routes every plan through the center: a dead
+    // coordinator degrades it to headless execution exactly like the
+    // purely centralized paradigm.
+    if sys.agent_faults.coordinator_down() {
+        centralized::headless_step(sys);
+        return;
+    }
     let n = sys.agents.len();
     // Phase 1: sense/reflect + central primer plan.
-    let percepts: Vec<_> = (0..n).map(|i| sys.sense_phase(i)).collect();
+    let percepts: Vec<_> = (0..n).map(|i| sys.sense_phase_or_placeholder(i)).collect();
     let primer = centralized::plan_assignments(sys, &percepts, 0.0, false);
 
     // Phase 2: each agent sends local feedback on its primed assignment.
     for i in 0..n {
-        if sys.agents[i].communication.is_none() {
+        if sys.agents[i].communication.is_none() || !sys.agent_faults.is_active(i) {
             continue;
         }
         let goal = sys.env.goal_text();
@@ -62,16 +69,8 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
             .store(RecordKind::Dialogue, msg.text, msg.entities);
     }
 
-    // Phase 3: the center refines with feedback in context, then agents act.
+    // Phase 3: the center refines with feedback in context, then agents act
+    // on whatever instructions actually reach them.
     let refined = centralized::plan_assignments(sys, &percepts, FEEDBACK_BONUS, true);
-    for (i, subgoal) in refined.iter().enumerate() {
-        let outcome = sys.execute_with_reflection(i, subgoal);
-        if let Some(central) = sys.central.as_mut() {
-            central.memory.store(
-                RecordKind::Action,
-                format!("agent {i}: {}", outcome.note),
-                Vec::new(),
-            );
-        }
-    }
+    centralized::execute_assignments(sys, &refined);
 }

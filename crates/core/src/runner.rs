@@ -33,6 +33,12 @@ pub struct RunOverrides {
     pub fault_profile: Option<embodied_llm::FaultProfile>,
     /// Retry/backoff policy for the resilience wrapper.
     pub retry_policy: Option<embodied_llm::RetryPolicy>,
+    /// Agent-process fault schedule (crash/stall/recover + coordinator
+    /// failover) for the resilience sweeps.
+    pub agent_faults: Option<crate::faults::AgentFaultProfile>,
+    /// Message-channel fault profile (drop/duplicate/corrupt/delay/
+    /// partition) for the resilience sweeps.
+    pub channel: Option<crate::faults::ChannelProfile>,
 }
 
 impl RunOverrides {
@@ -62,6 +68,12 @@ impl RunOverrides {
         }
         if let Some(policy) = self.retry_policy {
             config.retry_policy = policy;
+        }
+        if let Some(profile) = self.agent_faults {
+            config.agent_fault_profile = profile;
+        }
+        if let Some(profile) = self.channel {
+            config.channel_profile = profile;
         }
         config
     }

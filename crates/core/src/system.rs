@@ -4,17 +4,24 @@
 
 use crate::agent::ModularAgent;
 use crate::config::AgentConfig;
+use crate::faults::{AgentFaultEvent, AgentFaultState, ChannelState, DelayedMessage, DeliveryFate};
 use crate::modules::{
     CommunicationModule, MemoryModule, Percept, PlanContext, PlanningModule, RecordKind,
 };
 use crate::orchestrator::{self, Paradigm};
 use crate::prompt::system_preamble;
 use embodied_env::{Environment, ExecOutcome, Subgoal};
-use embodied_llm::{InferenceOpts, LlmEngine, LlmResponse, ResilientEngine};
+use embodied_llm::{InferenceOpts, LlmEngine, LlmRequest, LlmResponse, Purpose, ResilientEngine};
 use embodied_profiler::{
     EpisodeReport, LatencyBreakdown, MessageStats, ModuleKind, Outcome, Phase, PurposeLedger,
     ResilienceStats, SimDuration, StepRecord, TokenStats, Trace,
 };
+
+/// Nominal watchdog + reboot latency billed when a process crashes.
+const CRASH_REBOOT: SimDuration = SimDuration::from_secs(5);
+
+/// Latency of the deterministic failover election round.
+const FAILOVER_ELECTION: SimDuration = SimDuration::from_secs(2);
 
 /// Per-step counters the orchestrators update through [`EmbodiedSystem`]
 /// helpers; they feed the step-record time series (Fig. 6).
@@ -48,6 +55,11 @@ pub struct EmbodiedSystem {
     /// Graceful-degradation events (per-module counters); engine-level
     /// fault/retry tallies are collected from the engines at report time.
     pub(crate) degradations: ResilienceStats,
+    /// Agent-process fault state: crash/stall schedules, coordinator
+    /// liveness, failover bookkeeping.
+    pub(crate) agent_faults: AgentFaultState,
+    /// Message-channel fault state: partition window, delayed queue.
+    pub(crate) channel: ChannelState,
     workload: String,
     step_records: Vec<StepRecord>,
 }
@@ -112,6 +124,7 @@ impl EmbodiedSystem {
             }),
             _ => None,
         };
+        let team = agents.len();
         EmbodiedSystem {
             env,
             agents,
@@ -123,6 +136,8 @@ impl EmbodiedSystem {
             step: 0,
             by_purpose: PurposeLedger::default(),
             degradations: ResilienceStats::default(),
+            agent_faults: AgentFaultState::new(config.agent_fault_profile, seed, team),
+            channel: ChannelState::new(config.channel_profile, seed),
             workload,
             step_records: Vec::new(),
         }
@@ -177,6 +192,7 @@ impl EmbodiedSystem {
             self.trace.begin_step(self.step);
             self.counters = StepCounters::default();
             let before = self.trace.elapsed();
+            self.begin_fault_step();
             match self.paradigm {
                 Paradigm::SingleModular => orchestrator::single::step(self),
                 Paradigm::Centralized => orchestrator::centralized::step(self),
@@ -239,8 +255,141 @@ impl EmbodiedSystem {
             by_phase,
             messages: self.messages,
             resilience,
+            agent_faults: self.agent_faults.stats,
+            channel: self.channel.stats,
             step_records: self.step_records.clone(),
             agents: self.agents.len(),
+        }
+    }
+
+    // ----- agent/channel fault plumbing -----
+
+    /// Whether the agent/channel fault layer can do anything this episode
+    /// (gates the heartbeat machinery so fault-free runs pay nothing).
+    pub(crate) fn faults_active(&self) -> bool {
+        !self.agent_faults.profile().is_none() || !self.channel.profile().is_none()
+    }
+
+    /// Begin-of-step fault processing: channel partition bookkeeping, agent
+    /// crash/stall/recover draws (with `Phase::Crash` spans and state
+    /// cleanup for freshly crashed processes), and — for centralized
+    /// paradigms — the coordinator failover election plus its re-sync cost.
+    /// A no-op performing zero draws when both profiles are `none()`.
+    fn begin_fault_step(&mut self) {
+        let step = self.step;
+        self.channel.begin_step(step);
+        let events = self.agent_faults.begin_step(step, self.central.is_some());
+        for event in events {
+            match event {
+                AgentFaultEvent::Crashed(i) => {
+                    // The process dies losing its in-flight state: pending
+                    // messages and the remaining plan budget are gone.
+                    self.agents[i].inbox.clear();
+                    self.agents[i].plan_budget = 0;
+                    self.trace
+                        .record(ModuleKind::Execution, Phase::Crash, i, CRASH_REBOOT);
+                }
+                AgentFaultEvent::Recovered(_) => {}
+                AgentFaultEvent::CoordinatorCrashed => {
+                    let host = self.agent_faults.coordinator;
+                    self.trace
+                        .record(ModuleKind::Planning, Phase::Crash, host, CRASH_REBOOT);
+                }
+            }
+        }
+        if self.central.is_some() && self.agent_faults.coordinator_down() {
+            if let Some(promoted) = self.agent_faults.maybe_failover(step) {
+                self.trace.record(
+                    ModuleKind::Planning,
+                    Phase::Failover,
+                    promoted,
+                    FAILOVER_ELECTION,
+                );
+                self.resync_coordinator(promoted);
+            }
+        }
+    }
+
+    /// A promoted coordinator pays a real re-sync inference: one planning
+    /// call that rebuilds the joint picture, billed in tokens, latency, and
+    /// a `Phase::Resync` span.
+    fn resync_coordinator(&mut self, promoted: usize) {
+        let difficulty = self.env.difficulty().scalar();
+        let goal = self.env.goal_text();
+        let n = self.agents.len();
+        let opts = Self::infer_opts_for(&self.agents[0].config, n);
+        let Some(central) = self.central.as_mut() else {
+            return;
+        };
+        let prompt = format!(
+            "{}\n[failover] agent {promoted} is assuming the coordinator role. \
+             Re-synchronize: re-ingest the status of all {n} agents and the \
+             task goal ({goal}), then resume joint planning.",
+            central.preamble
+        );
+        let result = central.planning.engine_mut().infer(
+            LlmRequest::new(Purpose::Planning, prompt, 40 + 10 * n as u64)
+                .with_difficulty(difficulty)
+                .with_opts(opts),
+        );
+        let stall = central.planning.engine_mut().take_stall();
+        Self::note_stall(&mut self.trace, ModuleKind::Planning, promoted, stall);
+        match result {
+            Ok(response) => {
+                self.trace.record(
+                    ModuleKind::Planning,
+                    Phase::Resync,
+                    promoted,
+                    response.latency,
+                );
+                self.agent_faults.stats.resync_tokens +=
+                    response.prompt_tokens + response.output_tokens;
+                self.note_llm(&response);
+            }
+            Err(_) => {
+                // The re-sync call itself faulted out; the promoted
+                // coordinator starts from whatever the central memory holds.
+                self.degradations.degraded_planning += 1;
+            }
+        }
+    }
+
+    /// [`EmbodiedSystem::sense_phase`] for fault-aware loops: a crashed or
+    /// stalled agent files no report, so the caller gets a placeholder
+    /// percept that touches neither the environment nor the agent's memory.
+    pub(crate) fn sense_phase_or_placeholder(&mut self, i: usize) -> Percept {
+        if self.agent_faults.is_active(i) {
+            self.sense_phase(i)
+        } else {
+            Percept {
+                entities: Vec::new(),
+                text: format!("agent {i} unresponsive (no report this step)"),
+                location: String::new(),
+            }
+        }
+    }
+
+    /// Delivers channel-held messages that have reached their due step into
+    /// recipient inboxes/memories (called by the decentralized loop right
+    /// after it clears inboxes). Late deliveries never count toward message
+    /// usefulness — by the time they land, the knowledge is stale.
+    pub(crate) fn flush_delayed(&mut self) {
+        if self.channel.delayed.is_empty() {
+            return;
+        }
+        let step = self.step;
+        for msg in self.channel.due_messages(step) {
+            if self.agent_faults.is_down(msg.to) {
+                self.agent_faults.stats.missed_messages += 1;
+                continue;
+            }
+            let agent = &mut self.agents[msg.to];
+            for _ in 0..msg.copies {
+                agent
+                    .memory
+                    .store(RecordKind::Dialogue, msg.text.clone(), msg.entities.clone());
+                agent.inbox.push(msg.text.clone());
+            }
         }
     }
 
@@ -386,8 +535,19 @@ impl EmbodiedSystem {
 
         let agent = &mut self.agents[i];
         let knowledge = agent.knowledge(&percept.entities);
-        let oracle = agent.filter_subgoals(oracle_raw, &knowledge, step);
+        let mut oracle = agent.filter_subgoals(oracle_raw, &knowledge, step);
         let mut candidates = agent.filter_subgoals(candidates_raw, &knowledge, step);
+        // Re-plan around missing peers: a joint subgoal whose partner has
+        // gone silent (heartbeat staleness) cannot succeed, so the planner
+        // never considers it. No-op while no peer is suspected.
+        if !agent.suspected.is_empty() {
+            let partner_missing = |sg: &Subgoal| {
+                matches!(sg, Subgoal::LiftTogether { partner, .. }
+                    if agent.suspected.contains(partner))
+            };
+            oracle.retain(|sg| !partner_missing(sg));
+            candidates.retain(|sg| !partner_missing(sg));
+        }
         if candidates.is_empty() {
             candidates.push(Subgoal::Explore);
         }
@@ -618,7 +778,12 @@ impl EmbodiedSystem {
     }
 
     /// Delivers a broadcast message to `recipients` (excluding the sender),
-    /// counting utility (did any receiver learn something new?).
+    /// counting utility (did any receiver learn something new?). Every
+    /// per-recipient delivery runs through the channel fault layer: it can
+    /// be dropped, blocked at a partition, duplicated, garbled (text
+    /// unusable, entity payload lost), or held for late delivery; crashed
+    /// recipients miss the message entirely. A `none()` channel performs
+    /// zero draws and delivers exactly as before.
     pub(crate) fn deliver_message_to(
         &mut self,
         from: usize,
@@ -627,19 +792,57 @@ impl EmbodiedSystem {
         recipients: &[usize],
     ) {
         self.messages.generated += 1;
+        let n = self.agents.len();
+        let step = self.step;
         let mut useful = false;
-        for (idx, agent) in self.agents.iter_mut().enumerate() {
+        for idx in 0..n {
             if idx == from || !recipients.contains(&idx) {
                 continue;
             }
-            let known = agent.memory.known_entities();
-            if entities.iter().any(|e| !known.contains(e)) {
-                useful = true;
+            if self.agent_faults.is_down(idx) {
+                self.agent_faults.stats.missed_messages += 1;
+                continue;
             }
-            agent
-                .memory
-                .store(RecordKind::Dialogue, text.to_owned(), entities.to_vec());
-            agent.inbox.push(text.to_owned());
+            let fate = self.channel.fate(from, idx, n);
+            let DeliveryFate::Deliver {
+                copies,
+                corrupt,
+                delay,
+            } = fate
+            else {
+                continue; // dropped or partition-blocked
+            };
+            let (text, entities) = if corrupt {
+                (
+                    format!("[garbled transmission from agent {from}]"),
+                    Vec::new(),
+                )
+            } else {
+                (text.to_owned(), entities.to_vec())
+            };
+            if delay > 0 {
+                self.channel.delayed.push(DelayedMessage {
+                    deliver_at: step + delay,
+                    to: idx,
+                    text,
+                    entities,
+                    copies,
+                });
+                continue;
+            }
+            let agent = &mut self.agents[idx];
+            if !corrupt {
+                let known = agent.memory.known_entities();
+                if entities.iter().any(|e| !known.contains(e)) {
+                    useful = true;
+                }
+            }
+            for _ in 0..copies {
+                agent
+                    .memory
+                    .store(RecordKind::Dialogue, text.clone(), entities.clone());
+                agent.inbox.push(text.clone());
+            }
         }
         if useful {
             self.messages.useful += 1;

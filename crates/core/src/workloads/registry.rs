@@ -52,6 +52,8 @@ fn base_config(
         opts: Optimizations::default(),
         fault_profile: embodied_llm::FaultProfile::none(),
         retry_policy: embodied_llm::RetryPolicy::standard(),
+        agent_fault_profile: crate::faults::AgentFaultProfile::none(),
+        channel_profile: crate::faults::ChannelProfile::none(),
     }
 }
 

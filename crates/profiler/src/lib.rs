@@ -45,8 +45,8 @@ mod time;
 pub use chrome::chrome_trace_json;
 pub use gantt::render_step_gantt;
 pub use metrics::{
-    LatencyBreakdown, MessageStats, PurposeLedger, PurposeUsage, ResilienceStats, StepRecord,
-    TokenStats,
+    AgentFaultStats, ChannelStats, LatencyBreakdown, MessageStats, PurposeLedger, PurposeUsage,
+    ResilienceStats, StepRecord, TokenStats,
 };
 pub use module::{ModuleKind, Phase};
 pub use report::{Aggregate, EpisodeReport, Outcome};

@@ -355,6 +355,159 @@ impl ResilienceStats {
     }
 }
 
+/// Agent-level fault counters for an episode: crashes, stalls, recoveries,
+/// heartbeat-staleness detections, and coordinator failure/failover events.
+///
+/// Where [`ResilienceStats`] accounts faults of the *LLM substrate* (one
+/// call misbehaving), these counters account faults of the *agents
+/// themselves* — a robot process dying mid-episode, a teammate noticing the
+/// silence, a coordinator being re-elected. All zero when the episode ran
+/// with a fault-free agent profile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentFaultStats {
+    /// Agent crash events injected.
+    pub crashes: u64,
+    /// One-step agent stalls injected (the agent froze but did not die).
+    pub stalls: u64,
+    /// Crashed agents that completed their reboot and rejoined.
+    pub recoveries: u64,
+    /// Agent-steps lost while an agent was down.
+    pub downtime_steps: u64,
+    /// Messages that never reached a recipient because it was down.
+    pub missed_messages: u64,
+    /// Heartbeat-staleness events: a teammate began suspecting a silent
+    /// peer and re-planned around it.
+    pub suspected_peers: u64,
+    /// Coordinator-process crash events (centralized/hybrid paradigms).
+    pub coordinator_crashes: u64,
+    /// Steps the system ran headless — coordinator down, no failover yet.
+    pub coordinator_down_steps: u64,
+    /// Failover promotions: a surviving agent took over the coordinator
+    /// role by the deterministic lowest-alive-id rule.
+    pub failovers: u64,
+    /// Tokens spent re-synchronizing state into a promoted coordinator.
+    pub resync_tokens: u64,
+    /// Centralized assignments that never reached their agent (lost or
+    /// late on the instruction channel), forcing a stale-plan fallback.
+    pub lost_assignments: u64,
+}
+
+impl AgentFaultStats {
+    /// Total injected agent-level fault events.
+    pub fn faults(&self) -> u64 {
+        self.crashes + self.stalls + self.coordinator_crashes
+    }
+
+    /// Whether nothing agent-fault-related happened (the fault-free default
+    /// — reports stay identical to pre-fault builds).
+    pub fn is_quiet(&self) -> bool {
+        self.faults() == 0 && self.suspected_peers == 0 && self.lost_assignments == 0
+    }
+
+    /// Merge counters from another episode slice.
+    pub fn merge(&mut self, other: &AgentFaultStats) {
+        self.crashes += other.crashes;
+        self.stalls += other.stalls;
+        self.recoveries += other.recoveries;
+        self.downtime_steps += other.downtime_steps;
+        self.missed_messages += other.missed_messages;
+        self.suspected_peers += other.suspected_peers;
+        self.coordinator_crashes += other.coordinator_crashes;
+        self.coordinator_down_steps += other.coordinator_down_steps;
+        self.failovers += other.failovers;
+        self.resync_tokens += other.resync_tokens;
+        self.lost_assignments += other.lost_assignments;
+    }
+}
+
+impl fmt::Display for AgentFaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "agent faults {} (crash {}, stall {}, coord {}), downtime {} steps, \
+             recovered {}, suspected {}, headless {} steps, failovers {} \
+             ({} resync tok), lost assignments {}, missed msgs {}",
+            self.faults(),
+            self.crashes,
+            self.stalls,
+            self.coordinator_crashes,
+            self.downtime_steps,
+            self.recoveries,
+            self.suspected_peers,
+            self.coordinator_down_steps,
+            self.failovers,
+            self.resync_tokens,
+            self.lost_assignments,
+            self.missed_messages,
+        )
+    }
+}
+
+/// Message-channel fault counters for an episode: what a lossy network did
+/// to inter-agent (and agent↔coordinator) traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// Messages dropped in flight.
+    pub dropped: u64,
+    /// Extra copies delivered by duplication faults.
+    pub duplicated: u64,
+    /// Messages delivered garbled (text unusable, entities lost).
+    pub corrupted: u64,
+    /// Messages queued for late delivery.
+    pub delayed: u64,
+    /// Network-partition windows that opened.
+    pub partitions: u64,
+    /// Steps during which a partition was active.
+    pub partition_steps: u64,
+    /// Messages blocked at a partition cut.
+    pub partition_blocked: u64,
+    /// Heartbeats lost to drops or partitions (feeds false suspicions).
+    pub heartbeats_lost: u64,
+}
+
+impl ChannelStats {
+    /// Total channel-fault events that altered a delivery.
+    pub fn events(&self) -> u64 {
+        self.dropped + self.duplicated + self.corrupted + self.delayed + self.partition_blocked
+    }
+
+    /// Whether the channel behaved perfectly (the fault-free default).
+    pub fn is_quiet(&self) -> bool {
+        self.events() == 0 && self.partitions == 0 && self.heartbeats_lost == 0
+    }
+
+    /// Merge counters from another episode slice.
+    pub fn merge(&mut self, other: &ChannelStats) {
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.corrupted += other.corrupted;
+        self.delayed += other.delayed;
+        self.partitions += other.partitions;
+        self.partition_steps += other.partition_steps;
+        self.partition_blocked += other.partition_blocked;
+        self.heartbeats_lost += other.heartbeats_lost;
+    }
+}
+
+impl fmt::Display for ChannelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "channel events {} (drop {}, dup {}, corrupt {}, delay {}, \
+             blocked {}), partitions {} ({} steps), heartbeats lost {}",
+            self.events(),
+            self.dropped,
+            self.duplicated,
+            self.corrupted,
+            self.delayed,
+            self.partition_blocked,
+            self.partitions,
+            self.partition_steps,
+            self.heartbeats_lost,
+        )
+    }
+}
+
 impl fmt::Display for ResilienceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -384,6 +537,60 @@ mod tests {
 
     fn sec(n: u64) -> SimDuration {
         SimDuration::from_secs(n)
+    }
+
+    #[test]
+    fn agent_fault_stats_quiet_and_merge() {
+        let mut a = AgentFaultStats::default();
+        assert!(a.is_quiet());
+        let b = AgentFaultStats {
+            crashes: 2,
+            stalls: 1,
+            recoveries: 2,
+            downtime_steps: 5,
+            coordinator_crashes: 1,
+            failovers: 1,
+            resync_tokens: 120,
+            ..Default::default()
+        };
+        assert!(!b.is_quiet());
+        assert_eq!(b.faults(), 4);
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.crashes, 4);
+        assert_eq!(a.resync_tokens, 240);
+        let text = a.to_string();
+        assert!(text.contains("failovers"));
+        assert!(text.contains("crash"));
+    }
+
+    #[test]
+    fn channel_stats_quiet_and_merge() {
+        let mut c = ChannelStats::default();
+        assert!(c.is_quiet());
+        let d = ChannelStats {
+            dropped: 3,
+            corrupted: 1,
+            partitions: 1,
+            partition_steps: 4,
+            partition_blocked: 2,
+            heartbeats_lost: 2,
+            ..Default::default()
+        };
+        assert!(!d.is_quiet());
+        assert_eq!(d.events(), 6);
+        c.merge(&d);
+        assert_eq!(c.dropped, 3);
+        assert_eq!(c.partition_steps, 4);
+        assert!(c.to_string().contains("partitions"));
+        // A suspicious-but-eventless channel is still not quiet: a lost
+        // heartbeat changed teammate beliefs even though no payload moved.
+        let h = ChannelStats {
+            heartbeats_lost: 1,
+            ..Default::default()
+        };
+        assert_eq!(h.events(), 0);
+        assert!(!h.is_quiet());
     }
 
     #[test]

@@ -98,6 +98,12 @@ pub enum Phase {
     Encoding,
     /// Waiting out a retry backoff after a faulted LLM call.
     Backoff,
+    /// An agent (or coordinator) process crash and its reboot window.
+    Crash,
+    /// Promotion of a surviving agent to the coordinator role.
+    Failover,
+    /// Re-synchronizing shared state into a freshly promoted coordinator.
+    Resync,
 }
 
 impl fmt::Display for Phase {
@@ -110,6 +116,9 @@ impl fmt::Display for Phase {
             Phase::Actuation => "actuation",
             Phase::Encoding => "encoding",
             Phase::Backoff => "backoff",
+            Phase::Crash => "crash",
+            Phase::Failover => "failover",
+            Phase::Resync => "resync",
         };
         f.write_str(name)
     }

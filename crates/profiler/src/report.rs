@@ -2,7 +2,8 @@
 //! figure binary prints.
 
 use crate::metrics::{
-    LatencyBreakdown, MessageStats, PurposeLedger, ResilienceStats, StepRecord, TokenStats,
+    AgentFaultStats, ChannelStats, LatencyBreakdown, MessageStats, PurposeLedger, ResilienceStats,
+    StepRecord, TokenStats,
 };
 use crate::module::ModuleKind;
 use crate::time::SimDuration;
@@ -66,6 +67,12 @@ pub struct EpisodeReport {
     /// Fault-injection / retry / degradation counters (all zero when the
     /// episode ran with `FaultProfile::none()`).
     pub resilience: ResilienceStats,
+    /// Agent-level fault counters — crashes, stalls, coordinator failover
+    /// (all zero under `AgentFaultProfile::none()`).
+    pub agent_faults: AgentFaultStats,
+    /// Message-channel fault counters — drops, duplicates, corruption,
+    /// delays, partitions (all zero under `ChannelProfile::none()`).
+    pub channel: ChannelStats,
     /// Per-step time series.
     pub step_records: Vec<StepRecord>,
     /// Number of agents that participated.
@@ -119,6 +126,10 @@ pub struct Aggregate {
     pub messages: MessageStats,
     /// Merged resilience counters across episodes.
     pub resilience: ResilienceStats,
+    /// Merged agent-level fault counters across episodes.
+    pub agent_faults: AgentFaultStats,
+    /// Merged channel fault counters across episodes.
+    pub channel: ChannelStats,
 }
 
 impl Aggregate {
@@ -162,6 +173,8 @@ impl Aggregate {
         let mut by_phase = PurposeLedger::default();
         let mut messages = MessageStats::default();
         let mut resilience = ResilienceStats::default();
+        let mut agent_faults = AgentFaultStats::default();
+        let mut channel = ChannelStats::default();
         for r in reports {
             breakdown.merge(&r.breakdown);
             tokens.merge(&r.tokens);
@@ -169,6 +182,8 @@ impl Aggregate {
             by_phase.merge(&r.by_phase);
             messages.merge(&r.messages);
             resilience.merge(&r.resilience);
+            agent_faults.merge(&r.agent_faults);
+            channel.merge(&r.channel);
         }
 
         Aggregate {
@@ -187,6 +202,8 @@ impl Aggregate {
             by_phase,
             messages,
             resilience,
+            agent_faults,
+            channel,
         }
     }
 
@@ -233,6 +250,22 @@ impl Aggregate {
     pub fn degraded_per_episode(&self) -> f64 {
         self.resilience.degraded() as f64 / self.episodes as f64
     }
+
+    /// Mean injected agent-level faults (crashes + stalls + coordinator
+    /// deaths) per episode.
+    pub fn agent_faults_per_episode(&self) -> f64 {
+        self.agent_faults.faults() as f64 / self.episodes as f64
+    }
+
+    /// Mean agent-downtime steps per episode.
+    pub fn downtime_per_episode(&self) -> f64 {
+        self.agent_faults.downtime_steps as f64 / self.episodes as f64
+    }
+
+    /// Mean channel-fault events per episode.
+    pub fn channel_events_per_episode(&self) -> f64 {
+        self.channel.events() as f64 / self.episodes as f64
+    }
 }
 
 impl fmt::Display for Aggregate {
@@ -268,9 +301,29 @@ mod tests {
             by_phase: PurposeLedger::default(),
             messages: MessageStats::default(),
             resilience: ResilienceStats::default(),
+            agent_faults: AgentFaultStats::default(),
+            channel: ChannelStats::default(),
             step_records: Vec::new(),
             agents: 1,
         }
+    }
+
+    #[test]
+    fn aggregate_merges_agent_and_channel_faults() {
+        let mut faulty = report(Outcome::StepLimit, 5, 50);
+        faulty.agent_faults.crashes = 2;
+        faulty.agent_faults.downtime_steps = 6;
+        faulty.agent_faults.failovers = 1;
+        faulty.channel.dropped = 3;
+        faulty.channel.partitions = 1;
+        let reports = vec![report(Outcome::Success, 5, 50), faulty];
+        let agg = Aggregate::from_reports("t", &reports);
+        assert_eq!(agg.agent_faults.crashes, 2);
+        assert_eq!(agg.agent_faults.failovers, 1);
+        assert_eq!(agg.channel.dropped, 3);
+        assert!((agg.agent_faults_per_episode() - 1.0).abs() < 1e-12);
+        assert!((agg.downtime_per_episode() - 3.0).abs() < 1e-12);
+        assert!((agg.channel_events_per_episode() - 1.5).abs() < 1e-12);
     }
 
     #[test]

@@ -21,4 +21,9 @@ EMBODIED_EPISODES="${EMBODIED_FIG7_EPISODES:-6}" ./target/release/fig7_scalabili
 echo "== fault_sweep =="
 EMBODIED_EPISODES="${EMBODIED_FAULT_EPISODES:-6}" ./target/release/fault_sweep > /dev/null
 
+# Resilience scalability: 3 paradigm variants × 3 team sizes × 4 agent-fault
+# rates, plus a channel-loss sweep.
+echo "== resilience_scalability =="
+EMBODIED_EPISODES="${EMBODIED_RESILIENCE_EPISODES:-6}" ./target/release/resilience_scalability > /dev/null
+
 echo "done — see results/*.md"

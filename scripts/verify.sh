@@ -16,6 +16,19 @@ cargo test -q --workspace
 echo "== parallel determinism (EMBODIED_JOBS=4) =="
 EMBODIED_JOBS=4 cargo test --release -q -p embodied-bench --test parallel_determinism
 
+echo "== fault determinism (EMBODIED_JOBS=4) =="
+EMBODIED_JOBS=4 cargo test --release -q -p embodied-bench --test fault_determinism
+
+echo "== resilience integration tests =="
+cargo test --release -q --test resilience --test fault_properties
+
+echo "== resilience_scalability --smoke (scratch dir; canonical results untouched) =="
+cargo build --release -q -p embodied-bench --bin resilience_scalability
+repo_root="$(pwd)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+(cd "$smoke_dir" && "$repo_root/target/release/resilience_scalability" --smoke > /dev/null)
+
 echo "== bench_all --smoke (sequential vs parallel byte-identity) =="
 cargo run --release -q -p embodied-bench --bin bench_all -- --smoke
 

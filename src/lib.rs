@@ -26,8 +26,9 @@ pub use embodied_profiler as profiler;
 /// Common imports for examples and quick experiments.
 pub mod prelude {
     pub use embodied_agents::{
-        run_episode, run_episode_traced, run_many, workloads, AgentConfig, MemoryCapacity,
-        ModuleToggles, Optimizations, Paradigm, RunOverrides, WorkloadSpec,
+        run_episode, run_episode_traced, run_many, workloads, AgentConfig, AgentFaultProfile,
+        ChannelProfile, MemoryCapacity, ModuleToggles, Optimizations, Paradigm, RunOverrides,
+        WorkloadSpec,
     };
     pub use embodied_env::{Environment, TaskDifficulty};
     pub use embodied_llm::{LlmEngine, ModelProfile};

