@@ -12,13 +12,17 @@
 //! `--agent-faults` appends a composition grid — LLM fault rate × *agent*
 //! fault rate (crashes/stalls/coordinator death, see
 //! `embodied_agents::AgentFaultProfile`) — under the standard retry policy,
-//! showing how substrate-level and process-level failures stack. The
-//! default invocation's output is unchanged by the flag's existence.
+//! showing how substrate-level and process-level failures stack.
+//! `--semantic-faults` appends a grid composing all **three** fault planes
+//! — transport (timeouts/rate limits), content (semantic corruption, with
+//! the re-prompt guardrail on), and agent+channel (crashes + lossy links)
+//! — in one run. The default invocation's output is unchanged by either
+//! flag's existence.
 
-use embodied_agents::{workloads, AgentFaultProfile, RunOverrides};
+use embodied_agents::{workloads, AgentFaultProfile, ChannelProfile, RepairPolicy, RunOverrides};
 use embodied_bench::{banner, episodes, ExperimentOutput, SweepPlan};
 use embodied_env::TaskDifficulty;
-use embodied_llm::{FaultProfile, RetryPolicy};
+use embodied_llm::{FaultProfile, RetryPolicy, SemanticFaultProfile};
 use embodied_profiler::{pct, Table};
 
 type PolicyCtor = fn() -> RetryPolicy;
@@ -36,8 +40,17 @@ const COMPOSE_LLM_RATES: [f64; 3] = [0.0, 0.05, 0.10];
 /// Agent-level rates for the `--agent-faults` composition grid.
 const COMPOSE_AGENT_RATES: [f64; 3] = [0.0, 0.02, 0.05];
 
+/// Transport-plane rates for the `--semantic-faults` three-plane grid.
+const TRIPLANE_LLM_RATES: [f64; 2] = [0.0, 0.05];
+/// Content-plane rates for the `--semantic-faults` three-plane grid.
+const TRIPLANE_SEMANTIC_RATES: [f64; 3] = [0.0, 0.10, 0.20];
+/// Fixed agent+channel rate for the `--semantic-faults` three-plane grid.
+const TRIPLANE_AGENT_RATE: f64 = 0.02;
+
 fn main() {
-    let agent_axis = std::env::args().skip(1).any(|a| a == "--agent-faults");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let agent_axis = args.iter().any(|a| a == "--agent-faults");
+    let semantic_axis = args.iter().any(|a| a == "--semantic-faults");
     let mut out = ExperimentOutput::new("fault_sweep");
     banner(
         &mut out,
@@ -75,6 +88,31 @@ fn main() {
                         fault_profile: Some(FaultProfile::uniform(llm_rate)),
                         retry_policy: Some(RetryPolicy::standard()),
                         agent_faults: Some(AgentFaultProfile::uniform_with_failover(agent_rate)),
+                        ..Default::default()
+                    };
+                    plan.add(&spec, &overrides, episodes());
+                }
+            }
+        }
+    }
+    // Three-plane composition (--semantic-faults): transport faults,
+    // content corruption (guarded by the re-prompt policy), and a fixed
+    // agent+channel fault floor, stacked in one grid.
+    if semantic_axis {
+        for name in SYSTEMS {
+            let spec = workloads::find(name).expect("suite member");
+            for llm_rate in TRIPLANE_LLM_RATES {
+                for semantic_rate in TRIPLANE_SEMANTIC_RATES {
+                    let overrides = RunOverrides {
+                        difficulty: Some(TaskDifficulty::Medium),
+                        fault_profile: Some(FaultProfile::uniform(llm_rate)),
+                        retry_policy: Some(RetryPolicy::standard()),
+                        agent_faults: Some(AgentFaultProfile::uniform_with_failover(
+                            TRIPLANE_AGENT_RATE,
+                        )),
+                        channel: Some(ChannelProfile::lossy(TRIPLANE_AGENT_RATE)),
+                        semantic_faults: Some(SemanticFaultProfile::uniform(semantic_rate)),
+                        repair_policy: Some(RepairPolicy::Reprompt { max_attempts: 2 }),
                         ..Default::default()
                     };
                     plan.add(&spec, &overrides, episodes());
@@ -173,6 +211,55 @@ fn main() {
              retries absorb substrate faults while downtime from crashed \
              agents passes straight through, so the combined cell is roughly \
              the product of its margins, not a new failure mode.",
+        );
+    }
+
+    if semantic_axis {
+        for name in SYSTEMS {
+            let spec = workloads::find(name).expect("suite member");
+            out.section(&format!(
+                "{name} ({}) — three-plane composition: transport x content x \
+                 agent+channel ({:.0}%), reprompt(2) guardrail",
+                spec.paradigm,
+                TRIPLANE_AGENT_RATE * 100.0
+            ));
+            let mut table = Table::new([
+                "LLM rate",
+                "semantic rate",
+                "success",
+                "steps",
+                "end-to-end",
+                "LLM faults/ep",
+                "rejections/ep",
+                "repair tok/ep",
+                "residual rate",
+                "downtime/ep",
+            ]);
+            for llm_rate in TRIPLANE_LLM_RATES {
+                for semantic_rate in TRIPLANE_SEMANTIC_RATES {
+                    let agg = results.take_agg(name);
+                    table.row([
+                        format!("{:.0}%", llm_rate * 100.0),
+                        format!("{:.0}%", semantic_rate * 100.0),
+                        pct(agg.success_rate),
+                        format!("{:.1}", agg.mean_steps),
+                        agg.mean_latency.to_string(),
+                        format!("{:.1}", agg.faults_per_episode()),
+                        format!("{:.1}", agg.rejections_per_episode()),
+                        format!("{:.0}", agg.repair_tokens_per_episode()),
+                        pct(agg.residual_invalid_rate()),
+                        format!("{:.1}", agg.downtime_per_episode()),
+                    ]);
+                }
+            }
+            out.line(table.render());
+        }
+        out.line(
+            "Three-plane reading: transport faults cost latency (retries), \
+             content faults cost tokens (guardrail re-prompts), and agent \
+             faults cost steps (downtime) — each plane drains a different \
+             budget, and the guardrail keeps the content plane from leaking \
+             into failed actuations even while the other two planes fire.",
         );
     }
 }

@@ -1,0 +1,125 @@
+//! Guardrail sweep — semantic-fault rate × repair policy × paradigm.
+//!
+//! The third fault plane corrupts LLM *content*: malformed decisions,
+//! hallucinated entities, environment-invalid actions, context-limit
+//! truncation (`embodied_llm::SemanticFaultProfile`). This sweep measures
+//! what the guardrail validation/repair pipeline buys back — task success —
+//! and what it costs: repair re-prompt tokens, dollars, and latency.
+//!
+//! ```text
+//! cargo run --release -p embodied-bench --bin guardrail_sweep [-- --smoke]
+//! ```
+//!
+//! `--smoke` shrinks the grid and episode count for a fast correctness
+//! pass (CI / `scripts/verify.sh`); the full run regenerates
+//! `results/guardrail_sweep.md`.
+
+use embodied_agents::{workloads, RepairPolicy, RunOverrides};
+use embodied_bench::{banner, episodes, ExperimentOutput, SweepPlan};
+use embodied_env::TaskDifficulty;
+use embodied_llm::SemanticFaultProfile;
+use embodied_profiler::{pct, Table};
+
+const SYSTEMS: [&str; 3] = ["DEPS", "MindAgent", "CoELA"];
+const POLICIES: [RepairPolicy; 4] = [
+    RepairPolicy::Off,
+    RepairPolicy::Skip,
+    RepairPolicy::Constrain,
+    RepairPolicy::Reprompt { max_attempts: 2 },
+];
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let systems: &[&str] = if smoke { &["DEPS"] } else { &SYSTEMS };
+    let rates: &[f64] = if smoke {
+        &[0.0, 0.3]
+    } else {
+        &[0.0, 0.1, 0.2, 0.4]
+    };
+    let policies: &[RepairPolicy] = if smoke {
+        &[
+            RepairPolicy::Off,
+            RepairPolicy::Skip,
+            RepairPolicy::Reprompt { max_attempts: 2 },
+        ]
+    } else {
+        &POLICIES
+    };
+    let n = if smoke { 2 } else { episodes() };
+
+    let mut out = ExperimentOutput::new("guardrail_sweep");
+    banner(
+        &mut out,
+        "Guardrail sweep",
+        "Semantic (content-plane) fault rate x repair policy, one workload per paradigm",
+    );
+
+    let mut plan = SweepPlan::new();
+    for name in systems {
+        let spec = workloads::find(name).expect("suite member");
+        for policy in policies {
+            for &rate in rates {
+                let overrides = RunOverrides {
+                    difficulty: Some(TaskDifficulty::Medium),
+                    semantic_faults: Some(SemanticFaultProfile::uniform(rate)),
+                    repair_policy: Some(*policy),
+                    ..Default::default()
+                };
+                plan.add(&spec, &overrides, n);
+            }
+        }
+    }
+    let mut results = plan.run();
+
+    for name in systems {
+        let spec = workloads::find(name).expect("suite member");
+        out.section(&format!("{name} ({})", spec.paradigm));
+        let mut table = Table::new([
+            "policy",
+            "fault rate",
+            "success",
+            "Δ success",
+            "steps",
+            "rejections/ep",
+            "repairs/ep",
+            "repair tok/ep",
+            "repair $/ep",
+            "residual rate",
+        ]);
+        for policy in policies {
+            let mut clean_success = None;
+            for &rate in rates {
+                let agg = results.take_agg(*name);
+                let baseline = *clean_success.get_or_insert(agg.success_rate);
+                table.row([
+                    policy.to_string(),
+                    format!("{:.0}%", rate * 100.0),
+                    pct(agg.success_rate),
+                    format!("{:+.1}pp", (agg.success_rate - baseline) * 100.0),
+                    format!("{:.1}", agg.mean_steps),
+                    format!("{:.1}", agg.rejections_per_episode()),
+                    format!("{:.1}", agg.repair_attempts_per_episode()),
+                    format!("{:.0}", agg.repair_tokens_per_episode()),
+                    format!("{:.4}", agg.repairs.repair_cost_usd / agg.episodes as f64),
+                    pct(agg.residual_invalid_rate()),
+                ]);
+            }
+        }
+        out.line(table.render());
+    }
+
+    out.line(
+        "Reading: with the guardrail off, content corruption silently burns \
+         steps (malformed plans wander, hallucinated actions fail in the \
+         environment) and success decays with the fault rate. Skip-step \
+         degradation stops invalid actions for free but forfeits the step; \
+         constrain recovers some of it with zero extra tokens; bounded \
+         re-prompt buys the most success back and is the only policy that \
+         pays — its repair-token overhead grows monotonically with the \
+         fault rate. At rate 0 the guardrail is nearly silent — the only \
+         rejections are the planner's own rare un-afforded picks, which the \
+         validator catches for free — and with the profile at none() plus \
+         the policy off the system is byte-identical to the pre-guardrail \
+         code.",
+    );
+}

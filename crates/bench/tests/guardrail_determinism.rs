@@ -1,0 +1,92 @@
+//! Guardrail-swept runs must stay bit-identical across worker counts:
+//! every semantic corruption draw, validator verdict and repair re-prompt
+//! is a pure function of the episode seed, so `EMBODIED_JOBS=1` and
+//! `EMBODIED_JOBS=4` produce byte-for-byte the same aggregates.
+
+use embodied_agents::{episode_seed, run_episode, workloads, RepairPolicy, RunOverrides};
+use embodied_bench::{par_map_with, SweepPlan};
+use embodied_llm::SemanticFaultProfile;
+use embodied_profiler::Aggregate;
+
+const EPISODES: usize = 4;
+const BASE_SEED: u64 = 42;
+
+fn guardrail_overrides(policy: RepairPolicy) -> RunOverrides {
+    RunOverrides {
+        semantic_faults: Some(SemanticFaultProfile::uniform(0.3)),
+        repair_policy: Some(policy),
+        ..Default::default()
+    }
+}
+
+/// Debug rendering of the aggregate — includes every repair counter, token
+/// total and latency the guardrail writes, so any cross-worker divergence
+/// shows up as a byte diff.
+fn agg_bytes(spec_name: &str, policy: RepairPolicy, workers: usize) -> String {
+    let spec = workloads::find(spec_name).expect("suite member");
+    let overrides = guardrail_overrides(policy);
+    let reports = par_map_with(workers, EPISODES, |i| {
+        run_episode(&spec, &overrides, episode_seed(BASE_SEED, i))
+    });
+    format!("{:?}", Aggregate::from_reports(spec_name, &reports))
+}
+
+#[test]
+fn guarded_sweeps_bit_identical_across_worker_counts() {
+    // One workload per paradigm × the two policies that exercise distinct
+    // RNG paths (re-prompts draw real inferences; constrain draws none).
+    for name in ["DEPS", "MindAgent", "CoELA"] {
+        for policy in [
+            RepairPolicy::Reprompt { max_attempts: 2 },
+            RepairPolicy::Constrain,
+        ] {
+            let seq = agg_bytes(name, policy, 1);
+            let par = agg_bytes(name, policy, 4);
+            assert_eq!(
+                seq, par,
+                "{name}/{policy}: guarded jobs=4 diverged from jobs=1"
+            );
+        }
+    }
+}
+
+#[test]
+fn guarded_sweep_plan_matches_sequential_reference() {
+    let spec = workloads::find("DEPS").expect("suite member");
+    let overrides = guardrail_overrides(RepairPolicy::Reprompt { max_attempts: 2 });
+    let mut plan = SweepPlan::new();
+    plan.add_seeded(&spec, &overrides, EPISODES, BASE_SEED);
+    let mut results = plan.run_with(4);
+    for (i, report) in results.take().iter().enumerate() {
+        let reference = run_episode(&spec, &overrides, episode_seed(BASE_SEED, i));
+        assert_eq!(
+            format!("{report:?}"),
+            format!("{reference:?}"),
+            "episode {i} diverged from its sequential reference"
+        );
+    }
+}
+
+/// The none() profile with the guardrail off must be byte-identical to a
+/// default run — the semantic plane and validator are strictly pay-for-use.
+#[test]
+fn none_profile_and_off_policy_match_default_runs() {
+    for name in ["DEPS", "MindAgent"] {
+        let spec = workloads::find(name).expect("suite member");
+        let explicit = RunOverrides {
+            semantic_faults: Some(SemanticFaultProfile::none()),
+            repair_policy: Some(RepairPolicy::Off),
+            ..Default::default()
+        };
+        for i in 0..EPISODES {
+            let seed = episode_seed(BASE_SEED, i);
+            let a = run_episode(&spec, &RunOverrides::default(), seed);
+            let b = run_episode(&spec, &explicit, seed);
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "{name} episode {i}: explicit none()/Off diverged from default"
+            );
+        }
+    }
+}

@@ -86,9 +86,12 @@ impl ModularAgent {
                 agent_seed ^ 0xb000 ^ module,
             )
         };
+        // The planner additionally draws content corruptions from its own
+        // semantic stream (^ 0x5e__) — a none() profile draws nothing.
         let planner_engine = resilient(
             LlmEngine::new(config.planner.clone(), agent_seed ^ 0x01)
-                .with_kv_reuse(config.opts.kv_cache),
+                .with_kv_reuse(config.opts.kv_cache)
+                .with_semantic_faults(config.semantic_fault_profile, agent_seed ^ 0x5e01),
             0x01,
         );
         let communication = config

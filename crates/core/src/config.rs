@@ -2,7 +2,10 @@
 //! (Fig. 5), model overrides (Fig. 4), and the paper's recommended
 //! optimizations (Recs. 1–10) as switchable flags.
 
-use embodied_llm::{EncoderProfile, FaultProfile, ModelProfile, Quantization, RetryPolicy};
+use crate::guardrail::RepairPolicy;
+use embodied_llm::{
+    EncoderProfile, FaultProfile, ModelProfile, Quantization, RetryPolicy, SemanticFaultProfile,
+};
 use serde::{Deserialize, Serialize};
 
 /// Which building blocks are enabled — the knobs of the module-sensitivity
@@ -193,6 +196,14 @@ pub struct AgentConfig {
     /// Message-channel fault profile (drop/duplicate/corrupt/delay/
     /// partition). Defaults to [`crate::faults::ChannelProfile::none()`].
     pub channel_profile: crate::faults::ChannelProfile,
+    /// Content-plane (semantic) fault profile stamped onto planning-engine
+    /// responses. Defaults to [`SemanticFaultProfile::none()`] — content
+    /// faults are strictly opt-in.
+    pub semantic_fault_profile: SemanticFaultProfile,
+    /// Guardrail repair policy applied to every LLM plan decision before
+    /// actuation. Defaults to [`RepairPolicy::Off`] — validation is
+    /// strictly opt-in.
+    pub repair_policy: RepairPolicy,
 }
 
 impl AgentConfig {
@@ -218,6 +229,8 @@ impl AgentConfig {
             retry_policy: RetryPolicy::standard(),
             agent_fault_profile: crate::faults::AgentFaultProfile::none(),
             channel_profile: crate::faults::ChannelProfile::none(),
+            semantic_fault_profile: SemanticFaultProfile::none(),
+            repair_policy: RepairPolicy::Off,
         }
     }
 }

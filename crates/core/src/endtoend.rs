@@ -197,6 +197,7 @@ impl EndToEndSystem {
             resilience: embodied_profiler::ResilienceStats::default(),
             agent_faults: embodied_profiler::AgentFaultStats::default(),
             channel: embodied_profiler::ChannelStats::default(),
+            repairs: embodied_profiler::RepairStats::default(),
             step_records: self.step_records.clone(),
             agents: 1,
         }

@@ -27,6 +27,7 @@ mod agent;
 pub mod config;
 pub mod endtoend;
 pub mod faults;
+pub mod guardrail;
 pub mod modules;
 mod orchestrator;
 pub mod prompt;
@@ -37,6 +38,7 @@ pub mod workloads;
 pub use agent::ModularAgent;
 pub use config::{AgentConfig, MemoryCapacity, ModuleToggles, Optimizations};
 pub use faults::{AgentFaultProfile, ChannelProfile};
+pub use guardrail::{PlanValidator, Proposal, RepairPolicy, ValidationError};
 pub use orchestrator::Paradigm;
 pub use runner::{
     episode_seed, run_episode, run_episode_traced, run_many, RunOverrides, EPISODE_SEED_STRIDE,

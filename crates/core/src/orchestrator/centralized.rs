@@ -6,12 +6,13 @@
 //! tokens" — but the central planner's reasoning burden grows with the
 //! joint action space, which is what collapses its success rate (Fig. 7a).
 
+use crate::guardrail;
 use crate::modules::{Percept, RecordKind};
 use crate::prompt::PromptBuilder;
 use crate::system::EmbodiedSystem;
 use embodied_env::Subgoal;
-use embodied_llm::{LlmRequest, Purpose};
-use embodied_profiler::{ModuleKind, Phase};
+use embodied_llm::{InferenceOpts, LlmRequest, Purpose, SemanticFlaw};
+use embodied_profiler::{ModuleKind, Phase, RepairStats, SimDuration};
 
 /// Difficulty inflation per extra agent the central planner must reason
 /// jointly about (action interdependencies grow combinatorially).
@@ -228,7 +229,85 @@ pub(crate) fn plan_assignments(
         assignments.push(subgoal);
     }
     sys.note_llm(&response);
+    guard_assignments(sys, &mut assignments, response.flaw, joint_difficulty, opts);
     assignments
+}
+
+/// Guardrail pass over the joint plan. A flawed central response corrupts
+/// exactly one agent's slot (chosen by the flaw's salt — one corrupted
+/// section in one big completion, not a wholesale garbling); every active
+/// agent's assignment is then validated against its own affordances and
+/// repaired per policy through the *central* planning engine. Inert while
+/// the policy is `Off`, except that the corruption then lands unguarded.
+fn guard_assignments(
+    sys: &mut EmbodiedSystem,
+    assignments: &mut [Subgoal],
+    flaw: Option<SemanticFlaw>,
+    difficulty: f64,
+    opts: InferenceOpts,
+) {
+    let n = assignments.len();
+    if n == 0 {
+        return;
+    }
+    let victim = flaw.map(|f| (f.salt % n as u64) as usize);
+    let policy = sys.agents[0].config.repair_policy;
+    if policy.is_off() {
+        // Unguarded baseline: the corruption lands as-is on its victim and
+        // fails in the environment.
+        if let Some(f) = flaw {
+            let victim = victim.expect("flaw implies victim");
+            let aff = sys.env.affordances(victim);
+            let proposal = guardrail::materialize(f, &assignments[victim], &aff);
+            assignments[victim] = guardrail::unguarded_effect(&proposal);
+        }
+        return;
+    }
+    let goal = sys.env.goal_text();
+    for (i, assigned) in assignments.iter_mut().enumerate() {
+        if !sys.agent_faults.is_active(i) {
+            continue;
+        }
+        let aff = sys.env.affordances(i);
+        let flaw_i = flaw.filter(|_| victim == Some(i));
+        let mut stats = RepairStats::default();
+        let central = sys.central.as_mut().expect("centralized system");
+        let verdict = guardrail::guard_decision(
+            central.planning.engine_mut(),
+            policy,
+            assigned,
+            flaw_i,
+            &aff,
+            &central.preamble,
+            &goal,
+            difficulty,
+            opts,
+            &mut stats,
+        );
+        let stall = central.planning.engine_mut().take_stall();
+        EmbodiedSystem::note_stall(&mut sys.trace, ModuleKind::Planning, 0, stall);
+        if verdict.validate_latency != SimDuration::ZERO {
+            sys.trace.record(
+                ModuleKind::Planning,
+                Phase::Validate,
+                0,
+                verdict.validate_latency,
+            );
+        }
+        if verdict.repair_latency != SimDuration::ZERO {
+            sys.trace.record(
+                ModuleKind::Planning,
+                Phase::Repair,
+                0,
+                verdict.repair_latency,
+            );
+        }
+        for r in &verdict.responses {
+            sys.note_llm(r);
+        }
+        *assigned = verdict.subgoal;
+        sys.repairs.merge(&stats);
+    }
 }
 
 /// Per-agent feedback extraction (COHERENT's adjustment loop): one

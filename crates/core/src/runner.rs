@@ -39,6 +39,11 @@ pub struct RunOverrides {
     /// Message-channel fault profile (drop/duplicate/corrupt/delay/
     /// partition) for the resilience sweeps.
     pub channel: Option<crate::faults::ChannelProfile>,
+    /// Content-plane (semantic) fault profile for the planning engines —
+    /// the third fault plane, swept by the guardrail experiments.
+    pub semantic_faults: Option<embodied_llm::SemanticFaultProfile>,
+    /// Guardrail repair policy applied to plan decisions before actuation.
+    pub repair_policy: Option<crate::guardrail::RepairPolicy>,
 }
 
 impl RunOverrides {
@@ -74,6 +79,12 @@ impl RunOverrides {
         }
         if let Some(profile) = self.channel {
             config.channel_profile = profile;
+        }
+        if let Some(profile) = self.semantic_faults {
+            config.semantic_fault_profile = profile;
+        }
+        if let Some(policy) = self.repair_policy {
+            config.repair_policy = policy;
         }
         config
     }
@@ -275,6 +286,64 @@ mod tests {
             "no faults configured, none may appear: {}",
             report.resilience
         );
+        assert!(
+            report.repairs.is_quiet(),
+            "guardrail off by default, nothing may be validated: {}",
+            report.repairs
+        );
+    }
+
+    #[test]
+    fn semantic_faults_inject_and_replay_deterministically() {
+        let spec = find("DEPS").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            semantic_faults: Some(embodied_llm::SemanticFaultProfile::uniform(0.5)),
+            repair_policy: Some(crate::guardrail::RepairPolicy::Reprompt { max_attempts: 2 }),
+            ..Default::default()
+        };
+        let a = run_episode(&spec, &overrides, 7);
+        let b = run_episode(&spec, &overrides, 7);
+        assert!(a.repairs.validations > 0, "{}", a.repairs);
+        assert!(a.repairs.rejections() > 0, "{}", a.repairs);
+        assert!(a.repairs.repair_tokens > 0, "re-prompts pay tokens");
+        assert_eq!(a.repairs, b.repairs);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.tokens, b.tokens);
+    }
+
+    #[test]
+    fn semantic_faults_guard_centralized_paradigm_too() {
+        let spec = find("MindAgent").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            semantic_faults: Some(embodied_llm::SemanticFaultProfile::uniform(0.6)),
+            repair_policy: Some(crate::guardrail::RepairPolicy::Constrain),
+            ..Default::default()
+        };
+        let report = run_episode(&spec, &overrides, 13);
+        assert!(report.repairs.validations > 0, "{}", report.repairs);
+        assert!(
+            report.repairs.constrained > 0,
+            "central corruption must be constrained: {}",
+            report.repairs
+        );
+    }
+
+    #[test]
+    fn skip_policy_burns_steps_without_repair_tokens() {
+        let spec = find("DEPS").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            semantic_faults: Some(embodied_llm::SemanticFaultProfile::uniform(0.5)),
+            repair_policy: Some(crate::guardrail::RepairPolicy::Skip),
+            ..Default::default()
+        };
+        let report = run_episode(&spec, &overrides, 7);
+        assert!(report.repairs.skipped_steps > 0, "{}", report.repairs);
+        assert_eq!(report.repairs.repair_tokens, 0);
+        assert_eq!(report.repairs.repair_attempts, 0);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use embodied_env::{Environment, ExecOutcome, Subgoal};
 use embodied_llm::{InferenceOpts, LlmEngine, LlmRequest, LlmResponse, Purpose, ResilientEngine};
 use embodied_profiler::{
     EpisodeReport, LatencyBreakdown, MessageStats, ModuleKind, Outcome, Phase, PurposeLedger,
-    ResilienceStats, SimDuration, StepRecord, TokenStats, Trace,
+    RepairStats, ResilienceStats, SimDuration, StepRecord, TokenStats, Trace,
 };
 
 /// Nominal watchdog + reboot latency billed when a process crashes.
@@ -60,6 +60,9 @@ pub struct EmbodiedSystem {
     pub(crate) agent_faults: AgentFaultState,
     /// Message-channel fault state: partition window, delayed queue.
     pub(crate) channel: ChannelState,
+    /// Guardrail validation/repair accounting (all zero while the repair
+    /// policy is `Off`).
+    pub(crate) repairs: RepairStats,
     workload: String,
     step_records: Vec<StepRecord>,
 }
@@ -100,7 +103,8 @@ impl EmbodiedSystem {
         let central = match paradigm {
             Paradigm::Centralized | Paradigm::Hybrid => Some(CentralPlanner {
                 planning: PlanningModule::new(resilient(
-                    LlmEngine::new(config.planner.clone(), seed ^ 0xcc01),
+                    LlmEngine::new(config.planner.clone(), seed ^ 0xcc01)
+                        .with_semantic_faults(config.semantic_fault_profile, seed ^ 0x5ecc01),
                     0x01,
                 )),
                 communication: config
@@ -138,6 +142,7 @@ impl EmbodiedSystem {
             degradations: ResilienceStats::default(),
             agent_faults: AgentFaultState::new(config.agent_fault_profile, seed, team),
             channel: ChannelState::new(config.channel_profile, seed),
+            repairs: RepairStats::default(),
             workload,
             step_records: Vec::new(),
         }
@@ -257,6 +262,7 @@ impl EmbodiedSystem {
             resilience,
             agent_faults: self.agent_faults.stats,
             channel: self.channel.stats,
+            repairs: self.repairs,
             step_records: self.step_records.clone(),
             agents: self.agents.len(),
         }
@@ -699,7 +705,58 @@ impl EmbodiedSystem {
         if decision.followed_oracle && agent.config.opts.plan_horizon > 1 {
             agent.plan_budget = agent.config.opts.plan_horizon - 1;
         }
-        let (subgoal, followed) = (decision.subgoal, decision.followed_oracle);
+        let flaw = decision.response.flaw;
+        let (mut subgoal, mut followed) = (decision.subgoal, decision.followed_oracle);
+        // Guardrail: validate the final decision against what the
+        // environment currently affords, repairing per policy. Under `Off`
+        // a flawed decision still *lands* — materialized and executed
+        // unguarded (the baseline the sweep measures) — but a clean
+        // decision takes the zero-cost path: no affordance snapshot, no
+        // extra draws, no spans.
+        let policy = agent.config.repair_policy;
+        if flaw.is_some() || !policy.is_off() {
+            let affordances = self.env.affordances(i);
+            let mut stats = RepairStats::default();
+            let verdict = crate::guardrail::guard_decision(
+                agent.planning.engine_mut(),
+                policy,
+                &subgoal,
+                flaw,
+                &affordances,
+                &agent.preamble,
+                &goal,
+                difficulty,
+                Self::infer_opts_for(&agent.config, team_size),
+                &mut stats,
+            );
+            let stall = agent.planning.engine_mut().take_stall();
+            Self::note_stall(&mut self.trace, ModuleKind::Planning, i, stall);
+            if verdict.validate_latency != SimDuration::ZERO {
+                self.trace.record(
+                    ModuleKind::Planning,
+                    Phase::Validate,
+                    i,
+                    verdict.validate_latency,
+                );
+            }
+            if verdict.repair_latency != SimDuration::ZERO {
+                self.trace.record(
+                    ModuleKind::Planning,
+                    Phase::Repair,
+                    i,
+                    verdict.repair_latency,
+                );
+            }
+            responses.extend(verdict.responses);
+            if verdict.subgoal != subgoal {
+                // The decision was rejected and repaired/skipped: whatever
+                // multi-step plan it implied is void.
+                followed = false;
+                agent.plan_budget = 0;
+            }
+            subgoal = verdict.subgoal;
+            self.repairs.merge(&stats);
+        }
         agent.last_plan = Some(subgoal.clone());
         for response in &responses {
             self.note_llm(response);

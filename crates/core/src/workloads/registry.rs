@@ -54,6 +54,8 @@ fn base_config(
         retry_policy: embodied_llm::RetryPolicy::standard(),
         agent_fault_profile: crate::faults::AgentFaultProfile::none(),
         channel_profile: crate::faults::ChannelProfile::none(),
+        semantic_fault_profile: embodied_llm::SemanticFaultProfile::none(),
+        repair_policy: crate::guardrail::RepairPolicy::Off,
     }
 }
 

@@ -2,6 +2,7 @@
 //! low-level execution context agents hand to it.
 
 use crate::action::{ExecOutcome, Subgoal};
+use crate::affordance::AffordanceSet;
 use crate::observation::Observation;
 use embodied_exec::Actuator;
 use rand::rngs::StdRng;
@@ -168,6 +169,13 @@ pub trait Environment {
     fn oracle_subgoals(&self, agent: usize) -> Vec<Subgoal>;
     /// Every syntactically valid subgoal for one agent.
     fn candidate_subgoals(&self, agent: usize) -> Vec<Subgoal>;
+    /// The affordance query surface for one agent: membership, entity
+    /// knowledge and nearest-valid lookups over the candidate menu. The
+    /// guardrail validator checks every planned subgoal against this before
+    /// actuation.
+    fn affordances(&self, agent: usize) -> AffordanceSet {
+        AffordanceSet::from_candidates(self.candidate_subgoals(agent))
+    }
     /// Executes a subgoal for an agent, mutating world state.
     fn execute(&mut self, agent: usize, subgoal: &Subgoal, low: &mut LowLevel) -> ExecOutcome;
     /// Whether the task goal is fully satisfied.

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 
 mod action;
+mod affordance;
 mod alfworld;
 mod boxworld;
 mod craft;
@@ -47,6 +48,7 @@ mod transport;
 mod world;
 
 pub use action::{ExecOutcome, Subgoal};
+pub use affordance::AffordanceSet;
 pub use alfworld::AlfWorldEnv;
 pub use boxworld::{BoxVariant, BoxWorldEnv};
 pub use craft::CraftEnv;

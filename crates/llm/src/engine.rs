@@ -5,6 +5,7 @@ use crate::latency::{batch_latency, inference_cost, inference_latency};
 use crate::profile::ModelProfile;
 use crate::quality::QualityModel;
 use crate::request::{LlmRequest, LlmResponse};
+use crate::semantic::{SemanticFaultInjector, SemanticFaultProfile};
 use crate::tokenizer::{PromptTokens, Tokenizer};
 use embodied_profiler::{ResilienceStats, SimDuration, TokenStats};
 use rand::rngs::StdRng;
@@ -55,8 +56,9 @@ impl std::fmt::Display for LlmError {
 
 impl std::error::Error for LlmError {}
 
-/// Largest index ≤ `max` that is a char boundary of `s`.
-fn floor_char(s: &str, max: usize) -> usize {
+/// Largest index ≤ `max` that is a char boundary of `s` — the safe way to
+/// cap a prompt excerpt at a byte budget without panicking mid-codepoint.
+pub fn floor_char(s: &str, max: usize) -> usize {
     let mut i = max.min(s.len());
     while i > 0 && !s.is_char_boundary(i) {
         i -= 1;
@@ -100,6 +102,7 @@ pub struct LlmEngine {
     kv_reuse: bool,
     last_prompt: Option<String>,
     injector: FaultInjector,
+    semantic: SemanticFaultInjector,
     faults: ResilienceStats,
     last_fault_cost: SimDuration,
 }
@@ -119,6 +122,7 @@ impl LlmEngine {
             kv_reuse: false,
             last_prompt: None,
             injector: FaultInjector::new(FaultProfile::none(), seed),
+            semantic: SemanticFaultInjector::new(SemanticFaultProfile::none(), seed),
             faults: ResilienceStats::default(),
             last_fault_cost: SimDuration::ZERO,
         }
@@ -129,6 +133,15 @@ impl LlmEngine {
     /// engine without injection.
     pub fn with_faults(mut self, profile: FaultProfile, fault_seed: u64) -> Self {
         self.injector = FaultInjector::new(profile, fault_seed);
+        self
+    }
+
+    /// Enables content-plane (semantic) fault injection from `profile`,
+    /// drawn on its own dedicated stream seeded by `fault_seed` — distinct
+    /// from both the main stream and the transport-fault stream, so clean
+    /// calls stay byte-identical to an engine without the semantic plane.
+    pub fn with_semantic_faults(mut self, profile: SemanticFaultProfile, fault_seed: u64) -> Self {
+        self.semantic = SemanticFaultInjector::new(profile, fault_seed);
         self
     }
 
@@ -171,6 +184,12 @@ impl LlmEngine {
     /// The fault profile in force ([`FaultProfile::none()`] by default).
     pub fn fault_profile(&self) -> &FaultProfile {
         self.injector.profile()
+    }
+
+    /// The semantic fault profile in force
+    /// ([`SemanticFaultProfile::none()`] by default).
+    pub fn semantic_fault_profile(&self) -> &SemanticFaultProfile {
+        self.semantic.profile()
     }
 
     /// Injected-fault tallies (fault kinds and wasted latency only; retry
@@ -335,6 +354,10 @@ impl LlmEngine {
             self.last_prompt = Some(req.prompt.clone());
         }
 
+        // Content-plane corruption, on its own stream, sampled last so the
+        // main-stream draw order is untouched; none() draws nothing.
+        let flaw = self.semantic.sample();
+
         Ok(LlmResponse {
             purpose: req.purpose,
             prompt_tokens,
@@ -343,6 +366,7 @@ impl LlmEngine {
             quality,
             cost_usd: cost,
             truncated,
+            flaw,
         })
     }
 
@@ -398,6 +422,7 @@ impl LlmEngine {
             let noise: f64 = self.rng.gen_range(-0.04..=0.04);
             quality = (quality + noise).clamp(0.02, 0.99);
             self.usage.record(pt, ot, cost);
+            let flaw = self.semantic.sample();
             responses.push(LlmResponse {
                 purpose: req.purpose,
                 prompt_tokens: pt,
@@ -410,6 +435,7 @@ impl LlmEngine {
                 quality,
                 cost_usd: cost,
                 truncated: false,
+                flaw,
             });
         }
         Ok(responses)
@@ -666,6 +692,43 @@ mod tests {
                 .infer(LlmRequest::new(Purpose::Planning, prompt.as_str(), 40))
                 .unwrap();
             assert_eq!(r.prompt_tokens, tok.count(&prompt));
+        }
+    }
+
+    #[test]
+    fn no_semantic_profile_is_byte_identical_to_unwrapped() {
+        let run = |with_injector: bool| {
+            let mut e = LlmEngine::new(ModelProfile::gpt4_api(), 21);
+            if with_injector {
+                e = e.with_semantic_faults(crate::semantic::SemanticFaultProfile::none(), 99);
+            }
+            (0..20)
+                .map(|i| e.infer(planning_req(&format!("step {i} plan"))).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn semantic_faults_stamp_flaws_without_touching_main_stream() {
+        let clean: Vec<_> = {
+            let mut e = LlmEngine::new(ModelProfile::gpt4_api(), 21);
+            (0..20)
+                .map(|i| e.infer(planning_req(&format!("step {i} plan"))).unwrap())
+                .collect()
+        };
+        let mut e = LlmEngine::new(ModelProfile::gpt4_api(), 21)
+            .with_semantic_faults(crate::semantic::SemanticFaultProfile::uniform(0.8), 4);
+        let flawed: Vec<_> = (0..20)
+            .map(|i| e.infer(planning_req(&format!("step {i} plan"))).unwrap())
+            .collect();
+        assert!(flawed.iter().filter(|r| r.flaw.is_some()).count() >= 8);
+        for (c, f) in clean.iter().zip(flawed.iter()) {
+            // Everything measurable is unchanged — only the flaw marker
+            // differs, because the semantic plane draws on its own stream.
+            assert_eq!(c.quality, f.quality);
+            assert_eq!(c.latency, f.latency);
+            assert_eq!(c.output_tokens, f.output_tokens);
         }
     }
 

@@ -44,14 +44,16 @@ mod profile;
 mod quality;
 mod request;
 mod resilience;
+mod semantic;
 mod tokenizer;
 
 pub use bpe::BpeTokenizer;
-pub use engine::{LlmEngine, LlmError};
+pub use engine::{floor_char, LlmEngine, LlmError};
 pub use fault::{FaultInjector, FaultKind, FaultProfile};
 pub use latency::{batch_latency, inference_cost, inference_latency, InferenceOpts, Quantization};
 pub use profile::{Deployment, EncoderProfile, ModelProfile};
 pub use quality::QualityModel;
 pub use request::{LlmRequest, LlmResponse, Purpose};
 pub use resilience::{InferenceEndpoint, ResilientEngine, RetryPolicy};
+pub use semantic::{SemanticFaultInjector, SemanticFaultKind, SemanticFaultProfile, SemanticFlaw};
 pub use tokenizer::{PromptTokens, Tokenizer};

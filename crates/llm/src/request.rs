@@ -1,6 +1,7 @@
 //! Request/response types for the simulated inference engine.
 
 use crate::latency::InferenceOpts;
+use crate::semantic::SemanticFlaw;
 use embodied_profiler::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -100,6 +101,11 @@ pub struct LlmResponse {
     pub cost_usd: f64,
     /// Whether the prompt exceeded the context window and was truncated.
     pub truncated: bool,
+    /// Content-plane corruption stamped on this response by the semantic
+    /// fault injector (`None` under `SemanticFaultProfile::none()`). The
+    /// call *succeeded* — the completion just isn't trustworthy; the
+    /// planning layer materializes the flaw and the guardrail catches it.
+    pub flaw: Option<SemanticFlaw>,
 }
 
 #[cfg(test)]

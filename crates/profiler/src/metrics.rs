@@ -508,6 +508,117 @@ impl fmt::Display for ChannelStats {
     }
 }
 
+/// Guardrail validation/repair counters for an episode: what the semantic
+/// fault plane injected and what the repair pipeline paid to contain it.
+///
+/// Where [`ResilienceStats`] accounts *transport* faults (a call failing
+/// outright) and [`AgentFaultStats`] accounts *process* faults, these
+/// counters account *content* faults — responses that arrived on time but
+/// carried malformed, hallucinated, invalid or truncated plans — plus the
+/// validator/repair work spent before any of them reached actuation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RepairStats {
+    /// Plan decisions checked by the validator.
+    pub validations: u64,
+    /// Rejections for malformed / unparseable decision text.
+    pub rejected_malformed: u64,
+    /// Rejections for entities absent from the current observation.
+    pub rejected_hallucinated: u64,
+    /// Rejections for syntactically valid but environment-invalid actions.
+    pub rejected_invalid_action: u64,
+    /// Rejections for plans truncated at the context limit.
+    pub rejected_truncated: u64,
+    /// Re-prompt repair attempts issued (each pays real tokens/latency).
+    pub repair_attempts: u64,
+    /// Rejected plans ultimately repaired to a valid action.
+    pub repaired: u64,
+    /// Rejected plans constrained to the nearest valid action.
+    pub constrained: u64,
+    /// Rejected plans degraded to a skipped step.
+    pub skipped_steps: u64,
+    /// Rejected plans that slipped to actuation anyway (repair exhausted
+    /// or disabled) — the residual invalid-action count.
+    pub residual_invalid: u64,
+    /// Prompt + completion tokens spent on repair re-prompts.
+    pub repair_tokens: u64,
+    /// API cost (USD) of repair re-prompts.
+    pub repair_cost_usd: f64,
+    /// Simulated latency of validation passes.
+    pub validate_latency: SimDuration,
+    /// Simulated latency of repair re-prompts.
+    pub repair_latency: SimDuration,
+}
+
+impl RepairStats {
+    /// Total validator rejections across every kind.
+    pub fn rejections(&self) -> u64 {
+        self.rejected_malformed
+            + self.rejected_hallucinated
+            + self.rejected_invalid_action
+            + self.rejected_truncated
+    }
+
+    /// Fraction of validated decisions that stayed invalid after repair
+    /// (0 when nothing was validated).
+    pub fn residual_invalid_rate(&self) -> f64 {
+        if self.validations == 0 {
+            0.0
+        } else {
+            self.residual_invalid as f64 / self.validations as f64
+        }
+    }
+
+    /// Whether nothing guardrail-related happened (the
+    /// `SemanticFaultProfile::none()` + repair-off fast path — reports stay
+    /// identical to pre-guardrail builds).
+    pub fn is_quiet(&self) -> bool {
+        self.validations == 0 && self.rejections() == 0 && self.repair_attempts == 0
+    }
+
+    /// Merge counters from another episode slice.
+    pub fn merge(&mut self, other: &RepairStats) {
+        self.validations += other.validations;
+        self.rejected_malformed += other.rejected_malformed;
+        self.rejected_hallucinated += other.rejected_hallucinated;
+        self.rejected_invalid_action += other.rejected_invalid_action;
+        self.rejected_truncated += other.rejected_truncated;
+        self.repair_attempts += other.repair_attempts;
+        self.repaired += other.repaired;
+        self.constrained += other.constrained;
+        self.skipped_steps += other.skipped_steps;
+        self.residual_invalid += other.residual_invalid;
+        self.repair_tokens += other.repair_tokens;
+        self.repair_cost_usd += other.repair_cost_usd;
+        self.validate_latency += other.validate_latency;
+        self.repair_latency += other.repair_latency;
+    }
+}
+
+impl fmt::Display for RepairStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "validated {}, rejected {} (malformed {}, halluc {}, invalid {}, \
+             trunc {}), repairs {} ({} ok, {} constrained, {} skipped), \
+             residual {}, repair tokens {} (${:.4}), repair latency {}",
+            self.validations,
+            self.rejections(),
+            self.rejected_malformed,
+            self.rejected_hallucinated,
+            self.rejected_invalid_action,
+            self.rejected_truncated,
+            self.repair_attempts,
+            self.repaired,
+            self.constrained,
+            self.skipped_steps,
+            self.residual_invalid,
+            self.repair_tokens,
+            self.repair_cost_usd,
+            self.repair_latency,
+        )
+    }
+}
+
 impl fmt::Display for ResilienceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -698,6 +809,44 @@ mod tests {
         assert_eq!(a.backoff, sec(4));
         assert_eq!(a.wasted_latency, sec(2));
         assert!(ResilienceStats::default().is_quiet());
+    }
+
+    #[test]
+    fn repair_stats_quiet_merge_and_rates() {
+        let mut r = RepairStats::default();
+        assert!(r.is_quiet());
+        assert_eq!(r.residual_invalid_rate(), 0.0);
+        let s = RepairStats {
+            validations: 10,
+            rejected_malformed: 1,
+            rejected_hallucinated: 2,
+            rejected_invalid_action: 1,
+            repair_attempts: 3,
+            repaired: 2,
+            residual_invalid: 2,
+            repair_tokens: 640,
+            repair_cost_usd: 0.02,
+            repair_latency: sec(3),
+            ..Default::default()
+        };
+        assert!(!s.is_quiet());
+        assert_eq!(s.rejections(), 4);
+        assert!((s.residual_invalid_rate() - 0.2).abs() < 1e-12);
+        r.merge(&s);
+        r.merge(&s);
+        assert_eq!(r.validations, 20);
+        assert_eq!(r.repair_tokens, 1_280);
+        assert_eq!(r.repair_latency, sec(6));
+        let text = r.to_string();
+        assert!(text.contains("rejected"));
+        assert!(text.contains("repair tokens"));
+        // Validation alone (no rejections) is still not quiet: the
+        // validator ran, so traces/tables differ from a guardrail-off run.
+        let v = RepairStats {
+            validations: 1,
+            ..Default::default()
+        };
+        assert!(!v.is_quiet());
     }
 
     #[test]

@@ -104,6 +104,10 @@ pub enum Phase {
     Failover,
     /// Re-synchronizing shared state into a freshly promoted coordinator.
     Resync,
+    /// Guardrail validation of a proposed plan against the environment.
+    Validate,
+    /// Repairing a rejected plan (re-prompt, constrain, or skip).
+    Repair,
 }
 
 impl fmt::Display for Phase {
@@ -119,6 +123,8 @@ impl fmt::Display for Phase {
             Phase::Crash => "crash",
             Phase::Failover => "failover",
             Phase::Resync => "resync",
+            Phase::Validate => "validate",
+            Phase::Repair => "repair",
         };
         f.write_str(name)
     }

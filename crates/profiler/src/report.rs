@@ -2,8 +2,8 @@
 //! figure binary prints.
 
 use crate::metrics::{
-    AgentFaultStats, ChannelStats, LatencyBreakdown, MessageStats, PurposeLedger, ResilienceStats,
-    StepRecord, TokenStats,
+    AgentFaultStats, ChannelStats, LatencyBreakdown, MessageStats, PurposeLedger, RepairStats,
+    ResilienceStats, StepRecord, TokenStats,
 };
 use crate::module::ModuleKind;
 use crate::time::SimDuration;
@@ -73,6 +73,10 @@ pub struct EpisodeReport {
     /// Message-channel fault counters — drops, duplicates, corruption,
     /// delays, partitions (all zero under `ChannelProfile::none()`).
     pub channel: ChannelStats,
+    /// Guardrail validation/repair counters — semantic-fault rejections and
+    /// the repair work paid to contain them (all zero under
+    /// `SemanticFaultProfile::none()` with repair disabled).
+    pub repairs: RepairStats,
     /// Per-step time series.
     pub step_records: Vec<StepRecord>,
     /// Number of agents that participated.
@@ -130,6 +134,8 @@ pub struct Aggregate {
     pub agent_faults: AgentFaultStats,
     /// Merged channel fault counters across episodes.
     pub channel: ChannelStats,
+    /// Merged guardrail validation/repair counters across episodes.
+    pub repairs: RepairStats,
 }
 
 impl Aggregate {
@@ -175,6 +181,7 @@ impl Aggregate {
         let mut resilience = ResilienceStats::default();
         let mut agent_faults = AgentFaultStats::default();
         let mut channel = ChannelStats::default();
+        let mut repairs = RepairStats::default();
         for r in reports {
             breakdown.merge(&r.breakdown);
             tokens.merge(&r.tokens);
@@ -184,6 +191,7 @@ impl Aggregate {
             resilience.merge(&r.resilience);
             agent_faults.merge(&r.agent_faults);
             channel.merge(&r.channel);
+            repairs.merge(&r.repairs);
         }
 
         Aggregate {
@@ -204,6 +212,7 @@ impl Aggregate {
             resilience,
             agent_faults,
             channel,
+            repairs,
         }
     }
 
@@ -266,6 +275,27 @@ impl Aggregate {
     pub fn channel_events_per_episode(&self) -> f64 {
         self.channel.events() as f64 / self.episodes as f64
     }
+
+    /// Mean validator rejections per episode.
+    pub fn rejections_per_episode(&self) -> f64 {
+        self.repairs.rejections() as f64 / self.episodes as f64
+    }
+
+    /// Mean repair re-prompt attempts per episode.
+    pub fn repair_attempts_per_episode(&self) -> f64 {
+        self.repairs.repair_attempts as f64 / self.episodes as f64
+    }
+
+    /// Mean tokens spent on repair re-prompts per episode.
+    pub fn repair_tokens_per_episode(&self) -> f64 {
+        self.repairs.repair_tokens as f64 / self.episodes as f64
+    }
+
+    /// Fraction of validated decisions left invalid after repair, over the
+    /// merged counters.
+    pub fn residual_invalid_rate(&self) -> f64 {
+        self.repairs.residual_invalid_rate()
+    }
 }
 
 impl fmt::Display for Aggregate {
@@ -303,9 +333,27 @@ mod tests {
             resilience: ResilienceStats::default(),
             agent_faults: AgentFaultStats::default(),
             channel: ChannelStats::default(),
+            repairs: RepairStats::default(),
             step_records: Vec::new(),
             agents: 1,
         }
+    }
+
+    #[test]
+    fn aggregate_merges_repairs() {
+        let mut faulty = report(Outcome::StepLimit, 5, 50);
+        faulty.repairs.validations = 10;
+        faulty.repairs.rejected_hallucinated = 3;
+        faulty.repairs.repair_attempts = 4;
+        faulty.repairs.repair_tokens = 800;
+        faulty.repairs.residual_invalid = 1;
+        let reports = vec![report(Outcome::Success, 5, 50), faulty];
+        let agg = Aggregate::from_reports("t", &reports);
+        assert_eq!(agg.repairs.validations, 10);
+        assert!((agg.rejections_per_episode() - 1.5).abs() < 1e-12);
+        assert!((agg.repair_attempts_per_episode() - 2.0).abs() < 1e-12);
+        assert!((agg.repair_tokens_per_episode() - 400.0).abs() < 1e-12);
+        assert!((agg.residual_invalid_rate() - 0.1).abs() < 1e-12);
     }
 
     #[test]

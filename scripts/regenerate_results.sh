@@ -26,4 +26,8 @@ EMBODIED_EPISODES="${EMBODIED_FAULT_EPISODES:-6}" ./target/release/fault_sweep >
 echo "== resilience_scalability =="
 EMBODIED_EPISODES="${EMBODIED_RESILIENCE_EPISODES:-6}" ./target/release/resilience_scalability > /dev/null
 
+# Guardrail sweep: 3 systems × 4 repair policies × 4 semantic-fault rates.
+echo "== guardrail_sweep =="
+EMBODIED_EPISODES="${EMBODIED_GUARDRAIL_EPISODES:-6}" ./target/release/guardrail_sweep > /dev/null
+
 echo "done — see results/*.md"

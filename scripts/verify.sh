@@ -19,8 +19,11 @@ EMBODIED_JOBS=4 cargo test --release -q -p embodied-bench --test parallel_determ
 echo "== fault determinism (EMBODIED_JOBS=4) =="
 EMBODIED_JOBS=4 cargo test --release -q -p embodied-bench --test fault_determinism
 
+echo "== guardrail determinism (EMBODIED_JOBS=4) =="
+EMBODIED_JOBS=4 cargo test --release -q -p embodied-bench --test guardrail_determinism
+
 echo "== resilience integration tests =="
-cargo test --release -q --test resilience --test fault_properties
+cargo test --release -q --test resilience --test fault_properties --test guardrail_properties
 
 echo "== resilience_scalability --smoke (scratch dir; canonical results untouched) =="
 cargo build --release -q -p embodied-bench --bin resilience_scalability
@@ -28,6 +31,10 @@ repo_root="$(pwd)"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 (cd "$smoke_dir" && "$repo_root/target/release/resilience_scalability" --smoke > /dev/null)
+
+echo "== guardrail_sweep --smoke (scratch dir; canonical results untouched) =="
+cargo build --release -q -p embodied-bench --bin guardrail_sweep
+(cd "$smoke_dir" && "$repo_root/target/release/guardrail_sweep" --smoke > /dev/null)
 
 echo "== bench_all --smoke (sequential vs parallel byte-identity) =="
 cargo run --release -q -p embodied-bench --bin bench_all -- --smoke
