@@ -1,0 +1,158 @@
+//! Serving sweep — shared inference-service layer × team size × paradigm.
+//!
+//! The serving layer (paper Rec. 1/2: batching, shared endpoints) turns the
+//! module-owned engines into tenants of one simulated serving stack. This
+//! sweep measures what each knob buys or costs:
+//!
+//! * **batching** — co-arriving same-phase requests share one batched bill
+//!   with amortized attribution and prefix reuse, so per-step planning
+//!   latency improves with team size;
+//! * **concurrency** — fewer simulated server slots than agents makes
+//!   queueing delay appear in the step critical path.
+//!
+//! ```text
+//! cargo run --release -p embodied-bench --bin serving_sweep [-- --smoke]
+//! ```
+//!
+//! `--smoke` shrinks the grid and episode count for a fast correctness
+//! pass (CI / `scripts/verify.sh`); the full run regenerates
+//! `results/serving_sweep.md`.
+
+use embodied_agents::{workloads, RunOverrides};
+use embodied_bench::{banner, episodes, ExperimentOutput, SweepPlan};
+use embodied_env::TaskDifficulty;
+use embodied_llm::ServingConfig;
+use embodied_profiler::{pct, ModuleKind, Table};
+
+/// One workload per multi-agent paradigm: CoELA (decentralized dialogue)
+/// and COHERENT (centralized with per-agent feedback extraction) — the two
+/// step loops with genuine same-phase fan-outs for the service to batch.
+const SYSTEMS: [&str; 2] = ["CoELA", "COHERENT"];
+
+fn configs(smoke: bool) -> Vec<(&'static str, ServingConfig)> {
+    if smoke {
+        vec![
+            ("off", ServingConfig::disabled()),
+            ("C=1", ServingConfig::limited(1)),
+            ("batched", ServingConfig::batched()),
+        ]
+    } else {
+        vec![
+            ("off", ServingConfig::disabled()),
+            ("C=1", ServingConfig::limited(1)),
+            ("C=2", ServingConfig::limited(2)),
+            ("batched", ServingConfig::batched()),
+        ]
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let teams: &[usize] = if smoke { &[2, 4] } else { &[2, 4, 8] };
+    let configs = configs(smoke);
+    let n = if smoke { 2 } else { episodes() };
+
+    let mut out = ExperimentOutput::new("serving_sweep");
+    banner(
+        &mut out,
+        "Serving sweep",
+        "Shared inference service (batching, concurrency limits, prefix cache) x team size",
+    );
+
+    let mut plan = SweepPlan::new();
+    for name in SYSTEMS {
+        let spec = workloads::find(name).expect("suite member");
+        for &team in teams {
+            for (_, serving) in &configs {
+                let overrides = RunOverrides {
+                    difficulty: Some(TaskDifficulty::Medium),
+                    num_agents: Some(team),
+                    serving: Some(*serving),
+                    ..Default::default()
+                };
+                plan.add(&spec, &overrides, n);
+            }
+        }
+    }
+    let mut results = plan.run();
+
+    for name in SYSTEMS {
+        let spec = workloads::find(name).expect("suite member");
+        out.section(&format!("{name} ({})", spec.paradigm));
+        let mut table = Table::new([
+            "agents",
+            "serving",
+            "success",
+            "steps",
+            "plan s/step",
+            "Δ plan",
+            "comm s/step",
+            "Δ comm",
+            "queue s/ep",
+            "batches/ep",
+            "occupancy",
+            "prefix hits",
+        ]);
+        for &team in teams {
+            let mut baseline = None;
+            for (label, _) in &configs {
+                let agg = results.take_agg(name);
+                let total_steps = (agg.mean_steps * agg.episodes as f64).max(1.0);
+                let plan_per_step =
+                    agg.breakdown.module(ModuleKind::Planning).as_secs_f64() / total_steps;
+                let comm_per_step = agg
+                    .breakdown
+                    .module(ModuleKind::Communication)
+                    .as_secs_f64()
+                    / total_steps;
+                let (plan_base, comm_base) =
+                    *baseline.get_or_insert((plan_per_step, comm_per_step));
+                let delta = |v: f64, base: f64| {
+                    if base == 0.0 {
+                        "—".to_string()
+                    } else {
+                        format!("{:+.0}%", (v / base - 1.0) * 100.0)
+                    }
+                };
+                table.row([
+                    team.to_string(),
+                    (*label).to_string(),
+                    pct(agg.success_rate),
+                    format!("{:.1}", agg.mean_steps),
+                    format!("{plan_per_step:.1}s"),
+                    delta(plan_per_step, plan_base),
+                    format!("{comm_per_step:.1}s"),
+                    delta(comm_per_step, comm_base),
+                    format!("{:.1}s", agg.queue_delay_per_episode().as_secs_f64()),
+                    format!("{:.1}", agg.serving.batches as f64 / agg.episodes as f64),
+                    format!("{:.1}", agg.batch_occupancy()),
+                    pct(agg.prefix_hit_rate()),
+                ]);
+            }
+        }
+        out.line(table.render());
+    }
+
+    out.line(
+        "Reading: with serving off every module calls its own engine and the \
+         numbers match the legacy pipeline byte-for-byte. Batching folds a \
+         step's co-arriving planning (CoELA) or feedback-extraction \
+         (COHERENT) fan-out into one shared bill — the batched module's \
+         per-step latency drops as the team grows, and every batch member \
+         past the first reuses the shared system-preamble prefix. \
+         Concurrency limits move the cost the other way: with fewer \
+         simulated server slots than agents, requests wait for a slot and \
+         queueing delay lands in the step critical path (C=1 is the \
+         degenerate one-GPU-per-team deployment; C=2 halves the wait). \
+         Concurrency limits reshape time attribution only — decisions, \
+         success and step counts match the serving-off rows exactly. \
+         Batching on the *decentralized* loop is a real semantic shift, \
+         not just cheaper accounting: concurrently-planned agents cannot \
+         see teammates' same-step executions (the interleaved legacy loop \
+         let agent i+1 plan against agent i's fresh results), so CoELA \
+         trades per-step latency against extra steps — exactly the \
+         batching-vs-freshness tension a real shared serving stack forces. \
+         Centralized extraction has no such coupling, so COHERENT keeps \
+         identical decisions in every column.",
+    );
+}

@@ -1,0 +1,130 @@
+//! Serving-layer determinism contracts.
+//!
+//! 1. With serving disabled (the default), every episode is byte-identical
+//!    to a run with no serving override at all — the layer is strictly
+//!    pay-for-use — and stays bit-identical across worker counts.
+//! 2. With batching or concurrency limits on, runs replay bit-identically
+//!    (all scheduling is a pure function of the episode seed) and the
+//!    serving counters actually move.
+//! 3. Queueing delay is monotone in scarcity: fewer server slots can only
+//!    increase the time spent waiting, and unbounded never waits.
+
+use embodied_agents::{episode_seed, run_episode, workloads, RunOverrides};
+use embodied_bench::par_map_with;
+use embodied_llm::ServingConfig;
+use embodied_profiler::Aggregate;
+
+const EPISODES: usize = 4;
+const BASE_SEED: u64 = 42;
+
+fn overrides(serving: Option<ServingConfig>) -> RunOverrides {
+    RunOverrides {
+        serving,
+        ..Default::default()
+    }
+}
+
+/// Debug rendering of the aggregate — includes every latency, token and
+/// serving counter, so any divergence shows up as a byte diff.
+fn agg_bytes(spec_name: &str, serving: Option<ServingConfig>, workers: usize) -> String {
+    let spec = workloads::find(spec_name).expect("suite member");
+    let overrides = overrides(serving);
+    let reports = par_map_with(workers, EPISODES, |i| {
+        run_episode(&spec, &overrides, episode_seed(BASE_SEED, i))
+    });
+    format!("{:?}", Aggregate::from_reports(spec_name, &reports))
+}
+
+/// An explicit `ServingConfig::disabled()` must be byte-identical to no
+/// override at all, per episode, for one workload of every paradigm.
+#[test]
+fn serving_off_matches_default_runs() {
+    for name in ["DEPS", "MindAgent", "CoELA", "HMAS", "COHERENT"] {
+        let spec = workloads::find(name).expect("suite member");
+        let explicit = overrides(Some(ServingConfig::disabled()));
+        for i in 0..EPISODES {
+            let seed = episode_seed(BASE_SEED, i);
+            let a = run_episode(&spec, &RunOverrides::default(), seed);
+            let b = run_episode(&spec, &explicit, seed);
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "{name} episode {i}: explicit disabled() diverged from default"
+            );
+        }
+    }
+}
+
+/// Serving-layer runs stay bit-identical across `EMBODIED_JOBS` settings,
+/// whether the layer is off, queue-limited, or batching.
+#[test]
+fn serving_sweeps_bit_identical_across_worker_counts() {
+    for name in ["CoELA", "COHERENT"] {
+        for serving in [
+            ServingConfig::disabled(),
+            ServingConfig::limited(1),
+            ServingConfig::batched(),
+        ] {
+            let seq = agg_bytes(name, Some(serving), 1);
+            let par = agg_bytes(name, Some(serving), 4);
+            assert_eq!(seq, par, "{name}/{serving:?}: jobs=4 diverged from jobs=1");
+        }
+    }
+}
+
+/// Batched runs replay deterministically and actually batch: same bytes on
+/// a second run, nonzero batch/prefix counters, ties broken by tenant id.
+#[test]
+fn batched_runs_replay_and_count() {
+    for name in ["CoELA", "COHERENT"] {
+        let spec = workloads::find(name).expect("suite member");
+        let o = overrides(Some(ServingConfig::batched()));
+        let seed = episode_seed(BASE_SEED, 0);
+        let a = run_episode(&spec, &o, seed);
+        let b = run_episode(&spec, &o, seed);
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "{name}: batched replay diverged"
+        );
+        assert!(a.serving.batches > 0, "{name}: no batches were closed");
+        assert!(
+            a.serving.batched_requests > a.serving.batches,
+            "{name}: batches never held more than one request"
+        );
+        assert!(a.serving.prefix_hits > 0, "{name}: prefix cache never hit");
+    }
+}
+
+/// Queueing delay is monotone as slots get scarcer, and unbounded
+/// concurrency never queues.
+#[test]
+fn queue_delay_monotone_in_scarcity() {
+    let spec = workloads::find("CoELA").expect("suite member");
+    let mut delays = Vec::new();
+    for concurrency in [1, 2, 8] {
+        let o = overrides(Some(ServingConfig::limited(concurrency)));
+        let reports: Vec<_> = (0..EPISODES)
+            .map(|i| run_episode(&spec, &o, episode_seed(BASE_SEED, i)))
+            .collect();
+        let total: u64 = reports
+            .iter()
+            .map(|r| r.serving.queue_delay.as_micros())
+            .sum();
+        delays.push(total);
+    }
+    assert!(
+        delays[0] >= delays[1] && delays[1] >= delays[2],
+        "queue delay not monotone in scarcity: {delays:?}"
+    );
+    assert!(delays[0] > 0, "one slot for a team must queue");
+
+    let unbounded = overrides(Some(ServingConfig::disabled()));
+    for i in 0..EPISODES {
+        let r = run_episode(&spec, &unbounded, episode_seed(BASE_SEED, i));
+        assert!(
+            r.serving.queue_delay.is_zero(),
+            "unbounded concurrency queued on episode {i}"
+        );
+    }
+}

@@ -8,10 +8,15 @@ use crate::modules::{
 };
 use crate::prompt::system_preamble;
 use embodied_env::Subgoal;
-use embodied_llm::{LlmEngine, ResilientEngine};
+use embodied_llm::{EngineBuilder, InferenceService, LlmEngine, TenantOwner};
 use std::collections::{HashMap, HashSet};
 
 /// One embodied agent assembled from its configured modules.
+///
+/// Every LLM-backed module holds an [`embodied_llm::EngineHandle`] onto
+/// the system's shared [`InferenceService`] rather than a private engine;
+/// the service keeps the per-tenant usage ledger this agent's accounting
+/// rolls up from.
 #[derive(Debug)]
 pub struct ModularAgent {
     /// Agent index within the system.
@@ -61,6 +66,9 @@ pub struct ModularAgent {
     /// the staleness threshold) — planning routes joint subgoals around
     /// them until they are heard again.
     pub suspected: HashSet<usize>,
+    /// The shared inference service this agent's engines are registered
+    /// with (per-tenant ledger for usage/resilience rollups).
+    service: InferenceService,
 }
 
 impl ModularAgent {
@@ -74,34 +82,38 @@ impl ModularAgent {
         config: AgentConfig,
         landmarks: Vec<String>,
         seed: u64,
+        service: &InferenceService,
     ) -> Self {
         let agent_seed = seed ^ ((id as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
         // Each engine draws faults from its own stream (^ 0xfa0_) and
         // jitters its backoff from its own hash seed (^ 0xb0_), so fault
         // arrivals and retry schedules replay deterministically per module.
-        let resilient = |engine: LlmEngine, module: u64| {
-            ResilientEngine::new(
-                engine.with_faults(config.fault_profile, agent_seed ^ 0xfa00 ^ module),
-                config.retry_policy,
-                agent_seed ^ 0xb000 ^ module,
-            )
-        };
+        let builder = EngineBuilder::new(
+            config.fault_profile,
+            config.retry_policy,
+            agent_seed ^ 0xfa00,
+            agent_seed ^ 0xb000,
+        );
+        let owner = TenantOwner::Agent(id);
         // The planner additionally draws content corruptions from its own
         // semantic stream (^ 0x5e__) — a none() profile draws nothing.
-        let planner_engine = resilient(
-            LlmEngine::new(config.planner.clone(), agent_seed ^ 0x01)
-                .with_kv_reuse(config.opts.kv_cache)
-                .with_semantic_faults(config.semantic_fault_profile, agent_seed ^ 0x5e01),
-            0x01,
+        let planner_engine = service.register(
+            builder.wrap(
+                LlmEngine::new(config.planner.clone(), agent_seed ^ 0x01)
+                    .with_kv_reuse(config.opts.kv_cache)
+                    .with_semantic_faults(config.semantic_fault_profile, agent_seed ^ 0x5e01),
+                0x01,
+            ),
+            owner,
         );
         let communication = config
             .communicator
             .as_ref()
             .filter(|_| config.toggles.communication)
             .map(|profile| {
-                CommunicationModule::new(resilient(
-                    LlmEngine::new(profile.clone(), agent_seed ^ 0x02),
-                    0x02,
+                CommunicationModule::new(service.register(
+                    builder.wrap(LlmEngine::new(profile.clone(), agent_seed ^ 0x02), 0x02),
+                    owner,
                 ))
             });
         let reflection = config
@@ -109,9 +121,9 @@ impl ModularAgent {
             .as_ref()
             .filter(|_| config.toggles.reflection)
             .map(|profile| {
-                ReflectionModule::new(resilient(
-                    LlmEngine::new(profile.clone(), agent_seed ^ 0x03),
-                    0x03,
+                ReflectionModule::new(service.register(
+                    builder.wrap(LlmEngine::new(profile.clone(), agent_seed ^ 0x03), 0x03),
+                    owner,
                 ))
             });
         let execution = if config.toggles.execution {
@@ -153,6 +165,7 @@ impl ModularAgent {
             last_plan: None,
             peer_last_heard: Vec::new(),
             suspected: HashSet::new(),
+            service: service.clone(),
         }
     }
 
@@ -201,28 +214,17 @@ impl ModularAgent {
         delta
     }
 
-    /// Total LLM usage across this agent's engines.
+    /// Total LLM usage across this agent's engines, read from the shared
+    /// service's per-tenant ledger — registering a new engine enrolls it
+    /// automatically, so accounting cannot silently drop a module.
     pub fn total_usage(&self) -> embodied_profiler::TokenStats {
-        let mut usage = self.planning.engine().usage();
-        if let Some(comm) = &self.communication {
-            usage.merge(&comm.engine().usage());
-        }
-        if let Some(refl) = &self.reflection {
-            usage.merge(&refl.engine().usage());
-        }
-        usage
+        self.service.usage_for(TenantOwner::Agent(self.id))
     }
 
-    /// Total fault/retry accounting across this agent's engines.
+    /// Total fault/retry accounting across this agent's engines, read
+    /// from the shared service's per-tenant ledger.
     pub fn total_resilience(&self) -> embodied_profiler::ResilienceStats {
-        let mut stats = self.planning.engine().stats();
-        if let Some(comm) = &self.communication {
-            stats.merge(&comm.engine().stats());
-        }
-        if let Some(refl) = &self.reflection {
-            stats.merge(&refl.engine().stats());
-        }
-        stats
+        self.service.resilience_for(TenantOwner::Agent(self.id))
     }
 }
 
@@ -236,7 +238,14 @@ mod tests {
         let mut config = AgentConfig::gpt4_modular();
         config.communicator = Some(ModelProfile::gpt4_api());
         config.toggles = toggles;
-        ModularAgent::new(0, "TestSystem", config, vec!["room_0".into()], 42)
+        ModularAgent::new(
+            0,
+            "TestSystem",
+            config,
+            vec!["room_0".into()],
+            42,
+            &InferenceService::default(),
+        )
     }
 
     #[test]

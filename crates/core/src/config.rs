@@ -5,6 +5,7 @@
 use crate::guardrail::RepairPolicy;
 use embodied_llm::{
     EncoderProfile, FaultProfile, ModelProfile, Quantization, RetryPolicy, SemanticFaultProfile,
+    ServingConfig,
 };
 use serde::{Deserialize, Serialize};
 
@@ -204,6 +205,11 @@ pub struct AgentConfig {
     /// actuation. Defaults to [`RepairPolicy::Off`] — validation is
     /// strictly opt-in.
     pub repair_policy: RepairPolicy,
+    /// Shared-inference-service scheduling knobs (cross-tenant batching,
+    /// backend concurrency limit). Defaults to
+    /// [`ServingConfig::disabled()`] — a pure pass-through under which
+    /// every call takes the legacy path and draw order.
+    pub serving: ServingConfig,
 }
 
 impl AgentConfig {
@@ -231,6 +237,7 @@ impl AgentConfig {
             channel_profile: crate::faults::ChannelProfile::none(),
             semantic_fault_profile: SemanticFaultProfile::none(),
             repair_policy: RepairPolicy::Off,
+            serving: ServingConfig::disabled(),
         }
     }
 }
@@ -270,6 +277,13 @@ mod tests {
         assert_eq!(o.plan_horizon, 1);
         assert_eq!(o.cluster_size, 0);
         assert_eq!(o.quantization, Quantization::None);
+    }
+
+    #[test]
+    fn default_serving_is_passthrough() {
+        // The byte-identity contract hinges on this default: no batching,
+        // no concurrency limit, no scheduling side effects.
+        assert!(AgentConfig::gpt4_modular().serving.is_passthrough());
     }
 
     #[test]

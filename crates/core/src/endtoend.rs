@@ -198,6 +198,7 @@ impl EndToEndSystem {
             agent_faults: embodied_profiler::AgentFaultStats::default(),
             channel: embodied_profiler::ChannelStats::default(),
             repairs: embodied_profiler::RepairStats::default(),
+            serving: embodied_profiler::ServingStats::default(),
             step_records: self.step_records.clone(),
             agents: 1,
         }

@@ -30,8 +30,8 @@
 use crate::prompt::PromptBuilder;
 use embodied_env::{AffordanceSet, Subgoal};
 use embodied_llm::{
-    floor_char, InferenceOpts, LlmRequest, LlmResponse, Purpose, ResilientEngine,
-    SemanticFaultKind, SemanticFlaw,
+    floor_char, EngineHandle, InferenceOpts, LlmRequest, LlmResponse, Purpose, SemanticFaultKind,
+    SemanticFlaw,
 };
 use embodied_profiler::{RepairStats, SimDuration};
 use serde::{Deserialize, Serialize};
@@ -340,13 +340,14 @@ pub struct GuardrailVerdict {
 ///
 /// `intended` is the decision the planning layer produced (before content
 /// corruption); `flaw` is the semantic-plane marker stamped on the response
-/// that produced it, if any. Repair re-prompts go through `engine` and pay
-/// real tokens; every counter lands in `stats`. Termination is bounded: at
-/// most `max_attempts` repair inferences per decision, regardless of how
-/// the corruption schedule unfolds.
+/// that produced it, if any. Repair re-prompts go through `engine` — the
+/// caller's tenant handle onto the shared inference service — and pay real
+/// tokens; every counter lands in `stats`. Termination is bounded: at most
+/// `max_attempts` repair inferences per decision, regardless of how the
+/// corruption schedule unfolds.
 #[allow(clippy::too_many_arguments)]
 pub fn guard_decision(
-    engine: &mut ResilientEngine,
+    engine: &mut EngineHandle,
     policy: RepairPolicy,
     intended: &Subgoal,
     flaw: Option<SemanticFlaw>,
@@ -492,7 +493,9 @@ fn repair_prompt(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use embodied_llm::{LlmEngine, ModelProfile, RetryPolicy, SemanticFaultProfile};
+    use embodied_llm::{
+        LlmEngine, ModelProfile, ResilientEngine, RetryPolicy, SemanticFaultProfile,
+    };
 
     fn menu() -> AffordanceSet {
         AffordanceSet::from_candidates(vec![
@@ -506,12 +509,12 @@ mod tests {
         ])
     }
 
-    fn engine() -> ResilientEngine {
-        ResilientEngine::new(
+    fn engine() -> EngineHandle {
+        EngineHandle::from(ResilientEngine::new(
             LlmEngine::new(ModelProfile::gpt4_api(), 7),
             RetryPolicy::standard(),
             7,
-        )
+        ))
     }
 
     fn flaw(kind: SemanticFaultKind, salt: u64) -> SemanticFlaw {
@@ -683,12 +686,12 @@ mod tests {
         let intended = Subgoal::Pick {
             object: "apple_1".into(),
         };
-        let mut eng = ResilientEngine::new(
+        let mut eng = EngineHandle::from(ResilientEngine::new(
             LlmEngine::new(ModelProfile::gpt4_api(), 7)
                 .with_semantic_faults(SemanticFaultProfile::uniform(1.0), 7),
             RetryPolicy::standard(),
             7,
-        );
+        ));
         let budget = 3;
         let mut stats = RepairStats::default();
         let v = guard_decision(

@@ -7,7 +7,7 @@
 //! communication" finding (§V-D).
 
 use crate::prompt::PromptBuilder;
-use embodied_llm::{InferenceOpts, LlmError, LlmRequest, LlmResponse, Purpose, ResilientEngine};
+use embodied_llm::{EngineHandle, InferenceOpts, LlmError, LlmRequest, LlmResponse, Purpose};
 
 /// A message produced by one agent for broadcast.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,28 +22,30 @@ pub struct OutgoingMessage {
     pub response: LlmResponse,
 }
 
-/// The communication module, wrapping one resilient LLM engine.
+/// The communication module, holding one tenant handle onto the shared
+/// inference service.
 #[derive(Debug, Clone)]
 pub struct CommunicationModule {
-    engine: ResilientEngine,
+    engine: EngineHandle,
 }
 
 impl CommunicationModule {
-    /// Wraps an engine; a bare [`embodied_llm::LlmEngine`] converts via the
-    /// standard retry policy.
-    pub fn new(engine: impl Into<ResilientEngine>) -> Self {
+    /// Wraps an engine handle; a bare [`embodied_llm::LlmEngine`] or
+    /// [`embodied_llm::ResilientEngine`] converts via a private
+    /// single-tenant pass-through service.
+    pub fn new(engine: impl Into<EngineHandle>) -> Self {
         CommunicationModule {
             engine: engine.into(),
         }
     }
 
     /// Read access to the engine (usage and resilience counters).
-    pub fn engine(&self) -> &ResilientEngine {
+    pub fn engine(&self) -> &EngineHandle {
         &self.engine
     }
 
     /// Mutable access to the engine (stall draining).
-    pub fn engine_mut(&mut self) -> &mut ResilientEngine {
+    pub fn engine_mut(&mut self) -> &mut EngineHandle {
         &mut self.engine
     }
 

@@ -8,7 +8,7 @@
 
 use crate::prompt::PromptWriter;
 use embodied_env::Subgoal;
-use embodied_llm::{InferenceOpts, LlmError, LlmRequest, LlmResponse, Purpose, ResilientEngine};
+use embodied_llm::{EngineHandle, InferenceOpts, LlmError, LlmRequest, LlmResponse, Purpose};
 use std::fmt::Write as _;
 
 /// Everything the planner needs for one decision.
@@ -54,19 +54,21 @@ pub struct PlanDecision {
     pub response: LlmResponse,
 }
 
-/// The planning module, wrapping one resilient LLM engine.
+/// The planning module, holding one tenant handle onto the shared
+/// inference service.
 #[derive(Debug, Clone)]
 pub struct PlanningModule {
-    engine: ResilientEngine,
+    engine: EngineHandle,
     /// Prompt assembly buffer, reused across steps so prompt capacity is
     /// paid once per episode instead of once per decision.
     prompt_buf: String,
 }
 
 impl PlanningModule {
-    /// Wraps an engine; a bare [`embodied_llm::LlmEngine`] converts via the
-    /// standard retry policy.
-    pub fn new(engine: impl Into<ResilientEngine>) -> Self {
+    /// Wraps an engine handle; a bare [`embodied_llm::LlmEngine`] or
+    /// [`embodied_llm::ResilientEngine`] converts via a private
+    /// single-tenant pass-through service.
+    pub fn new(engine: impl Into<EngineHandle>) -> Self {
         PlanningModule {
             engine: engine.into(),
             prompt_buf: String::new(),
@@ -74,13 +76,13 @@ impl PlanningModule {
     }
 
     /// Read access to the engine (usage and resilience counters).
-    pub fn engine(&self) -> &ResilientEngine {
+    pub fn engine(&self) -> &EngineHandle {
         &self.engine
     }
 
     /// Mutable access to the engine, for callers that drive raw inference
     /// through the planner's deployment (central planners, micro-control).
-    pub fn engine_mut(&mut self) -> &mut ResilientEngine {
+    pub fn engine_mut(&mut self) -> &mut EngineHandle {
         &mut self.engine
     }
 

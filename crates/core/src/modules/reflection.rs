@@ -4,7 +4,7 @@
 
 use crate::prompt::PromptBuilder;
 use embodied_env::{ExecOutcome, Subgoal};
-use embodied_llm::{InferenceOpts, LlmError, LlmRequest, LlmResponse, Purpose, ResilientEngine};
+use embodied_llm::{EngineHandle, InferenceOpts, LlmError, LlmRequest, LlmResponse, Purpose};
 
 /// Reflection's judgement of the last action.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,28 +60,30 @@ fn implies_category_error(note: &str) -> bool {
     .any(|pat| note.contains(pat))
 }
 
-/// The reflection module, wrapping one resilient LLM engine.
+/// The reflection module, holding one tenant handle onto the shared
+/// inference service.
 #[derive(Debug, Clone)]
 pub struct ReflectionModule {
-    engine: ResilientEngine,
+    engine: EngineHandle,
 }
 
 impl ReflectionModule {
-    /// Wraps an engine; a bare [`embodied_llm::LlmEngine`] converts via the
-    /// standard retry policy.
-    pub fn new(engine: impl Into<ResilientEngine>) -> Self {
+    /// Wraps an engine handle; a bare [`embodied_llm::LlmEngine`] or
+    /// [`embodied_llm::ResilientEngine`] converts via a private
+    /// single-tenant pass-through service.
+    pub fn new(engine: impl Into<EngineHandle>) -> Self {
         ReflectionModule {
             engine: engine.into(),
         }
     }
 
     /// Read access to the engine (usage and resilience counters).
-    pub fn engine(&self) -> &ResilientEngine {
+    pub fn engine(&self) -> &EngineHandle {
         &self.engine
     }
 
     /// Mutable access to the engine (stall draining).
-    pub fn engine_mut(&mut self) -> &mut ResilientEngine {
+    pub fn engine_mut(&mut self) -> &mut EngineHandle {
         &mut self.engine
     }
 

@@ -181,6 +181,7 @@ pub(crate) fn plan_assignments(
          and interdependencies between their actions.",
     );
     let opts = EmbodiedSystem::infer_opts_for(&sys.agents[0].config, sys.agents.len());
+    let central_tenant = central.planning.engine().tenant();
     let result = central.planning.engine_mut().infer(
         LlmRequest::new(Purpose::Planning, b.build(), 60 + 45 * n as u64)
             .with_difficulty(joint_difficulty)
@@ -197,11 +198,19 @@ pub(crate) fn plan_assignments(
             return vec![Subgoal::Explore; n];
         }
     };
-    sys.trace.record(
+    // One joint inference is a cohort request on the shared backend (it
+    // reserves a server slot, so follow-up guard/extraction calls queue
+    // behind it under a concurrency limit).
+    let batched = EmbodiedSystem::serve_llm_response(
+        &mut sys.trace,
+        &sys.service,
+        sys.serving,
+        &mut sys.window_entries,
         ModuleKind::Planning,
-        Phase::LlmInference,
         0,
-        response.latency,
+        central_tenant,
+        &response,
+        true,
     );
 
     // Joint-action interdependencies grow combinatorially with the team;
@@ -228,7 +237,9 @@ pub(crate) fn plan_assignments(
         };
         assignments.push(subgoal);
     }
-    sys.note_llm(&response);
+    if !batched {
+        sys.note_llm(&response);
+    }
     guard_assignments(sys, &mut assignments, response.flaw, joint_difficulty, opts);
     assignments
 }
@@ -272,6 +283,7 @@ fn guard_assignments(
         let flaw_i = flaw.filter(|_| victim == Some(i));
         let mut stats = RepairStats::default();
         let central = sys.central.as_mut().expect("centralized system");
+        let central_tenant = central.planning.engine().tenant();
         let verdict = guardrail::guard_decision(
             central.planning.engine_mut(),
             policy,
@@ -286,6 +298,15 @@ fn guard_assignments(
         );
         let stall = central.planning.engine_mut().take_stall();
         EmbodiedSystem::note_stall(&mut sys.trace, ModuleKind::Planning, 0, stall);
+        // Re-prompt repairs went back through the shared backend and pay
+        // real queue time under a concurrency limit.
+        if !sys.serving.is_passthrough() && !verdict.responses.is_empty() {
+            let queue = sys.service.queue_solo(central_tenant);
+            if !queue.is_zero() {
+                sys.trace
+                    .record(ModuleKind::Planning, Phase::Queue, 0, queue);
+            }
+        }
         if verdict.validate_latency != SimDuration::ZERO {
             sys.trace.record(
                 ModuleKind::Planning,
@@ -316,6 +337,24 @@ pub(crate) fn extract_feedback(sys: &mut EmbodiedSystem, assignments: &[Subgoal]
     let goal = sys.env.goal_text();
     let difficulty = sys.env.difficulty().scalar();
     let opts = EmbodiedSystem::infer_opts_for(&sys.agents[0].config, sys.agents.len());
+    // The per-agent extraction calls are an independent fan-out over one
+    // shared central preamble: with batching on, they ride one serving
+    // window (one batched bill, prefix reused past the first member).
+    let windowed = sys.serving_batching()
+        && assignments.len() > 1
+        && sys
+            .central
+            .as_ref()
+            .is_some_and(|c| c.communication.is_some());
+    if windowed {
+        let prefix = sys
+            .central
+            .as_ref()
+            .expect("checked above")
+            .preamble
+            .clone();
+        sys.open_serving_window(opts, &prefix);
+    }
     for (i, sg) in assignments.iter().enumerate() {
         // An unresponsive agent has no feedback to extract.
         if !sys.agent_faults.is_active(i) {
@@ -328,6 +367,7 @@ pub(crate) fn extract_feedback(sys: &mut EmbodiedSystem, assignments: &[Subgoal]
             return;
         };
         let preamble = central.preamble.clone();
+        let comm_tenant = comm.engine().tenant();
         let result = comm.generate(
             i,
             &preamble,
@@ -348,13 +388,20 @@ pub(crate) fn extract_feedback(sys: &mut EmbodiedSystem, assignments: &[Subgoal]
                 continue;
             }
         };
-        sys.trace.record(
+        let deferred = EmbodiedSystem::serve_llm_response(
+            &mut sys.trace,
+            &sys.service,
+            sys.serving,
+            &mut sys.window_entries,
             ModuleKind::Communication,
-            Phase::LlmInference,
             i,
-            msg.response.latency,
+            comm_tenant,
+            &msg.response,
+            true,
         );
-        sys.note_llm(&msg.response);
+        if !deferred {
+            sys.note_llm(&msg.response);
+        }
         sys.messages.generated += 1;
         let central = sys.central.as_mut().expect("checked above");
         central.memory.store(
@@ -362,6 +409,9 @@ pub(crate) fn extract_feedback(sys: &mut EmbodiedSystem, assignments: &[Subgoal]
             format!("agent {i} feedback on {sg}"),
             Vec::new(),
         );
+    }
+    if windowed {
+        sys.close_serving_window();
     }
 }
 
@@ -378,6 +428,7 @@ pub(crate) fn broadcast_instructions(sys: &mut EmbodiedSystem, assignments: &[Su
     let Some(comm) = central.communication.as_mut() else {
         return;
     };
+    let comm_tenant = comm.engine().tenant();
     let instruction_text: Vec<String> = assignments
         .iter()
         .enumerate()
@@ -405,13 +456,20 @@ pub(crate) fn broadcast_instructions(sys: &mut EmbodiedSystem, assignments: &[Su
             return;
         }
     };
-    sys.trace.record(
+    let deferred = EmbodiedSystem::serve_llm_response(
+        &mut sys.trace,
+        &sys.service,
+        sys.serving,
+        &mut sys.window_entries,
         ModuleKind::Communication,
-        Phase::LlmInference,
         0,
-        msg.response.latency,
+        comm_tenant,
+        &msg.response,
+        true,
     );
-    sys.note_llm(&msg.response);
+    if !deferred {
+        sys.note_llm(&msg.response);
+    }
     // Every instruction is a message; productive ones count as useful.
     // Crashed agents miss theirs outright.
     for (i, sg) in assignments.iter().enumerate() {

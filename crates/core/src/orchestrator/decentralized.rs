@@ -67,6 +67,7 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
             let preamble = agent.preamble.clone();
             let dialogue_so_far = agent.inbox.join("\n");
             let comm = agent.communication.as_mut().expect("checked above");
+            let comm_tenant = comm.engine().tenant();
             let result = comm.generate(
                 i,
                 &preamble,
@@ -92,11 +93,15 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
             if batching {
                 batch.push((i, msg.response.latency));
             } else {
-                sys.trace.record(
+                // A round's message generations are an independent fan-out:
+                // each reserves a server slot on the shared backend (no
+                // window is open here, so this never defers).
+                sys.serve_response(
                     ModuleKind::Communication,
-                    Phase::LlmInference,
                     i,
-                    msg.response.latency,
+                    comm_tenant,
+                    &msg.response,
+                    true,
                 );
             }
             sys.note_llm(&msg.response);
@@ -114,16 +119,40 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
         }
     }
 
-    // Plan + execute, sequentially (the paper's sequential-processing
-    // pipeline; each agent's prompt carries the full dialogue). Crashed and
-    // stalled agents lose the step.
-    for i in 0..n {
-        if !sys.agent_faults.is_active(i) {
-            continue;
+    // Plan + execute. Serving-layer batching restructures the loop into
+    // plan-all → close-window → execute-all, so the team's co-arriving
+    // planning requests share one batched bill with prefix reuse. The
+    // default path keeps the paper's sequential interleaved pipeline
+    // (each agent's prompt carries the full dialogue) byte-identically.
+    // Crashed and stalled agents lose the step either way.
+    if sys.serving_batching() && n > 1 {
+        let opts = EmbodiedSystem::infer_opts_for(&sys.agents[0].config, n);
+        let prefix = sys.agents[0].preamble.clone();
+        sys.open_serving_window(opts, &prefix);
+        let mut plans: Vec<Option<Subgoal>> = vec![None; n];
+        for i in 0..n {
+            if !sys.agent_faults.is_active(i) {
+                continue;
+            }
+            let dialogue = sys.agents[i].inbox.join("\n");
+            let (subgoal, _) = sys.plan_phase(i, &percepts[i], &dialogue);
+            plans[i] = Some(subgoal);
         }
-        let dialogue = sys.agents[i].inbox.join("\n");
-        let (subgoal, _) = sys.plan_phase(i, &percepts[i], &dialogue);
-        sys.execute_with_reflection(i, &subgoal);
+        sys.close_serving_window();
+        for (i, plan) in plans.into_iter().enumerate() {
+            if let Some(subgoal) = plan {
+                sys.execute_with_reflection(i, &subgoal);
+            }
+        }
+    } else {
+        for i in 0..n {
+            if !sys.agent_faults.is_active(i) {
+                continue;
+            }
+            let dialogue = sys.agents[i].inbox.join("\n");
+            let (subgoal, _) = sys.plan_phase(i, &percepts[i], &dialogue);
+            sys.execute_with_reflection(i, &subgoal);
+        }
     }
 }
 

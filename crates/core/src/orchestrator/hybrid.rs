@@ -5,7 +5,7 @@
 use super::centralized;
 use crate::modules::RecordKind;
 use crate::system::EmbodiedSystem;
-use embodied_profiler::{ModuleKind, Phase};
+use embodied_profiler::ModuleKind;
 
 /// Quality bonus the refine pass earns from incorporating agent feedback.
 const FEEDBACK_BONUS: f64 = 0.06;
@@ -25,6 +25,14 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
     let primer = centralized::plan_assignments(sys, &percepts, 0.0, false);
 
     // Phase 2: each agent sends local feedback on its primed assignment.
+    // The feedback calls are an independent fan-out (each agent reacts to
+    // its own primed task): with batching on, they share a serving window.
+    let windowed = sys.serving_batching() && n > 1;
+    if windowed {
+        let opts = EmbodiedSystem::infer_opts_for(&sys.agents[0].config, n);
+        let prefix = sys.agents[0].preamble.clone();
+        sys.open_serving_window(opts, &prefix);
+    }
     for i in 0..n {
         if sys.agents[i].communication.is_none() || !sys.agent_faults.is_active(i) {
             continue;
@@ -51,13 +59,22 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
             }
         };
         agent.last_broadcast = knowledge;
-        sys.trace.record(
+        let comm_tenant = sys.agents[i]
+            .communication
+            .as_ref()
+            .expect("checked above")
+            .engine()
+            .tenant();
+        let deferred = sys.serve_response(
             ModuleKind::Communication,
-            Phase::LlmInference,
             i,
-            msg.response.latency,
+            comm_tenant,
+            &msg.response,
+            true,
         );
-        sys.note_llm(&msg.response);
+        if !deferred {
+            sys.note_llm(&msg.response);
+        }
         sys.messages.generated += 1;
         let central = sys.central.as_mut().expect("hybrid system");
         let known = central.memory.known_entities();
@@ -67,6 +84,10 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
         central
             .memory
             .store(RecordKind::Dialogue, msg.text, msg.entities);
+    }
+
+    if windowed {
+        sys.close_serving_window();
     }
 
     // Phase 3: the center refines with feedback in context, then agents act

@@ -44,6 +44,9 @@ pub struct RunOverrides {
     pub semantic_faults: Option<embodied_llm::SemanticFaultProfile>,
     /// Guardrail repair policy applied to plan decisions before actuation.
     pub repair_policy: Option<crate::guardrail::RepairPolicy>,
+    /// Shared-inference-service scheduling (cross-tenant batching and the
+    /// backend concurrency limit, swept by the serving experiments).
+    pub serving: Option<embodied_llm::ServingConfig>,
 }
 
 impl RunOverrides {
@@ -85,6 +88,9 @@ impl RunOverrides {
         }
         if let Some(policy) = self.repair_policy {
             config.repair_policy = policy;
+        }
+        if let Some(serving) = self.serving {
+            config.serving = serving;
         }
         config
     }

@@ -11,10 +11,13 @@ use crate::modules::{
 use crate::orchestrator::{self, Paradigm};
 use crate::prompt::system_preamble;
 use embodied_env::{Environment, ExecOutcome, Subgoal};
-use embodied_llm::{InferenceOpts, LlmEngine, LlmRequest, LlmResponse, Purpose, ResilientEngine};
+use embodied_llm::{
+    EngineBuilder, InferenceOpts, InferenceService, LlmEngine, LlmRequest, LlmResponse, Purpose,
+    ServingConfig, TenantId, TenantOwner,
+};
 use embodied_profiler::{
     EpisodeReport, LatencyBreakdown, MessageStats, ModuleKind, Outcome, Phase, PurposeLedger,
-    RepairStats, ResilienceStats, SimDuration, StepRecord, TokenStats, Trace,
+    RepairStats, ResilienceStats, SimDuration, StepRecord, Trace,
 };
 
 /// Nominal watchdog + reboot latency billed when a process crashes.
@@ -41,6 +44,15 @@ pub(crate) struct CentralPlanner {
     pub preamble: String,
 }
 
+/// One windowed LLM call awaiting its amortized latency share when the
+/// serving window closes.
+#[derive(Debug)]
+pub(crate) struct PendingCall {
+    module: ModuleKind,
+    agent: usize,
+    response: LlmResponse,
+}
+
 /// A fully assembled embodied system ready to run one episode.
 pub struct EmbodiedSystem {
     pub(crate) env: Box<dyn Environment>,
@@ -63,6 +75,15 @@ pub struct EmbodiedSystem {
     /// Guardrail validation/repair accounting (all zero while the repair
     /// policy is `Off`).
     pub(crate) repairs: RepairStats,
+    /// The shared inference service every engine in this system is a
+    /// tenant of — owns the engine stacks, the per-tenant ledger, and the
+    /// per-model scheduling backends.
+    pub(crate) service: InferenceService,
+    /// System-level scheduling knobs (cached from the first agent config;
+    /// serving is a property of the shared stack, not of one agent).
+    pub(crate) serving: ServingConfig,
+    /// Calls deferred into the currently open serving window.
+    pub(crate) window_entries: Vec<PendingCall>,
     workload: String,
     step_records: Vec<StepRecord>,
 }
@@ -90,31 +111,50 @@ impl EmbodiedSystem {
     ) -> Self {
         let workload = workload.into();
         let landmarks = env.landmarks();
+        let service = InferenceService::new(config.serving);
         let agents: Vec<ModularAgent> = (0..env.num_agents())
-            .map(|id| ModularAgent::new(id, &workload, config.clone(), landmarks.clone(), seed))
+            .map(|id| {
+                ModularAgent::new(
+                    id,
+                    &workload,
+                    config.clone(),
+                    landmarks.clone(),
+                    seed,
+                    &service,
+                )
+            })
             .collect();
-        let resilient = |engine: LlmEngine, module: u64| {
-            ResilientEngine::new(
-                engine.with_faults(config.fault_profile, seed ^ 0xfacc00 ^ module),
-                config.retry_policy,
-                seed ^ 0xb0cc00 ^ module,
-            )
-        };
+        // The central planner's stack shares the builder layering with the
+        // agents but draws from its own fault/backoff stream bases.
+        let builder = EngineBuilder::new(
+            config.fault_profile,
+            config.retry_policy,
+            seed ^ 0xfacc00,
+            seed ^ 0xb0cc00,
+        );
         let central = match paradigm {
             Paradigm::Centralized | Paradigm::Hybrid => Some(CentralPlanner {
-                planning: PlanningModule::new(resilient(
-                    LlmEngine::new(config.planner.clone(), seed ^ 0xcc01)
-                        .with_semantic_faults(config.semantic_fault_profile, seed ^ 0x5ecc01),
-                    0x01,
-                )),
+                planning: PlanningModule::new(
+                    service.register(
+                        builder.wrap(
+                            LlmEngine::new(config.planner.clone(), seed ^ 0xcc01)
+                                .with_semantic_faults(
+                                    config.semantic_fault_profile,
+                                    seed ^ 0x5ecc01,
+                                ),
+                            0x01,
+                        ),
+                        TenantOwner::Central,
+                    ),
+                ),
                 communication: config
                     .communicator
                     .as_ref()
                     .filter(|_| config.toggles.communication)
                     .map(|p| {
-                        CommunicationModule::new(resilient(
-                            LlmEngine::new(p.clone(), seed ^ 0xcc02),
-                            0x02,
+                        CommunicationModule::new(service.register(
+                            builder.wrap(LlmEngine::new(p.clone(), seed ^ 0xcc02), 0x02),
+                            TenantOwner::Central,
                         ))
                     }),
                 memory: MemoryModule::new(
@@ -143,6 +183,9 @@ impl EmbodiedSystem {
             agent_faults: AgentFaultState::new(config.agent_fault_profile, seed, team),
             channel: ChannelState::new(config.channel_profile, seed),
             repairs: RepairStats::default(),
+            service,
+            serving: config.serving,
+            window_entries: Vec::new(),
             workload,
             step_records: Vec::new(),
         }
@@ -172,9 +215,12 @@ impl EmbodiedSystem {
         let mut system = Self::new(workload, env, &configs[0], paradigm, seed);
         let landmarks = system.env.landmarks();
         let name = system.workload.clone();
+        let service = system.service.clone();
         for (id, config) in configs.iter().enumerate().skip(1) {
+            // The replaced agent's tenants stay registered but are never
+            // driven again: their ledgers hold zero and stay zero.
             system.agents[id] =
-                ModularAgent::new(id, &name, config.clone(), landmarks.clone(), seed);
+                ModularAgent::new(id, &name, config.clone(), landmarks.clone(), seed, &service);
         }
         system
     }
@@ -195,6 +241,11 @@ impl EmbodiedSystem {
         let max_steps = self.env.max_steps();
         while self.step < max_steps && !self.env.is_complete() {
             self.trace.begin_step(self.step);
+            if self.serving_active() {
+                // The step loop is a synchronization barrier: backend
+                // queues never carry over into the next step.
+                self.service.begin_step();
+            }
             self.counters = StepCounters::default();
             let before = self.trace.elapsed();
             self.begin_fault_step();
@@ -225,30 +276,15 @@ impl EmbodiedSystem {
         } else {
             Outcome::StepLimit
         };
-        let mut tokens = TokenStats::default();
-        for agent in &self.agents {
-            tokens.merge(&agent.total_usage());
-        }
-        if let Some(central) = &self.central {
-            tokens.merge(&central.planning.engine().usage());
-            if let Some(comm) = &central.communication {
-                tokens.merge(&comm.engine().usage());
-            }
-        }
+        // The service ledger covers every engine in the system — agents
+        // and central alike — so accounting cannot drift from wiring.
+        let tokens = self.service.total_usage();
         let mut by_phase = PurposeLedger::default();
         for span in self.trace.spans() {
             by_phase.record(&span.phase.to_string(), span.duration, 0, 0);
         }
         let mut resilience = self.degradations;
-        for agent in &self.agents {
-            resilience.merge(&agent.total_resilience());
-        }
-        if let Some(central) = &self.central {
-            resilience.merge(&central.planning.engine().stats());
-            if let Some(comm) = &central.communication {
-                resilience.merge(&comm.engine().stats());
-            }
-        }
+        resilience.merge(&self.service.total_resilience());
         EpisodeReport {
             workload: self.workload.clone(),
             outcome,
@@ -263,9 +299,121 @@ impl EmbodiedSystem {
             agent_faults: self.agent_faults.stats,
             channel: self.channel.stats,
             repairs: self.repairs,
+            serving: self.service.stats(),
             step_records: self.step_records.clone(),
             agents: self.agents.len(),
         }
+    }
+
+    // ----- shared inference-service scheduling -----
+
+    /// Whether the serving layer schedules anything at all this episode.
+    /// While false (the default), every call takes the legacy path.
+    pub(crate) fn serving_active(&self) -> bool {
+        !self.serving.is_passthrough()
+    }
+
+    /// Whether cross-tenant batch windows are enabled.
+    pub(crate) fn serving_batching(&self) -> bool {
+        self.serving.batching
+    }
+
+    /// Opens a batch window over a same-phase fan-out whose prompts all
+    /// start with `shared_prefix` (the workload's system preamble).
+    pub(crate) fn open_serving_window(&mut self, opts: InferenceOpts, shared_prefix: &str) {
+        self.service.open_window(opts, shared_prefix);
+    }
+
+    /// Closes the current window: every deferred call receives its
+    /// amortized share as a `Phase::Batch` span (plus a `Phase::Queue`
+    /// span on the member that led a queued batch) and is only now fed
+    /// into the step counters / per-purpose ledger, at its share latency.
+    pub(crate) fn close_serving_window(&mut self) {
+        let shares = self.service.close_window();
+        let entries = std::mem::take(&mut self.window_entries);
+        debug_assert_eq!(shares.len(), entries.len());
+        for (entry, share) in entries.into_iter().zip(shares) {
+            if !share.queue.is_zero() {
+                self.trace
+                    .record(entry.module, Phase::Queue, entry.agent, share.queue);
+            }
+            self.trace
+                .record(entry.module, Phase::Batch, entry.agent, share.share);
+            let mut response = entry.response;
+            response.latency = share.share;
+            self.note_llm(&response);
+        }
+    }
+
+    /// Routes one completed LLM call through the serving layer.
+    ///
+    /// Pass-through (the default) records the `Phase::LlmInference` span
+    /// exactly where and how the legacy per-module path did. With
+    /// scheduling active, a cohort call joining an open window is
+    /// deferred — its time is re-attributed at [`Self::close_serving_window`]
+    /// and the caller must skip its own `note_llm` (returns `true`) —
+    /// while any other call is first charged its backend's queueing delay
+    /// (`Phase::Queue`): cohort calls reserve a server slot, dependent
+    /// follow-ups only wait for one. Static, taking disjoint field
+    /// borrows, so call sites holding `&mut self.agents[i]` can use it.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn serve_llm_response(
+        trace: &mut Trace,
+        service: &InferenceService,
+        serving: ServingConfig,
+        window_entries: &mut Vec<PendingCall>,
+        module: ModuleKind,
+        agent: usize,
+        tenant: TenantId,
+        response: &LlmResponse,
+        cohort: bool,
+    ) -> bool {
+        if serving.is_passthrough() {
+            trace.record(module, Phase::LlmInference, agent, response.latency);
+            return false;
+        }
+        if cohort && service.window_is_open() {
+            service.window_add(tenant, response);
+            window_entries.push(PendingCall {
+                module,
+                agent,
+                response: response.clone(),
+            });
+            return true;
+        }
+        let queue = if cohort {
+            service.submit_cohort(tenant, response.latency)
+        } else {
+            service.queue_solo(tenant)
+        };
+        if !queue.is_zero() {
+            trace.record(module, Phase::Queue, agent, queue);
+        }
+        trace.record(module, Phase::LlmInference, agent, response.latency);
+        false
+    }
+
+    /// [`Self::serve_llm_response`] for call sites without live agent
+    /// borrows.
+    pub(crate) fn serve_response(
+        &mut self,
+        module: ModuleKind,
+        agent: usize,
+        tenant: TenantId,
+        response: &LlmResponse,
+        cohort: bool,
+    ) -> bool {
+        Self::serve_llm_response(
+            &mut self.trace,
+            &self.service,
+            self.serving,
+            &mut self.window_entries,
+            module,
+            agent,
+            tenant,
+            response,
+            cohort,
+        )
     }
 
     // ----- agent/channel fault plumbing -----
@@ -485,6 +633,7 @@ impl EmbodiedSystem {
         let agent = &mut self.agents[i];
         let opts = Self::infer_opts_for(&agent.config, team_size);
         let reflection = agent.reflection.as_mut().expect("checked above");
+        let refl_tenant = reflection.engine().tenant();
         let result = reflection.reflect(&agent.preamble, subgoal, &outcome, difficulty, opts);
         let stall = reflection.engine_mut().take_stall();
         Self::note_stall(&mut self.trace, ModuleKind::Reflection, i, stall);
@@ -497,11 +646,12 @@ impl EmbodiedSystem {
                 return outcome;
             }
         };
-        self.trace.record(
+        self.serve_response(
             ModuleKind::Reflection,
-            Phase::LlmInference,
             i,
-            verdict.response.latency,
+            refl_tenant,
+            &verdict.response,
+            false,
         );
         if verdict.caught_error {
             if verdict.category_error {
@@ -621,13 +771,26 @@ impl EmbodiedSystem {
                 return (fallback, false);
             }
         };
-        self.trace.record(
+        let plan_tenant = agent.planning.engine().tenant();
+        // The first planning response is an independent (cohort) request:
+        // under an open window it is deferred and re-attributed at close,
+        // in which case it must not re-enter the ledger below.
+        let deferred = Self::serve_llm_response(
+            &mut self.trace,
+            &self.service,
+            self.serving,
+            &mut self.window_entries,
             ModuleKind::Planning,
-            Phase::LlmInference,
             i,
-            decision.response.latency,
+            plan_tenant,
+            &decision.response,
+            true,
         );
-        let mut responses = vec![decision.response.clone()];
+        let mut responses = if deferred {
+            Vec::new()
+        } else {
+            vec![decision.response.clone()]
+        };
 
         if agent.config.separate_action_selection {
             let selected = agent.planning.select_action(&ctx, decision.clone());
@@ -636,11 +799,16 @@ impl EmbodiedSystem {
             match selected {
                 Ok(d) => {
                     decision = d;
-                    self.trace.record(
+                    Self::serve_llm_response(
+                        &mut self.trace,
+                        &self.service,
+                        self.serving,
+                        &mut self.window_entries,
                         ModuleKind::Planning,
-                        Phase::LlmInference,
                         i,
-                        decision.response.latency,
+                        plan_tenant,
+                        &decision.response,
+                        false,
                     );
                     responses.push(decision.response.clone());
                 }
@@ -654,6 +822,7 @@ impl EmbodiedSystem {
         // plan before acting (MP5's patroller, DEPS's CLIP check); a wrong
         // plan that is recognized as wrong triggers one replanning pass.
         if let Some(reflection) = agent.reflection.as_mut() {
+            let refl_tenant = reflection.engine().tenant();
             let verified = reflection.verify_plan(
                 &agent.preamble,
                 &decision.subgoal,
@@ -665,11 +834,16 @@ impl EmbodiedSystem {
             Self::note_stall(&mut self.trace, ModuleKind::Reflection, i, stall);
             match verified {
                 Ok((caught, verify_response)) => {
-                    self.trace.record(
+                    Self::serve_llm_response(
+                        &mut self.trace,
+                        &self.service,
+                        self.serving,
+                        &mut self.window_entries,
                         ModuleKind::Reflection,
-                        Phase::LlmInference,
                         i,
-                        verify_response.latency,
+                        refl_tenant,
+                        &verify_response,
+                        false,
                     );
                     responses.push(verify_response);
                     if caught {
@@ -679,11 +853,16 @@ impl EmbodiedSystem {
                         match replanned {
                             Ok(d) => {
                                 decision = d;
-                                self.trace.record(
+                                Self::serve_llm_response(
+                                    &mut self.trace,
+                                    &self.service,
+                                    self.serving,
+                                    &mut self.window_entries,
                                     ModuleKind::Planning,
-                                    Phase::LlmInference,
                                     i,
-                                    decision.response.latency,
+                                    plan_tenant,
+                                    &decision.response,
+                                    false,
                                 );
                                 responses.push(decision.response.clone());
                             }
@@ -746,6 +925,15 @@ impl EmbodiedSystem {
                     i,
                     verdict.repair_latency,
                 );
+            }
+            // Guardrail re-prompts went back through the shared backend:
+            // under a concurrency limit they pay real queue time too.
+            if !self.serving.is_passthrough() && !verdict.responses.is_empty() {
+                let queue = self.service.queue_solo(plan_tenant);
+                if !queue.is_zero() {
+                    self.trace
+                        .record(ModuleKind::Planning, Phase::Queue, i, queue);
+                }
             }
             responses.extend(verdict.responses);
             if verdict.subgoal != subgoal {

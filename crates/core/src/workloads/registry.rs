@@ -56,6 +56,7 @@ fn base_config(
         channel_profile: crate::faults::ChannelProfile::none(),
         semantic_fault_profile: embodied_llm::SemanticFaultProfile::none(),
         repair_policy: crate::guardrail::RepairPolicy::Off,
+        serving: embodied_llm::ServingConfig::disabled(),
     }
 }
 

@@ -387,9 +387,10 @@ impl LlmEngine {
     }
 
     /// Runs several requests as one batched call (paper Rec. 1), returning
-    /// per-request responses that all share the batched latency bill: the
-    /// total batch latency is attributed to the *first* response and the
-    /// rest report zero marginal latency.
+    /// per-request responses that each carry an amortized share of the
+    /// batched latency bill, proportional to the request's token weight
+    /// (prompt + output). Shares sum to the batch total exactly, so
+    /// per-module latency breakdowns stay meaningful under batching.
     ///
     /// # Errors
     ///
@@ -412,6 +413,8 @@ impl LlmEngine {
             sized.push((pt.min(self.profile.context_window), ot));
         }
         let total_latency = batch_latency(&self.profile, &sized, opts);
+        let weights: Vec<u64> = sized.iter().map(|&(pt, ot)| pt + ot).collect();
+        let shares = crate::latency::amortize_latency(total_latency, &weights);
 
         let mut responses = Vec::with_capacity(reqs.len());
         for (i, (req, &(pt, ot))) in reqs.iter().zip(sized.iter()).enumerate() {
@@ -427,11 +430,7 @@ impl LlmEngine {
                 purpose: req.purpose,
                 prompt_tokens: pt,
                 output_tokens: ot,
-                latency: if i == 0 {
-                    total_latency
-                } else {
-                    embodied_profiler::SimDuration::ZERO
-                },
+                latency: shares[i],
                 quality,
                 cost_usd: cost,
                 truncated: false,
@@ -445,6 +444,7 @@ impl LlmEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::latency::InferenceOpts;
     use crate::request::Purpose;
 
     fn planning_req(prompt: &str) -> LlmRequest {
@@ -520,9 +520,38 @@ mod tests {
             .collect();
         let resps = e.infer_batch(reqs).unwrap();
         assert_eq!(resps.len(), 4);
-        assert!(resps[0].latency.as_secs_f64() > 0.0);
-        assert!(resps[1..].iter().all(|r| r.latency.is_zero()));
+        // Every member is billed its amortized, non-zero share.
+        assert!(resps.iter().all(|r| !r.latency.is_zero()));
         assert_eq!(e.usage().calls, 4);
+    }
+
+    #[test]
+    fn batch_amortization_preserves_total_latency() {
+        // Sum-preservation regression: the per-response shares must add up
+        // to the batch bill exactly, and heavier requests must pay at
+        // least as much as lighter ones.
+        let mut e = LlmEngine::new(ModelProfile::gpt4_api(), 17);
+        let reqs = vec![
+            LlmRequest::new(Purpose::Planning, "plan the kitchen task in detail", 300),
+            LlmRequest::new(Purpose::Communication, "compose a short update", 40),
+            LlmRequest::new(Purpose::Planning, "plan the hallway sweep and handoff", 300),
+        ];
+        let resps = e.infer_batch(reqs).unwrap();
+        let sized: Vec<(u64, u64)> = resps
+            .iter()
+            .map(|r| (r.prompt_tokens, r.output_tokens))
+            .collect();
+        let total = batch_latency(e.profile(), &sized, InferenceOpts::default());
+        let billed: embodied_profiler::SimDuration = resps.iter().map(|r| r.latency).sum();
+        assert_eq!(billed, total, "amortized shares must sum to the batch bill");
+        let weight = |r: &LlmResponse| r.prompt_tokens + r.output_tokens;
+        for a in &resps {
+            for b in &resps {
+                if weight(a) > weight(b) {
+                    assert!(a.latency >= b.latency, "heavier request paid less");
+                }
+            }
+        }
     }
 
     #[test]

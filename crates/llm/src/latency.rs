@@ -172,6 +172,31 @@ pub fn batch_latency(
     }
 }
 
+/// Splits a batched call's total latency into per-request shares
+/// proportional to each request's token weight.
+///
+/// Shares are computed in whole microseconds with the final share
+/// absorbing the rounding remainder, so the sum of the returned shares
+/// equals `total` *exactly* for any non-empty `weights` — the invariant
+/// that keeps per-module latency breakdowns meaningful under batching.
+/// A zero weight is treated as 1 so every request is billed something.
+pub fn amortize_latency(total: SimDuration, weights: &[u64]) -> Vec<SimDuration> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let denom: u128 = weights.iter().map(|&w| u128::from(w.max(1))).sum();
+    let total_us = u128::from(total.as_micros());
+    let mut shares = Vec::with_capacity(weights.len());
+    let mut assigned: u128 = 0;
+    for &w in &weights[..weights.len() - 1] {
+        let share = total_us * u128::from(w.max(1)) / denom;
+        assigned += share;
+        shares.push(SimDuration::from_micros(share as u64));
+    }
+    shares.push(SimDuration::from_micros((total_us - assigned) as u64));
+    shares
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +292,35 @@ mod tests {
             batched.as_secs_f64() < sequential.as_secs_f64() * 0.5,
             "batched {batched} vs sequential {sequential}"
         );
+    }
+
+    #[test]
+    fn amortize_preserves_sum_exactly() {
+        // Awkward totals and uneven weights: the shares must still add up
+        // to the batch bill to the microsecond.
+        let cases: &[(u64, &[u64])] = &[
+            (1, &[1]),
+            (999_999_937, &[3, 7, 11]),
+            (86_400_000_001, &[1_700, 60, 1_700, 250, 9]),
+            (12_345, &[0, 0, 5]),
+        ];
+        for &(micros, weights) in cases {
+            let total = SimDuration::from_micros(micros);
+            let shares = amortize_latency(total, weights);
+            assert_eq!(shares.len(), weights.len());
+            let sum: SimDuration = shares.iter().copied().sum();
+            assert_eq!(sum, total, "weights {weights:?}");
+        }
+    }
+
+    #[test]
+    fn amortize_is_proportional() {
+        let total = SimDuration::from_secs(100);
+        let shares = amortize_latency(total, &[1, 1, 2]);
+        assert_eq!(shares[0], SimDuration::from_secs(25));
+        assert_eq!(shares[1], SimDuration::from_secs(25));
+        assert_eq!(shares[2], SimDuration::from_secs(50));
+        assert!(amortize_latency(total, &[]).is_empty());
     }
 
     #[test]

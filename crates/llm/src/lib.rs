@@ -44,16 +44,24 @@ mod profile;
 mod quality;
 mod request;
 mod resilience;
+mod scheduler;
 mod semantic;
+mod service;
 mod tokenizer;
 
 pub use bpe::BpeTokenizer;
 pub use engine::{floor_char, LlmEngine, LlmError};
 pub use fault::{FaultInjector, FaultKind, FaultProfile};
-pub use latency::{batch_latency, inference_cost, inference_latency, InferenceOpts, Quantization};
+pub use latency::{
+    amortize_latency, batch_latency, inference_cost, inference_latency, InferenceOpts, Quantization,
+};
 pub use profile::{Deployment, EncoderProfile, ModelProfile};
 pub use quality::QualityModel;
 pub use request::{LlmRequest, LlmResponse, Purpose};
 pub use resilience::{InferenceEndpoint, ResilientEngine, RetryPolicy};
+pub use scheduler::ServingConfig;
 pub use semantic::{SemanticFaultInjector, SemanticFaultKind, SemanticFaultProfile, SemanticFlaw};
+pub use service::{
+    EngineBuilder, EngineHandle, InferenceService, TenantId, TenantOwner, WindowShare,
+};
 pub use tokenizer::{PromptTokens, Tokenizer};

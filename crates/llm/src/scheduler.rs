@@ -1,0 +1,185 @@
+//! Step-scoped scheduling state for the simulated serving stack: the
+//! serving knobs, and per-backend server slots that model queueing delay
+//! under a configurable concurrency limit.
+//!
+//! The scheduler deliberately knows nothing about engines or tenants — it
+//! only tracks how much simulated work each server slot of one backend has
+//! accepted this step. [`crate::InferenceService`] owns one
+//! [`BackendQueue`] per distinct model profile and consults it for every
+//! scheduling decision.
+
+use embodied_profiler::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Serving-layer knobs (paper Rec. 1: batching, shared endpoints).
+///
+/// The default is a pure pass-through: no batching and an unbounded
+/// concurrency limit, under which every call takes exactly the legacy
+/// per-module path and draw order — reports are byte-identical to builds
+/// without the serving layer.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServingConfig {
+    /// Batch co-arriving same-model requests of a step phase into one
+    /// shared latency bill with amortized per-request attribution.
+    pub batching: bool,
+    /// Simulated server slots per backend; 0 means unbounded (no
+    /// queueing delay is ever modeled).
+    pub concurrency: u32,
+}
+
+impl ServingConfig {
+    /// The default pass-through configuration.
+    pub fn disabled() -> Self {
+        ServingConfig::default()
+    }
+
+    /// Batching on, concurrency unbounded.
+    pub fn batched() -> Self {
+        ServingConfig {
+            batching: true,
+            concurrency: 0,
+        }
+    }
+
+    /// Batching off, `concurrency` server slots per backend.
+    pub fn limited(concurrency: u32) -> Self {
+        ServingConfig {
+            batching: false,
+            concurrency,
+        }
+    }
+
+    /// Whether the layer changes nothing (the byte-identity fast path).
+    pub fn is_passthrough(&self) -> bool {
+        !self.batching && self.concurrency == 0
+    }
+}
+
+/// Per-backend, per-step server-slot loads.
+///
+/// Work placed on the backend goes to the least-loaded slot (lowest index
+/// on ties); the load already on that slot is the queueing delay the new
+/// request waits out first. Loads reset at every step boundary — the
+/// paper's step loop is a synchronization barrier, so queues cannot carry
+/// over.
+#[derive(Debug, Clone)]
+pub(crate) struct BackendQueue {
+    servers: Vec<SimDuration>,
+}
+
+impl BackendQueue {
+    /// A queue with `concurrency` slots (0 = unbounded, never queues).
+    pub(crate) fn new(concurrency: u32) -> Self {
+        BackendQueue {
+            servers: vec![SimDuration::ZERO; concurrency as usize],
+        }
+    }
+
+    /// Clears all slot loads (step boundary).
+    pub(crate) fn reset(&mut self) {
+        for s in &mut self.servers {
+            *s = SimDuration::ZERO;
+        }
+    }
+
+    /// The delay a request arriving now would wait before any slot frees,
+    /// without reserving one — the bill for *dependent* follow-up calls
+    /// that contend for the backend but whose own service time is already
+    /// accounted sequentially.
+    pub(crate) fn delay(&self) -> SimDuration {
+        self.servers
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Places `work` on the least-loaded slot, returning the queueing
+    /// delay the request waited first. Unbounded queues never delay.
+    pub(crate) fn place(&mut self, work: SimDuration) -> SimDuration {
+        let Some(idx) = self
+            .servers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, load)| **load)
+            .map(|(idx, _)| idx)
+        else {
+            return SimDuration::ZERO;
+        };
+        let queued = self.servers[idx];
+        self.servers[idx] += work;
+        queued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sec(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn default_is_passthrough() {
+        assert!(ServingConfig::default().is_passthrough());
+        assert!(ServingConfig::disabled().is_passthrough());
+        assert!(!ServingConfig::batched().is_passthrough());
+        assert!(!ServingConfig::limited(2).is_passthrough());
+    }
+
+    #[test]
+    fn unbounded_queue_never_delays() {
+        let mut q = BackendQueue::new(0);
+        assert_eq!(q.place(sec(100)), SimDuration::ZERO);
+        assert_eq!(q.delay(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn least_loaded_slot_wins_with_lowest_index_ties() {
+        let mut q = BackendQueue::new(2);
+        assert_eq!(q.place(sec(10)), SimDuration::ZERO); // slot 0
+        assert_eq!(q.place(sec(10)), SimDuration::ZERO); // slot 1
+                                                         // Tie at 10 s each: slot 0 wins, so the request queues 10 s.
+        assert_eq!(q.place(sec(5)), sec(10));
+        // Loads now (15, 10): the consume-only delay is the min.
+        assert_eq!(q.delay(), sec(10));
+        q.reset();
+        assert_eq!(q.delay(), SimDuration::ZERO);
+    }
+
+    /// Total queue delay for `works` placed in order on `c` slots.
+    fn total_queue(works: &[u64], c: u32) -> SimDuration {
+        let mut q = BackendQueue::new(c);
+        works
+            .iter()
+            .map(|&w| q.place(SimDuration::from_micros(w.max(1))))
+            .sum()
+    }
+
+    proptest! {
+        /// Satellite invariant: one submission per tenant sees zero queue
+        /// delay once concurrency reaches the tenant count, and total
+        /// queue delay is monotone non-increasing as slots are added
+        /// (equivalently: monotone non-decreasing as concurrency shrinks).
+        #[test]
+        fn queue_delay_zero_at_full_concurrency_and_monotone(
+            works in proptest::collection::vec(1u64..30_000_000, 1..12),
+        ) {
+            let k = works.len() as u32;
+            prop_assert_eq!(total_queue(&works, k), SimDuration::ZERO);
+            prop_assert_eq!(total_queue(&works, 0), SimDuration::ZERO);
+            let mut prev = total_queue(&works, 1);
+            for c in 2..=k {
+                let cur = total_queue(&works, c);
+                prop_assert!(
+                    cur <= prev,
+                    "queue delay grew from {} to {} when adding a slot (c={})",
+                    prev, cur, c
+                );
+                prev = cur;
+            }
+        }
+    }
+}

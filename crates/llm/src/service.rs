@@ -1,0 +1,738 @@
+//! The shared inference service: ownership-inverted engine stacks behind
+//! per-tenant handles, with step-scoped batching, queueing and
+//! prefix-cache accounting (paper Rec. 1: batching, KV-prefix reuse,
+//! shared endpoints).
+//!
+//! Modules no longer own their engines. They hold an [`EngineHandle`]
+//! registered against an [`InferenceService`], which keeps one scheduling
+//! backend per distinct [`ModelProfile`] and a per-tenant usage ledger.
+//! Each tenant still drives its *own* fault → semantic → resilience stack
+//! (built once by [`EngineBuilder`]), so RNG draw order is identical to
+//! the old module-owned layout in every serving mode — scheduling only
+//! re-attributes *time*, never *randomness*.
+
+use crate::engine::{LlmEngine, LlmError};
+use crate::fault::FaultProfile;
+use crate::latency::{amortize_latency, batch_latency, InferenceOpts};
+use crate::profile::ModelProfile;
+use crate::request::{LlmRequest, LlmResponse};
+use crate::resilience::{InferenceEndpoint, ResilientEngine, RetryPolicy};
+use crate::scheduler::{BackendQueue, ServingConfig};
+use crate::tokenizer::Tokenizer;
+use embodied_profiler::{ResilienceStats, ServingStats, SimDuration, TokenStats};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Builds every engine stack in a system identically: base engine →
+/// transport-fault injection (per-module stream) → retry/backoff wrapper
+/// (per-module jitter stream).
+///
+/// One builder replaces the formerly duplicated `resilient(...)` closures
+/// in the agent and central-planner constructors, so the layering and its
+/// seed derivation cannot drift between call sites.
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    fault_profile: FaultProfile,
+    retry_policy: RetryPolicy,
+    fault_seed_base: u64,
+    backoff_seed_base: u64,
+}
+
+impl EngineBuilder {
+    /// A builder for one owner's engine stacks. `fault_seed_base` and
+    /// `backoff_seed_base` are XORed with the per-module stream id on
+    /// every [`EngineBuilder::wrap`] call.
+    pub fn new(
+        fault_profile: FaultProfile,
+        retry_policy: RetryPolicy,
+        fault_seed_base: u64,
+        backoff_seed_base: u64,
+    ) -> Self {
+        EngineBuilder {
+            fault_profile,
+            retry_policy,
+            fault_seed_base,
+            backoff_seed_base,
+        }
+    }
+
+    /// Wraps a base engine in the fault → resilience stack for module
+    /// stream `module`.
+    pub fn wrap(&self, engine: LlmEngine, module: u64) -> ResilientEngine {
+        ResilientEngine::new(
+            engine.with_faults(self.fault_profile, self.fault_seed_base ^ module),
+            self.retry_policy,
+            self.backoff_seed_base ^ module,
+        )
+    }
+}
+
+/// Index of one registered tenant of an [`InferenceService`].
+pub type TenantId = usize;
+
+/// Who a tenant's accounting rolls up to in the per-owner ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantOwner {
+    /// A per-agent module engine (agent index).
+    Agent(usize),
+    /// A central-planner engine (centralized/hybrid paradigms).
+    Central,
+}
+
+/// Per-member outcome of a closed batch window, in submission order.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowShare {
+    /// The member's amortized share of its batch's latency bill.
+    pub share: SimDuration,
+    /// Queueing delay before the batch started; non-zero only on the
+    /// member leading its batch (the rest ride the same wait).
+    pub queue: SimDuration,
+}
+
+struct Tenant {
+    engine: ResilientEngine,
+    owner: TenantOwner,
+    backend: usize,
+}
+
+struct Backend {
+    profile: ModelProfile,
+    queue: BackendQueue,
+}
+
+struct WindowMember {
+    tenant: TenantId,
+    prompt_tokens: u64,
+    output_tokens: u64,
+}
+
+struct Window {
+    opts: InferenceOpts,
+    prefix_tokens: u64,
+    members: Vec<WindowMember>,
+}
+
+struct ServiceInner {
+    config: ServingConfig,
+    tenants: Vec<Tenant>,
+    backends: Vec<Backend>,
+    stats: ServingStats,
+    tokenizer: Tokenizer,
+    window: Option<Window>,
+}
+
+impl ServiceInner {
+    fn backend_for(&mut self, profile: &ModelProfile) -> usize {
+        if let Some(idx) = self
+            .backends
+            .iter()
+            .position(|b| b.profile.name == profile.name)
+        {
+            return idx;
+        }
+        self.backends.push(Backend {
+            profile: profile.clone(),
+            queue: BackendQueue::new(self.config.concurrency),
+        });
+        self.backends.len() - 1
+    }
+
+    fn note_queue(&mut self, queued: SimDuration) {
+        if !queued.is_zero() {
+            self.stats.queued += 1;
+            self.stats.queue_delay += queued;
+        }
+    }
+}
+
+/// The shared, simulated inference-serving stack of one embodied system.
+///
+/// Cheap to clone (all clones share state); deliberately `!Send` — a
+/// service and every handle onto it live inside one episode on one
+/// thread, matching the episode-per-worker parallelism of the bench
+/// harness.
+#[derive(Clone)]
+pub struct InferenceService {
+    inner: Rc<RefCell<ServiceInner>>,
+}
+
+impl Default for InferenceService {
+    fn default() -> Self {
+        InferenceService::new(ServingConfig::default())
+    }
+}
+
+impl fmt::Debug for InferenceService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // No RefCell borrow: handles embedded in the very tenants this
+        // service owns must stay debug-printable mid-call.
+        f.debug_struct("InferenceService").finish_non_exhaustive()
+    }
+}
+
+impl InferenceService {
+    /// A service with the given scheduling configuration and no tenants.
+    pub fn new(config: ServingConfig) -> Self {
+        InferenceService {
+            inner: Rc::new(RefCell::new(ServiceInner {
+                config,
+                tenants: Vec::new(),
+                backends: Vec::new(),
+                stats: ServingStats::default(),
+                tokenizer: Tokenizer::default(),
+                window: None,
+            })),
+        }
+    }
+
+    /// The scheduling configuration this service was built with.
+    pub fn config(&self) -> ServingConfig {
+        self.inner.borrow().config
+    }
+
+    /// Registers a fully wrapped engine stack as a new tenant, returning
+    /// the handle its module will hold. Tenants sharing a model profile
+    /// share one scheduling backend.
+    pub fn register(&self, engine: ResilientEngine, owner: TenantOwner) -> EngineHandle {
+        let profile = engine.profile().clone();
+        let mut inner = self.inner.borrow_mut();
+        let backend = inner.backend_for(&profile);
+        inner.tenants.push(Tenant {
+            engine,
+            owner,
+            backend,
+        });
+        let tenant = inner.tenants.len() - 1;
+        drop(inner);
+        EngineHandle {
+            service: self.clone(),
+            tenant,
+            profile,
+        }
+    }
+
+    /// Number of registered tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.inner.borrow().tenants.len()
+    }
+
+    /// Resets all backend queues — called at every step boundary (the
+    /// step loop is a synchronization barrier; queues do not carry over).
+    pub fn begin_step(&self) {
+        let mut inner = self.inner.borrow_mut();
+        for b in &mut inner.backends {
+            b.queue.reset();
+        }
+    }
+
+    /// Schedules one independent (cohort) request that did `work` of
+    /// simulated inference, reserving a server slot for it. Returns the
+    /// queueing delay it waited first.
+    pub fn submit_cohort(&self, tenant: TenantId, work: SimDuration) -> SimDuration {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.cohort_requests += 1;
+        let backend = inner.tenants[tenant].backend;
+        let queued = inner.backends[backend].queue.place(work);
+        inner.note_queue(queued);
+        queued
+    }
+
+    /// Bills one *dependent* follow-up request (action selection,
+    /// verification, reflection, guardrail re-prompt) the delay until a
+    /// slot frees, without reserving one — its own service time is
+    /// already accounted sequentially by the caller.
+    pub fn queue_solo(&self, tenant: TenantId) -> SimDuration {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.solo_requests += 1;
+        let backend = inner.tenants[tenant].backend;
+        let queued = inner.backends[backend].queue.delay();
+        inner.note_queue(queued);
+        queued
+    }
+
+    /// Opens a batch window for a fan-out of same-phase requests sharing
+    /// `shared_prefix` (the workload's system preamble). Subsequent
+    /// [`InferenceService::window_add`] calls join it until
+    /// [`InferenceService::close_window`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a window is already open — windows never nest.
+    pub fn open_window(&self, opts: InferenceOpts, shared_prefix: &str) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(inner.window.is_none(), "serving windows cannot nest");
+        let prefix_tokens = inner.tokenizer.count(shared_prefix);
+        inner.window = Some(Window {
+            opts,
+            prefix_tokens,
+            members: Vec::new(),
+        });
+    }
+
+    /// Whether a batch window is currently collecting members.
+    pub fn window_is_open(&self) -> bool {
+        self.inner.borrow().window.is_some()
+    }
+
+    /// Adds a tenant's already-computed response to the open window; its
+    /// latency is re-attributed at close.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no window is open.
+    pub fn window_add(&self, tenant: TenantId, response: &LlmResponse) {
+        let mut inner = self.inner.borrow_mut();
+        let window = inner.window.as_mut().expect("no serving window open");
+        window.members.push(WindowMember {
+            tenant,
+            prompt_tokens: response.prompt_tokens,
+            output_tokens: response.output_tokens,
+        });
+    }
+
+    /// Closes the window: groups members by backend, applies the
+    /// prefix-cache model (every member after the first on a backend
+    /// reuses the shared preamble's KV prefix), computes each group's
+    /// shared batch bill, schedules it, and returns every member's
+    /// amortized share in submission order.
+    ///
+    /// Batch composition is ordered by tenant id (stable on submission
+    /// order), so co-arrival order cannot leak scheduling
+    /// nondeterminism into the results.
+    pub fn close_window(&self) -> Vec<WindowShare> {
+        let mut inner = self.inner.borrow_mut();
+        let window = inner.window.take().expect("no serving window open");
+        let mut shares = vec![
+            WindowShare {
+                share: SimDuration::ZERO,
+                queue: SimDuration::ZERO,
+            };
+            window.members.len()
+        ];
+        for backend_idx in 0..inner.backends.len() {
+            // Deterministic batch order: tenant id, then submission order.
+            let mut group: Vec<usize> = (0..window.members.len())
+                .filter(|&m| inner.tenants[window.members[m].tenant].backend == backend_idx)
+                .collect();
+            group.sort_by_key(|&m| (window.members[m].tenant, m));
+            if group.is_empty() {
+                continue;
+            }
+            let mut sized = Vec::with_capacity(group.len());
+            for (j, &m) in group.iter().enumerate() {
+                let member = &window.members[m];
+                let reused = if j == 0 {
+                    0 // first arrival pays the full prefill, warming the cache
+                } else {
+                    window
+                        .prefix_tokens
+                        .min(member.prompt_tokens.saturating_sub(1))
+                };
+                if reused > 0 {
+                    inner.stats.prefix_hits += 1;
+                    inner.stats.prefix_reused_tokens += reused;
+                }
+                sized.push((member.prompt_tokens - reused, member.output_tokens));
+            }
+            let profile = inner.backends[backend_idx].profile.clone();
+            let total = batch_latency(&profile, &sized, window.opts);
+            let weights: Vec<u64> = sized.iter().map(|&(pt, ot)| pt + ot).collect();
+            let amortized = amortize_latency(total, &weights);
+            let queued = inner.backends[backend_idx].queue.place(total);
+            inner.stats.batches += 1;
+            inner.stats.batched_requests += group.len() as u64;
+            inner.note_queue(queued);
+            for (j, &m) in group.iter().enumerate() {
+                shares[m] = WindowShare {
+                    share: amortized[j],
+                    queue: if j == 0 { queued } else { SimDuration::ZERO },
+                };
+            }
+        }
+        shares
+    }
+
+    /// Serving-layer counters accumulated so far.
+    pub fn stats(&self) -> ServingStats {
+        self.inner.borrow().stats
+    }
+
+    /// Merged token usage of every tenant registered to `owner`.
+    pub fn usage_for(&self, owner: TenantOwner) -> TokenStats {
+        let inner = self.inner.borrow();
+        let mut total = TokenStats::default();
+        for t in inner.tenants.iter().filter(|t| t.owner == owner) {
+            total.merge(&t.engine.usage());
+        }
+        total
+    }
+
+    /// Merged resilience counters of every tenant registered to `owner`.
+    pub fn resilience_for(&self, owner: TenantOwner) -> ResilienceStats {
+        let inner = self.inner.borrow();
+        let mut total = ResilienceStats::default();
+        for t in inner.tenants.iter().filter(|t| t.owner == owner) {
+            total.merge(&t.engine.stats());
+        }
+        total
+    }
+
+    /// Merged token usage across every tenant — the system-level ledger
+    /// replacing per-module hand-walks.
+    pub fn total_usage(&self) -> TokenStats {
+        let inner = self.inner.borrow();
+        let mut total = TokenStats::default();
+        for t in &inner.tenants {
+            total.merge(&t.engine.usage());
+        }
+        total
+    }
+
+    /// Merged resilience counters across every tenant.
+    pub fn total_resilience(&self) -> ResilienceStats {
+        let inner = self.inner.borrow();
+        let mut total = ResilienceStats::default();
+        for t in &inner.tenants {
+            total.merge(&t.engine.stats());
+        }
+        total
+    }
+
+    fn with_engine<R>(&self, tenant: TenantId, f: impl FnOnce(&mut ResilientEngine) -> R) -> R {
+        f(&mut self.inner.borrow_mut().tenants[tenant].engine)
+    }
+}
+
+/// A module's view onto its tenant slot of an [`InferenceService`].
+///
+/// The handle is a pure delegate: every call goes straight to the
+/// tenant's own engine stack, preserving per-module RNG draw order
+/// exactly. Scheduling (queueing, batch windows) is driven explicitly by
+/// the orchestrator through the service — never implicitly by the handle.
+#[derive(Clone)]
+pub struct EngineHandle {
+    service: InferenceService,
+    tenant: TenantId,
+    profile: ModelProfile,
+}
+
+impl fmt::Debug for EngineHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Manual impl so a handle can be printed while the service's
+        // RefCell is mutably borrowed (e.g. from inside an engine panic).
+        f.debug_struct("EngineHandle")
+            .field("tenant", &self.tenant)
+            .field("profile", &self.profile.name)
+            .finish()
+    }
+}
+
+impl EngineHandle {
+    /// This handle's tenant id within the service.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The service this handle is registered with.
+    pub fn service(&self) -> &InferenceService {
+        &self.service
+    }
+
+    /// The tenant's model profile (cached at registration).
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// Runs one inference through the tenant's engine stack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LlmError`] from the engine (faults that exhausted the
+    /// retry budget, empty prompts).
+    pub fn infer(&mut self, req: LlmRequest) -> Result<LlmResponse, LlmError> {
+        self.service.with_engine(self.tenant, |e| e.infer(req))
+    }
+
+    /// Merged token usage of this tenant.
+    pub fn usage(&self) -> TokenStats {
+        self.service.with_engine(self.tenant, |e| e.usage())
+    }
+
+    /// Resilience counters of this tenant.
+    pub fn stats(&self) -> ResilienceStats {
+        self.service.with_engine(self.tenant, |e| e.stats())
+    }
+
+    /// Whether the tenant's circuit breaker is currently open.
+    pub fn breaker_open(&self) -> bool {
+        self.service.with_engine(self.tenant, |e| e.breaker_open())
+    }
+
+    /// Drains the simulated stall time accumulated by retries.
+    pub fn take_stall(&mut self) -> SimDuration {
+        self.service.with_engine(self.tenant, |e| e.take_stall())
+    }
+
+    /// Draws a correctness sample from the tenant's RNG stream.
+    pub fn sample_correct(&mut self, quality: f64) -> bool {
+        self.service
+            .with_engine(self.tenant, |e| e.sample_correct(quality))
+    }
+
+    /// Draws a uniform index from the tenant's RNG stream.
+    pub fn sample_index(&mut self, n: usize) -> usize {
+        self.service.with_engine(self.tenant, |e| e.sample_index(n))
+    }
+}
+
+impl InferenceEndpoint for EngineHandle {
+    fn infer(&mut self, req: LlmRequest) -> Result<LlmResponse, LlmError> {
+        EngineHandle::infer(self, req)
+    }
+}
+
+impl From<ResilientEngine> for EngineHandle {
+    /// Wraps a standalone engine stack in a private single-tenant
+    /// pass-through service — the compatibility path for module-level
+    /// tests and ad-hoc callers that never touch an orchestrator.
+    fn from(engine: ResilientEngine) -> Self {
+        InferenceService::default().register(engine, TenantOwner::Agent(0))
+    }
+}
+
+impl From<LlmEngine> for EngineHandle {
+    /// Wraps a bare engine via the standard retry policy, then as a
+    /// single-tenant pass-through service.
+    fn from(engine: LlmEngine) -> Self {
+        ResilientEngine::from(engine).into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Purpose;
+
+    fn handle(service: &InferenceService, seed: u64, owner: TenantOwner) -> EngineHandle {
+        let builder = EngineBuilder::new(
+            FaultProfile::none(),
+            RetryPolicy::standard(),
+            seed ^ 0xfa00,
+            seed ^ 0xb000,
+        );
+        service.register(
+            builder.wrap(LlmEngine::new(ModelProfile::gpt4_api(), seed), 0x01),
+            owner,
+        )
+    }
+
+    fn req(prompt: &str) -> LlmRequest {
+        LlmRequest::new(Purpose::Planning, prompt, 150)
+    }
+
+    #[test]
+    fn builder_matches_hand_rolled_stack() {
+        // The builder must reproduce the legacy closure exactly: same
+        // fault stream (seed ^ module) and backoff stream per module.
+        let seed = 99u64;
+        let hand = ResilientEngine::new(
+            LlmEngine::new(ModelProfile::gpt4_api(), seed)
+                .with_faults(FaultProfile::uniform(0.2), seed ^ 0xfa00 ^ 0x01),
+            RetryPolicy::standard(),
+            seed ^ 0xb000 ^ 0x01,
+        );
+        let built = EngineBuilder::new(
+            FaultProfile::uniform(0.2),
+            RetryPolicy::standard(),
+            seed ^ 0xfa00,
+            seed ^ 0xb000,
+        )
+        .wrap(LlmEngine::new(ModelProfile::gpt4_api(), seed), 0x01);
+        let drive = |mut e: ResilientEngine| {
+            (0..8)
+                .map(|i| e.infer(req(&format!("step {i} plan"))).map(|r| r.latency))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(drive(hand), drive(built));
+    }
+
+    #[test]
+    fn handle_is_a_pure_delegate() {
+        // Same seed, same requests: a handle-fronted engine replays the
+        // directly-driven engine bit-identically, in pass-through and in
+        // batched/limited modes alike (scheduling never touches draws).
+        let drive_direct = || {
+            let mut e = ResilientEngine::new(
+                LlmEngine::new(ModelProfile::gpt4_api(), 7)
+                    .with_faults(FaultProfile::none(), 7 ^ 0xfa00 ^ 0x01),
+                RetryPolicy::standard(),
+                7 ^ 0xb000 ^ 0x01,
+            );
+            (0..6)
+                .map(|i| e.infer(req(&format!("plan step {i}"))).unwrap())
+                .collect::<Vec<_>>()
+        };
+        for config in [
+            ServingConfig::default(),
+            ServingConfig::batched(),
+            ServingConfig::limited(1),
+        ] {
+            let service = InferenceService::new(config);
+            let mut h = handle(&service, 7, TenantOwner::Agent(0));
+            let via_handle: Vec<_> = (0..6)
+                .map(|i| h.infer(req(&format!("plan step {i}"))).unwrap())
+                .collect();
+            assert_eq!(via_handle, drive_direct(), "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn per_owner_ledger_partitions_usage() {
+        let service = InferenceService::default();
+        let mut a = handle(&service, 1, TenantOwner::Agent(0));
+        let mut b = handle(&service, 2, TenantOwner::Agent(1));
+        let mut c = handle(&service, 3, TenantOwner::Central);
+        a.infer(req("agent zero plans")).unwrap();
+        a.infer(req("agent zero plans again")).unwrap();
+        b.infer(req("agent one plans")).unwrap();
+        c.infer(req("the center plans")).unwrap();
+        assert_eq!(service.usage_for(TenantOwner::Agent(0)).calls, 2);
+        assert_eq!(service.usage_for(TenantOwner::Agent(1)).calls, 1);
+        assert_eq!(service.usage_for(TenantOwner::Central).calls, 1);
+        assert_eq!(service.total_usage().calls, 4);
+        assert_eq!(a.usage().calls, 2);
+        assert!(service.total_resilience().is_quiet());
+        assert_eq!(service.tenant_count(), 3);
+    }
+
+    #[test]
+    fn same_profile_tenants_share_a_backend_queue() {
+        let service = InferenceService::new(ServingConfig::limited(1));
+        let a = handle(&service, 1, TenantOwner::Agent(0));
+        let b = handle(&service, 2, TenantOwner::Agent(1));
+        let work = SimDuration::from_secs(10);
+        assert_eq!(service.submit_cohort(a.tenant(), work), SimDuration::ZERO);
+        // One slot, already busy for 10 s: the second tenant queues.
+        assert_eq!(service.submit_cohort(b.tenant(), work), work);
+        // A dependent follow-up waits for the earliest slot but reserves
+        // nothing.
+        assert_eq!(service.queue_solo(a.tenant()), work * 2);
+        assert_eq!(service.queue_solo(a.tenant()), work * 2);
+        let stats = service.stats();
+        assert_eq!(stats.cohort_requests, 2);
+        assert_eq!(stats.solo_requests, 2);
+        assert_eq!(stats.queued, 3);
+        assert_eq!(stats.queue_delay, work * 5);
+        // Step boundary clears the queues.
+        service.begin_step();
+        assert_eq!(service.queue_solo(b.tenant()), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn window_batches_with_prefix_reuse_and_exact_shares() {
+        let service = InferenceService::new(ServingConfig::batched());
+        let preamble = "You are an embodied agent in a simulated household. \
+                        Coordinate with your teammates to finish the task.";
+        let mut handles: Vec<_> = (0..3)
+            .map(|i| handle(&service, i as u64 + 10, TenantOwner::Agent(i)))
+            .collect();
+        service.open_window(InferenceOpts::default(), preamble);
+        assert!(service.window_is_open());
+        let mut responses = Vec::new();
+        for h in &mut handles {
+            let prompt = format!("{preamble}\nplan your next action ({})", h.tenant());
+            let resp = h.infer(req(&prompt)).unwrap();
+            service.window_add(h.tenant(), &resp);
+            responses.push(resp);
+        }
+        let shares = service.close_window();
+        assert!(!service.window_is_open());
+        assert_eq!(shares.len(), 3);
+        let stats = service.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batched_requests, 3);
+        // Members after the first reuse the shared preamble prefix.
+        assert_eq!(stats.prefix_hits, 2);
+        assert!(stats.prefix_reused_tokens > 0);
+        // Shares sum to the recomputed batch bill exactly.
+        let prefix_tokens = Tokenizer::default().count(preamble);
+        let sized: Vec<(u64, u64)> = responses
+            .iter()
+            .enumerate()
+            .map(|(j, r)| {
+                let reused = if j == 0 { 0 } else { prefix_tokens };
+                (r.prompt_tokens - reused, r.output_tokens)
+            })
+            .collect();
+        let total = batch_latency(&ModelProfile::gpt4_api(), &sized, InferenceOpts::default());
+        let billed: SimDuration = shares.iter().map(|s| s.share).sum();
+        assert_eq!(billed, total);
+        // Unbounded concurrency: the batch did not queue.
+        assert!(shares.iter().all(|s| s.queue.is_zero()));
+    }
+
+    #[test]
+    fn batched_shares_are_deterministic_under_tenant_tie_breaking() {
+        // Two runs submitting the same members in *different* arrival
+        // orders produce identical per-tenant shares: batch composition
+        // is keyed on tenant id, not co-arrival order.
+        let run = |order: &[usize]| {
+            let service = InferenceService::new(ServingConfig::batched());
+            let mut handles: Vec<_> = (0..4)
+                .map(|i| handle(&service, 50 + i as u64, TenantOwner::Agent(i)))
+                .collect();
+            service.open_window(InferenceOpts::default(), "shared system preamble");
+            let mut per_tenant = vec![SimDuration::ZERO; 4];
+            let mut responses = Vec::new();
+            for &i in order {
+                let resp = handles[i]
+                    .infer(req(&format!("agent {i} plans with distinct prompt text")))
+                    .unwrap();
+                service.window_add(handles[i].tenant(), &resp);
+                responses.push(i);
+            }
+            let shares = service.close_window();
+            for (slot, &i) in responses.iter().enumerate() {
+                per_tenant[i] = shares[slot].share;
+            }
+            per_tenant
+        };
+        assert_eq!(run(&[0, 1, 2, 3]), run(&[3, 1, 0, 2]));
+    }
+
+    #[test]
+    fn batch_queues_when_concurrency_is_saturated() {
+        let service = InferenceService::new(ServingConfig {
+            batching: true,
+            concurrency: 1,
+        });
+        let mut a = handle(&service, 5, TenantOwner::Agent(0));
+        let mut b = handle(&service, 6, TenantOwner::Agent(1));
+        // Prior cohort work occupies the only slot.
+        let prior = SimDuration::from_secs(30);
+        service.submit_cohort(a.tenant(), prior);
+        service.open_window(InferenceOpts::default(), "preamble");
+        let ra = a.infer(req("agent zero plans")).unwrap();
+        service.window_add(a.tenant(), &ra);
+        let rb = b.infer(req("agent one plans")).unwrap();
+        service.window_add(b.tenant(), &rb);
+        let shares = service.close_window();
+        // The whole batch waits behind the busy slot; only the leading
+        // member carries the wait.
+        assert_eq!(shares[0].queue, prior);
+        assert!(shares[1].queue.is_zero());
+        assert_eq!(service.stats().queued, 1);
+    }
+
+    #[test]
+    fn from_impls_build_passthrough_handles() {
+        let mut h: EngineHandle = LlmEngine::new(ModelProfile::llama3_8b(), 3).into();
+        let resp = h.infer(req("plan something")).unwrap();
+        assert!(resp.latency > SimDuration::ZERO);
+        assert_eq!(h.profile().name, "Llama-3-8B (local)");
+        assert!(h.service().config().is_passthrough());
+        let text = format!("{h:?}");
+        assert!(text.contains("tenant"));
+    }
+}

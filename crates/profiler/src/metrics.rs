@@ -619,6 +619,95 @@ impl fmt::Display for RepairStats {
     }
 }
 
+/// Serving-layer counters for an episode: what the shared inference
+/// service scheduled, batched, queued, and saved through prefix reuse.
+///
+/// All zero when the service runs in pass-through mode (the default: no
+/// batching, unbounded backend concurrency) — reports stay identical to
+/// pre-serving builds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServingStats {
+    /// Independent same-phase requests scheduled under the concurrency
+    /// limit (each may add load to a server slot).
+    pub cohort_requests: u64,
+    /// Dependent follow-up requests (action selection, verification,
+    /// reflection, guardrail re-prompts) that waited for a free slot
+    /// without reserving one.
+    pub solo_requests: u64,
+    /// Batches closed (one shared `infer_batch`-style bill each).
+    pub batches: u64,
+    /// Requests served inside those batches.
+    pub batched_requests: u64,
+    /// Scheduling decisions (requests or whole batches) that found every
+    /// server slot busy and had to wait.
+    pub queued: u64,
+    /// Total simulated time spent waiting for server slots.
+    pub queue_delay: SimDuration,
+    /// Batched requests whose shared system-preamble prefix was already
+    /// resident in the backend's KV cache.
+    pub prefix_hits: u64,
+    /// Prompt tokens not recomputed thanks to those prefix hits.
+    pub prefix_reused_tokens: u64,
+}
+
+impl ServingStats {
+    /// Whether nothing serving-related happened (the pass-through fast
+    /// path).
+    pub fn is_quiet(&self) -> bool {
+        *self == ServingStats::default()
+    }
+
+    /// Mean requests per closed batch (0 when nothing batched).
+    pub fn batch_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Fraction of batched requests that hit the shared prefix (0 when
+    /// nothing batched).
+    pub fn prefix_hit_rate(&self) -> f64 {
+        if self.batched_requests == 0 {
+            0.0
+        } else {
+            self.prefix_hits as f64 / self.batched_requests as f64
+        }
+    }
+
+    /// Merge counters from another episode slice.
+    pub fn merge(&mut self, other: &ServingStats) {
+        self.cohort_requests += other.cohort_requests;
+        self.solo_requests += other.solo_requests;
+        self.batches += other.batches;
+        self.batched_requests += other.batched_requests;
+        self.queued += other.queued;
+        self.queue_delay += other.queue_delay;
+        self.prefix_hits += other.prefix_hits;
+        self.prefix_reused_tokens += other.prefix_reused_tokens;
+    }
+}
+
+impl fmt::Display for ServingStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cohort {}, solo {}, batches {} ({} reqs, occupancy {:.1}), \
+             queued {} ({}), prefix hits {} ({} tok reused)",
+            self.cohort_requests,
+            self.solo_requests,
+            self.batches,
+            self.batched_requests,
+            self.batch_occupancy(),
+            self.queued,
+            self.queue_delay,
+            self.prefix_hits,
+            self.prefix_reused_tokens,
+        )
+    }
+}
+
 impl fmt::Display for ResilienceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -847,6 +936,36 @@ mod tests {
             ..Default::default()
         };
         assert!(!v.is_quiet());
+    }
+
+    #[test]
+    fn serving_stats_quiet_merge_and_rates() {
+        let mut s = ServingStats::default();
+        assert!(s.is_quiet());
+        assert_eq!(s.batch_occupancy(), 0.0);
+        assert_eq!(s.prefix_hit_rate(), 0.0);
+        let busy = ServingStats {
+            cohort_requests: 8,
+            solo_requests: 3,
+            batches: 2,
+            batched_requests: 8,
+            queued: 1,
+            queue_delay: sec(4),
+            prefix_hits: 6,
+            prefix_reused_tokens: 900,
+        };
+        assert!(!busy.is_quiet());
+        assert!((busy.batch_occupancy() - 4.0).abs() < 1e-12);
+        assert!((busy.prefix_hit_rate() - 0.75).abs() < 1e-12);
+        s.merge(&busy);
+        s.merge(&busy);
+        assert_eq!(s.batches, 4);
+        assert_eq!(s.batched_requests, 16);
+        assert_eq!(s.queue_delay, sec(8));
+        assert_eq!(s.prefix_reused_tokens, 1_800);
+        let text = s.to_string();
+        assert!(text.contains("occupancy"));
+        assert!(text.contains("prefix hits"));
     }
 
     #[test]

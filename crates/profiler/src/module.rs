@@ -108,6 +108,11 @@ pub enum Phase {
     Validate,
     /// Repairing a rejected plan (re-prompt, constrain, or skip).
     Repair,
+    /// Waiting for a free server slot at a shared inference backend.
+    Queue,
+    /// An LLM inference run served as part of a cross-tenant batch; the
+    /// span carries the request's amortized share of the batch bill.
+    Batch,
 }
 
 impl fmt::Display for Phase {
@@ -125,6 +130,8 @@ impl fmt::Display for Phase {
             Phase::Resync => "resync",
             Phase::Validate => "validate",
             Phase::Repair => "repair",
+            Phase::Queue => "queue",
+            Phase::Batch => "batch",
         };
         f.write_str(name)
     }

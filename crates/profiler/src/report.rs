@@ -3,7 +3,7 @@
 
 use crate::metrics::{
     AgentFaultStats, ChannelStats, LatencyBreakdown, MessageStats, PurposeLedger, RepairStats,
-    ResilienceStats, StepRecord, TokenStats,
+    ResilienceStats, ServingStats, StepRecord, TokenStats,
 };
 use crate::module::ModuleKind;
 use crate::time::SimDuration;
@@ -77,6 +77,10 @@ pub struct EpisodeReport {
     /// the repair work paid to contain them (all zero under
     /// `SemanticFaultProfile::none()` with repair disabled).
     pub repairs: RepairStats,
+    /// Shared-inference-service counters — batches, queueing, prefix reuse
+    /// (all zero when the service runs in pass-through mode).
+    #[serde(default)]
+    pub serving: ServingStats,
     /// Per-step time series.
     pub step_records: Vec<StepRecord>,
     /// Number of agents that participated.
@@ -136,6 +140,9 @@ pub struct Aggregate {
     pub channel: ChannelStats,
     /// Merged guardrail validation/repair counters across episodes.
     pub repairs: RepairStats,
+    /// Merged shared-inference-service counters across episodes.
+    #[serde(default)]
+    pub serving: ServingStats,
 }
 
 impl Aggregate {
@@ -182,6 +189,7 @@ impl Aggregate {
         let mut agent_faults = AgentFaultStats::default();
         let mut channel = ChannelStats::default();
         let mut repairs = RepairStats::default();
+        let mut serving = ServingStats::default();
         for r in reports {
             breakdown.merge(&r.breakdown);
             tokens.merge(&r.tokens);
@@ -192,6 +200,7 @@ impl Aggregate {
             agent_faults.merge(&r.agent_faults);
             channel.merge(&r.channel);
             repairs.merge(&r.repairs);
+            serving.merge(&r.serving);
         }
 
         Aggregate {
@@ -213,6 +222,7 @@ impl Aggregate {
             agent_faults,
             channel,
             repairs,
+            serving,
         }
     }
 
@@ -296,6 +306,21 @@ impl Aggregate {
     pub fn residual_invalid_rate(&self) -> f64 {
         self.repairs.residual_invalid_rate()
     }
+
+    /// Mean requests per closed batch at the shared inference service.
+    pub fn batch_occupancy(&self) -> f64 {
+        self.serving.batch_occupancy()
+    }
+
+    /// Mean time spent waiting for backend server slots per episode.
+    pub fn queue_delay_per_episode(&self) -> SimDuration {
+        self.serving.queue_delay / (self.episodes as u64).max(1)
+    }
+
+    /// Fraction of batched requests that reused the shared prompt prefix.
+    pub fn prefix_hit_rate(&self) -> f64 {
+        self.serving.prefix_hit_rate()
+    }
 }
 
 impl fmt::Display for Aggregate {
@@ -334,6 +359,7 @@ mod tests {
             agent_faults: AgentFaultStats::default(),
             channel: ChannelStats::default(),
             repairs: RepairStats::default(),
+            serving: ServingStats::default(),
             step_records: Vec::new(),
             agents: 1,
         }
@@ -372,6 +398,23 @@ mod tests {
         assert!((agg.agent_faults_per_episode() - 1.0).abs() < 1e-12);
         assert!((agg.downtime_per_episode() - 3.0).abs() < 1e-12);
         assert!((agg.channel_events_per_episode() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_merges_serving() {
+        let mut batched = report(Outcome::Success, 5, 50);
+        batched.serving.batches = 2;
+        batched.serving.batched_requests = 8;
+        batched.serving.queued = 1;
+        batched.serving.queue_delay = SimDuration::from_secs(6);
+        batched.serving.prefix_hits = 6;
+        batched.serving.prefix_reused_tokens = 420;
+        let reports = vec![report(Outcome::Success, 5, 50), batched];
+        let agg = Aggregate::from_reports("t", &reports);
+        assert_eq!(agg.serving.batches, 2);
+        assert!((agg.batch_occupancy() - 4.0).abs() < 1e-12);
+        assert_eq!(agg.queue_delay_per_episode(), SimDuration::from_secs(3));
+        assert!((agg.prefix_hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -30,4 +30,8 @@ EMBODIED_EPISODES="${EMBODIED_RESILIENCE_EPISODES:-6}" ./target/release/resilien
 echo "== guardrail_sweep =="
 EMBODIED_EPISODES="${EMBODIED_GUARDRAIL_EPISODES:-6}" ./target/release/guardrail_sweep > /dev/null
 
+# Serving sweep: 2 systems × 3 team sizes × 4 serving configurations.
+echo "== serving_sweep =="
+EMBODIED_EPISODES="${EMBODIED_SERVING_EPISODES:-6}" ./target/release/serving_sweep > /dev/null
+
 echo "done — see results/*.md"

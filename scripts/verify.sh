@@ -22,6 +22,9 @@ EMBODIED_JOBS=4 cargo test --release -q -p embodied-bench --test fault_determini
 echo "== guardrail determinism (EMBODIED_JOBS=4) =="
 EMBODIED_JOBS=4 cargo test --release -q -p embodied-bench --test guardrail_determinism
 
+echo "== serving determinism (EMBODIED_JOBS=4) =="
+EMBODIED_JOBS=4 cargo test --release -q -p embodied-bench --test serving_determinism
+
 echo "== resilience integration tests =="
 cargo test --release -q --test resilience --test fault_properties --test guardrail_properties
 
@@ -35,6 +38,10 @@ trap 'rm -rf "$smoke_dir"' EXIT
 echo "== guardrail_sweep --smoke (scratch dir; canonical results untouched) =="
 cargo build --release -q -p embodied-bench --bin guardrail_sweep
 (cd "$smoke_dir" && "$repo_root/target/release/guardrail_sweep" --smoke > /dev/null)
+
+echo "== serving_sweep --smoke (scratch dir; canonical results untouched) =="
+cargo build --release -q -p embodied-bench --bin serving_sweep
+(cd "$smoke_dir" && "$repo_root/target/release/serving_sweep" --smoke > /dev/null)
 
 echo "== bench_all --smoke (sequential vs parallel byte-identity) =="
 cargo run --release -q -p embodied-bench --bin bench_all -- --smoke

@@ -109,12 +109,12 @@ proptest! {
             Subgoal::Place { object: "apple_1".into(), dest: "table".into() },
         ]);
         let intended = Subgoal::Pick { object: "apple_1".into() };
-        let mut engine = ResilientEngine::new(
+        let mut engine = embodied_llm::EngineHandle::from(ResilientEngine::new(
             LlmEngine::new(ModelProfile::gpt4_api(), seed)
                 .with_semantic_faults(SemanticFaultProfile::uniform(rate), seed ^ 0x5e01),
             RetryPolicy::standard(),
             seed,
-        );
+        ));
         let mut stats = RepairStats::default();
         let _ = guard_decision(
             &mut engine,
