@@ -26,7 +26,7 @@ use std::process::{Command, Stdio};
 use std::time::Instant;
 
 /// Every experiment target in the suite, in roadmap order.
-const EXPERIMENTS: [&str; 16] = [
+const EXPERIMENTS: [&str; 17] = [
     "table1_paradigms",
     "table2_suite",
     "fig1_paradigms",
@@ -43,6 +43,7 @@ const EXPERIMENTS: [&str; 16] = [
     "design_ablations",
     "endtoend_analysis",
     "serving_sweep",
+    "slo_sweep",
 ];
 
 struct Timing {
@@ -100,8 +101,22 @@ fn write_json(
 ) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Reproducibility metadata: what the machine looked like, how the
+    // worker count was chosen, and which commit produced the numbers.
+    let jobs_env = std::env::var("EMBODIED_JOBS")
+        .map(|v| format!("\"{v}\""))
+        .unwrap_or_else(|_| "null".to_string());
+    let git_rev = Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| format!("\"{}\"", String::from_utf8_lossy(&o.stdout).trim()))
+        .unwrap_or_else(|| "null".to_string());
     writeln!(f, "{{")?;
     writeln!(f, "  \"host_parallelism\": {host},")?;
+    writeln!(f, "  \"embodied_jobs_env\": {jobs_env},")?;
+    writeln!(f, "  \"git_rev\": {git_rev},")?;
     writeln!(f, "  \"jobs\": {par_jobs},")?;
     writeln!(f, "  \"episodes\": {},", if smoke { 1 } else { episodes() })?;
     writeln!(f, "  \"smoke\": {smoke},")?;

@@ -206,9 +206,12 @@ pub struct AgentConfig {
     /// strictly opt-in.
     pub repair_policy: RepairPolicy,
     /// Shared-inference-service scheduling knobs (cross-tenant batching,
-    /// backend concurrency limit). Defaults to
+    /// backend concurrency limit, replica count) plus the serving fault
+    /// plane and its SLO resilience tier (replica crashes/brownouts,
+    /// deadlines, hedging, load shedding). Defaults to
     /// [`ServingConfig::disabled()`] — a pure pass-through under which
-    /// every call takes the legacy path and draw order.
+    /// every call takes the legacy path and draw order, and the serving
+    /// fault injector draws nothing.
     pub serving: ServingConfig,
 }
 

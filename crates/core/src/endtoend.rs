@@ -199,6 +199,7 @@ impl EndToEndSystem {
             channel: embodied_profiler::ChannelStats::default(),
             repairs: embodied_profiler::RepairStats::default(),
             serving: embodied_profiler::ServingStats::default(),
+            serving_faults: embodied_profiler::ServingFaultStats::default(),
             step_records: self.step_records.clone(),
             agents: 1,
         }

@@ -191,9 +191,10 @@ pub(crate) fn plan_assignments(
     EmbodiedSystem::note_stall(&mut sys.trace, ModuleKind::Planning, 0, stall);
     let response = match result {
         Ok(r) => r,
-        Err(_) => {
+        Err(err) => {
             // Graceful degradation: the central planner is down this step,
             // so every agent falls back to exploring on its own.
+            EmbodiedSystem::note_llm_failure(&mut sys.trace, ModuleKind::Planning, 0, &err);
             sys.degradations.degraded_planning += 1;
             return vec![Subgoal::Explore; n];
         }
@@ -301,7 +302,7 @@ fn guard_assignments(
         // Re-prompt repairs went back through the shared backend and pay
         // real queue time under a concurrency limit.
         if !sys.serving.is_passthrough() && !verdict.responses.is_empty() {
-            let queue = sys.service.queue_solo(central_tenant);
+            let queue = sys.service.queue_solo(central_tenant, sys.trace.now());
             if !queue.is_zero() {
                 sys.trace
                     .record(ModuleKind::Planning, Phase::Queue, 0, queue);
@@ -382,8 +383,14 @@ pub(crate) fn extract_feedback(sys: &mut EmbodiedSystem, assignments: &[Subgoal]
         EmbodiedSystem::note_stall(&mut sys.trace, ModuleKind::Communication, i, stall);
         let msg = match result {
             Ok(m) => m,
-            Err(_) => {
+            Err(err) => {
                 // Degradation: this agent's feedback is lost this step.
+                EmbodiedSystem::note_llm_failure(
+                    &mut sys.trace,
+                    ModuleKind::Communication,
+                    i,
+                    &err,
+                );
                 sys.degradations.degraded_communication += 1;
                 continue;
             }
@@ -449,9 +456,10 @@ pub(crate) fn broadcast_instructions(sys: &mut EmbodiedSystem, assignments: &[Su
     EmbodiedSystem::note_stall(&mut sys.trace, ModuleKind::Communication, 0, stall);
     let msg = match result {
         Ok(m) => m,
-        Err(_) => {
+        Err(err) => {
             // Degradation: the broadcast is dropped — agents keep their
             // assignments but never hear them, so no messages are counted.
+            EmbodiedSystem::note_llm_failure(&mut sys.trace, ModuleKind::Communication, 0, &err);
             sys.degradations.degraded_communication += 1;
             return;
         }

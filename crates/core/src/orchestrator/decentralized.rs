@@ -82,9 +82,15 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
             EmbodiedSystem::note_stall(&mut sys.trace, ModuleKind::Communication, i, stall);
             let msg = match result {
                 Ok(m) => m,
-                Err(_) => {
+                Err(err) => {
                     // Degradation: the message is dropped; the agent keeps
                     // its knowledge delta for the next broadcast attempt.
+                    EmbodiedSystem::note_llm_failure(
+                        &mut sys.trace,
+                        ModuleKind::Communication,
+                        i,
+                        &err,
+                    );
                     sys.degradations.degraded_communication += 1;
                     continue;
                 }

@@ -51,9 +51,15 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
         EmbodiedSystem::note_stall(&mut sys.trace, ModuleKind::Communication, i, stall);
         let msg = match result {
             Ok(m) => m,
-            Err(_) => {
+            Err(err) => {
                 // Degradation: the center refines without this agent's
                 // feedback this step.
+                EmbodiedSystem::note_llm_failure(
+                    &mut sys.trace,
+                    ModuleKind::Communication,
+                    i,
+                    &err,
+                );
                 sys.degradations.degraded_communication += 1;
                 continue;
             }

@@ -47,6 +47,11 @@ pub struct RunOverrides {
     /// Shared-inference-service scheduling (cross-tenant batching and the
     /// backend concurrency limit, swept by the serving experiments).
     pub serving: Option<embodied_llm::ServingConfig>,
+    /// Serving fault plane (replica crashes, brownouts, queue overflow) —
+    /// the fourth fault plane, swept by the SLO experiments. Applied *on
+    /// top of* `serving`, so a sweep can fix the scheduling policy and
+    /// vary only the fault rates.
+    pub serving_faults: Option<embodied_llm::ServingFaultProfile>,
 }
 
 impl RunOverrides {
@@ -91,6 +96,9 @@ impl RunOverrides {
         }
         if let Some(serving) = self.serving {
             config.serving = serving;
+        }
+        if let Some(faults) = self.serving_faults {
+            config.serving = config.serving.with_faults(faults);
         }
         config
     }
@@ -296,6 +304,78 @@ mod tests {
             report.repairs.is_quiet(),
             "guardrail off by default, nothing may be validated: {}",
             report.repairs
+        );
+        assert!(
+            report.serving_faults.is_quiet(),
+            "serving fault plane off by default, nothing may fire: {}",
+            report.serving_faults
+        );
+    }
+
+    #[test]
+    fn serving_faults_inject_and_replay_deterministically() {
+        let spec = find("CoELA").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            serving: Some(
+                embodied_llm::ServingConfig::limited(1)
+                    .with_replicas(2)
+                    .with_deadline(embodied_profiler::SimDuration::from_secs(240)),
+            ),
+            serving_faults: Some(embodied_llm::ServingFaultProfile::stressed(0.4)),
+            ..Default::default()
+        };
+        let a = run_episode(&spec, &overrides, 7);
+        let b = run_episode(&spec, &overrides, 7);
+        assert!(a.serving_faults.faults() > 0, "{}", a.serving_faults);
+        assert!(a.serving_faults.slo_total > 0, "deadline set: SLO measured");
+        assert_eq!(a.serving_faults, b.serving_faults);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.tokens, b.tokens);
+    }
+
+    #[test]
+    fn hedging_and_shedding_fire_under_a_stressed_serving_plane() {
+        // One saturated replica pair under heavy brownouts: hedges race the
+        // slow primary, and the shed threshold rejects low-priority calls
+        // while every paradigm path survives on its degradation fallbacks.
+        let spec = find("CoELA").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            serving: Some(
+                embodied_llm::ServingConfig::limited(1)
+                    .with_replicas(2)
+                    .with_hedging(embodied_profiler::SimDuration::from_secs(2))
+                    .with_shedding(1),
+            ),
+            serving_faults: Some(embodied_llm::ServingFaultProfile::brownouts(0.8)),
+            ..Default::default()
+        };
+        let report = run_episode(&spec, &overrides, 11);
+        assert!(report.steps > 0, "episode survives shed/hedge paths");
+        assert!(
+            report.serving_faults.hedges() > 0,
+            "brownouts past the hedge trigger: {}",
+            report.serving_faults
+        );
+        assert!(
+            report.serving_faults.shed > 0,
+            "depth-1 threshold must shed on a multi-call step: {}",
+            report.serving_faults
+        );
+        assert!(
+            report.serving_faults.hedge_tokens > 0,
+            "hedge duplicates bill their tokens"
+        );
+        let quiet = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            ..Default::default()
+        };
+        let baseline = run_episode(&spec, &quiet, 11);
+        assert!(
+            report.tokens.cost_usd < baseline.tokens.cost_usd * 2.0,
+            "shedding offsets the hedge premium"
         );
     }
 

@@ -12,8 +12,8 @@ use crate::orchestrator::{self, Paradigm};
 use crate::prompt::system_preamble;
 use embodied_env::{Environment, ExecOutcome, Subgoal};
 use embodied_llm::{
-    EngineBuilder, InferenceOpts, InferenceService, LlmEngine, LlmRequest, LlmResponse, Purpose,
-    ServingConfig, TenantId, TenantOwner,
+    EngineBuilder, InferenceOpts, InferenceService, LlmEngine, LlmError, LlmRequest, LlmResponse,
+    Purpose, ServingConfig, TenantId, TenantOwner,
 };
 use embodied_profiler::{
     EpisodeReport, LatencyBreakdown, MessageStats, ModuleKind, Outcome, Phase, PurposeLedger,
@@ -25,6 +25,14 @@ const CRASH_REBOOT: SimDuration = SimDuration::from_secs(5);
 
 /// Latency of the deterministic failover election round.
 const FAILOVER_ELECTION: SimDuration = SimDuration::from_secs(2);
+
+/// Client-side dispatch overhead billed when a hedged duplicate is issued
+/// to a second serving replica.
+const HEDGE_DISPATCH: SimDuration = SimDuration::from_millis(2);
+
+/// Marker span billed when serving admission control fast-fails a request
+/// — the rejection round-trip, not real inference time.
+const SHED_MARKER: SimDuration = SimDuration::from_millis(2);
 
 /// Per-step counters the orchestrators update through [`EmbodiedSystem`]
 /// helpers; they feed the step-record time series (Fig. 6).
@@ -111,7 +119,9 @@ impl EmbodiedSystem {
     ) -> Self {
         let workload = workload.into();
         let landmarks = env.landmarks();
-        let service = InferenceService::new(config.serving);
+        // The serving fault plane draws from its own salted stream derived
+        // from the episode seed — independent of every engine stream.
+        let service = InferenceService::with_seed(config.serving, seed);
         let agents: Vec<ModularAgent> = (0..env.num_agents())
             .map(|id| {
                 ModularAgent::new(
@@ -300,6 +310,7 @@ impl EmbodiedSystem {
             channel: self.channel.stats,
             repairs: self.repairs,
             serving: self.service.stats(),
+            serving_faults: self.service.fault_stats(),
             step_records: self.step_records.clone(),
             agents: self.agents.len(),
         }
@@ -329,7 +340,7 @@ impl EmbodiedSystem {
     /// span on the member that led a queued batch) and is only now fed
     /// into the step counters / per-purpose ledger, at its share latency.
     pub(crate) fn close_serving_window(&mut self) {
-        let shares = self.service.close_window();
+        let shares = self.service.close_window(self.trace.now());
         let entries = std::mem::take(&mut self.window_entries);
         debug_assert_eq!(shares.len(), entries.len());
         for (entry, share) in entries.into_iter().zip(shares) {
@@ -381,13 +392,28 @@ impl EmbodiedSystem {
             });
             return true;
         }
-        let queue = if cohort {
-            service.submit_cohort(tenant, response.latency)
+        let now = trace.now();
+        if cohort {
+            let out = service.submit_cohort(tenant, now, response);
+            if !out.failover.is_zero() {
+                // Partial service wasted on a replica that crashed
+                // mid-request, before the healthy peer took over.
+                trace.record(module, Phase::Failover, agent, out.failover);
+            }
+            if out.hedged.is_some() {
+                trace.record(module, Phase::Hedge, agent, HEDGE_DISPATCH);
+            }
+            // Brownout inflation rides the wait span: the caller observes
+            // it as extra time-to-first-token on a degraded replica.
+            let wait = out.queue + out.slowdown;
+            if !wait.is_zero() {
+                trace.record(module, Phase::Queue, agent, wait);
+            }
         } else {
-            service.queue_solo(tenant)
-        };
-        if !queue.is_zero() {
-            trace.record(module, Phase::Queue, agent, queue);
+            let queue = service.queue_solo(tenant, now);
+            if !queue.is_zero() {
+                trace.record(module, Phase::Queue, agent, queue);
+            }
         }
         trace.record(module, Phase::LlmInference, agent, response.latency);
         false
@@ -500,9 +526,10 @@ impl EmbodiedSystem {
                     response.prompt_tokens + response.output_tokens;
                 self.note_llm(&response);
             }
-            Err(_) => {
+            Err(err) => {
                 // The re-sync call itself faulted out; the promoted
                 // coordinator starts from whatever the central memory holds.
+                Self::note_llm_failure(&mut self.trace, ModuleKind::Planning, promoted, &err);
                 self.degradations.degraded_planning += 1;
             }
         }
@@ -560,6 +587,21 @@ impl EmbodiedSystem {
     ) {
         if !stall.is_zero() {
             trace.record(module, Phase::Backoff, agent, stall);
+        }
+    }
+
+    /// Records the serving tier's fast-fail marker when an inference was
+    /// rejected by admission control. Every other failure kind leaves the
+    /// trace untouched — its cost is already billed (backoff stall,
+    /// deadline stall) or was never incurred.
+    pub(crate) fn note_llm_failure(
+        trace: &mut Trace,
+        module: ModuleKind,
+        agent: usize,
+        err: &LlmError,
+    ) {
+        if matches!(err, LlmError::Shed) {
+            trace.record(module, Phase::Shed, agent, SHED_MARKER);
         }
     }
 
@@ -639,9 +681,10 @@ impl EmbodiedSystem {
         Self::note_stall(&mut self.trace, ModuleKind::Reflection, i, stall);
         let verdict = match result {
             Ok(v) => v,
-            Err(_) => {
+            Err(err) => {
                 // Degrade: the failure stays undiagnosed this step — no
                 // retry, no blacklist, no belief cleanup.
+                Self::note_llm_failure(&mut self.trace, ModuleKind::Reflection, i, &err);
                 self.degradations.degraded_reflection += 1;
                 return outcome;
             }
@@ -763,9 +806,10 @@ impl EmbodiedSystem {
         Self::note_stall(&mut self.trace, ModuleKind::Planning, i, stall);
         let mut decision = match planned {
             Ok(d) => d,
-            Err(_) => {
+            Err(err) => {
                 // Degrade: fall back to the last successfully planned
                 // subgoal (stale but coherent), else explore.
+                Self::note_llm_failure(&mut self.trace, ModuleKind::Planning, i, &err);
                 self.degradations.degraded_planning += 1;
                 let fallback = agent.last_plan.clone().unwrap_or(Subgoal::Explore);
                 return (fallback, false);
@@ -812,8 +856,9 @@ impl EmbodiedSystem {
                     );
                     responses.push(decision.response.clone());
                 }
-                Err(_) => {
+                Err(err) => {
                     // Degrade: skip the selection pass, keep the plan.
+                    Self::note_llm_failure(&mut self.trace, ModuleKind::Planning, i, &err);
                     self.degradations.degraded_planning += 1;
                 }
             }
@@ -866,16 +911,23 @@ impl EmbodiedSystem {
                                 );
                                 responses.push(decision.response.clone());
                             }
-                            Err(_) => {
+                            Err(err) => {
                                 // Degrade: act on the suspect plan rather
                                 // than stall the step.
+                                Self::note_llm_failure(
+                                    &mut self.trace,
+                                    ModuleKind::Planning,
+                                    i,
+                                    &err,
+                                );
                                 self.degradations.degraded_planning += 1;
                             }
                         }
                     }
                 }
-                Err(_) => {
+                Err(err) => {
                     // Degrade: skip pre-execution verification.
+                    Self::note_llm_failure(&mut self.trace, ModuleKind::Reflection, i, &err);
                     self.degradations.degraded_reflection += 1;
                 }
             }
@@ -929,7 +981,7 @@ impl EmbodiedSystem {
             // Guardrail re-prompts went back through the shared backend:
             // under a concurrency limit they pay real queue time too.
             if !self.serving.is_passthrough() && !verdict.responses.is_empty() {
-                let queue = self.service.queue_solo(plan_tenant);
+                let queue = self.service.queue_solo(plan_tenant, self.trace.now());
                 if !queue.is_zero() {
                     self.trace
                         .record(ModuleKind::Planning, Phase::Queue, i, queue);

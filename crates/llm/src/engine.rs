@@ -11,10 +11,14 @@ use embodied_profiler::{ResilienceStats, SimDuration, TokenStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Errors returned by [`LlmEngine`].
+/// Errors returned by [`LlmEngine`] and the serving tier above it.
 ///
-/// All variants except [`LlmError::EmptyPrompt`] are *transient*: they model
-/// deployment faults (see [`FaultProfile`]) and are worth retrying.
+/// The transport-fault variants (timeout, rate-limit, 5xx, truncation) are
+/// *transient*: they model deployment faults (see [`FaultProfile`]) and are
+/// worth retrying. [`LlmError::EmptyPrompt`] is a caller bug, and the
+/// serving-tier verdicts ([`LlmError::Shed`], [`LlmError::DeadlineExceeded`])
+/// are deliberate — retrying them would defeat the admission control and SLO
+/// machinery that produced them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LlmError {
     /// The request carried an empty prompt — a caller bug, since every
@@ -31,12 +35,23 @@ pub enum LlmError {
     ServerError,
     /// The completion stream cut off; the partial output is unusable.
     TruncatedOutput,
+    /// Admission control shed the request before it reached a model — the
+    /// serving tier was past its load threshold and this call's purpose was
+    /// too low-priority to admit. Retrying inside the same step cannot
+    /// help: the queue that shed it is still there.
+    Shed,
+    /// The call completed past its serving SLO deadline; the client
+    /// abandoned it. Not retried — the budget is already spent.
+    DeadlineExceeded,
 }
 
 impl LlmError {
     /// Whether retrying the call can plausibly succeed.
     pub fn is_transient(&self) -> bool {
-        !matches!(self, LlmError::EmptyPrompt)
+        !matches!(
+            self,
+            LlmError::EmptyPrompt | LlmError::Shed | LlmError::DeadlineExceeded
+        )
     }
 }
 
@@ -50,6 +65,8 @@ impl std::fmt::Display for LlmError {
             }
             LlmError::ServerError => f.write_str("provider returned a server error"),
             LlmError::TruncatedOutput => f.write_str("completion stream cut off"),
+            LlmError::Shed => f.write_str("request shed by serving admission control"),
+            LlmError::DeadlineExceeded => f.write_str("serving SLO deadline exceeded"),
         }
     }
 }

@@ -47,6 +47,7 @@ mod resilience;
 mod scheduler;
 mod semantic;
 mod service;
+mod serving_faults;
 mod tokenizer;
 
 pub use bpe::BpeTokenizer;
@@ -62,6 +63,7 @@ pub use resilience::{InferenceEndpoint, ResilientEngine, RetryPolicy};
 pub use scheduler::ServingConfig;
 pub use semantic::{SemanticFaultInjector, SemanticFaultKind, SemanticFaultProfile, SemanticFlaw};
 pub use service::{
-    EngineBuilder, EngineHandle, InferenceService, TenantId, TenantOwner, WindowShare,
+    EngineBuilder, EngineHandle, InferenceService, ServeOutcome, TenantId, TenantOwner, WindowShare,
 };
+pub use serving_faults::{ServingFaultInjector, ServingFaultProfile};
 pub use tokenizer::{PromptTokens, Tokenizer};

@@ -242,6 +242,13 @@ impl ResilientEngine {
         std::mem::take(&mut self.pending_stall)
     }
 
+    /// Credits extra stall time into the pending account (used by the
+    /// serving tier to bill a deadline-missed call's spent latency through
+    /// the same drain the orchestrators already run).
+    pub(crate) fn add_stall(&mut self, stall: SimDuration) {
+        self.pending_stall += stall;
+    }
+
     /// Samples correctness on the engine's main stream (delegated).
     pub fn sample_correct(&mut self, quality: f64) -> bool {
         self.engine.sample_correct(quality)

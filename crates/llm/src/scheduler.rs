@@ -1,30 +1,75 @@
 //! Step-scoped scheduling state for the simulated serving stack: the
-//! serving knobs, and per-backend server slots that model queueing delay
-//! under a configurable concurrency limit.
+//! serving knobs, and per-backend replica fleets whose server slots model
+//! queueing delay under a configurable concurrency limit.
 //!
 //! The scheduler deliberately knows nothing about engines or tenants — it
-//! only tracks how much simulated work each server slot of one backend has
-//! accepted this step. [`crate::InferenceService`] owns one
+//! only tracks how much simulated work each server slot of one backend's
+//! replicas has accepted this step, and which replicas are down restarting
+//! after an injected crash. [`crate::InferenceService`] owns one
 //! [`BackendQueue`] per distinct model profile and consults it for every
 //! scheduling decision.
 
-use embodied_profiler::SimDuration;
+use crate::serving_faults::{ServingFaultInjector, ServingFaultProfile};
+use embodied_profiler::{SimDuration, SimInstant};
 use serde::{Deserialize, Serialize};
 
-/// Serving-layer knobs (paper Rec. 1: batching, shared endpoints).
+fn default_replicas() -> u32 {
+    1
+}
+
+/// Serving-layer knobs (paper Rec. 1: batching, shared endpoints) plus the
+/// serving fault plane and its SLO-aware resilience tier.
 ///
-/// The default is a pure pass-through: no batching and an unbounded
-/// concurrency limit, under which every call takes exactly the legacy
-/// per-module path and draw order — reports are byte-identical to builds
-/// without the serving layer.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// The default is a pure pass-through: no batching, an unbounded
+/// concurrency limit, a single infallible replica, and every resilience
+/// knob off — under which every call takes exactly the legacy per-module
+/// path and draw order, so reports are byte-identical to builds without
+/// the serving layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServingConfig {
     /// Batch co-arriving same-model requests of a step phase into one
     /// shared latency bill with amortized per-request attribution.
     pub batching: bool,
-    /// Simulated server slots per backend; 0 means unbounded (no
+    /// Simulated server slots per backend replica; 0 means unbounded (no
     /// queueing delay is ever modeled).
     pub concurrency: u32,
+    /// Replicas per backend fleet (0 is treated as 1). Extra replicas add
+    /// scheduling choice: placements go to the least-loaded healthy
+    /// replica, and failover/hedging need a healthy peer to target.
+    #[serde(default = "default_replicas")]
+    pub replicas: u32,
+    /// Serving fault plane: replica crashes, brownouts, queue overflow.
+    #[serde(default)]
+    pub faults: ServingFaultProfile,
+    /// Per-request SLO deadline: a call whose end-to-end serving latency
+    /// exceeds it fails with [`crate::LlmError::DeadlineExceeded`].
+    #[serde(default)]
+    pub deadline: Option<SimDuration>,
+    /// Hedging delay: when a placement would queue longer than this, the
+    /// request is re-issued to a second healthy replica after the delay —
+    /// first completion wins, both are billed.
+    #[serde(default)]
+    pub hedge_after: Option<SimDuration>,
+    /// Admission-control threshold: once a backend has accepted this many
+    /// placements in the current step, low-priority calls (reflection,
+    /// communication, summarization) are shed; at twice the threshold
+    /// everything is. 0 disables shedding.
+    #[serde(default)]
+    pub shed_depth: u32,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            batching: false,
+            concurrency: 0,
+            replicas: default_replicas(),
+            faults: ServingFaultProfile::none(),
+            deadline: None,
+            hedge_after: None,
+            shed_depth: 0,
+        }
+    }
 }
 
 impl ServingConfig {
@@ -37,78 +82,332 @@ impl ServingConfig {
     pub fn batched() -> Self {
         ServingConfig {
             batching: true,
-            concurrency: 0,
+            ..Self::default()
         }
     }
 
-    /// Batching off, `concurrency` server slots per backend.
+    /// Batching off, `concurrency` server slots per backend replica.
     pub fn limited(concurrency: u32) -> Self {
         ServingConfig {
-            batching: false,
             concurrency,
+            ..Self::default()
         }
+    }
+
+    /// Same config with `replicas` backend replicas per fleet.
+    pub fn with_replicas(self, replicas: u32) -> Self {
+        ServingConfig { replicas, ..self }
+    }
+
+    /// Same config with the given serving fault profile.
+    pub fn with_faults(self, faults: ServingFaultProfile) -> Self {
+        ServingConfig { faults, ..self }
+    }
+
+    /// Same config with a per-request SLO deadline.
+    pub fn with_deadline(self, deadline: SimDuration) -> Self {
+        ServingConfig {
+            deadline: Some(deadline),
+            ..self
+        }
+    }
+
+    /// Same config with hedged requests after `hedge_after` of queueing.
+    pub fn with_hedging(self, hedge_after: SimDuration) -> Self {
+        ServingConfig {
+            hedge_after: Some(hedge_after),
+            ..self
+        }
+    }
+
+    /// Same config with load shedding past `shed_depth` placements.
+    pub fn with_shedding(self, shed_depth: u32) -> Self {
+        ServingConfig { shed_depth, ..self }
     }
 
     /// Whether the layer changes nothing (the byte-identity fast path).
     pub fn is_passthrough(&self) -> bool {
-        !self.batching && self.concurrency == 0
+        !self.batching
+            && self.concurrency == 0
+            && self.replicas <= 1
+            && self.faults.is_none()
+            && self.deadline.is_none()
+            && self.hedge_after.is_none()
+            && self.shed_depth == 0
     }
 }
 
-/// Per-backend, per-step server-slot loads.
-///
-/// Work placed on the backend goes to the least-loaded slot (lowest index
-/// on ties); the load already on that slot is the queueing delay the new
-/// request waits out first. Loads reset at every step boundary — the
-/// paper's step loop is a synchronization barrier, so queues cannot carry
-/// over.
+/// One backend replica: per-step server-slot loads plus the instant until
+/// which it is down cold-restarting after an injected crash.
 #[derive(Debug, Clone)]
-pub(crate) struct BackendQueue {
-    servers: Vec<SimDuration>,
+struct Replica {
+    slots: Vec<SimDuration>,
+    down_until: SimInstant,
 }
 
-impl BackendQueue {
-    /// A queue with `concurrency` slots (0 = unbounded, never queues).
-    pub(crate) fn new(concurrency: u32) -> Self {
-        BackendQueue {
-            servers: vec![SimDuration::ZERO; concurrency as usize],
+impl Replica {
+    fn new(concurrency: u32) -> Self {
+        Replica {
+            slots: vec![SimDuration::ZERO; concurrency as usize],
+            down_until: SimInstant::EPOCH,
         }
     }
 
-    /// Clears all slot loads (step boundary).
-    pub(crate) fn reset(&mut self) {
-        for s in &mut self.servers {
-            *s = SimDuration::ZERO;
-        }
+    fn healthy(&self, now: SimInstant) -> bool {
+        self.down_until <= now
     }
 
-    /// The delay a request arriving now would wait before any slot frees,
-    /// without reserving one — the bill for *dependent* follow-up calls
-    /// that contend for the backend but whose own service time is already
-    /// accounted sequentially.
-    pub(crate) fn delay(&self) -> SimDuration {
-        self.servers
+    /// Load on the least-loaded slot — the queueing delay a request
+    /// arriving now would wait. Unbounded (0 slots) never queues.
+    fn delay(&self) -> SimDuration {
+        self.slots
             .iter()
             .copied()
             .min()
             .unwrap_or(SimDuration::ZERO)
     }
 
-    /// Places `work` on the least-loaded slot, returning the queueing
-    /// delay the request waited first. Unbounded queues never delay.
-    pub(crate) fn place(&mut self, work: SimDuration) -> SimDuration {
+    /// Places `work` on the least-loaded slot (lowest index on ties),
+    /// returning the queueing delay the request waited first.
+    fn place(&mut self, work: SimDuration) -> SimDuration {
+        self.place_tracked(work).0
+    }
+
+    /// [`Replica::place`], also returning the chosen slot (when bounded) so
+    /// a hedge race can later shrink the loser's reservation.
+    fn place_tracked(&mut self, work: SimDuration) -> (SimDuration, Option<usize>) {
         let Some(idx) = self
-            .servers
+            .slots
             .iter()
             .enumerate()
             .min_by_key(|(_, load)| **load)
             .map(|(idx, _)| idx)
         else {
-            return SimDuration::ZERO;
+            return (SimDuration::ZERO, None);
         };
-        let queued = self.servers[idx];
-        self.servers[idx] += work;
-        queued
+        let queued = self.slots[idx];
+        self.slots[idx] += work;
+        (queued, Some(idx))
+    }
+
+    /// Returns `by` worth of reservation on `slot` — the hedge loser was
+    /// cancelled before consuming its full booking.
+    fn shrink(&mut self, slot: Option<usize>, by: SimDuration) {
+        if let Some(idx) = slot {
+            self.slots[idx] = self.slots[idx].saturating_sub(by);
+        }
+    }
+}
+
+/// What one scheduling decision on the replica fleet cost and triggered.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PlacementOutcome {
+    /// Wait before service begins: slot queueing, restart waits, and
+    /// overflow re-dispatch penalties.
+    pub(crate) queue: SimDuration,
+    /// Extra service time from a brownout (the request still completes).
+    pub(crate) slowdown: SimDuration,
+    /// Wasted partial service on a replica that crashed mid-request.
+    pub(crate) failover_penalty: SimDuration,
+    /// The serving replica crashed during this placement.
+    pub(crate) crashed: bool,
+    /// The request was re-dispatched to a healthy peer after the crash.
+    pub(crate) failed_over: bool,
+    /// The least-loaded healthy replica was already past the overflow
+    /// threshold; the request paid a re-dispatch penalty.
+    pub(crate) overflowed: bool,
+    /// The serving replica was browned out.
+    pub(crate) slowed: bool,
+    /// A hedge was issued; `Some(true)` when the hedge won the race.
+    pub(crate) hedged: Option<bool>,
+}
+
+/// Extra wait charged when a request spills past the overflow threshold
+/// (the client re-dispatches after a rejected admission).
+const OVERFLOW_REDISPATCH: SimDuration = SimDuration::from_millis(250);
+
+/// Fraction of the request's service time wasted on a replica that
+/// crashes mid-request (partial prefill lost before the failover).
+const CRASH_WASTE: f64 = 0.3;
+
+/// Per-backend, per-step replica fleet.
+///
+/// Work placed on the fleet goes to the least-loaded slot of the
+/// least-loaded *healthy* replica (lowest index on ties); the load already
+/// on that slot is the queueing delay the new request waits out first.
+/// Slot loads reset at every step boundary — the paper's step loop is a
+/// synchronization barrier, so queues cannot carry over — but a crashed
+/// replica's restart clock keeps running on the simulated timeline.
+#[derive(Debug, Clone)]
+pub(crate) struct BackendQueue {
+    replicas: Vec<Replica>,
+}
+
+impl BackendQueue {
+    /// A fleet of `replicas` (0 treated as 1) with `concurrency` slots
+    /// each (0 = unbounded, never queues).
+    pub(crate) fn new(concurrency: u32, replicas: u32) -> Self {
+        BackendQueue {
+            replicas: (0..replicas.max(1))
+                .map(|_| Replica::new(concurrency))
+                .collect(),
+        }
+    }
+
+    /// Clears all slot loads (step boundary). Restart clocks persist: a
+    /// replica still cold-restarting stays down into the next step.
+    pub(crate) fn reset(&mut self) {
+        for r in &mut self.replicas {
+            for s in &mut r.slots {
+                *s = SimDuration::ZERO;
+            }
+        }
+    }
+
+    /// Index of the best (least queueing, lowest index on ties) healthy
+    /// replica at `now`, excluding `skip`.
+    fn best_healthy(&self, now: SimInstant, skip: Option<usize>) -> Option<usize> {
+        self.replicas
+            .iter()
+            .enumerate()
+            .filter(|&(i, r)| Some(i) != skip && r.healthy(now))
+            .min_by_key(|(_, r)| r.delay())
+            .map(|(i, _)| i)
+    }
+
+    /// The delay a request arriving at `now` would wait before any slot
+    /// frees, without reserving one — the bill for *dependent* follow-up
+    /// calls that contend for the backend but whose own service time is
+    /// already accounted sequentially. When every replica is down, the
+    /// wait includes the soonest restart.
+    pub(crate) fn delay(&self, now: SimInstant) -> SimDuration {
+        if let Some(idx) = self.best_healthy(now, None) {
+            return self.replicas[idx].delay();
+        }
+        self.replicas
+            .iter()
+            .map(|r| r.down_until.duration_since(now) + r.delay())
+            .min()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Schedules `work` on the fleet at simulated instant `now`, drawing
+    /// crash/brownout faults from `inj` and optionally hedging.
+    ///
+    /// Pipeline, in order: pick the least-loaded healthy replica (or wait
+    /// out the soonest restart when none is up); charge an overflow
+    /// re-dispatch if its backlog is already past the profile threshold;
+    /// draw a crash (fail over to a healthy peer, or ride out the restart
+    /// when the fleet has none); draw a brownout (service time inflates);
+    /// finally, if hedging is on and the placement is browned out or would
+    /// queue longer than `hedge_after`, issue the request to a second
+    /// healthy replica too — first completion wins, the loser is cancelled
+    /// (its reservation shrinks to what it consumed), and the caller bills
+    /// the duplicate tokens. With one fault-free replica and hedging off
+    /// this reduces exactly to the pre-fleet single-backend behavior.
+    pub(crate) fn place_at(
+        &mut self,
+        now: SimInstant,
+        work: SimDuration,
+        inj: &mut ServingFaultInjector,
+        hedge_after: Option<SimDuration>,
+    ) -> PlacementOutcome {
+        let mut out = PlacementOutcome::default();
+        let profile = *inj.profile();
+
+        // 1. Target selection: least-loaded healthy replica, else wait for
+        //    the soonest restart.
+        let mut target = match self.best_healthy(now, None) {
+            Some(idx) => idx,
+            None => {
+                let idx = self
+                    .replicas
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, r)| r.down_until)
+                    .map(|(i, _)| i)
+                    .expect("fleet has at least one replica");
+                out.queue += self.replicas[idx].down_until.duration_since(now);
+                idx
+            }
+        };
+
+        // 2. Overflow: even the best replica's backlog is past the
+        //    threshold — admission rejects and the client re-dispatches.
+        if !profile.overflow_queue.is_zero()
+            && self.replicas[target].delay() >= profile.overflow_queue
+        {
+            out.overflowed = true;
+            out.queue += OVERFLOW_REDISPATCH;
+        }
+
+        // 3. Crash: the serving replica dies mid-request; partial service
+        //    is wasted and the replica cold-restarts. The request fails
+        //    over to a healthy peer when one exists, otherwise it waits
+        //    out the restart on the same replica.
+        if inj.crash() {
+            out.crashed = true;
+            out.failover_penalty = work.mul_f64(CRASH_WASTE);
+            self.replicas[target].down_until = now + profile.restart;
+            match self.best_healthy(now, Some(target)) {
+                Some(peer) => {
+                    out.failed_over = true;
+                    target = peer;
+                }
+                None => out.queue += profile.restart,
+            }
+        }
+
+        // 4. Brownout: the replica serves, but slower.
+        let mut effective = work;
+        if inj.brownout() {
+            out.slowed = true;
+            effective = work.mul_f64(profile.brownout_factor.max(1.0));
+            out.slowdown = effective.saturating_sub(work);
+        }
+
+        // 5. Placement, hedged when the primary looks slow — backlogged
+        //    past the hedge trigger or browned out — and a second healthy
+        //    replica is available. The duplicate serves at *clean* speed
+        //    on the peer (brownouts are per-replica), so the race is
+        //    primary queue + inflated service vs hedge delay + peer queue
+        //    + clean service. First completion wins and the loser is
+        //    cancelled: its reservation keeps only the capacity consumed
+        //    before the winner returned, but its tokens are billed in
+        //    full by the caller (the cancelled side already decoded them).
+        let primary_delay = self.replicas[target].delay();
+        let hedge_peer = hedge_after
+            .filter(|h| primary_delay > *h || out.slowed)
+            .and_then(|_| self.best_healthy(now, Some(target)));
+        match hedge_peer {
+            Some(peer) => {
+                let h = hedge_after.expect("hedge peer implies hedge delay");
+                let (d1, primary_slot) = self.replicas[target].place_tracked(effective);
+                let (d2, peer_slot) = self.replicas[peer].place_tracked(work);
+                let won = h + d2 + work < d1 + effective;
+                out.hedged = Some(won);
+                if won {
+                    // The clean duplicate finishes first: the caller rides
+                    // the hedge path and never suffers the brownout. The
+                    // primary is cancelled at the winner's completion
+                    // instant, freeing whatever it had not yet served.
+                    let t_win = h + d2 + work;
+                    let unused = (d1 + effective).saturating_sub(t_win).min(effective);
+                    self.replicas[target].shrink(primary_slot, unused);
+                    out.queue += h + d2;
+                    out.slowdown = SimDuration::ZERO;
+                } else {
+                    // The primary finishes first; the duplicate is
+                    // cancelled with its remaining service unconsumed.
+                    let t_win = d1 + effective;
+                    let unused = (h + d2 + work).saturating_sub(t_win).min(work);
+                    self.replicas[peer].shrink(peer_slot, unused);
+                    out.queue += d1;
+                }
+            }
+            None => out.queue += self.replicas[target].place(effective),
+        }
+        out
     }
 }
 
@@ -121,40 +420,233 @@ mod tests {
         SimDuration::from_secs(s)
     }
 
+    fn no_faults() -> ServingFaultInjector {
+        ServingFaultInjector::new(ServingFaultProfile::none(), 0)
+    }
+
+    fn at(secs: u64) -> SimInstant {
+        SimInstant::EPOCH + sec(secs)
+    }
+
     #[test]
     fn default_is_passthrough() {
         assert!(ServingConfig::default().is_passthrough());
         assert!(ServingConfig::disabled().is_passthrough());
         assert!(!ServingConfig::batched().is_passthrough());
         assert!(!ServingConfig::limited(2).is_passthrough());
+        assert!(!ServingConfig::disabled().with_replicas(3).is_passthrough());
+        assert!(!ServingConfig::disabled()
+            .with_faults(ServingFaultProfile::brownouts(0.1))
+            .is_passthrough());
+        assert!(!ServingConfig::disabled()
+            .with_deadline(sec(30))
+            .is_passthrough());
+        assert!(!ServingConfig::disabled()
+            .with_hedging(sec(5))
+            .is_passthrough());
+        assert!(!ServingConfig::disabled().with_shedding(4).is_passthrough());
+        // A single replica is the implicit baseline, not a new regime.
+        assert!(ServingConfig::disabled().with_replicas(1).is_passthrough());
     }
 
     #[test]
     fn unbounded_queue_never_delays() {
-        let mut q = BackendQueue::new(0);
-        assert_eq!(q.place(sec(100)), SimDuration::ZERO);
-        assert_eq!(q.delay(), SimDuration::ZERO);
+        let mut q = BackendQueue::new(0, 1);
+        let out = q.place_at(SimInstant::EPOCH, sec(100), &mut no_faults(), None);
+        assert_eq!(out.queue, SimDuration::ZERO);
+        assert_eq!(q.delay(SimInstant::EPOCH), SimDuration::ZERO);
     }
 
     #[test]
     fn least_loaded_slot_wins_with_lowest_index_ties() {
-        let mut q = BackendQueue::new(2);
-        assert_eq!(q.place(sec(10)), SimDuration::ZERO); // slot 0
-        assert_eq!(q.place(sec(10)), SimDuration::ZERO); // slot 1
-                                                         // Tie at 10 s each: slot 0 wins, so the request queues 10 s.
-        assert_eq!(q.place(sec(5)), sec(10));
+        let mut q = BackendQueue::new(2, 1);
+        let mut inj = no_faults();
+        let place = |q: &mut BackendQueue, inj: &mut ServingFaultInjector, w| {
+            q.place_at(SimInstant::EPOCH, w, inj, None).queue
+        };
+        assert_eq!(place(&mut q, &mut inj, sec(10)), SimDuration::ZERO); // slot 0
+        assert_eq!(place(&mut q, &mut inj, sec(10)), SimDuration::ZERO); // slot 1
+                                                                         // Tie at 10 s each: slot 0 wins, so the request queues 10 s.
+        assert_eq!(place(&mut q, &mut inj, sec(5)), sec(10));
         // Loads now (15, 10): the consume-only delay is the min.
-        assert_eq!(q.delay(), sec(10));
+        assert_eq!(q.delay(SimInstant::EPOCH), sec(10));
         q.reset();
-        assert_eq!(q.delay(), SimDuration::ZERO);
+        assert_eq!(q.delay(SimInstant::EPOCH), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn extra_replicas_absorb_load() {
+        // Two replicas with one slot each behave like two slots: the third
+        // placement queues behind the least-loaded replica.
+        let mut q = BackendQueue::new(1, 2);
+        let mut inj = no_faults();
+        assert_eq!(
+            q.place_at(SimInstant::EPOCH, sec(10), &mut inj, None).queue,
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            q.place_at(SimInstant::EPOCH, sec(6), &mut inj, None).queue,
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            q.place_at(SimInstant::EPOCH, sec(5), &mut inj, None).queue,
+            sec(6)
+        );
+    }
+
+    #[test]
+    fn crash_fails_over_and_restart_expires() {
+        // crash_rate 1.0: every placement crashes its replica.
+        let profile = ServingFaultProfile {
+            crash_rate: 1.0,
+            restart: sec(20),
+            ..ServingFaultProfile::none()
+        };
+        let mut inj = ServingFaultInjector::new(profile, 1);
+        let mut q = BackendQueue::new(1, 2);
+        let out = q.place_at(SimInstant::EPOCH, sec(10), &mut inj, None);
+        assert!(out.crashed);
+        assert!(out.failed_over, "a healthy peer existed");
+        assert_eq!(out.failover_penalty, sec(3));
+        // Second placement: replica 0 is down, replica 1 takes it, crashes
+        // too, and with no healthy peer left the request rides out the
+        // restart.
+        let out = q.place_at(SimInstant::EPOCH, sec(10), &mut inj, None);
+        assert!(out.crashed);
+        assert!(!out.failed_over);
+        assert!(
+            out.queue >= sec(20),
+            "restart wait charged: {:?}",
+            out.queue
+        );
+        // After the restart window both replicas serve again.
+        assert!(q.best_healthy(at(25), None).is_some());
+        // reset() clears loads but not restart clocks.
+        q.reset();
+        assert!(q.best_healthy(SimInstant::EPOCH, None).is_none());
+    }
+
+    #[test]
+    fn brownout_inflates_service_time() {
+        let mut inj = ServingFaultInjector::new(ServingFaultProfile::brownouts(1.0), 1);
+        let mut q = BackendQueue::new(1, 1);
+        let out = q.place_at(SimInstant::EPOCH, sec(10), &mut inj, None);
+        assert!(out.slowed);
+        assert_eq!(out.slowdown, sec(20)); // 3x factor: 30 s total, 20 s extra
+                                           // The inflated load is what the next request queues behind.
+        let out = q.place_at(SimInstant::EPOCH, sec(1), &mut inj, None);
+        assert!(out.queue >= sec(30), "queued {:?}", out.queue);
+    }
+
+    #[test]
+    fn overflow_charges_redispatch() {
+        let profile = ServingFaultProfile {
+            overflow_queue: sec(5),
+            ..ServingFaultProfile::none()
+        };
+        let mut inj = ServingFaultInjector::new(profile, 1);
+        let mut q = BackendQueue::new(1, 1);
+        let first = q.place_at(SimInstant::EPOCH, sec(10), &mut inj, None);
+        assert!(!first.overflowed);
+        let spilled = q.place_at(SimInstant::EPOCH, sec(10), &mut inj, None);
+        assert!(spilled.overflowed);
+        assert_eq!(spilled.queue, sec(10) + OVERFLOW_REDISPATCH);
+    }
+
+    #[test]
+    fn queue_triggered_hedge_loses_to_the_least_loaded_primary() {
+        let mut q = BackendQueue::new(1, 2);
+        let mut inj = no_faults();
+        // Load replica 0 with 30 s, replica 1 with 8 s.
+        q.replicas[0].place(sec(30));
+        q.replicas[1].place(sec(8));
+        // Primary is replica 1 (8 s backlog > 2 s hedge trigger); the hedge
+        // goes to replica 0 (30 s backlog) and loses the race — the
+        // primary was already the best choice. Queue stays 8 s, but the
+        // duplicate's tokens were burned.
+        let out = q.place_at(SimInstant::EPOCH, sec(5), &mut inj, Some(sec(2)));
+        assert_eq!(out.hedged, Some(false));
+        assert_eq!(out.queue, sec(8));
+    }
+
+    #[test]
+    fn hedge_beats_a_browned_out_primary() {
+        // Every placement browns out (3x service), but the duplicate
+        // serves clean on the peer: 2 s hedge delay + 10 s clean beats
+        // 30 s inflated. The caller never suffers the slowdown.
+        let mut inj = ServingFaultInjector::new(ServingFaultProfile::brownouts(1.0), 1);
+        let mut q = BackendQueue::new(1, 2);
+        let out = q.place_at(SimInstant::EPOCH, sec(10), &mut inj, Some(sec(2)));
+        assert_eq!(out.hedged, Some(true), "clean duplicate wins the race");
+        assert!(out.slowed, "the brownout still happened on the primary");
+        assert_eq!(out.slowdown, SimDuration::ZERO, "but is never suffered");
+        assert_eq!(out.queue, sec(2), "hedge path: 2 s delay + idle peer");
+        // Without hedging the same draw charges the full 20 s slowdown.
+        let mut inj = ServingFaultInjector::new(ServingFaultProfile::brownouts(1.0), 1);
+        let mut q = BackendQueue::new(1, 2);
+        let out = q.place_at(SimInstant::EPOCH, sec(10), &mut inj, None);
+        assert_eq!(out.slowdown, sec(20));
+    }
+
+    #[test]
+    fn hedge_loser_is_cancelled_and_frees_capacity() {
+        // Winning hedge: the brownout inflates the primary's service to
+        // 30 s, the clean duplicate completes at 2 + 10 = 12 s, and the
+        // primary is cancelled with 18 s of its booking unserved.
+        let mut inj = ServingFaultInjector::new(ServingFaultProfile::brownouts(1.0), 1);
+        let mut q = BackendQueue::new(1, 2);
+        let out = q.place_at(SimInstant::EPOCH, sec(10), &mut inj, Some(sec(2)));
+        assert_eq!(out.hedged, Some(true));
+        assert_eq!(
+            q.replicas[0].delay(),
+            sec(12),
+            "primary keeps only the consumed part"
+        );
+        assert_eq!(q.replicas[1].delay(), sec(10), "winner serves in full");
+
+        // Losing hedge: the primary finishes at 13 s, before the deeply
+        // backlogged duplicate would even start (32 s) — the duplicate is
+        // cancelled without consuming any peer capacity.
+        let mut q = BackendQueue::new(1, 2);
+        let mut inj = no_faults();
+        q.replicas[0].place(sec(30));
+        q.replicas[1].place(sec(8));
+        let out = q.place_at(SimInstant::EPOCH, sec(5), &mut inj, Some(sec(2)));
+        assert_eq!(out.hedged, Some(false));
+        assert_eq!(q.replicas[0].delay(), sec(30), "cancelled before starting");
+        assert_eq!(q.replicas[1].delay(), sec(13));
+    }
+
+    #[test]
+    fn hedging_needs_backlog_and_a_peer() {
+        let mut inj = no_faults();
+        // No backlog: below the trigger, no hedge.
+        let mut q = BackendQueue::new(1, 2);
+        let out = q.place_at(SimInstant::EPOCH, sec(5), &mut inj, Some(sec(2)));
+        assert_eq!(out.hedged, None);
+        // Single replica: backlog but nowhere to hedge.
+        let mut q = BackendQueue::new(1, 1);
+        q.replicas[0].place(sec(30));
+        let out = q.place_at(SimInstant::EPOCH, sec(5), &mut inj, Some(sec(2)));
+        assert_eq!(out.hedged, None);
+        assert_eq!(out.queue, sec(30));
     }
 
     /// Total queue delay for `works` placed in order on `c` slots.
     fn total_queue(works: &[u64], c: u32) -> SimDuration {
-        let mut q = BackendQueue::new(c);
+        let mut q = BackendQueue::new(c, 1);
+        let mut inj = no_faults();
         works
             .iter()
-            .map(|&w| q.place(SimDuration::from_micros(w.max(1))))
+            .map(|&w| {
+                q.place_at(
+                    SimInstant::EPOCH,
+                    SimDuration::from_micros(w.max(1)),
+                    &mut inj,
+                    None,
+                )
+                .queue
+            })
             .sum()
     }
 
@@ -180,6 +672,33 @@ mod tests {
                 );
                 prev = cur;
             }
+        }
+
+        /// A fault-free single replica with hedging off reduces exactly to
+        /// the pre-fleet single-backend scheduler: spreading the same work
+        /// over r replicas can only shrink total queueing.
+        #[test]
+        fn extra_replicas_never_increase_queueing(
+            works in proptest::collection::vec(1u64..30_000_000, 1..12),
+            replicas in 1u32..4,
+        ) {
+            let run = |r: u32| {
+                let mut q = BackendQueue::new(1, r);
+                let mut inj = no_faults();
+                works
+                    .iter()
+                    .map(|&w| {
+                        q.place_at(
+                            SimInstant::EPOCH,
+                            SimDuration::from_micros(w),
+                            &mut inj,
+                            None,
+                        )
+                        .queue
+                    })
+                    .sum::<SimDuration>()
+            };
+            prop_assert!(run(replicas) <= run(1));
         }
     }
 }

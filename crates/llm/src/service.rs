@@ -15,11 +15,14 @@ use crate::engine::{LlmEngine, LlmError};
 use crate::fault::FaultProfile;
 use crate::latency::{amortize_latency, batch_latency, InferenceOpts};
 use crate::profile::ModelProfile;
-use crate::request::{LlmRequest, LlmResponse};
+use crate::request::{LlmRequest, LlmResponse, Purpose};
 use crate::resilience::{InferenceEndpoint, ResilientEngine, RetryPolicy};
-use crate::scheduler::{BackendQueue, ServingConfig};
+use crate::scheduler::{BackendQueue, PlacementOutcome, ServingConfig};
+use crate::serving_faults::ServingFaultInjector;
 use crate::tokenizer::Tokenizer;
-use embodied_profiler::{ResilienceStats, ServingStats, SimDuration, TokenStats};
+use embodied_profiler::{
+    ResilienceStats, ServingFaultStats, ServingStats, SimDuration, SimInstant, TokenStats,
+};
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
@@ -99,6 +102,25 @@ struct Tenant {
 struct Backend {
     profile: ModelProfile,
     queue: BackendQueue,
+    /// Placements accepted this step — the admission-control signal for
+    /// load shedding. Reset at every step boundary.
+    depth: u32,
+}
+
+/// What the serving tier charged one non-batched placement: the span
+/// material for `Phase::Queue` / `Phase::Failover` and the hedge verdict.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeOutcome {
+    /// Wait before service began (slot queueing, restarts, overflow
+    /// re-dispatch).
+    pub queue: SimDuration,
+    /// Extra service time from a browned-out replica.
+    pub slowdown: SimDuration,
+    /// Partial service wasted on a replica that crashed mid-request.
+    pub failover: SimDuration,
+    /// Hedge verdict: `Some(true)` when the duplicate won the race,
+    /// `Some(false)` when it lost, `None` when no hedge was issued.
+    pub hedged: Option<bool>,
 }
 
 struct WindowMember {
@@ -118,6 +140,12 @@ struct ServiceInner {
     tenants: Vec<Tenant>,
     backends: Vec<Backend>,
     stats: ServingStats,
+    fault_stats: ServingFaultStats,
+    injector: ServingFaultInjector,
+    /// Tokens billed to hedged duplicates — merged into
+    /// [`InferenceService::total_usage`] so the hedge premium shows up in
+    /// every token/$ report.
+    hedge_usage: TokenStats,
     tokenizer: Tokenizer,
     window: Option<Window>,
 }
@@ -133,7 +161,8 @@ impl ServiceInner {
         }
         self.backends.push(Backend {
             profile: profile.clone(),
-            queue: BackendQueue::new(self.config.concurrency),
+            queue: BackendQueue::new(self.config.concurrency, self.config.replicas),
+            depth: 0,
         });
         self.backends.len() - 1
     }
@@ -142,6 +171,28 @@ impl ServiceInner {
         if !queued.is_zero() {
             self.stats.queued += 1;
             self.stats.queue_delay += queued;
+        }
+    }
+
+    fn note_placement(&mut self, out: &PlacementOutcome) {
+        if out.crashed {
+            self.fault_stats.crashes += 1;
+        }
+        if out.failed_over {
+            self.fault_stats.failovers += 1;
+        }
+        if out.overflowed {
+            self.fault_stats.overflows += 1;
+        }
+        if out.slowed {
+            self.fault_stats.brownouts += 1;
+            self.fault_stats.slowdown_delay += out.slowdown;
+        }
+        self.fault_stats.failover_delay += out.failover_penalty;
+        match out.hedged {
+            Some(true) => self.fault_stats.hedges_won += 1,
+            Some(false) => self.fault_stats.hedges_wasted += 1,
+            None => {}
         }
     }
 }
@@ -172,14 +223,27 @@ impl fmt::Debug for InferenceService {
 }
 
 impl InferenceService {
-    /// A service with the given scheduling configuration and no tenants.
+    /// A service with the given scheduling configuration and no tenants,
+    /// drawing serving faults from seed 0. Callers that inject serving
+    /// faults should use [`InferenceService::with_seed`]; the pass-through
+    /// fast path never draws, so the seed is irrelevant there.
     pub fn new(config: ServingConfig) -> Self {
+        Self::with_seed(config, 0)
+    }
+
+    /// A service whose serving-fault injector draws from its own stream
+    /// derived from `seed` (distinct XOR salt — independent of every
+    /// engine's main, transport-fault, and semantic streams).
+    pub fn with_seed(config: ServingConfig, seed: u64) -> Self {
         InferenceService {
             inner: Rc::new(RefCell::new(ServiceInner {
                 config,
                 tenants: Vec::new(),
                 backends: Vec::new(),
                 stats: ServingStats::default(),
+                fault_stats: ServingFaultStats::default(),
+                injector: ServingFaultInjector::new(config.faults, seed),
+                hedge_usage: TokenStats::default(),
                 tokenizer: Tokenizer::default(),
                 window: None,
             })),
@@ -217,36 +281,77 @@ impl InferenceService {
         self.inner.borrow().tenants.len()
     }
 
-    /// Resets all backend queues — called at every step boundary (the
-    /// step loop is a synchronization barrier; queues do not carry over).
+    /// Resets all backend queues and admission-control depths — called at
+    /// every step boundary (the step loop is a synchronization barrier;
+    /// queues do not carry over). Replica restart clocks persist: a
+    /// crashed replica stays down until its simulated restart instant.
     pub fn begin_step(&self) {
         let mut inner = self.inner.borrow_mut();
         for b in &mut inner.backends {
             b.queue.reset();
+            b.depth = 0;
         }
     }
 
-    /// Schedules one independent (cohort) request that did `work` of
-    /// simulated inference, reserving a server slot for it. Returns the
-    /// queueing delay it waited first.
-    pub fn submit_cohort(&self, tenant: TenantId, work: SimDuration) -> SimDuration {
-        let mut inner = self.inner.borrow_mut();
+    /// Schedules one independent (cohort) request, reserving a server
+    /// slot for its `response.latency` of simulated inference on the
+    /// tenant's replica fleet at simulated instant `now`. Draws serving
+    /// faults, hedges when configured, measures the SLO, and returns what
+    /// the tier charged.
+    pub fn submit_cohort(
+        &self,
+        tenant: TenantId,
+        now: SimInstant,
+        response: &LlmResponse,
+    ) -> ServeOutcome {
+        let mut guard = self.inner.borrow_mut();
+        let inner = &mut *guard;
         inner.stats.cohort_requests += 1;
         let backend = inner.tenants[tenant].backend;
-        let queued = inner.backends[backend].queue.place(work);
-        inner.note_queue(queued);
-        queued
+        inner.backends[backend].depth += 1;
+        let out = inner.backends[backend].queue.place_at(
+            now,
+            response.latency,
+            &mut inner.injector,
+            inner.config.hedge_after,
+        );
+        inner.note_placement(&out);
+        if out.hedged.is_some() {
+            // First-completion-wins still bills both attempts: the losing
+            // duplicate's tokens are the premium hedging pays.
+            inner.hedge_usage.record(
+                response.prompt_tokens,
+                response.output_tokens,
+                response.cost_usd,
+            );
+            inner.fault_stats.hedge_tokens += response.prompt_tokens + response.output_tokens;
+            inner.fault_stats.hedge_cost_usd += response.cost_usd;
+        }
+        if let Some(deadline) = inner.config.deadline {
+            inner.fault_stats.slo_total += 1;
+            if out.queue + out.slowdown + response.latency <= deadline {
+                inner.fault_stats.slo_met += 1;
+            }
+        }
+        inner.note_queue(out.queue + out.slowdown);
+        ServeOutcome {
+            queue: out.queue,
+            slowdown: out.slowdown,
+            failover: out.failover_penalty,
+            hedged: out.hedged,
+        }
     }
 
     /// Bills one *dependent* follow-up request (action selection,
     /// verification, reflection, guardrail re-prompt) the delay until a
-    /// slot frees, without reserving one — its own service time is
-    /// already accounted sequentially by the caller.
-    pub fn queue_solo(&self, tenant: TenantId) -> SimDuration {
+    /// slot frees at `now`, without reserving one — its own service time
+    /// is already accounted sequentially by the caller. Draws no faults.
+    pub fn queue_solo(&self, tenant: TenantId, now: SimInstant) -> SimDuration {
         let mut inner = self.inner.borrow_mut();
         inner.stats.solo_requests += 1;
         let backend = inner.tenants[tenant].backend;
-        let queued = inner.backends[backend].queue.delay();
+        inner.backends[backend].depth += 1;
+        let queued = inner.backends[backend].queue.delay(now);
         inner.note_queue(queued);
         queued
     }
@@ -291,17 +396,20 @@ impl InferenceService {
         });
     }
 
-    /// Closes the window: groups members by backend, applies the
-    /// prefix-cache model (every member after the first on a backend
-    /// reuses the shared preamble's KV prefix), computes each group's
-    /// shared batch bill, schedules it, and returns every member's
-    /// amortized share in submission order.
+    /// Closes the window at simulated instant `now`: groups members by
+    /// backend, applies the prefix-cache model (every member after the
+    /// first on a backend reuses the shared preamble's KV prefix),
+    /// computes each group's shared batch bill, schedules it on the
+    /// replica fleet (drawing serving faults at batch granularity —
+    /// batches are never hedged), and returns every member's amortized
+    /// share in submission order.
     ///
     /// Batch composition is ordered by tenant id (stable on submission
     /// order), so co-arrival order cannot leak scheduling
     /// nondeterminism into the results.
-    pub fn close_window(&self) -> Vec<WindowShare> {
-        let mut inner = self.inner.borrow_mut();
+    pub fn close_window(&self, now: SimInstant) -> Vec<WindowShare> {
+        let mut guard = self.inner.borrow_mut();
+        let inner = &mut *guard;
         let window = inner.window.take().expect("no serving window open");
         let mut shares = vec![
             WindowShare {
@@ -339,14 +447,29 @@ impl InferenceService {
             let total = batch_latency(&profile, &sized, window.opts);
             let weights: Vec<u64> = sized.iter().map(|&(pt, ot)| pt + ot).collect();
             let amortized = amortize_latency(total, &weights);
-            let queued = inner.backends[backend_idx].queue.place(total);
+            let out =
+                inner.backends[backend_idx]
+                    .queue
+                    .place_at(now, total, &mut inner.injector, None);
+            inner.note_placement(&out);
+            inner.backends[backend_idx].depth += group.len() as u32;
             inner.stats.batches += 1;
             inner.stats.batched_requests += group.len() as u64;
-            inner.note_queue(queued);
+            // Serving-side overheads (restart waits, brownout inflation,
+            // crash waste) ride the leading member's wait: the whole batch
+            // completes together, so one span carries the shared cost.
+            let lead_wait = out.queue + out.slowdown + out.failover_penalty;
+            inner.note_queue(lead_wait);
+            if let Some(deadline) = inner.config.deadline {
+                inner.fault_stats.slo_total += group.len() as u64;
+                if lead_wait + total <= deadline {
+                    inner.fault_stats.slo_met += group.len() as u64;
+                }
+            }
             for (j, &m) in group.iter().enumerate() {
                 shares[m] = WindowShare {
                     share: amortized[j],
-                    queue: if j == 0 { queued } else { SimDuration::ZERO },
+                    queue: if j == 0 { lead_wait } else { SimDuration::ZERO },
                 };
             }
         }
@@ -379,14 +502,22 @@ impl InferenceService {
     }
 
     /// Merged token usage across every tenant — the system-level ledger
-    /// replacing per-module hand-walks.
+    /// replacing per-module hand-walks. Includes the tokens billed to
+    /// losing hedge duplicates (the hedge premium).
     pub fn total_usage(&self) -> TokenStats {
         let inner = self.inner.borrow();
         let mut total = TokenStats::default();
         for t in &inner.tenants {
             total.merge(&t.engine.usage());
         }
+        total.merge(&inner.hedge_usage);
         total
+    }
+
+    /// Serving-fault counters accumulated so far (crashes, failovers,
+    /// hedges, sheds, deadline misses, SLO attainment).
+    pub fn fault_stats(&self) -> ServingFaultStats {
+        self.inner.borrow().fault_stats
     }
 
     /// Merged resilience counters across every tenant.
@@ -401,6 +532,44 @@ impl InferenceService {
 
     fn with_engine<R>(&self, tenant: TenantId, f: impl FnOnce(&mut ResilientEngine) -> R) -> R {
         f(&mut self.inner.borrow_mut().tenants[tenant].engine)
+    }
+
+    /// The request path behind [`EngineHandle::infer`]: admission control
+    /// first (a shed request reaches no engine and draws nothing), then
+    /// the tenant's engine stack, then the SLO deadline check.
+    fn infer_checked(&self, tenant: TenantId, req: LlmRequest) -> Result<LlmResponse, LlmError> {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let shed_depth = inner.config.shed_depth;
+            if shed_depth > 0 {
+                let depth = inner.backends[inner.tenants[tenant].backend].depth;
+                // Low-priority purposes shed first; everything sheds once
+                // the backlog doubles past the threshold.
+                let low_priority = matches!(
+                    req.purpose,
+                    Purpose::Reflection | Purpose::Communication | Purpose::Summarization
+                );
+                if depth >= shed_depth * 2 || (low_priority && depth >= shed_depth) {
+                    inner.fault_stats.shed += 1;
+                    return Err(LlmError::Shed);
+                }
+            }
+        }
+        let result = self.with_engine(tenant, |e| e.infer(req));
+        if let Ok(resp) = &result {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(deadline) = inner.config.deadline {
+                if resp.latency > deadline {
+                    // The caller abandoned the call at the deadline, but
+                    // the simulated wall-clock it burned is real: bill it
+                    // as stall so the trace stays time-conserving.
+                    inner.fault_stats.deadline_misses += 1;
+                    inner.tenants[tenant].engine.add_stall(resp.latency);
+                    return Err(LlmError::DeadlineExceeded);
+                }
+            }
+        }
+        result
     }
 }
 
@@ -444,14 +613,19 @@ impl EngineHandle {
         &self.profile
     }
 
-    /// Runs one inference through the tenant's engine stack.
+    /// Runs one inference through the serving tier and the tenant's
+    /// engine stack: admission control, the engine's fault → semantic →
+    /// retry layers, then the SLO deadline check.
     ///
     /// # Errors
     ///
     /// Propagates [`LlmError`] from the engine (faults that exhausted the
-    /// retry budget, empty prompts).
+    /// retry budget, empty prompts), plus [`LlmError::Shed`] from
+    /// admission control and [`LlmError::DeadlineExceeded`] from the SLO
+    /// deadline — both non-transient, both absent in the default
+    /// pass-through configuration.
     pub fn infer(&mut self, req: LlmRequest) -> Result<LlmResponse, LlmError> {
-        self.service.with_engine(self.tenant, |e| e.infer(req))
+        self.service.infer_checked(self.tenant, req)
     }
 
     /// Merged token usage of this tenant.
@@ -530,6 +704,23 @@ mod tests {
     fn req(prompt: &str) -> LlmRequest {
         LlmRequest::new(Purpose::Planning, prompt, 150)
     }
+
+    /// A synthetic response carrying only the latency the scheduler
+    /// cares about.
+    fn resp(latency: SimDuration) -> LlmResponse {
+        LlmResponse {
+            purpose: Purpose::Planning,
+            prompt_tokens: 100,
+            output_tokens: 50,
+            latency,
+            quality: 1.0,
+            cost_usd: 0.01,
+            truncated: false,
+            flaw: None,
+        }
+    }
+
+    const T0: SimInstant = SimInstant::EPOCH;
 
     #[test]
     fn builder_matches_hand_rolled_stack() {
@@ -612,21 +803,29 @@ mod tests {
         let a = handle(&service, 1, TenantOwner::Agent(0));
         let b = handle(&service, 2, TenantOwner::Agent(1));
         let work = SimDuration::from_secs(10);
-        assert_eq!(service.submit_cohort(a.tenant(), work), SimDuration::ZERO);
+        assert_eq!(
+            service.submit_cohort(a.tenant(), T0, &resp(work)).queue,
+            SimDuration::ZERO
+        );
         // One slot, already busy for 10 s: the second tenant queues.
-        assert_eq!(service.submit_cohort(b.tenant(), work), work);
+        assert_eq!(
+            service.submit_cohort(b.tenant(), T0, &resp(work)).queue,
+            work
+        );
         // A dependent follow-up waits for the earliest slot but reserves
         // nothing.
-        assert_eq!(service.queue_solo(a.tenant()), work * 2);
-        assert_eq!(service.queue_solo(a.tenant()), work * 2);
+        assert_eq!(service.queue_solo(a.tenant(), T0), work * 2);
+        assert_eq!(service.queue_solo(a.tenant(), T0), work * 2);
         let stats = service.stats();
         assert_eq!(stats.cohort_requests, 2);
         assert_eq!(stats.solo_requests, 2);
         assert_eq!(stats.queued, 3);
         assert_eq!(stats.queue_delay, work * 5);
+        // Fault-free serving keeps the fault plane silent.
+        assert!(service.fault_stats().is_quiet());
         // Step boundary clears the queues.
         service.begin_step();
-        assert_eq!(service.queue_solo(b.tenant()), SimDuration::ZERO);
+        assert_eq!(service.queue_solo(b.tenant(), T0), SimDuration::ZERO);
     }
 
     #[test]
@@ -646,7 +845,7 @@ mod tests {
             service.window_add(h.tenant(), &resp);
             responses.push(resp);
         }
-        let shares = service.close_window();
+        let shares = service.close_window(T0);
         assert!(!service.window_is_open());
         assert_eq!(shares.len(), 3);
         let stats = service.stats();
@@ -692,7 +891,7 @@ mod tests {
                 service.window_add(handles[i].tenant(), &resp);
                 responses.push(i);
             }
-            let shares = service.close_window();
+            let shares = service.close_window(T0);
             for (slot, &i) in responses.iter().enumerate() {
                 per_tenant[i] = shares[slot].share;
             }
@@ -706,18 +905,19 @@ mod tests {
         let service = InferenceService::new(ServingConfig {
             batching: true,
             concurrency: 1,
+            ..Default::default()
         });
         let mut a = handle(&service, 5, TenantOwner::Agent(0));
         let mut b = handle(&service, 6, TenantOwner::Agent(1));
         // Prior cohort work occupies the only slot.
         let prior = SimDuration::from_secs(30);
-        service.submit_cohort(a.tenant(), prior);
+        service.submit_cohort(a.tenant(), T0, &resp(prior));
         service.open_window(InferenceOpts::default(), "preamble");
         let ra = a.infer(req("agent zero plans")).unwrap();
         service.window_add(a.tenant(), &ra);
         let rb = b.infer(req("agent one plans")).unwrap();
         service.window_add(b.tenant(), &rb);
-        let shares = service.close_window();
+        let shares = service.close_window(T0);
         // The whole batch waits behind the busy slot; only the leading
         // member carries the wait.
         assert_eq!(shares[0].queue, prior);
@@ -734,5 +934,154 @@ mod tests {
         assert!(h.service().config().is_passthrough());
         let text = format!("{h:?}");
         assert!(text.contains("tenant"));
+    }
+
+    #[test]
+    fn breaker_opens_and_half_closes_through_the_handle() {
+        // The circuit breaker lives in the tenant's ResilientEngine; the
+        // handle must expose its full open → fast-fail → half-close cycle.
+        let service = InferenceService::default();
+        let profile = FaultProfile {
+            timeout: 1.0,
+            ..FaultProfile::none()
+        };
+        let policy = RetryPolicy {
+            breaker_threshold: 3,
+            breaker_cooldown: 5,
+            ..RetryPolicy::standard()
+        };
+        let builder = EngineBuilder::new(profile, policy, 1 ^ 0xfa00, 1 ^ 0xb000);
+        let mut h = service.register(
+            builder.wrap(LlmEngine::new(ModelProfile::gpt4_api(), 1), 0x01),
+            TenantOwner::Agent(0),
+        );
+        assert!(!h.breaker_open());
+        for _ in 0..3 {
+            assert!(h.infer(req("doomed plan")).is_err());
+        }
+        assert!(h.breaker_open(), "3 consecutive give-ups trip the breaker");
+        for _ in 0..5 {
+            assert_eq!(
+                h.infer(req("fast fail")).unwrap_err(),
+                LlmError::ServerError
+            );
+        }
+        assert!(!h.breaker_open(), "cooldown exhausted: breaker half-closes");
+        assert_eq!(h.stats().breaker_fast_fails, 5);
+        assert!(h.take_stall() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn admission_control_sheds_low_priority_first() {
+        let service = InferenceService::new(ServingConfig::limited(1).with_shedding(1));
+        let mut h = handle(&service, 4, TenantOwner::Agent(0));
+        // Depth 0: everything is admitted, no engine call is shed.
+        assert!(h
+            .infer(LlmRequest::new(Purpose::Reflection, "reflect early", 80))
+            .is_ok());
+        service.submit_cohort(h.tenant(), T0, &resp(SimDuration::from_secs(5)));
+        // Depth 1 (== shed_depth): low-priority purposes shed, planning
+        // still gets through.
+        let shed = h
+            .infer(LlmRequest::new(Purpose::Reflection, "reflect late", 80))
+            .unwrap_err();
+        assert_eq!(shed, LlmError::Shed);
+        assert!(!shed.is_transient(), "shed calls must never be retried");
+        assert!(h.infer(req("planning still admitted")).is_ok());
+        service.submit_cohort(h.tenant(), T0, &resp(SimDuration::from_secs(5)));
+        // Depth 2 (== 2 * shed_depth): everything sheds.
+        assert_eq!(
+            h.infer(req("planning now shed")).unwrap_err(),
+            LlmError::Shed
+        );
+        assert_eq!(service.fault_stats().shed, 2);
+        // Step boundary resets the admission signal.
+        service.begin_step();
+        assert!(h
+            .infer(LlmRequest::new(Purpose::Reflection, "fresh step", 80))
+            .is_ok());
+    }
+
+    #[test]
+    fn deadline_miss_fails_the_call_and_bills_the_stall() {
+        // A 1 ms deadline no real inference can meet: the call fails, but
+        // the simulated time it burned surfaces as stall (the trace stays
+        // time-conserving) and the tokens stay billed.
+        let service = InferenceService::new(
+            ServingConfig::disabled().with_deadline(SimDuration::from_millis(1)),
+        );
+        let mut h = handle(&service, 8, TenantOwner::Agent(0));
+        let err = h.infer(req("too slow to matter")).unwrap_err();
+        assert_eq!(err, LlmError::DeadlineExceeded);
+        assert!(!err.is_transient());
+        assert_eq!(service.fault_stats().deadline_misses, 1);
+        assert!(h.take_stall() > SimDuration::ZERO, "burned time is billed");
+        assert_eq!(service.total_usage().calls, 1, "tokens were still spent");
+        let fs = service.fault_stats();
+        assert!(!fs.is_quiet());
+        assert_eq!(fs.slo_total, 0, "SLO is measured at placement, not here");
+    }
+
+    #[test]
+    fn hedged_cohort_bills_the_duplicate_tokens() {
+        let service = InferenceService::new(
+            ServingConfig::limited(1)
+                .with_replicas(2)
+                .with_hedging(SimDuration::from_secs(2)),
+        );
+        let h = handle(&service, 9, TenantOwner::Agent(0));
+        let work = SimDuration::from_secs(10);
+        // Two placements fill both replicas; the third hedges (primary
+        // backlog 10 s > 2 s trigger) and the duplicate loses the race
+        // (hedge path 2 s + 10 s peer backlog).
+        service.submit_cohort(h.tenant(), T0, &resp(work));
+        service.submit_cohort(h.tenant(), T0, &resp(work));
+        let out = service.submit_cohort(h.tenant(), T0, &resp(work));
+        assert_eq!(out.hedged, Some(false));
+        assert_eq!(out.queue, work);
+        let fs = service.fault_stats();
+        assert_eq!(fs.hedges(), 1);
+        assert_eq!(fs.hedges_wasted, 1);
+        assert_eq!(fs.hedge_tokens, 150);
+        assert!(fs.hedge_cost_usd > 0.0);
+        // The duplicate's tokens land in the system ledger — the premium.
+        let usage = service.total_usage();
+        assert_eq!(usage.calls, 1);
+        assert_eq!(usage.prompt_tokens, 100);
+        assert_eq!(usage.completion_tokens, 50);
+    }
+
+    #[test]
+    fn single_replica_without_faults_matches_disabled_fault_plane() {
+        // ServingConfig::limited(1) with an explicit do-nothing fault
+        // plane and a hot seed must reproduce the implicit default
+        // byte-for-byte: the none() profile draws zero RNG, so the seed
+        // cannot leak into scheduling.
+        let drive = |service: &InferenceService| {
+            let h = handle(service, 21, TenantOwner::Agent(0));
+            let mut log = Vec::new();
+            for i in 0..5 {
+                let work = SimDuration::from_secs(3 + i);
+                let out = service.submit_cohort(h.tenant(), T0, &resp(work));
+                log.push((out.queue, out.slowdown, out.failover, out.hedged));
+                log.push((
+                    service.queue_solo(h.tenant(), T0),
+                    SimDuration::ZERO,
+                    SimDuration::ZERO,
+                    None,
+                ));
+            }
+            (log, format!("{:?}", service.stats()))
+        };
+        let implicit = InferenceService::new(ServingConfig::limited(1));
+        let explicit = InferenceService::with_seed(
+            ServingConfig::limited(1)
+                .with_replicas(1)
+                .with_faults(crate::serving_faults::ServingFaultProfile::none()),
+            0xdead_beef,
+        );
+        assert_eq!(drive(&implicit), drive(&explicit));
+        assert!(implicit.fault_stats().is_quiet());
+        assert!(explicit.fault_stats().is_quiet());
     }
 }

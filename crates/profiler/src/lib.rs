@@ -46,7 +46,7 @@ pub use chrome::chrome_trace_json;
 pub use gantt::render_step_gantt;
 pub use metrics::{
     AgentFaultStats, ChannelStats, LatencyBreakdown, MessageStats, PurposeLedger, PurposeUsage,
-    RepairStats, ResilienceStats, ServingStats, StepRecord, TokenStats,
+    RepairStats, ResilienceStats, ServingFaultStats, ServingStats, StepRecord, TokenStats,
 };
 pub use module::{ModuleKind, Phase};
 pub use report::{Aggregate, EpisodeReport, Outcome};

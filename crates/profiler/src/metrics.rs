@@ -708,6 +708,121 @@ impl fmt::Display for ServingStats {
     }
 }
 
+/// Serving-plane fault and resilience counters for an episode: what the
+/// replica fleet broke (crashes, brownouts, overflow spills) and what the
+/// SLO tier did about it (failovers, hedges, shedding, deadline verdicts).
+///
+/// All zero under `ServingFaultProfile::none()` with replicas ≤ 1 and
+/// every resilience knob off — reports stay identical to builds without
+/// the serving fault plane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServingFaultStats {
+    /// Replica crashes drawn while serving a placement.
+    pub crashes: u64,
+    /// Crashed placements re-dispatched to a healthy peer replica.
+    pub failovers: u64,
+    /// Placements that found every healthy replica past the overflow
+    /// threshold and paid a re-dispatch penalty.
+    pub overflows: u64,
+    /// Placements served by a browned-out (slowed) replica.
+    pub brownouts: u64,
+    /// Hedged duplicates that finished before the primary.
+    pub hedges_won: u64,
+    /// Hedged duplicates that lost the race (pure token/$ waste).
+    pub hedges_wasted: u64,
+    /// Requests rejected by admission control before reaching a model.
+    pub shed: u64,
+    /// Calls abandoned because their serving latency blew the deadline.
+    pub deadline_misses: u64,
+    /// Requests measured against the SLO deadline end-to-end.
+    pub slo_total: u64,
+    /// Of those, requests that met the deadline (queue + service).
+    pub slo_met: u64,
+    /// Extra service time paid to browned-out replicas.
+    pub slowdown_delay: SimDuration,
+    /// Partial service wasted on replicas that crashed mid-request.
+    pub failover_delay: SimDuration,
+    /// Prompt + completion tokens billed to losing *and* winning hedge
+    /// duplicates (the premium hedging pays for its p95 win).
+    pub hedge_tokens: u64,
+    /// API cost (USD) of those hedge duplicates.
+    pub hedge_cost_usd: f64,
+}
+
+impl ServingFaultStats {
+    /// Total hedged placements.
+    pub fn hedges(&self) -> u64 {
+        self.hedges_won + self.hedges_wasted
+    }
+
+    /// Injected serving faults across every kind (resilience reactions —
+    /// failovers, hedges, shedding — excluded).
+    pub fn faults(&self) -> u64 {
+        self.crashes + self.overflows + self.brownouts
+    }
+
+    /// Fraction of SLO-measured requests that met the deadline (1 when
+    /// nothing was measured — an un-set SLO is vacuously attained).
+    pub fn slo_attainment(&self) -> f64 {
+        if self.slo_total == 0 {
+            1.0
+        } else {
+            self.slo_met as f64 / self.slo_total as f64
+        }
+    }
+
+    /// Whether nothing serving-fault-related happened (the
+    /// `ServingFaultProfile::none()` + resilience-off fast path).
+    pub fn is_quiet(&self) -> bool {
+        *self == ServingFaultStats::default()
+    }
+
+    /// Merge counters from another episode slice.
+    pub fn merge(&mut self, other: &ServingFaultStats) {
+        self.crashes += other.crashes;
+        self.failovers += other.failovers;
+        self.overflows += other.overflows;
+        self.brownouts += other.brownouts;
+        self.hedges_won += other.hedges_won;
+        self.hedges_wasted += other.hedges_wasted;
+        self.shed += other.shed;
+        self.deadline_misses += other.deadline_misses;
+        self.slo_total += other.slo_total;
+        self.slo_met += other.slo_met;
+        self.slowdown_delay += other.slowdown_delay;
+        self.failover_delay += other.failover_delay;
+        self.hedge_tokens += other.hedge_tokens;
+        self.hedge_cost_usd += other.hedge_cost_usd;
+    }
+}
+
+impl fmt::Display for ServingFaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "serving faults {} (crash {}, brownout {}, overflow {}), \
+             failovers {} ({}), hedges {} ({} won, {} wasted, {} tok, \
+             ${:.4}), shed {}, deadline misses {}, slo {}/{} ({:.0}%)",
+            self.faults(),
+            self.crashes,
+            self.brownouts,
+            self.overflows,
+            self.failovers,
+            self.failover_delay,
+            self.hedges(),
+            self.hedges_won,
+            self.hedges_wasted,
+            self.hedge_tokens,
+            self.hedge_cost_usd,
+            self.shed,
+            self.deadline_misses,
+            self.slo_met,
+            self.slo_total,
+            self.slo_attainment() * 100.0,
+        )
+    }
+}
+
 impl fmt::Display for ResilienceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -966,6 +1081,50 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("occupancy"));
         assert!(text.contains("prefix hits"));
+    }
+
+    #[test]
+    fn serving_fault_stats_quiet_merge_and_slo() {
+        let mut s = ServingFaultStats::default();
+        assert!(s.is_quiet());
+        assert_eq!(s.slo_attainment(), 1.0, "unset SLO is vacuously attained");
+        let busy = ServingFaultStats {
+            crashes: 2,
+            failovers: 1,
+            overflows: 3,
+            brownouts: 4,
+            hedges_won: 2,
+            hedges_wasted: 5,
+            shed: 6,
+            deadline_misses: 1,
+            slo_total: 10,
+            slo_met: 8,
+            slowdown_delay: sec(9),
+            failover_delay: sec(2),
+            hedge_tokens: 700,
+            hedge_cost_usd: 0.05,
+        };
+        assert!(!busy.is_quiet());
+        assert_eq!(busy.faults(), 9);
+        assert_eq!(busy.hedges(), 7);
+        assert!((busy.slo_attainment() - 0.8).abs() < 1e-12);
+        s.merge(&busy);
+        s.merge(&busy);
+        assert_eq!(s.crashes, 4);
+        assert_eq!(s.slo_total, 20);
+        assert_eq!(s.slowdown_delay, sec(18));
+        assert_eq!(s.hedge_tokens, 1_400);
+        let text = s.to_string();
+        assert!(text.contains("hedges"));
+        assert!(text.contains("slo"));
+        // A pure SLO measurement (deadline set, nothing missed) is still
+        // not quiet: the tier ran, so reports differ from a default build.
+        let measured = ServingFaultStats {
+            slo_total: 1,
+            slo_met: 1,
+            ..Default::default()
+        };
+        assert!(!measured.is_quiet());
     }
 
     #[test]

@@ -100,7 +100,9 @@ pub enum Phase {
     Backoff,
     /// An agent (or coordinator) process crash and its reboot window.
     Crash,
-    /// Promotion of a surviving agent to the coordinator role.
+    /// Promotion of a survivor after a failure: a surviving agent taking
+    /// the coordinator role, or a request re-dispatched to a healthy
+    /// serving replica after its replica crashed.
     Failover,
     /// Re-synchronizing shared state into a freshly promoted coordinator.
     Resync,
@@ -113,6 +115,12 @@ pub enum Phase {
     /// An LLM inference run served as part of a cross-tenant batch; the
     /// span carries the request's amortized share of the batch bill.
     Batch,
+    /// Issuing a hedged duplicate of a slow-queued request to a second
+    /// serving replica (the duplicate's tokens are billed separately).
+    Hedge,
+    /// A request rejected by serving admission control; the span is the
+    /// fast-fail marker, not real inference time.
+    Shed,
 }
 
 impl fmt::Display for Phase {
@@ -132,6 +140,8 @@ impl fmt::Display for Phase {
             Phase::Repair => "repair",
             Phase::Queue => "queue",
             Phase::Batch => "batch",
+            Phase::Hedge => "hedge",
+            Phase::Shed => "shed",
         };
         f.write_str(name)
     }

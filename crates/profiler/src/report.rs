@@ -3,7 +3,7 @@
 
 use crate::metrics::{
     AgentFaultStats, ChannelStats, LatencyBreakdown, MessageStats, PurposeLedger, RepairStats,
-    ResilienceStats, ServingStats, StepRecord, TokenStats,
+    ResilienceStats, ServingFaultStats, ServingStats, StepRecord, TokenStats,
 };
 use crate::module::ModuleKind;
 use crate::time::SimDuration;
@@ -81,6 +81,11 @@ pub struct EpisodeReport {
     /// (all zero when the service runs in pass-through mode).
     #[serde(default)]
     pub serving: ServingStats,
+    /// Serving-plane fault and SLO-tier counters — replica crashes,
+    /// failovers, hedges, shedding, deadline verdicts (all zero under
+    /// `ServingFaultProfile::none()` with the resilience tier off).
+    #[serde(default)]
+    pub serving_faults: ServingFaultStats,
     /// Per-step time series.
     pub step_records: Vec<StepRecord>,
     /// Number of agents that participated.
@@ -143,6 +148,9 @@ pub struct Aggregate {
     /// Merged shared-inference-service counters across episodes.
     #[serde(default)]
     pub serving: ServingStats,
+    /// Merged serving-plane fault/SLO counters across episodes.
+    #[serde(default)]
+    pub serving_faults: ServingFaultStats,
 }
 
 impl Aggregate {
@@ -190,6 +198,7 @@ impl Aggregate {
         let mut channel = ChannelStats::default();
         let mut repairs = RepairStats::default();
         let mut serving = ServingStats::default();
+        let mut serving_faults = ServingFaultStats::default();
         for r in reports {
             breakdown.merge(&r.breakdown);
             tokens.merge(&r.tokens);
@@ -201,6 +210,7 @@ impl Aggregate {
             channel.merge(&r.channel);
             repairs.merge(&r.repairs);
             serving.merge(&r.serving);
+            serving_faults.merge(&r.serving_faults);
         }
 
         Aggregate {
@@ -223,6 +233,7 @@ impl Aggregate {
             channel,
             repairs,
             serving,
+            serving_faults,
         }
     }
 
@@ -321,6 +332,28 @@ impl Aggregate {
     pub fn prefix_hit_rate(&self) -> f64 {
         self.serving.prefix_hit_rate()
     }
+
+    /// Fraction of SLO-measured requests that met the serving deadline,
+    /// over the merged counters.
+    pub fn slo_attainment(&self) -> f64 {
+        self.serving_faults.slo_attainment()
+    }
+
+    /// Mean injected serving faults (crashes + brownouts + overflow
+    /// spills) per episode.
+    pub fn serving_faults_per_episode(&self) -> f64 {
+        self.serving_faults.faults() as f64 / self.episodes as f64
+    }
+
+    /// Mean requests shed by admission control per episode.
+    pub fn shed_per_episode(&self) -> f64 {
+        self.serving_faults.shed as f64 / self.episodes as f64
+    }
+
+    /// Mean hedged placements per episode.
+    pub fn hedges_per_episode(&self) -> f64 {
+        self.serving_faults.hedges() as f64 / self.episodes as f64
+    }
 }
 
 impl fmt::Display for Aggregate {
@@ -360,6 +393,7 @@ mod tests {
             channel: ChannelStats::default(),
             repairs: RepairStats::default(),
             serving: ServingStats::default(),
+            serving_faults: ServingFaultStats::default(),
             step_records: Vec::new(),
             agents: 1,
         }
@@ -415,6 +449,25 @@ mod tests {
         assert!((agg.batch_occupancy() - 4.0).abs() < 1e-12);
         assert_eq!(agg.queue_delay_per_episode(), SimDuration::from_secs(3));
         assert!((agg.prefix_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_merges_serving_faults() {
+        let mut faulty = report(Outcome::StepLimit, 5, 50);
+        faulty.serving_faults.crashes = 2;
+        faulty.serving_faults.brownouts = 4;
+        faulty.serving_faults.hedges_won = 1;
+        faulty.serving_faults.hedges_wasted = 3;
+        faulty.serving_faults.shed = 6;
+        faulty.serving_faults.slo_total = 10;
+        faulty.serving_faults.slo_met = 7;
+        let reports = vec![report(Outcome::Success, 5, 50), faulty];
+        let agg = Aggregate::from_reports("t", &reports);
+        assert_eq!(agg.serving_faults.crashes, 2);
+        assert!((agg.serving_faults_per_episode() - 3.0).abs() < 1e-12);
+        assert!((agg.shed_per_episode() - 3.0).abs() < 1e-12);
+        assert!((agg.hedges_per_episode() - 2.0).abs() < 1e-12);
+        assert!((agg.slo_attainment() - 0.7).abs() < 1e-12);
     }
 
     #[test]

@@ -34,4 +34,8 @@ EMBODIED_EPISODES="${EMBODIED_GUARDRAIL_EPISODES:-6}" ./target/release/guardrail
 echo "== serving_sweep =="
 EMBODIED_EPISODES="${EMBODIED_SERVING_EPISODES:-6}" ./target/release/serving_sweep > /dev/null
 
+# SLO sweep: 2 systems × 4 fault scenarios × 5 resilience policies.
+echo "== slo_sweep =="
+EMBODIED_EPISODES="${EMBODIED_SLO_EPISODES:-6}" ./target/release/slo_sweep > /dev/null
+
 echo "done — see results/*.md"

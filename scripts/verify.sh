@@ -25,6 +25,9 @@ EMBODIED_JOBS=4 cargo test --release -q -p embodied-bench --test guardrail_deter
 echo "== serving determinism (EMBODIED_JOBS=4) =="
 EMBODIED_JOBS=4 cargo test --release -q -p embodied-bench --test serving_determinism
 
+echo "== SLO determinism (EMBODIED_JOBS=4) =="
+EMBODIED_JOBS=4 cargo test --release -q -p embodied-bench --test slo_determinism
+
 echo "== resilience integration tests =="
 cargo test --release -q --test resilience --test fault_properties --test guardrail_properties
 
@@ -42,6 +45,10 @@ cargo build --release -q -p embodied-bench --bin guardrail_sweep
 echo "== serving_sweep --smoke (scratch dir; canonical results untouched) =="
 cargo build --release -q -p embodied-bench --bin serving_sweep
 (cd "$smoke_dir" && "$repo_root/target/release/serving_sweep" --smoke > /dev/null)
+
+echo "== slo_sweep --smoke (scratch dir; canonical results untouched) =="
+cargo build --release -q -p embodied-bench --bin slo_sweep
+(cd "$smoke_dir" && "$repo_root/target/release/slo_sweep" --smoke > /dev/null)
 
 echo "== bench_all --smoke (sequential vs parallel byte-identity) =="
 cargo run --release -q -p embodied-bench --bin bench_all -- --smoke
