@@ -101,7 +101,7 @@ fn bench_llm_engine(c: &mut Criterion) {
         let prompt = "plan the next subgoal given the observation ".repeat(30);
         b.iter(|| {
             engine
-                .infer(LlmRequest::new(Purpose::Planning, prompt.clone(), 150))
+                .infer(LlmRequest::new(Purpose::Planning, &prompt, 150))
                 .unwrap()
         })
     });

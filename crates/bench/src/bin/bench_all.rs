@@ -113,11 +113,20 @@ fn write_json(
         .filter(|o| o.status.success())
         .map(|o| format!("\"{}\"", String::from_utf8_lossy(&o.stdout).trim()))
         .unwrap_or_else(|| "null".to_string());
+    let started_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
     writeln!(f, "{{")?;
     writeln!(f, "  \"host_parallelism\": {host},")?;
+    writeln!(f, "  \"host_os\": \"{}\",", std::env::consts::OS)?;
+    writeln!(f, "  \"started_unix\": {started_unix},")?;
     writeln!(f, "  \"embodied_jobs_env\": {jobs_env},")?;
     writeln!(f, "  \"git_rev\": {git_rev},")?;
     writeln!(f, "  \"jobs\": {par_jobs},")?;
+    // An honest speedup needs at least `jobs` cores to run on: when the
+    // host is oversubscribed the parallel pass measures time-slicing, so
+    // every speedup in this file is stamped untrusted.
+    writeln!(f, "  \"speedup_trusted\": {},", host >= par_jobs)?;
     writeln!(f, "  \"episodes\": {},", if smoke { 1 } else { episodes() })?;
     writeln!(f, "  \"smoke\": {smoke},")?;
     writeln!(f, "  \"experiments\": [")?;
@@ -174,6 +183,16 @@ fn main() {
     }
 
     println!("# bench_all — sequential vs. parallel ({par_jobs} jobs)");
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let trusted = host >= par_jobs;
+    if !trusted {
+        println!();
+        println!(
+            "WARNING: host parallelism ({host}) < jobs ({par_jobs}). The parallel pass \
+             time-slices workers on too few cores, so every speedup below is stamped \
+             untrusted — byte-identity of outputs is still checked and meaningful."
+        );
+    }
     println!();
 
     let mut timings = Vec::new();
@@ -199,10 +218,11 @@ fn main() {
             outputs_identical: seq_out == par_out,
         };
         println!(
-            "  {name}: {:.2}s -> {:.2}s ({:.2}x, outputs {})",
+            "  {name}: {:.2}s -> {:.2}s ({:.2}x{}, outputs {})",
             t.sequential_s,
             t.parallel_s,
             t.speedup(),
+            if trusted { "" } else { " untrusted" },
             if t.outputs_identical {
                 "identical"
             } else {
@@ -224,7 +244,11 @@ fn main() {
             t.name.to_owned(),
             format!("{:.2}s", t.sequential_s),
             format!("{:.2}s", t.parallel_s),
-            format!("{:.2}x", t.speedup()),
+            format!(
+                "{:.2}x{}",
+                t.speedup(),
+                if trusted { "" } else { " (untrusted)" }
+            ),
             t.outputs_identical.to_string(),
         ]);
     }
@@ -233,8 +257,9 @@ fn main() {
     let seq: f64 = timings.iter().map(|t| t.sequential_s).sum();
     let par: f64 = timings.iter().map(|t| t.parallel_s).sum();
     println!(
-        "total: {seq:.2}s sequential, {par:.2}s at {par_jobs} jobs ({:.2}x)",
-        if par > 0.0 { seq / par } else { 0.0 }
+        "total: {seq:.2}s sequential, {par:.2}s at {par_jobs} jobs ({:.2}x{})",
+        if par > 0.0 { seq / par } else { 0.0 },
+        if trusted { "" } else { ", untrusted" }
     );
 
     // A smoke pass is a correctness gate, not a measurement: keep its

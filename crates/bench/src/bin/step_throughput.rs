@@ -1,0 +1,277 @@
+//! Simulated-episode throughput harness for the data-oriented step loop.
+//!
+//! Drives `N` single-agent episodes (DEPS, easy difficulty — the steady-state
+//! planning/memory path) across a ladder of worker counts and reports
+//! simulated episodes per hour of wall-clock time for each rung. Episodes are
+//! embarrassingly parallel and bit-identical across worker counts (see
+//! `bench_all`), so throughput is the honest scalability metric for the
+//! engine itself.
+//!
+//! ```text
+//! cargo run --release -p embodied-bench --bin step_throughput [-- FLAGS]
+//! ```
+//!
+//! * `--smoke` — quick regression gate: measures the single-worker rate
+//!   (best of three short passes) and fails loudly if it regressed more than
+//!   the tolerance (default 20%, `EMBODIED_BENCH_TOLERANCE` overrides)
+//!   against the checked-in baseline;
+//! * `--episodes N` — episodes per rung (default 4096; smoke uses 512);
+//! * `--workers A,B,…` — worker ladder (default `1,2,4,8`);
+//! * `--baseline PATH` — baseline file (default
+//!   `crates/bench/baselines/step_throughput.json`);
+//! * `--write-baseline` — rewrite the baseline from this run's measurement;
+//! * `--write-md` — write the `results/step_throughput.md` report.
+//!
+//! ## Honesty rules
+//!
+//! A rung whose worker count exceeds the host's available parallelism is
+//! stamped `oversubscribed`: its wall-clock number is still printed, but it
+//! measures scheduler time-slicing, not scaling. Multi-core projections are
+//! always labelled as such and state their basis (linear scaling of the
+//! measured single-worker rate, justified by episode independence and the
+//! `bench_all` byte-identity check — never a measured claim).
+
+use embodied_agents::{run_episode, workloads, RunOverrides};
+use embodied_bench::par_map_with;
+use embodied_env::TaskDifficulty;
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// Episodes-per-hour target the engine publishes for an 8-core host.
+const TARGET_EPS_PER_HOUR_8CORE: f64 = 1_000_000.0;
+
+/// One measured rung of the worker ladder.
+struct Rung {
+    workers: usize,
+    elapsed_s: f64,
+    eps_per_hour: f64,
+    oversubscribed: bool,
+}
+
+/// Measures `n` episodes at `workers` workers, returning the rung.
+fn measure(n: usize, workers: usize, host: usize) -> Rung {
+    let spec = workloads::find("DEPS").expect("suite member");
+    let overrides = RunOverrides {
+        difficulty: Some(TaskDifficulty::Easy),
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let steps: Vec<usize> = par_map_with(workers, n, |i| {
+        run_episode(&spec, &overrides, 0x5eed_0000 + i as u64).steps
+    });
+    let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
+    // Consume the per-episode step counts so the work cannot be elided.
+    let total_steps: usize = steps.iter().sum();
+    assert!(total_steps > 0, "episodes must advance at least one step");
+    Rung {
+        workers,
+        elapsed_s,
+        eps_per_hour: n as f64 / elapsed_s * 3600.0,
+        oversubscribed: workers > host,
+    }
+}
+
+/// Extracts `"key": <number>` from a hand-written JSON baseline.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn write_baseline(path: &Path, eps_per_hour: f64, episodes: usize, host: usize) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"workload\": \"DEPS\",\n");
+    out.push_str("  \"difficulty\": \"easy\",\n");
+    out.push_str(&format!("  \"episodes\": {episodes},\n"));
+    out.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    out.push_str(&format!(
+        "  \"single_worker_eps_per_hour\": {eps_per_hour:.0}\n"
+    ));
+    out.push_str("}\n");
+    match std::fs::write(path, out) {
+        Ok(()) => println!("wrote baseline {}", path.display()),
+        Err(err) => {
+            eprintln!("step_throughput: cannot write {} ({err})", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn write_md(path: &Path, rungs: &[Rung], n: usize, host: usize) {
+    let single = rungs.iter().find(|r| r.workers == 1);
+    let projected_8core = single.map(|r| r.eps_per_hour * 8.0);
+    let mut f = match std::fs::File::create(path) {
+        Ok(f) => f,
+        Err(err) => {
+            eprintln!("step_throughput: cannot write {} ({err})", path.display());
+            std::process::exit(1);
+        }
+    };
+    let mut w = |line: String| {
+        let _ = writeln!(f, "{line}");
+    };
+    w("# Step-loop throughput (simulated episodes per hour)".into());
+    w(String::new());
+    w(format!(
+        "Workload: DEPS (single-agent, easy difficulty); {n} episodes per rung; \
+         host parallelism: {host} core(s)."
+    ));
+    w(String::new());
+    w("| workers | wall-clock (s) | episodes/hour | note |".into());
+    w("|---|---|---|---|".into());
+    for r in rungs {
+        let note = if r.oversubscribed {
+            "oversubscribed (workers > host cores): measures time-slicing, not scaling"
+        } else {
+            "measured"
+        };
+        w(format!(
+            "| {} | {:.3} | {:.0} | {} |",
+            r.workers, r.elapsed_s, r.eps_per_hour, note
+        ));
+    }
+    w(String::new());
+    w(format!(
+        "Throughput target: >= {TARGET_EPS_PER_HOUR_8CORE:.0} simulated episodes/hour \
+         on an 8-core host."
+    ));
+    if host >= 8 {
+        if let Some(r8) = rungs.iter().find(|r| r.workers == 8) {
+            let verdict = if r8.eps_per_hour >= TARGET_EPS_PER_HOUR_8CORE {
+                "MET (measured)"
+            } else {
+                "NOT MET (measured)"
+            };
+            w(format!(
+                "Verdict: {verdict} — {:.0} episodes/hour at 8 workers.",
+                r8.eps_per_hour
+            ));
+        }
+    } else if let Some(projected) = projected_8core {
+        let verdict = if projected >= TARGET_EPS_PER_HOUR_8CORE {
+            "MET (projected)"
+        } else {
+            "NOT MET (projected)"
+        };
+        w(format!(
+            "Verdict: {verdict} — this host has {host} core(s), so the 8-core figure is a \
+             projection: 8 x the measured single-worker rate ({:.0} episodes/hour) = \
+             {projected:.0} episodes/hour. Basis: episodes are independent jobs with \
+             byte-identical outputs across worker counts (`bench_all`), so worker scaling \
+             is linear up to the core count; this is an extrapolation, not a measurement.",
+            single.map(|r| r.eps_per_hour).unwrap_or(0.0)
+        ));
+    }
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let smoke = flag("--smoke");
+    let episodes: usize = value("--episodes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 512 } else { 4096 });
+    let workers: Vec<usize> = value("--workers")
+        .map(|v| v.split(',').filter_map(|w| w.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let baseline_path = value("--baseline")
+        .unwrap_or_else(|| "crates/bench/baselines/step_throughput.json".to_string());
+    let baseline_path = Path::new(&baseline_path);
+    let host = std::thread::available_parallelism().map_or(1, |c| c.get());
+
+    if smoke {
+        // Regression gate: best of three short single-worker passes against
+        // the checked-in baseline (best-of damps scheduler noise; a real
+        // regression slows every pass).
+        let tolerance: f64 = std::env::var("EMBODIED_BENCH_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.20);
+        let best = (0..3)
+            .map(|_| measure(episodes, 1, host).eps_per_hour)
+            .fold(0.0f64, f64::max);
+        let text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(err) => {
+                eprintln!(
+                    "step_throughput: no baseline at {} ({err}); run with --write-baseline first",
+                    baseline_path.display()
+                );
+                std::process::exit(1);
+            }
+        };
+        let Some(reference) = json_number(&text, "single_worker_eps_per_hour") else {
+            eprintln!(
+                "step_throughput: baseline {} is malformed",
+                baseline_path.display()
+            );
+            std::process::exit(1);
+        };
+        let floor = reference * (1.0 - tolerance);
+        println!(
+            "step_throughput smoke: measured {best:.0} episodes/hour (baseline {reference:.0}, \
+             floor {floor:.0} at {:.0}% tolerance)",
+            tolerance * 100.0
+        );
+        if best < floor {
+            eprintln!(
+                "step_throughput: REGRESSION — single-worker throughput {best:.0} episodes/hour \
+                 is more than {:.0}% below the checked-in baseline {reference:.0}",
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("step_throughput smoke: OK");
+        return;
+    }
+
+    println!("# step_throughput — {episodes} episodes per rung, host parallelism {host}");
+    let mut rungs = Vec::new();
+    for &w in &workers {
+        let rung = measure(episodes, w.max(1), host);
+        println!(
+            "  workers={}: {:.3}s wall-clock, {:.0} episodes/hour{}",
+            rung.workers,
+            rung.elapsed_s,
+            rung.eps_per_hour,
+            if rung.oversubscribed {
+                " [oversubscribed: workers > host cores]"
+            } else {
+                ""
+            }
+        );
+        rungs.push(rung);
+    }
+
+    if flag("--write-baseline") {
+        let single = rungs
+            .iter()
+            .find(|r| r.workers == 1)
+            .expect("worker ladder must include 1 to write a baseline");
+        write_baseline(baseline_path, single.eps_per_hour, episodes, host);
+    }
+    if flag("--write-md") {
+        write_md(
+            Path::new("results/step_throughput.md"),
+            &rungs,
+            episodes,
+            host,
+        );
+    }
+}

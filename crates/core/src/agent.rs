@@ -66,6 +66,12 @@ pub struct ModularAgent {
     /// the staleness threshold) — planning routes joint subgoals around
     /// them until they are heard again.
     pub suspected: HashSet<usize>,
+    /// Reusable render buffer for the planner's memory/map context section:
+    /// allocated once per episode, rewritten in place every step.
+    pub memory_buf: String,
+    /// Reusable render buffer for the newline-joined inbox (the dialogue
+    /// section of communication and planning prompts).
+    pub dialogue_buf: String,
     /// The shared inference service this agent's engines are registered
     /// with (per-tenant ledger for usage/resilience rollups).
     service: InferenceService,
@@ -165,8 +171,24 @@ impl ModularAgent {
             last_plan: None,
             peer_last_heard: Vec::new(),
             suspected: HashSet::new(),
+            memory_buf: String::new(),
+            dialogue_buf: String::new(),
             service: service.clone(),
         }
+    }
+
+    /// Renders the inbox into [`Self::dialogue_buf`] (newline-joined, same
+    /// bytes as `inbox.join("\n")`) reusing the buffer's capacity across
+    /// steps, and returns it.
+    pub fn render_dialogue(&mut self) -> &str {
+        self.dialogue_buf.clear();
+        for (k, msg) in self.inbox.iter().enumerate() {
+            if k > 0 {
+                self.dialogue_buf.push('\n');
+            }
+            self.dialogue_buf.push_str(msg);
+        }
+        &self.dialogue_buf
     }
 
     /// Everything the agent currently knows about, given this step's
@@ -185,16 +207,29 @@ impl ModularAgent {
         knowledge: &HashSet<String>,
         step: usize,
     ) -> Vec<Subgoal> {
+        self.filter_subgoals_with(subgoals, |e| knowledge.contains(e), step)
+    }
+
+    /// Like [`Self::filter_subgoals`], but against a point-query predicate
+    /// instead of a materialized knowledge set. The per-step hot path asks
+    /// [`crate::modules::MemoryModule::knows`] per referenced entity rather
+    /// than cloning every known entity into a fresh `HashSet` first; the
+    /// blacklist key is only rendered while a blacklist is actually live.
+    pub fn filter_subgoals_with(
+        &self,
+        subgoals: Vec<Subgoal>,
+        mut knows: impl FnMut(&str) -> bool,
+        step: usize,
+    ) -> Vec<Subgoal> {
         subgoals
             .into_iter()
             .filter(|sg| {
-                sg.referenced_entities()
-                    .iter()
-                    .all(|e| knowledge.contains(*e))
-                    && self
-                        .blacklist
-                        .get(&sg.to_string())
-                        .is_none_or(|&expiry| expiry <= step)
+                sg.entity_refs().into_iter().flatten().all(&mut knows)
+                    && (self.blacklist.is_empty()
+                        || self
+                            .blacklist
+                            .get(&sg.to_string())
+                            .is_none_or(|&expiry| expiry <= step))
             })
             .collect()
     }

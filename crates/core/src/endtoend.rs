@@ -104,7 +104,7 @@ impl EndToEndSystem {
             let response = self
                 .engine
                 .infer(
-                    LlmRequest::new(Purpose::ActionSelection, prompt, 60)
+                    LlmRequest::new(Purpose::ActionSelection, &prompt, 60)
                         .with_difficulty(self.env.difficulty().scalar()),
                 )
                 .expect("observation prompt is never empty");

@@ -406,7 +406,7 @@ pub fn guard_decision(
                 stats.repair_attempts += 1;
                 let prompt = repair_prompt(preamble, goal, &error, affordances);
                 let result = engine.infer(
-                    LlmRequest::new(Purpose::Planning, prompt, 40)
+                    LlmRequest::new(Purpose::Planning, &prompt, 40)
                         .with_difficulty(difficulty)
                         .with_opts(opts),
                 );

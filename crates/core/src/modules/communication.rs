@@ -6,7 +6,7 @@
 //! paper's "only 20% of pre-generated messages lead to actual
 //! communication" finding (§V-D).
 
-use crate::prompt::PromptBuilder;
+use crate::prompt::PromptWriter;
 use embodied_llm::{EngineHandle, InferenceOpts, LlmError, LlmRequest, LlmResponse, Purpose};
 
 /// A message produced by one agent for broadcast.
@@ -27,6 +27,8 @@ pub struct OutgoingMessage {
 #[derive(Debug, Clone)]
 pub struct CommunicationModule {
     engine: EngineHandle,
+    /// Reusable prompt buffer: rendered fresh each call, allocated once.
+    prompt_buf: String,
 }
 
 impl CommunicationModule {
@@ -36,6 +38,7 @@ impl CommunicationModule {
     pub fn new(engine: impl Into<EngineHandle>) -> Self {
         CommunicationModule {
             engine: engine.into(),
+            prompt_buf: String::new(),
         }
     }
 
@@ -70,8 +73,8 @@ impl CommunicationModule {
         difficulty: f64,
         opts: InferenceOpts,
     ) -> Result<OutgoingMessage, LlmError> {
-        let mut b = PromptBuilder::new(preamble);
-        b.push("task goal", goal)
+        let mut w = PromptWriter::new(&mut self.prompt_buf, preamble);
+        w.push("task goal", goal)
             .push("your status", status)
             .push("dialogue so far", dialogue_so_far)
             .push(
@@ -80,7 +83,7 @@ impl CommunicationModule {
                  they need to coordinate effectively.",
             );
         let response = self.engine.infer(
-            LlmRequest::new(Purpose::Communication, b.build(), 60)
+            LlmRequest::new(Purpose::Communication, self.prompt_buf.as_str(), 60)
                 .with_difficulty(difficulty)
                 .with_opts(opts),
         )?;

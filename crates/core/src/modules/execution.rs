@@ -121,7 +121,7 @@ impl ExecutionModule {
                      primitive and its parameters given the kinematic state."
                 );
                 match planner_engine.infer(
-                    LlmRequest::new(Purpose::ActionSelection, prompt, 80)
+                    LlmRequest::new(Purpose::ActionSelection, &prompt, 80)
                         .with_difficulty((difficulty + 0.3).min(1.0))
                         .with_opts(opts),
                 ) {

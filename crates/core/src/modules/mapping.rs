@@ -85,6 +85,67 @@ impl WorldMap {
             .collect::<Vec<_>>()
             .join("\n")
     }
+
+    /// Streams the same text as [`Self::summary`] into `out` (appending),
+    /// without allocating: the top-`max_locations` selection runs on a
+    /// stack scratchpad and each line is written straight into the buffer.
+    /// Ties on `last_seen_step` keep map (alphabetical) order, matching
+    /// the stable sort in [`Self::summary`].
+    pub fn write_summary(&self, out: &mut String, max_locations: usize) {
+        use std::fmt::Write as _;
+        const STACK: usize = 16;
+        if max_locations == 0 || self.locations.is_empty() {
+            return;
+        }
+        if max_locations > STACK {
+            // Cold path for oversized requests; prompt callers cap at 6.
+            out.push_str(&self.summary(max_locations));
+            return;
+        }
+        let mut top: [Option<(&String, &LocationKnowledge)>; STACK] = [None; STACK];
+        let mut len = 0usize;
+        for entry in &self.locations {
+            let step = entry.1.last_seen_step;
+            let mut pos = len;
+            for (i, slot) in top[..len].iter().enumerate() {
+                if slot.expect("filled prefix").1.last_seen_step < step {
+                    pos = i;
+                    break;
+                }
+            }
+            if pos >= max_locations {
+                continue;
+            }
+            let new_len = (len + 1).min(max_locations);
+            for i in (pos..new_len - 1).rev() {
+                top[i + 1] = top[i];
+            }
+            top[pos] = Some(entry);
+            len = new_len;
+        }
+        for (idx, slot) in top[..len].iter().enumerate() {
+            let (name, k) = slot.expect("filled prefix");
+            if idx > 0 {
+                out.push('\n');
+            }
+            if k.entities.is_empty() {
+                let _ = write!(
+                    out,
+                    "{name}: nothing notable (seen step {})",
+                    k.last_seen_step
+                );
+            } else {
+                let _ = write!(out, "{name}: ");
+                for (j, e) in k.entities.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(e);
+                }
+                let _ = write!(out, " (seen step {})", k.last_seen_step);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +204,28 @@ mod tests {
         assert_eq!(summary.lines().count(), 3);
         assert!(summary.lines().next().unwrap().starts_with("room_5"));
         assert!(!summary.contains("room_0"));
+    }
+
+    #[test]
+    fn write_summary_matches_summary_byte_for_byte() {
+        let mut map = WorldMap::new();
+        // Distinct steps, a revisit, an entity-less room, and a tie on
+        // last_seen_step (rooms 7 and 8) to pin the stable-sort order.
+        for i in 0..7 {
+            map.integrate(&percept(&format!("room_{i}"), &["x", "y"]), i);
+        }
+        map.integrate(&percept("room_2", &[]), 9);
+        map.integrate(&percept("room_8", &["z"]), 10);
+        map.integrate(&percept("room_7", &["w"]), 10);
+        for cap in [0, 1, 3, 6, 12, 40] {
+            let mut buf = String::from("prefix|");
+            map.write_summary(&mut buf, cap);
+            assert_eq!(buf, format!("prefix|{}", map.summary(cap)), "cap {cap}");
+        }
+        let empty = WorldMap::new();
+        let mut buf = String::new();
+        empty.write_summary(&mut buf, 6);
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -3,10 +3,10 @@
 //! (Fig. 5), and the dual long/short-term structure of Rec. 5.
 
 use crate::config::MemoryCapacity;
-use crate::prompt::summarize_history;
 use embodied_profiler::SimDuration;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
 
 /// What kind of information a record holds (paper §II-A: observation,
 /// dialogue and action memory).
@@ -48,6 +48,19 @@ pub struct Retrieval {
     pub records_scanned: usize,
 }
 
+/// Everything a retrieval pass measures except the text, which
+/// [`MemoryModule::retrieve_write`] streams into a caller-owned buffer so
+/// the steady-state step loop retrieves without heap allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetrievalStats {
+    /// Time the lookup took.
+    pub latency: SimDuration,
+    /// Quality penalty from memory inconsistency.
+    pub inconsistency_penalty: f64,
+    /// Records scanned by the lookup.
+    pub records_scanned: usize,
+}
+
 /// The memory module.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MemoryModule {
@@ -59,6 +72,17 @@ pub struct MemoryModule {
     landmarks: HashSet<String>,
     records: Vec<MemoryRecord>,
     long_term: HashSet<String>,
+    /// The long-term store again, kept sorted so retrieval renders the
+    /// deterministic "known entities" line without collecting and sorting
+    /// on every call. Insertions only happen for *new* entities, so the
+    /// steady state never touches it.
+    long_term_sorted: Vec<String>,
+    /// Latest step at which each entity appeared in a stored record —
+    /// the incremental index behind [`MemoryModule::knows`] /
+    /// [`MemoryModule::known_entities`]. Records enter step-monotonically,
+    /// so an entity is inside the retained window iff its latest sighting
+    /// is at or past the window cutoff.
+    last_seen: HashMap<String, usize>,
     stale: HashSet<String>,
     /// Action memory (paper §II-A): per-skill success counts — "knowledge
     /// on how to execute specific high-level plans", the JARVIS-1/VOYAGER
@@ -120,6 +144,8 @@ impl MemoryModule {
             landmarks: landmarks.into_iter().collect(),
             records: Vec::new(),
             long_term: HashSet::new(),
+            long_term_sorted: Vec::new(),
+            last_seen: HashMap::new(),
             stale: HashSet::new(),
             skills: std::collections::HashMap::new(),
             current_step: 0,
@@ -161,8 +187,30 @@ impl MemoryModule {
     /// storage and retrieval, not the agent's within-context awareness of
     /// the immediately preceding turn.
     pub fn store(&mut self, kind: RecordKind, text: impl Into<String>, entities: Vec<String>) {
+        debug_assert!(
+            self.records
+                .last()
+                .is_none_or(|r| r.step <= self.current_step),
+            "records must be stored in step order"
+        );
         if self.dual && self.enabled {
-            self.long_term.extend(entities.iter().cloned());
+            for e in &entities {
+                if !self.long_term.contains(e) {
+                    self.long_term.insert(e.clone());
+                    let pos = self
+                        .long_term_sorted
+                        .binary_search(e)
+                        .unwrap_or_else(|pos| pos);
+                    self.long_term_sorted.insert(pos, e.clone());
+                }
+            }
+        }
+        for e in &entities {
+            if let Some(seen) = self.last_seen.get_mut(e) {
+                *seen = (*seen).max(self.current_step);
+            } else {
+                self.last_seen.insert(e.clone(), self.current_step);
+            }
         }
         self.records.push(MemoryRecord {
             step: self.current_step,
@@ -207,7 +255,8 @@ impl MemoryModule {
         self.stale.insert(entity.to_owned());
     }
 
-    fn retained(&self) -> impl Iterator<Item = &MemoryRecord> {
+    /// First step inside the retained window.
+    fn window_cutoff(&self) -> usize {
         let window_steps = if self.enabled {
             match self.capacity {
                 MemoryCapacity::None => 0,
@@ -217,8 +266,38 @@ impl MemoryModule {
         } else {
             1 // working buffer only
         };
-        let cutoff = self.current_step.saturating_sub(window_steps);
-        self.records.iter().filter(move |r| r.step >= cutoff)
+        self.current_step.saturating_sub(window_steps)
+    }
+
+    /// Records inside the retained window. Records are stored in step
+    /// order, so the window is always a suffix of the store and one
+    /// binary search finds it — no per-call scan or collection.
+    fn retained(&self) -> &[MemoryRecord] {
+        let cutoff = self.window_cutoff();
+        let start = self.records.partition_point(|r| r.step < cutoff);
+        &self.records[start..]
+    }
+
+    /// Whether one entity is currently known, without materializing the
+    /// full known set: a point query against landmarks, the incremental
+    /// last-seen index, and the long-term store.
+    pub fn knows(&self, entity: &str) -> bool {
+        if self.stale.contains(entity) {
+            return false;
+        }
+        if self.landmarks.contains(entity)
+            || (self.enabled && self.dual && self.long_term.contains(entity))
+        {
+            return true;
+        }
+        match self.last_seen.get(entity) {
+            Some(&seen) => {
+                seen >= self.window_cutoff()
+                    && (self.retrieval_mode == RetrievalMode::Multimodal
+                        || text_embedding_recalls(entity, self.current_step))
+            }
+            None => false,
+        }
     }
 
     /// Entity names the agent currently *knows about*: landmarks, entities
@@ -226,15 +305,16 @@ impl MemoryModule {
     /// minus anything marked stale.
     pub fn known_entities(&self) -> HashSet<String> {
         let mut known = self.landmarks.clone();
-        // `retained` already collapses to the 1-step working buffer when
-        // the module is disabled.
-        for r in self.retained() {
-            for e in &r.entities {
-                if self.retrieval_mode == RetrievalMode::Multimodal
-                    || text_embedding_recalls(e, self.current_step)
-                {
-                    known.insert(e.clone());
-                }
+        // The last-seen index collapses the per-record scan: an entity is
+        // in the retained window (which is the 1-step working buffer when
+        // the module is disabled) iff its latest sighting is.
+        let cutoff = self.window_cutoff();
+        for (e, &seen) in &self.last_seen {
+            if seen >= cutoff
+                && (self.retrieval_mode == RetrievalMode::Multimodal
+                    || text_embedding_recalls(e, self.current_step))
+            {
+                known.insert(e.clone());
             }
         }
         if self.enabled && self.dual {
@@ -246,17 +326,20 @@ impl MemoryModule {
         known
     }
 
-    /// Retrieves context for prompting.
-    pub fn retrieve(&self) -> Retrieval {
+    /// Streams retrieval context into `out` (appending), returning the
+    /// measured stats. Allocation-free in steady state: record lines are
+    /// written straight into the caller's buffer, the summarized view
+    /// renders only the lines it keeps, and the dual-memory long-term line
+    /// walks the pre-sorted store.
+    pub fn retrieve_write(&self, out: &mut String) -> RetrievalStats {
         if !self.enabled {
-            return Retrieval {
-                text: String::new(),
+            return RetrievalStats {
                 latency: SimDuration::ZERO,
                 inconsistency_penalty: 0.0,
                 records_scanned: 0,
             };
         }
-        let retained: Vec<&MemoryRecord> = self.retained().collect();
+        let retained = self.retained();
         let scanned = if self.dual {
             // Short-term scan plus an indexed long-term lookup.
             retained.len().min(4) + 2
@@ -265,11 +348,129 @@ impl MemoryModule {
         };
         let latency = SimDuration::from_millis(20) + SimDuration::from_millis(16) * scanned as u64;
 
-        let lines: Vec<String> = if self.dual {
-            let mut lines = vec![format!(
-                "long-term: known entities {}",
-                itertools_join(self.long_term.iter())
-            )];
+        // The rendered view is a virtual line sequence — the dual path is
+        // one long-term line plus the last ≤4 records; the flat path is
+        // every retained record. Summarization keeps the last 6 lines
+        // behind a "[N earlier entries summarized]" header, so lines that
+        // would be dropped are never formatted at all.
+        let tail = if self.dual {
+            &retained[retained.len() - retained.len().min(4)..]
+        } else {
+            retained
+        };
+        let n_lines = if self.dual {
+            1 + tail.len()
+        } else {
+            tail.len()
+        };
+        const KEEP_LAST: usize = 6;
+        let skip = if self.summarize && n_lines > KEEP_LAST {
+            let omitted = n_lines - KEEP_LAST;
+            let _ = writeln!(
+                out,
+                "[{omitted} earlier entries summarized: routine progress]"
+            );
+            omitted
+        } else {
+            0
+        };
+        let mut line_idx = 0usize;
+        let mut first = true;
+        if self.dual {
+            if line_idx >= skip {
+                out.push_str("long-term: known entities ");
+                for (i, e) in self.long_term_sorted.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(e);
+                }
+                first = false;
+            }
+            line_idx += 1;
+        }
+        for r in tail {
+            if line_idx >= skip {
+                if !first {
+                    out.push('\n');
+                }
+                first = false;
+                let _ = write!(out, "step {}: {}", r.step, r.text);
+            }
+            line_idx += 1;
+        }
+
+        let inconsistency_penalty = if self.dual || retained.len() <= INCONSISTENCY_ONSET {
+            0.0
+        } else {
+            (0.006 * (retained.len() - INCONSISTENCY_ONSET) as f64).min(0.12)
+        };
+
+        RetrievalStats {
+            latency,
+            inconsistency_penalty,
+            records_scanned: scanned,
+        }
+    }
+
+    /// Retrieves context for prompting into a fresh string. The step loop
+    /// uses [`MemoryModule::retrieve_write`] with a reused buffer; this
+    /// wrapper keeps the allocating convenience shape for callers that
+    /// want an owned [`Retrieval`].
+    pub fn retrieve(&self) -> Retrieval {
+        let mut text = String::new();
+        let stats = self.retrieve_write(&mut text);
+        Retrieval {
+            text,
+            latency: stats.latency,
+            inconsistency_penalty: stats.inconsistency_penalty,
+            records_scanned: stats.records_scanned,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompt::summarize_history;
+
+    fn module(capacity: MemoryCapacity) -> MemoryModule {
+        MemoryModule::new(true, capacity, false, false, vec!["room_0".into()])
+    }
+
+    /// The pre-rework algorithms, verbatim: `known_entities` cloned the
+    /// landmark set and re-scanned every retained record; `retrieve`
+    /// collected every line into a `Vec<String>` before joining. The
+    /// incremental index and the streaming writer must match both exactly.
+    fn known_entities_by_record_scan(m: &MemoryModule) -> HashSet<String> {
+        let mut known = m.landmarks.clone();
+        for r in m.retained() {
+            for e in &r.entities {
+                if m.retrieval_mode == RetrievalMode::Multimodal
+                    || text_embedding_recalls(e, m.current_step)
+                {
+                    known.insert(e.clone());
+                }
+            }
+        }
+        if m.enabled && m.dual {
+            known.extend(m.long_term.iter().cloned());
+        }
+        for s in &m.stale {
+            known.remove(s);
+        }
+        known
+    }
+
+    fn retrieval_text_by_line_collection(m: &MemoryModule) -> String {
+        if !m.enabled {
+            return String::new();
+        }
+        let retained: Vec<&MemoryRecord> = m.retained().iter().collect();
+        let lines: Vec<String> = if m.dual {
+            let mut items: Vec<&str> = m.long_term.iter().map(String::as_str).collect();
+            items.sort_unstable();
+            let mut lines = vec![format!("long-term: known entities {}", items.join(", "))];
             lines.extend(
                 retained
                     .iter()
@@ -285,39 +486,81 @@ impl MemoryModule {
                 .map(|r| format!("step {}: {}", r.step, r.text))
                 .collect()
         };
-        let text = if self.summarize {
+        if m.summarize {
             summarize_history(&lines, 6)
         } else {
             lines.join("\n")
-        };
-
-        let inconsistency_penalty = if self.dual || retained.len() <= INCONSISTENCY_ONSET {
-            0.0
-        } else {
-            (0.006 * (retained.len() - INCONSISTENCY_ONSET) as f64).min(0.12)
-        };
-
-        Retrieval {
-            text,
-            latency,
-            inconsistency_penalty,
-            records_scanned: scanned,
         }
     }
-}
 
-fn itertools_join<'a>(iter: impl Iterator<Item = &'a String>) -> String {
-    let mut items: Vec<&str> = iter.map(String::as_str).collect();
-    items.sort_unstable();
-    items.join(", ")
-}
+    #[test]
+    fn incremental_index_matches_record_scan_across_modes() {
+        for (enabled, dual, summarize, mode) in [
+            (true, false, false, RetrievalMode::Multimodal),
+            (true, false, true, RetrievalMode::Multimodal),
+            (true, true, false, RetrievalMode::Multimodal),
+            (true, true, true, RetrievalMode::Multimodal),
+            (true, false, false, RetrievalMode::TextEmbedding),
+            (true, true, true, RetrievalMode::TextEmbedding),
+            (false, false, false, RetrievalMode::Multimodal),
+        ] {
+            for capacity in [
+                MemoryCapacity::None,
+                MemoryCapacity::Steps(3),
+                MemoryCapacity::Full,
+            ] {
+                let mut m = MemoryModule::new(
+                    enabled,
+                    capacity,
+                    dual,
+                    summarize,
+                    vec!["room_0".into(), "goal_zone".into()],
+                )
+                .with_retrieval_mode(mode);
+                for step in 0..25 {
+                    m.begin_step(step);
+                    m.store(
+                        RecordKind::Observation,
+                        format!("saw object_{} at step {step}", step % 5),
+                        vec![format!("object_{}", step % 5)],
+                    );
+                    if step % 7 == 3 {
+                        m.mark_stale(&format!("object_{}", step % 5));
+                    }
+                    let expect = known_entities_by_record_scan(&m);
+                    assert_eq!(m.known_entities(), expect, "known set diverged at {step}");
+                    for e in &expect {
+                        assert!(m.knows(e), "knows() must accept {e} at step {step}");
+                    }
+                    for i in 0..5 {
+                        let e = format!("object_{i}");
+                        assert_eq!(
+                            m.knows(&e),
+                            expect.contains(&e),
+                            "knows({e}) diverged at step {step}"
+                        );
+                    }
+                    assert_eq!(
+                        m.retrieve().text,
+                        retrieval_text_by_line_collection(&m),
+                        "retrieval text diverged at step {step}"
+                    );
+                }
+            }
+        }
+    }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn module(capacity: MemoryCapacity) -> MemoryModule {
-        MemoryModule::new(true, capacity, false, false, vec!["room_0".into()])
+    #[test]
+    fn retrieve_write_appends_without_clearing() {
+        let mut m = module(MemoryCapacity::Full);
+        m.begin_step(1);
+        m.store(RecordKind::Action, "picked up apple_1", vec![]);
+        let mut buf = String::from("[map]\nroom_0: apple_1\n");
+        let stats = m.retrieve_write(&mut buf);
+        assert!(buf.starts_with("[map]\n"));
+        assert!(buf.ends_with("step 1: picked up apple_1"));
+        assert_eq!(stats.records_scanned, 1);
+        assert_eq!(stats.latency, m.retrieve().latency);
     }
 
     #[test]

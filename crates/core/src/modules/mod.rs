@@ -11,7 +11,9 @@ mod sensing;
 pub use communication::{CommunicationModule, OutgoingMessage};
 pub use execution::{ExecMode, ExecutionModule, ExecutionReport};
 pub use mapping::{LocationKnowledge, WorldMap};
-pub use memory::{MemoryModule, MemoryRecord, RecordKind, Retrieval, RetrievalMode};
+pub use memory::{
+    MemoryModule, MemoryRecord, RecordKind, Retrieval, RetrievalMode, RetrievalStats,
+};
 pub use planning::{PlanContext, PlanDecision, PlanningModule};
 pub use reflection::{ReflectionModule, ReflectionVerdict};
 pub use sensing::{Percept, SensingModule};

@@ -2,7 +2,7 @@
 //! catches an error, cleans up the agent's beliefs so planning does not
 //! loop on invalid operations (paper §II-A, Fig. 3).
 
-use crate::prompt::PromptBuilder;
+use crate::prompt::PromptWriter;
 use embodied_env::{ExecOutcome, Subgoal};
 use embodied_llm::{EngineHandle, InferenceOpts, LlmError, LlmRequest, LlmResponse, Purpose};
 
@@ -65,6 +65,8 @@ fn implies_category_error(note: &str) -> bool {
 #[derive(Debug, Clone)]
 pub struct ReflectionModule {
     engine: EngineHandle,
+    /// Reusable prompt buffer: rendered fresh each call, allocated once.
+    prompt_buf: String,
 }
 
 impl ReflectionModule {
@@ -74,6 +76,7 @@ impl ReflectionModule {
     pub fn new(engine: impl Into<EngineHandle>) -> Self {
         ReflectionModule {
             engine: engine.into(),
+            prompt_buf: String::new(),
         }
     }
 
@@ -100,8 +103,8 @@ impl ReflectionModule {
         difficulty: f64,
         opts: InferenceOpts,
     ) -> Result<ReflectionVerdict, LlmError> {
-        let mut b = PromptBuilder::new(preamble);
-        b.push("attempted action", &subgoal.to_string())
+        let mut w = PromptWriter::new(&mut self.prompt_buf, preamble);
+        w.push_display("attempted action", subgoal)
             .push("observed result", &outcome.note)
             .push(
                 "instruction",
@@ -109,7 +112,7 @@ impl ReflectionModule {
                  error and state what belief must be corrected.",
             );
         let response = self.engine.infer(
-            LlmRequest::new(Purpose::Reflection, b.build(), 70)
+            LlmRequest::new(Purpose::Reflection, self.prompt_buf.as_str(), 70)
                 .with_difficulty(difficulty)
                 .with_opts(opts),
         )?;
@@ -153,13 +156,13 @@ impl ReflectionModule {
         difficulty: f64,
         opts: InferenceOpts,
     ) -> Result<(bool, LlmResponse), LlmError> {
-        let mut b = PromptBuilder::new(preamble);
-        b.push("proposed plan", &subgoal.to_string()).push(
+        let mut w = PromptWriter::new(&mut self.prompt_buf, preamble);
+        w.push_display("proposed plan", subgoal).push(
             "instruction",
             "Verify the proposed plan against the current world state and              task goal. Answer whether it should be executed or revised.",
         );
         let response = self.engine.infer(
-            LlmRequest::new(Purpose::Reflection, b.build(), 18)
+            LlmRequest::new(Purpose::Reflection, self.prompt_buf.as_str(), 18)
                 .with_difficulty(difficulty)
                 .with_opts(opts),
         )?;

@@ -118,8 +118,10 @@ pub(crate) fn plan_assignments(
         (base_difficulty + JOINT_DIFFICULTY_PER_AGENT * (n as f64 - 1.0)).min(0.98);
     let step = sys.step;
 
-    // Per-agent menus, knowledge-filtered against the central store.
-    let central_known = {
+    // Per-agent menus, knowledge-filtered against the central store: a
+    // point query per referenced entity (fresh percepts win over stale
+    // markers, as the old materialized union did).
+    {
         let central = sys.central.as_mut().expect("centralized system");
         central.memory.begin_step(step);
         for (i, p) in percepts.iter().enumerate() {
@@ -129,11 +131,15 @@ pub(crate) fn plan_assignments(
                 p.entities.clone(),
             );
         }
-        let mut known = central.memory.known_entities();
-        for p in percepts {
-            known.extend(p.entities.iter().cloned());
+    }
+    let central_knows = {
+        let central = sys.central.as_ref().expect("centralized system");
+        move |e: &str| {
+            central.memory.knows(e)
+                || percepts
+                    .iter()
+                    .any(|p| p.entities.iter().any(|known| known == e))
         }
-        known
     };
     let mut oracles = Vec::with_capacity(n);
     let mut menus = Vec::with_capacity(n);
@@ -147,9 +153,9 @@ pub(crate) fn plan_assignments(
             continue;
         }
         let mut oracle =
-            sys.agents[i].filter_subgoals(sys.env.oracle_subgoals(i), &central_known, step);
+            sys.agents[i].filter_subgoals_with(sys.env.oracle_subgoals(i), central_knows, step);
         let mut menu =
-            sys.agents[i].filter_subgoals(sys.env.candidate_subgoals(i), &central_known, step);
+            sys.agents[i].filter_subgoals_with(sys.env.candidate_subgoals(i), central_knows, step);
         let partner_missing = |sg: &Subgoal| {
             matches!(sg, Subgoal::LiftTogether { partner, .. }
                 if *partner < n && !sys.agent_faults.is_active(*partner))
@@ -164,13 +170,15 @@ pub(crate) fn plan_assignments(
     }
 
     let central = sys.central.as_mut().expect("centralized system");
-    let retrieval = central.memory.retrieve();
+    central.memory_buf.clear();
+    let retrieval = central.memory.retrieve_write(&mut central.memory_buf);
     sys.trace
         .record(ModuleKind::Memory, Phase::Retrieval, 0, retrieval.latency);
 
     // One joint prompt covering every agent: linear token growth with n.
     let mut b = PromptBuilder::new(&central.preamble);
-    b.push("task goal", &goal).push("memory", &retrieval.text);
+    b.push("task goal", &goal)
+        .push("memory", &central.memory_buf);
     for (i, p) in percepts.iter().enumerate() {
         b.push(&format!("agent {i} observation"), &p.text);
         b.push_candidates(&menus[i]);
@@ -182,8 +190,9 @@ pub(crate) fn plan_assignments(
     );
     let opts = EmbodiedSystem::infer_opts_for(&sys.agents[0].config, sys.agents.len());
     let central_tenant = central.planning.engine().tenant();
+    let prompt = b.build();
     let result = central.planning.engine_mut().infer(
-        LlmRequest::new(Purpose::Planning, b.build(), 60 + 45 * n as u64)
+        LlmRequest::new(Purpose::Planning, &prompt, 60 + 45 * n as u64)
             .with_difficulty(joint_difficulty)
             .with_opts(opts),
     );

@@ -38,6 +38,10 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
     // Communication rounds (skipped entirely when the module is disabled).
     let cluster = sys.agents[0].config.opts.cluster_size;
     let batching = sys.agents[0].config.opts.batching;
+    // Invariant across the whole step: hoisted out of the per-agent loops.
+    let goal = sys.env.goal_text();
+    let difficulty = sys.env.difficulty().scalar();
+    let mut recipients: Vec<usize> = Vec::with_capacity(n);
     for _round in 0..dialogue_rounds(n) {
         // Rec. 1: with batching, the round's message generations are issued
         // as one concurrent batch — wall-clock pays only the slowest.
@@ -52,9 +56,6 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
                 .oracle_subgoals(i)
                 .iter()
                 .any(|sg| matches!(sg, Subgoal::LiftTogether { .. }));
-            let goal = sys.env.goal_text();
-            let difficulty = sys.env.difficulty().scalar();
-
             let agent = &mut sys.agents[i];
             let knowledge = agent.knowledge(&percepts[i].entities);
             let delta = agent.knowledge_delta(&knowledge);
@@ -64,16 +65,15 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
                 continue; // Rec. 8: the plan does not need a message
             }
             let opts = EmbodiedSystem::infer_opts_for(&agent.config, n);
-            let preamble = agent.preamble.clone();
-            let dialogue_so_far = agent.inbox.join("\n");
+            agent.render_dialogue();
             let comm = agent.communication.as_mut().expect("checked above");
             let comm_tenant = comm.engine().tenant();
             let result = comm.generate(
                 i,
-                &preamble,
+                &agent.preamble,
                 &goal,
                 &percepts[i].text,
-                &dialogue_so_far,
+                &agent.dialogue_buf,
                 &delta,
                 difficulty,
                 opts,
@@ -112,11 +112,12 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
             }
             sys.note_llm(&msg.response);
             // Rec. 9: with clustering, messages stay within the cluster.
-            let recipients: Vec<usize> = if cluster > 0 {
-                (0..n).filter(|&j| j / cluster == i / cluster).collect()
+            recipients.clear();
+            if cluster > 0 {
+                recipients.extend((0..n).filter(|&j| j / cluster == i / cluster));
             } else {
-                (0..n).collect()
-            };
+                recipients.extend(0..n);
+            }
             sys.deliver_message_to(i, &msg.text, &msg.entities, &recipients);
         }
         if batching {
@@ -140,8 +141,12 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
             if !sys.agent_faults.is_active(i) {
                 continue;
             }
-            let dialogue = sys.agents[i].inbox.join("\n");
+            // Lend the agent's reusable dialogue buffer across the planning
+            // call (which needs `&mut sys`), then hand it back.
+            sys.agents[i].render_dialogue();
+            let dialogue = std::mem::take(&mut sys.agents[i].dialogue_buf);
             let (subgoal, _) = sys.plan_phase(i, &percepts[i], &dialogue);
+            sys.agents[i].dialogue_buf = dialogue;
             plans[i] = Some(subgoal);
         }
         sys.close_serving_window();
@@ -155,8 +160,10 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
             if !sys.agent_faults.is_active(i) {
                 continue;
             }
-            let dialogue = sys.agents[i].inbox.join("\n");
+            sys.agents[i].render_dialogue();
+            let dialogue = std::mem::take(&mut sys.agents[i].dialogue_buf);
             let (subgoal, _) = sys.plan_phase(i, &percepts[i], &dialogue);
+            sys.agents[i].dialogue_buf = dialogue;
             sys.execute_with_reflection(i, &subgoal);
         }
     }

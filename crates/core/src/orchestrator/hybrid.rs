@@ -33,20 +33,28 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
         let prefix = sys.agents[0].preamble.clone();
         sys.open_serving_window(opts, &prefix);
     }
+    let goal = sys.env.goal_text();
+    let difficulty = sys.env.difficulty().scalar();
     for i in 0..n {
         if sys.agents[i].communication.is_none() || !sys.agent_faults.is_active(i) {
             continue;
         }
-        let goal = sys.env.goal_text();
-        let difficulty = sys.env.difficulty().scalar();
         let agent = &mut sys.agents[i];
         let knowledge = agent.knowledge(&percepts[i].entities);
         let delta = agent.knowledge_delta(&knowledge);
         let opts = EmbodiedSystem::infer_opts_for(&agent.config, n);
-        let preamble = agent.preamble.clone();
         let status = format!("{} | primed task: {}", percepts[i].text, primer[i]);
         let comm = agent.communication.as_mut().expect("checked above");
-        let result = comm.generate(i, &preamble, &goal, &status, "", &delta, difficulty, opts);
+        let result = comm.generate(
+            i,
+            &agent.preamble,
+            &goal,
+            &status,
+            "",
+            &delta,
+            difficulty,
+            opts,
+        );
         let stall = comm.engine_mut().take_stall();
         EmbodiedSystem::note_stall(&mut sys.trace, ModuleKind::Communication, i, stall);
         let msg = match result {
@@ -83,8 +91,7 @@ pub(crate) fn step(sys: &mut EmbodiedSystem) {
         }
         sys.messages.generated += 1;
         let central = sys.central.as_mut().expect("hybrid system");
-        let known = central.memory.known_entities();
-        if msg.entities.iter().any(|e| !known.contains(e)) {
+        if msg.entities.iter().any(|e| !central.memory.knows(e)) {
             sys.messages.useful += 1;
         }
         central

@@ -96,6 +96,25 @@ impl<'a> PromptWriter<'a> {
         self
     }
 
+    /// Appends a named section whose body is rendered through [`fmt::Display`]
+    /// straight into the buffer — no intermediate `to_string`. Produces the
+    /// same bytes as `push(title, &body.to_string())`, including skipping
+    /// the section when the rendered body is empty or whitespace.
+    ///
+    /// [`fmt::Display`]: std::fmt::Display
+    pub fn push_display(&mut self, title: &str, body: &impl std::fmt::Display) -> &mut Self {
+        let start = self.out.len();
+        let _ = writeln!(self.out, "[{title}]");
+        let body_start = self.out.len();
+        let _ = write!(self.out, "{body}");
+        if self.out[body_start..].trim().is_empty() {
+            self.out.truncate(start);
+        } else {
+            self.out.push('\n');
+        }
+        self
+    }
+
     /// Appends the candidate-subgoal menu, numbered like
     /// [`PromptBuilder::push_candidates`].
     pub fn push_candidates(&mut self, candidates: &[Subgoal]) -> &mut Self {

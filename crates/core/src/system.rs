@@ -50,6 +50,9 @@ pub(crate) struct CentralPlanner {
     pub communication: Option<CommunicationModule>,
     pub memory: MemoryModule,
     pub preamble: String,
+    /// Reusable render buffer for the central memory section (same role as
+    /// [`ModularAgent::memory_buf`]).
+    pub memory_buf: String,
 }
 
 /// One windowed LLM call awaiting its amortized latency share when the
@@ -175,6 +178,7 @@ impl EmbodiedSystem {
                     landmarks,
                 ),
                 preamble: system_preamble(&workload, "central planning"),
+                memory_buf: String::new(),
             }),
             _ => None,
         };
@@ -248,37 +252,49 @@ impl EmbodiedSystem {
     /// Runs the episode to completion or the step budget, returning the
     /// full report.
     pub fn run(&mut self) -> EpisodeReport {
-        let max_steps = self.env.max_steps();
-        while self.step < max_steps && !self.env.is_complete() {
-            self.trace.begin_step(self.step);
-            if self.serving_active() {
-                // The step loop is a synchronization barrier: backend
-                // queues never carry over into the next step.
-                self.service.begin_step();
-            }
-            self.counters = StepCounters::default();
-            let before = self.trace.elapsed();
-            self.begin_fault_step();
-            match self.paradigm {
-                Paradigm::SingleModular => orchestrator::single::step(self),
-                Paradigm::Centralized => orchestrator::centralized::step(self),
-                Paradigm::Decentralized => orchestrator::decentralized::step(self),
-                Paradigm::Hybrid => orchestrator::hybrid::step(self),
-            }
-            let latency = self.trace.elapsed().saturating_sub(before);
-            self.step_records.push(StepRecord {
-                step: self.step,
-                latency,
-                max_prompt_tokens: self.counters.max_prompt_tokens,
-                llm_calls: self.counters.llm_calls,
-                progress: self.counters.progressed,
-            });
-            self.step += 1;
-        }
+        while self.step_once() {}
         self.report()
     }
 
-    fn report(&self) -> EpisodeReport {
+    /// Advances the episode by exactly one environment step — fault-plane
+    /// bookkeeping, the paradigm's orchestration pass, and the per-step
+    /// record — returning `false` (without advancing) once the episode is
+    /// over. Benchmarks and throughput harnesses drive this directly;
+    /// [`Self::run`] loops it to completion.
+    pub fn step_once(&mut self) -> bool {
+        if self.step >= self.env.max_steps() || self.env.is_complete() {
+            return false;
+        }
+        self.trace.begin_step(self.step);
+        if self.serving_active() {
+            // The step loop is a synchronization barrier: backend
+            // queues never carry over into the next step.
+            self.service.begin_step();
+        }
+        self.counters = StepCounters::default();
+        let before = self.trace.elapsed();
+        self.begin_fault_step();
+        match self.paradigm {
+            Paradigm::SingleModular => orchestrator::single::step(self),
+            Paradigm::Centralized => orchestrator::centralized::step(self),
+            Paradigm::Decentralized => orchestrator::decentralized::step(self),
+            Paradigm::Hybrid => orchestrator::hybrid::step(self),
+        }
+        let latency = self.trace.elapsed().saturating_sub(before);
+        self.step_records.push(StepRecord {
+            step: self.step,
+            latency,
+            max_prompt_tokens: self.counters.max_prompt_tokens,
+            llm_calls: self.counters.llm_calls,
+            progress: self.counters.progressed,
+        });
+        self.step += 1;
+        true
+    }
+
+    /// The episode report as of the current step (final when the episode
+    /// has ended).
+    pub fn report(&self) -> EpisodeReport {
         let outcome = if self.env.is_complete() {
             Outcome::Success
         } else if self.env.progress() == 0.0 {
@@ -508,7 +524,7 @@ impl EmbodiedSystem {
             central.preamble
         );
         let result = central.planning.engine_mut().infer(
-            LlmRequest::new(Purpose::Planning, prompt, 40 + 10 * n as u64)
+            LlmRequest::new(Purpose::Planning, &prompt, 40 + 10 * n as u64)
                 .with_difficulty(difficulty)
                 .with_opts(opts),
         );
@@ -733,9 +749,14 @@ impl EmbodiedSystem {
         let step = self.step;
 
         let agent = &mut self.agents[i];
-        let knowledge = agent.knowledge(&percept.entities);
-        let mut oracle = agent.filter_subgoals(oracle_raw, &knowledge, step);
-        let mut candidates = agent.filter_subgoals(candidates_raw, &knowledge, step);
+        // Point-query knowledge filtering: `memory.knows` answers per
+        // entity against the incremental last-seen index, so no per-step
+        // `HashSet` of every known entity is materialized. An entity in
+        // the current percept is known even if memory marked it stale —
+        // fresh observation wins, as in `ModularAgent::knowledge`.
+        let knows = |e: &str| agent.memory.knows(e) || percept.entities.iter().any(|p| p == e);
+        let mut oracle = agent.filter_subgoals_with(oracle_raw, knows, step);
+        let mut candidates = agent.filter_subgoals_with(candidates_raw, knows, step);
         // Re-plan around missing peers: a joint subgoal whose partner has
         // gone silent (heartbeat staleness) cannot succeed, so the planner
         // never considers it. No-op while no peer is suspected.
@@ -758,7 +779,18 @@ impl EmbodiedSystem {
             return (oracle[0].clone(), true);
         }
 
-        let retrieval = agent.memory.retrieve();
+        // The map summary rides with the retrieved memory: spatial
+        // knowledge is part of the context the planner reasons over. Both
+        // render into the agent's reusable buffer — same bytes as the old
+        // `format!("[map]\n{map_summary}\n{retrieval_text}")` path, no
+        // per-step allocation.
+        agent.memory_buf.clear();
+        if agent.map.coverage() > 0 {
+            agent.memory_buf.push_str("[map]\n");
+            agent.map.write_summary(&mut agent.memory_buf, 6);
+            agent.memory_buf.push('\n');
+        }
+        let retrieval = agent.memory.retrieve_write(&mut agent.memory_buf);
         self.trace
             .record(ModuleKind::Memory, Phase::Retrieval, i, retrieval.latency);
 
@@ -772,14 +804,6 @@ impl EmbodiedSystem {
         } else {
             0.0
         };
-        // The map summary rides with the retrieved memory: spatial
-        // knowledge is part of the context the planner reasons over.
-        let map_summary = agent.map.summary(6);
-        let memory_text = if map_summary.is_empty() {
-            retrieval.text.clone()
-        } else {
-            format!("[map]\n{map_summary}\n{}", retrieval.text)
-        };
         // Practiced skills plan more reliably (action memory, §II-A): the
         // bonus keys on the kind of the oracle's preferred next step.
         let skill_bonus = oracle
@@ -790,7 +814,7 @@ impl EmbodiedSystem {
             preamble: &agent.preamble,
             goal: &goal,
             percept_text: &percept.text,
-            memory_text: &memory_text,
+            memory_text: &agent.memory_buf,
             dialogue_text,
             oracle,
             candidates,
@@ -1128,11 +1152,10 @@ impl EmbodiedSystem {
                 continue;
             }
             let agent = &mut self.agents[idx];
-            if !corrupt {
-                let known = agent.memory.known_entities();
-                if entities.iter().any(|e| !known.contains(e)) {
-                    useful = true;
-                }
+            if !corrupt && !useful {
+                // Point query per payload entity — no per-recipient clone
+                // of the full known-entity set.
+                useful = entities.iter().any(|e| !agent.memory.knows(e));
             }
             for _ in 0..copies {
                 agent

@@ -97,19 +97,26 @@ impl Subgoal {
     /// Entity names this subgoal refers to; an agent can only *usefully*
     /// plan a subgoal whose entities it knows about.
     pub fn referenced_entities(&self) -> Vec<&str> {
+        self.entity_refs().into_iter().flatten().collect()
+    }
+
+    /// The referenced entity names as a fixed-size array — no subgoal
+    /// refers to more than two — so per-step knowledge filtering can walk
+    /// them without allocating a `Vec` per candidate.
+    pub fn entity_refs(&self) -> [Option<&str>; 2] {
         match self {
-            Subgoal::GoTo { target, .. } => vec![target],
-            Subgoal::Pick { object } => vec![object],
-            Subgoal::Place { object, dest } => vec![object, dest],
-            Subgoal::Open { container } => vec![container],
-            Subgoal::Gather { resource } => vec![resource],
-            Subgoal::Craft { item } => vec![item],
-            Subgoal::Cook { dish, .. } => vec![dish],
-            Subgoal::Serve { dish } => vec![dish],
-            Subgoal::MoveBox { box_name, dest } => vec![box_name, dest],
-            Subgoal::LiftTogether { box_name, .. } => vec![box_name],
-            Subgoal::ArmMove { object, .. } => vec![object],
-            Subgoal::Skill { .. } | Subgoal::Explore | Subgoal::Wait => vec![],
+            Subgoal::GoTo { target, .. } => [Some(target), None],
+            Subgoal::Pick { object } => [Some(object), None],
+            Subgoal::Place { object, dest } => [Some(object), Some(dest)],
+            Subgoal::Open { container } => [Some(container), None],
+            Subgoal::Gather { resource } => [Some(resource), None],
+            Subgoal::Craft { item } => [Some(item), None],
+            Subgoal::Cook { dish, .. } => [Some(dish), None],
+            Subgoal::Serve { dish } => [Some(dish), None],
+            Subgoal::MoveBox { box_name, dest } => [Some(box_name), Some(dest)],
+            Subgoal::LiftTogether { box_name, .. } => [Some(box_name), None],
+            Subgoal::ArmMove { object, .. } => [Some(object), None],
+            Subgoal::Skill { .. } | Subgoal::Explore | Subgoal::Wait => [None, None],
         }
     }
 

@@ -283,10 +283,10 @@ impl LlmEngine {
     /// is flagged `truncated`, and the quality model is applied to the
     /// *original* length — the information was composed for the model but
     /// could not all reach it.
-    pub fn infer(&mut self, req: LlmRequest) -> Result<LlmResponse, LlmError> {
+    pub fn infer(&mut self, req: LlmRequest<'_>) -> Result<LlmResponse, LlmError> {
         let raw_prompt_tokens = self
             .tokenizer
-            .count_incremental(&mut self.prompt_cache, &req.prompt);
+            .count_incremental(&mut self.prompt_cache, req.prompt);
         if raw_prompt_tokens == 0 {
             return Err(LlmError::EmptyPrompt);
         }
@@ -332,7 +332,7 @@ impl LlmEngine {
                 // re-tokenizing the whole shared prefix every call.
                 let reused = self
                     .prompt_cache
-                    .count_prefix(&self.tokenizer, floor_char(&req.prompt, shared_bytes));
+                    .count_prefix(&self.tokenizer, floor_char(req.prompt, shared_bytes));
                 opts.kv_reused_tokens = opts.kv_reused_tokens.max(reused.min(prompt_tokens));
             }
         }
@@ -368,7 +368,15 @@ impl LlmEngine {
         self.usage.record(prompt_tokens, output_tokens, cost);
         self.last_prompt_tokens = prompt_tokens;
         if self.kv_reuse {
-            self.last_prompt = Some(req.prompt.clone());
+            // Reuse the previous prompt's buffer instead of allocating a
+            // fresh copy every call.
+            match &mut self.last_prompt {
+                Some(buf) => {
+                    buf.clear();
+                    buf.push_str(req.prompt);
+                }
+                None => self.last_prompt = Some(req.prompt.to_owned()),
+            }
         }
 
         // Content-plane corruption, on its own stream, sampled last so the
@@ -412,14 +420,14 @@ impl LlmEngine {
     /// # Errors
     ///
     /// Returns [`LlmError::EmptyPrompt`] if any prompt is empty.
-    pub fn infer_batch(&mut self, reqs: Vec<LlmRequest>) -> Result<Vec<LlmResponse>, LlmError> {
+    pub fn infer_batch(&mut self, reqs: &[LlmRequest<'_>]) -> Result<Vec<LlmResponse>, LlmError> {
         if reqs.is_empty() {
             return Ok(Vec::new());
         }
         let opts = reqs[0].opts;
         let mut sized = Vec::with_capacity(reqs.len());
-        for req in &reqs {
-            let pt = self.tokenizer.count(&req.prompt);
+        for req in reqs {
+            let pt = self.tokenizer.count(req.prompt);
             if pt == 0 {
                 return Err(LlmError::EmptyPrompt);
             }
@@ -464,7 +472,7 @@ mod tests {
     use crate::latency::InferenceOpts;
     use crate::request::Purpose;
 
-    fn planning_req(prompt: &str) -> LlmRequest {
+    fn planning_req(prompt: &str) -> LlmRequest<'_> {
         LlmRequest::new(Purpose::Planning, prompt, 150)
     }
 
@@ -532,10 +540,11 @@ mod tests {
     #[test]
     fn batch_shares_latency_bill() {
         let mut e = LlmEngine::new(ModelProfile::gpt4_api(), 9);
-        let reqs: Vec<LlmRequest> = (0..4)
-            .map(|i| planning_req(&format!("agent {i} next action from candidates")))
+        let prompts: Vec<String> = (0..4)
+            .map(|i| format!("agent {i} next action from candidates"))
             .collect();
-        let resps = e.infer_batch(reqs).unwrap();
+        let reqs: Vec<LlmRequest> = prompts.iter().map(|p| planning_req(p)).collect();
+        let resps = e.infer_batch(&reqs).unwrap();
         assert_eq!(resps.len(), 4);
         // Every member is billed its amortized, non-zero share.
         assert!(resps.iter().all(|r| !r.latency.is_zero()));
@@ -553,7 +562,7 @@ mod tests {
             LlmRequest::new(Purpose::Communication, "compose a short update", 40),
             LlmRequest::new(Purpose::Planning, "plan the hallway sweep and handoff", 300),
         ];
-        let resps = e.infer_batch(reqs).unwrap();
+        let resps = e.infer_batch(&reqs).unwrap();
         let sized: Vec<(u64, u64)> = resps
             .iter()
             .map(|r| (r.prompt_tokens, r.output_tokens))
@@ -574,7 +583,7 @@ mod tests {
     #[test]
     fn empty_batch_ok() {
         let mut e = LlmEngine::new(ModelProfile::gpt4_api(), 9);
-        assert!(e.infer_batch(Vec::new()).unwrap().is_empty());
+        assert!(e.infer_batch(&[]).unwrap().is_empty());
     }
 
     #[test]
@@ -600,12 +609,9 @@ mod tests {
             let mut e = LlmEngine::new(ModelProfile::llama3_8b(), 3).with_kv_reuse(kv);
             let mut total = embodied_profiler::SimDuration::ZERO;
             for step in 0..5 {
+                let prompt = format!("{preamble} step {step}: decide");
                 let r = e
-                    .infer(LlmRequest::new(
-                        Purpose::Planning,
-                        format!("{preamble} step {step}: decide"),
-                        50,
-                    ))
+                    .infer(LlmRequest::new(Purpose::Planning, &prompt, 50))
                     .unwrap();
                 total += r.latency;
             }

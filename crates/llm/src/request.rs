@@ -39,12 +39,17 @@ impl fmt::Display for Purpose {
 }
 
 /// One inference request carrying a *real* prompt string.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct LlmRequest {
+///
+/// The prompt is borrowed, not owned: every module renders into a reusable
+/// buffer and lends it to the engine for the duration of the call, so the
+/// request itself is `Copy` and the hot path never copies prompt bytes.
+/// Retry layers re-submit by copying the (pointer-sized) request value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LlmRequest<'a> {
     /// What the caller wants.
     pub purpose: Purpose,
     /// The fully assembled prompt text.
-    pub prompt: String,
+    pub prompt: &'a str,
     /// Nominal completion length the caller expects; actual output length is
     /// sampled around this (scaled by model verbosity).
     pub expected_output_tokens: u64,
@@ -54,12 +59,12 @@ pub struct LlmRequest {
     pub opts: InferenceOpts,
 }
 
-impl LlmRequest {
+impl<'a> LlmRequest<'a> {
     /// Convenience constructor with default options.
-    pub fn new(purpose: Purpose, prompt: impl Into<String>, expected_output_tokens: u64) -> Self {
+    pub fn new(purpose: Purpose, prompt: &'a str, expected_output_tokens: u64) -> Self {
         LlmRequest {
             purpose,
-            prompt: prompt.into(),
+            prompt,
             expected_output_tokens,
             difficulty: 0.5,
             opts: InferenceOpts::default(),

@@ -22,11 +22,11 @@ pub trait InferenceEndpoint {
     /// # Errors
     ///
     /// Propagates [`LlmError`] when the call ultimately fails.
-    fn infer(&mut self, req: LlmRequest) -> Result<LlmResponse, LlmError>;
+    fn infer(&mut self, req: LlmRequest<'_>) -> Result<LlmResponse, LlmError>;
 }
 
 impl InferenceEndpoint for LlmEngine {
-    fn infer(&mut self, req: LlmRequest) -> Result<LlmResponse, LlmError> {
+    fn infer(&mut self, req: LlmRequest<'_>) -> Result<LlmResponse, LlmError> {
         LlmEngine::infer(self, req)
     }
 }
@@ -272,7 +272,7 @@ impl ResilientEngine {
     /// [`LlmError::EmptyPrompt`] immediately (caller bug, not transient);
     /// the final fault's error once attempts or budget run out; a synthetic
     /// [`LlmError::ServerError`] while the circuit breaker is open.
-    pub fn infer(&mut self, req: LlmRequest) -> Result<LlmResponse, LlmError> {
+    pub fn infer(&mut self, req: LlmRequest<'_>) -> Result<LlmResponse, LlmError> {
         self.calls += 1;
         if self.breaker_remaining > 0 {
             self.breaker_remaining -= 1;
@@ -290,7 +290,9 @@ impl ResilientEngine {
         let mut attempt: u32 = 0;
         loop {
             attempt += 1;
-            match self.engine.infer(req.clone()) {
+            // `LlmRequest` is `Copy` (the prompt is borrowed), so each
+            // attempt re-submits the same value without cloning.
+            match self.engine.infer(req) {
                 Ok(mut resp) => {
                     resp.latency += wasted;
                     self.stats.backoff += waited;
@@ -331,7 +333,7 @@ impl ResilientEngine {
 }
 
 impl InferenceEndpoint for ResilientEngine {
-    fn infer(&mut self, req: LlmRequest) -> Result<LlmResponse, LlmError> {
+    fn infer(&mut self, req: LlmRequest<'_>) -> Result<LlmResponse, LlmError> {
         ResilientEngine::infer(self, req)
     }
 }
@@ -343,7 +345,7 @@ mod tests {
     use crate::profile::ModelProfile;
     use crate::request::Purpose;
 
-    fn req() -> LlmRequest {
+    fn req() -> LlmRequest<'static> {
         LlmRequest::new(
             Purpose::Planning,
             "plan the next subgoal for the agent",

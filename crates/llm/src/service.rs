@@ -537,7 +537,11 @@ impl InferenceService {
     /// The request path behind [`EngineHandle::infer`]: admission control
     /// first (a shed request reaches no engine and draws nothing), then
     /// the tenant's engine stack, then the SLO deadline check.
-    fn infer_checked(&self, tenant: TenantId, req: LlmRequest) -> Result<LlmResponse, LlmError> {
+    fn infer_checked(
+        &self,
+        tenant: TenantId,
+        req: LlmRequest<'_>,
+    ) -> Result<LlmResponse, LlmError> {
         {
             let mut inner = self.inner.borrow_mut();
             let shed_depth = inner.config.shed_depth;
@@ -624,7 +628,7 @@ impl EngineHandle {
     /// admission control and [`LlmError::DeadlineExceeded`] from the SLO
     /// deadline — both non-transient, both absent in the default
     /// pass-through configuration.
-    pub fn infer(&mut self, req: LlmRequest) -> Result<LlmResponse, LlmError> {
+    pub fn infer(&mut self, req: LlmRequest<'_>) -> Result<LlmResponse, LlmError> {
         self.service.infer_checked(self.tenant, req)
     }
 
@@ -661,7 +665,7 @@ impl EngineHandle {
 }
 
 impl InferenceEndpoint for EngineHandle {
-    fn infer(&mut self, req: LlmRequest) -> Result<LlmResponse, LlmError> {
+    fn infer(&mut self, req: LlmRequest<'_>) -> Result<LlmResponse, LlmError> {
         EngineHandle::infer(self, req)
     }
 }
@@ -701,7 +705,7 @@ mod tests {
         )
     }
 
-    fn req(prompt: &str) -> LlmRequest {
+    fn req(prompt: &str) -> LlmRequest<'_> {
         LlmRequest::new(Purpose::Planning, prompt, 150)
     }
 

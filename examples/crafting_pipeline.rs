@@ -31,7 +31,7 @@ fn main() {
             obs.to_prompt_text()
         );
         let response = engine
-            .infer(LlmRequest::new(Purpose::Planning, prompt, 150).with_difficulty(0.85))
+            .infer(LlmRequest::new(Purpose::Planning, &prompt, 150).with_difficulty(0.85))
             .expect("prompt is non-empty");
         clock += response.latency;
 

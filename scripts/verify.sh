@@ -1,8 +1,22 @@
 #!/usr/bin/env bash
 # Full verification gate: build, tests, formatting, lints.
 # Run before every commit; CI runs the same sequence.
+#
+# Optional flags:
+#   --bench   also run the perf smoke gate: a quick criterion pass over the
+#             step loop plus `step_throughput --smoke`, which fails loudly if
+#             single-worker throughput regresses more than 20% against the
+#             checked-in baseline (crates/bench/baselines/step_throughput.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+run_bench=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench) run_bench=1 ;;
+    *) echo "verify.sh: unknown flag $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== cargo build --release =="
 cargo build --release
@@ -52,6 +66,15 @@ cargo build --release -q -p embodied-bench --bin slo_sweep
 
 echo "== bench_all --smoke (sequential vs parallel byte-identity) =="
 cargo run --release -q -p embodied-bench --bin bench_all -- --smoke
+
+if [ "$run_bench" -eq 1 ]; then
+  echo "== bench smoke: criterion step_loop (quick mode) =="
+  CRITERION_SHIM_ITERS=5 cargo bench -q -p embodied-bench --bench step_loop
+
+  echo "== bench smoke: step_throughput --smoke (±20% vs checked-in baseline) =="
+  cargo build --release -q -p embodied-bench --bin step_throughput
+  ./target/release/step_throughput --smoke
+fi
 
 echo "== cargo fmt --check =="
 cargo fmt --check

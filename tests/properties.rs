@@ -137,7 +137,7 @@ proptest! {
         let mut engine = LlmEngine::new(ModelProfile::llama_13b(), seed); // 4k window
         let prompt = "word ".repeat(words);
         let resp = engine
-            .infer(LlmRequest::new(Purpose::Planning, prompt, 100))
+            .infer(LlmRequest::new(Purpose::Planning, &prompt, 100))
             .unwrap();
         prop_assert!(resp.prompt_tokens <= engine.profile().context_window);
         prop_assert!((0.02..=0.99).contains(&resp.quality));
