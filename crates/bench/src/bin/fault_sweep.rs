@@ -16,13 +16,18 @@
 //! `--semantic-faults` appends a grid composing all **three** fault planes
 //! — transport (timeouts/rate limits), content (semantic corruption, with
 //! the re-prompt guardrail on), and agent+channel (crashes + lossy links)
-//! — in one run. The default invocation's output is unchanged by either
-//! flag's existence.
+//! — in one run. `--all-planes` appends the full composition: LLM ×
+//! agent+channel × semantic × serving faults toggled independently in one
+//! 2⁴ grid per system under fixed mitigation policies (standard retries,
+//! reprompt(2) guardrail, coordinator failover, 2 replicas). The default
+//! invocation's output is unchanged by any flag's existence.
 
 use embodied_agents::{workloads, AgentFaultProfile, ChannelProfile, RepairPolicy, RunOverrides};
 use embodied_bench::{banner, episodes, ExperimentOutput, SweepPlan};
 use embodied_env::TaskDifficulty;
-use embodied_llm::{FaultProfile, RetryPolicy, SemanticFaultProfile};
+use embodied_llm::{
+    FaultProfile, RetryPolicy, SemanticFaultProfile, ServingConfig, ServingFaultProfile,
+};
 use embodied_profiler::{pct, Table};
 
 type PolicyCtor = fn() -> RetryPolicy;
@@ -47,10 +52,70 @@ const TRIPLANE_SEMANTIC_RATES: [f64; 3] = [0.0, 0.10, 0.20];
 /// Fixed agent+channel rate for the `--semantic-faults` three-plane grid.
 const TRIPLANE_AGENT_RATE: f64 = 0.02;
 
+/// Per-plane "on" rates for the `--all-planes` 2⁴ composition grid:
+/// (LLM transport, agent+channel, semantic, serving).
+const ALL_PLANES_RATES: (f64, f64, f64, f64) = (0.05, 0.02, 0.10, 0.08);
+
+/// The 2⁴ on/off corners of the `--all-planes` grid, in render order.
+fn all_planes_cells() -> Vec<(bool, bool, bool, bool)> {
+    let mut cells = Vec::with_capacity(16);
+    for llm in [false, true] {
+        for agent in [false, true] {
+            for semantic in [false, true] {
+                for serving in [false, true] {
+                    cells.push((llm, agent, semantic, serving));
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Overrides for one `--all-planes` cell: each plane toggled at its fixed
+/// rate, mitigation policies identical in every cell so the grid isolates
+/// the faults, not the policies.
+fn all_planes_overrides(cell: (bool, bool, bool, bool)) -> RunOverrides {
+    let (llm, agent, semantic, serving) = cell;
+    let (llm_rate, agent_rate, semantic_rate, serving_rate) = ALL_PLANES_RATES;
+    RunOverrides {
+        difficulty: Some(TaskDifficulty::Medium),
+        fault_profile: Some(if llm {
+            FaultProfile::uniform(llm_rate)
+        } else {
+            FaultProfile::none()
+        }),
+        retry_policy: Some(RetryPolicy::standard()),
+        agent_faults: Some(if agent {
+            AgentFaultProfile::uniform_with_failover(agent_rate)
+        } else {
+            AgentFaultProfile::none()
+        }),
+        channel: Some(if agent {
+            ChannelProfile::lossy(agent_rate)
+        } else {
+            ChannelProfile::none()
+        }),
+        semantic_faults: Some(if semantic {
+            SemanticFaultProfile::uniform(semantic_rate)
+        } else {
+            SemanticFaultProfile::none()
+        }),
+        repair_policy: Some(RepairPolicy::Reprompt { max_attempts: 2 }),
+        serving: Some(ServingConfig::limited(2).with_replicas(2)),
+        serving_faults: Some(if serving {
+            ServingFaultProfile::stressed(serving_rate)
+        } else {
+            ServingFaultProfile::none()
+        }),
+        ..Default::default()
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let agent_axis = args.iter().any(|a| a == "--agent-faults");
     let semantic_axis = args.iter().any(|a| a == "--semantic-faults");
+    let all_planes = args.iter().any(|a| a == "--all-planes");
     let mut out = ExperimentOutput::new("fault_sweep");
     banner(
         &mut out,
@@ -117,6 +182,17 @@ fn main() {
                     };
                     plan.add(&spec, &overrides, episodes());
                 }
+            }
+        }
+    }
+    // Full four-plane composition (--all-planes): every on/off corner of
+    // LLM × agent+channel × semantic × serving fault injection, one grid
+    // per system, queued into the same fan-out.
+    if all_planes {
+        for name in SYSTEMS {
+            let spec = workloads::find(name).expect("suite member");
+            for cell in all_planes_cells() {
+                plan.add(&spec, &all_planes_overrides(cell), episodes());
             }
         }
     }
@@ -260,6 +336,66 @@ fn main() {
              faults cost steps (downtime) — each plane drains a different \
              budget, and the guardrail keeps the content plane from leaking \
              into failed actuations even while the other two planes fire.",
+        );
+    }
+
+    if all_planes {
+        let (llm_rate, agent_rate, semantic_rate, serving_rate) = ALL_PLANES_RATES;
+        for name in SYSTEMS {
+            let spec = workloads::find(name).expect("suite member");
+            out.section(&format!(
+                "{name} ({}) — all four planes: LLM {:.0}% x agent {:.0}% x \
+                 semantic {:.0}% x serving {:.0}%, fixed mitigations",
+                spec.paradigm,
+                llm_rate * 100.0,
+                agent_rate * 100.0,
+                semantic_rate * 100.0,
+                serving_rate * 100.0
+            ));
+            let mut table = Table::new([
+                "LLM",
+                "agent",
+                "semantic",
+                "serving",
+                "success",
+                "steps",
+                "end-to-end",
+                "LLM faults/ep",
+                "downtime/ep",
+                "rejections/ep",
+                "serving faults/ep",
+                "degraded/ep",
+            ]);
+            let onoff = |flag: bool| if flag { "on" } else { "-" }.to_owned();
+            for cell in all_planes_cells() {
+                let agg = results.take_agg(name);
+                table.row([
+                    onoff(cell.0),
+                    onoff(cell.1),
+                    onoff(cell.2),
+                    onoff(cell.3),
+                    pct(agg.success_rate),
+                    format!("{:.1}", agg.mean_steps),
+                    agg.mean_latency.to_string(),
+                    format!("{:.1}", agg.faults_per_episode()),
+                    format!("{:.1}", agg.downtime_per_episode()),
+                    format!("{:.1}", agg.rejections_per_episode()),
+                    format!("{:.1}", agg.serving_faults_per_episode()),
+                    format!("{:.1}", agg.degraded_per_episode()),
+                ]);
+            }
+            out.line(table.render());
+        }
+        out.line(
+            "All-planes reading: the four planes drain four different \
+             budgets — latency (retried transport faults), steps (agent \
+             downtime), tokens (guardrail re-prompts) and queue time \
+             (serving failover/brownouts) — so the all-on corner degrades \
+             roughly multiplicatively, and any single-plane column can be \
+             read off against the all-off corner as its marginal cost. The \
+             adversarial counterpart to this uniform grid is \
+             scenario_evolve, which searches *between* these corners for \
+             the paradigm's weakest composition.",
         );
     }
 }

@@ -1,0 +1,337 @@
+//! Adversarial scenario evolution — auto-discovering the failure frontier.
+//!
+//! Runs a deterministic evolutionary search ([`embodied_bench::evolve`])
+//! per cooperation paradigm over all four fault planes (LLM transport,
+//! agent/channel, semantic, serving) plus the mitigation policies, looking
+//! for the scenario that does the most damage *per unit of injected fault
+//! probability*. Reports the per-generation progress, the hardest
+//! scenarios found, and how they compare against the fixed `fault_sweep`
+//! grid at equal fault budget.
+//!
+//! ```text
+//! cargo run --release -p embodied-bench --bin scenario_evolve \
+//!     [-- --smoke | --population N --generations N --episodes N \
+//!         --seed N --write-fixtures]
+//! ```
+//!
+//! * `--smoke` shrinks the search (population 6, 2 generations, 2
+//!   episodes/eval) and writes to `results/scenario_evolve_smoke.md` so CI
+//!   never clobbers the committed full report;
+//! * `--write-fixtures` re-evaluates the top two scenarios per paradigm
+//!   and pins them (genotype + outcome envelope) as JSON fixtures under
+//!   `crates/bench/fixtures/scenarios/`, replayed by the
+//!   `regression_scenarios` test.
+//!
+//! Same seed ⇒ byte-identical report and fixtures at any worker count.
+
+use embodied_agents::{workloads, Paradigm, RunOverrides};
+use embodied_bench::{
+    base_seed, evolve, jobs, EvolveParams, ExperimentOutput, ScenarioGenotype, SweepPlan,
+};
+use embodied_env::TaskDifficulty;
+use embodied_llm::{FaultProfile, RetryPolicy};
+use embodied_profiler::{pct, Aggregate, JsonValue, Table, ToJson};
+use std::path::PathBuf;
+
+const PARADIGMS: [Paradigm; 4] = [
+    Paradigm::SingleModular,
+    Paradigm::Centralized,
+    Paradigm::Decentralized,
+    Paradigm::Hybrid,
+];
+
+/// Canonical fixed-grid workload per paradigm (matches `fault_sweep`,
+/// plus HMAS for the hybrid paradigm which the fixed grid omits).
+fn grid_system(paradigm: Paradigm) -> &'static str {
+    match paradigm {
+        Paradigm::SingleModular => "DEPS",
+        Paradigm::Centralized => "MindAgent",
+        Paradigm::Decentralized => "CoELA",
+        Paradigm::Hybrid => "HMAS",
+    }
+}
+
+/// Non-zero LLM fault rates of the fixed `fault_sweep` grid.
+const GRID_RATES: [f64; 4] = [0.02, 0.05, 0.10, 0.20];
+
+struct Cli {
+    population: usize,
+    generations: usize,
+    eval_episodes: usize,
+    seed: u64,
+    smoke: bool,
+    write_fixtures: bool,
+}
+
+fn parse_cli() -> Cli {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = Cli {
+        population: 12,
+        generations: 6,
+        eval_episodes: 4,
+        seed: base_seed(),
+        smoke: false,
+        write_fixtures: false,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i)
+            .unwrap_or_else(|| panic!("{} needs a value", args[*i - 1]))
+            .clone()
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => cli.smoke = true,
+            "--write-fixtures" => cli.write_fixtures = true,
+            "--population" => cli.population = value(&mut i).parse().expect("population"),
+            "--generations" => cli.generations = value(&mut i).parse().expect("generations"),
+            "--episodes" => cli.eval_episodes = value(&mut i).parse().expect("episodes"),
+            "--seed" => cli.seed = value(&mut i).parse().expect("seed"),
+            other => panic!("unknown flag {other:?}"),
+        }
+        i += 1;
+    }
+    if cli.smoke {
+        cli.population = 6;
+        cli.generations = 2;
+        cli.eval_episodes = 2;
+    }
+    cli
+}
+
+/// Runs one genotype for `episodes` episodes and aggregates — the exact
+/// evaluation the fixture replay test repeats.
+fn replay(genotype: &ScenarioGenotype, episodes: usize, seed: u64) -> Aggregate {
+    let spec = workloads::find(&genotype.system).expect("fixture system in registry");
+    let mut plan = SweepPlan::new();
+    plan.add_seeded(&spec, &genotype.overrides(), episodes, seed);
+    let mut results = plan.run_with(jobs());
+    results
+        .take_result()
+        .map(|reports| Aggregate::from_reports("fixture", &reports))
+        .unwrap_or_else(|msg| panic!("fixture replay panicked: {msg}"))
+}
+
+/// Pins one scenario as a JSON fixture: genotype + outcome envelope.
+fn write_fixture(dir: &PathBuf, paradigm: Paradigm, rank: usize, g: &ScenarioGenotype, cli: &Cli) {
+    let agg = replay(g, cli.eval_episodes, cli.seed);
+    let envelope = JsonValue::Object(vec![
+        ("success_rate".into(), JsonValue::Num(agg.success_rate)),
+        (
+            "gave_up".into(),
+            JsonValue::Num(agg.resilience.gave_up as f64),
+        ),
+        (
+            "shed".into(),
+            JsonValue::Num(agg.serving_faults.shed as f64),
+        ),
+        (
+            "serving_failovers".into(),
+            JsonValue::Num(agg.serving_faults.failovers as f64),
+        ),
+        (
+            "agent_crashes".into(),
+            JsonValue::Num(agg.agent_faults.crashes as f64),
+        ),
+        (
+            "repair_attempts".into(),
+            JsonValue::Num(agg.repairs.repair_attempts as f64),
+        ),
+        ("mean_steps".into(), JsonValue::Num(agg.mean_steps)),
+        ("cost_usd".into(), JsonValue::Num(agg.tokens.cost_usd)),
+    ]);
+    let fixture = JsonValue::Object(vec![
+        (
+            "format".into(),
+            JsonValue::Str("scenario-fixture-v1".into()),
+        ),
+        ("paradigm".into(), JsonValue::Str(paradigm.to_string())),
+        ("rank".into(), JsonValue::Num(rank as f64)),
+        (
+            "eval".into(),
+            JsonValue::Object(vec![
+                ("episodes".into(), JsonValue::Num(cli.eval_episodes as f64)),
+                ("base_seed".into(), JsonValue::Num(cli.seed as f64)),
+            ]),
+        ),
+        ("genotype".into(), g.to_json()),
+        ("envelope".into(), envelope),
+    ]);
+    std::fs::create_dir_all(dir).expect("create fixtures dir");
+    let path = dir.join(format!("{paradigm}-{rank}.json"));
+    std::fs::write(&path, fixture.render_pretty()).expect("write fixture");
+    println!("pinned {}", path.display());
+}
+
+fn main() {
+    let cli = parse_cli();
+    let name = if cli.smoke {
+        "scenario_evolve_smoke"
+    } else {
+        "scenario_evolve"
+    };
+    let mut out = ExperimentOutput::new(name);
+    out.line("# Adversarial scenario evolution");
+    out.blank();
+    out.line(format!(
+        "Seeded evolutionary search for the failure frontier: damage per \
+         unit fault budget across all four fault planes (population {}, \
+         {} generations, {} episodes/eval, seed {}). Deterministic: the \
+         same seed replays byte-identically at any worker count.",
+        cli.population, cli.generations, cli.eval_episodes, cli.seed
+    ));
+
+    let fixtures_dir = PathBuf::from("crates/bench/fixtures/scenarios");
+    let mut frontier_verdicts = Vec::new();
+
+    for paradigm in PARADIGMS {
+        let params = EvolveParams {
+            paradigm,
+            population: cli.population,
+            generations: cli.generations,
+            eval_episodes: cli.eval_episodes,
+            seed: cli.seed,
+            workers: jobs(),
+        };
+        let outcome = evolve(&params);
+
+        out.section(&format!("{paradigm} — frontier search"));
+        let mut gen_table = Table::new([
+            "generation",
+            "best fitness",
+            "mean fitness",
+            "best drop",
+            "best budget",
+        ]);
+        for g in &outcome.history {
+            gen_table.row([
+                g.generation.to_string(),
+                format!("{:.3}", g.best_fitness),
+                format!("{:.3}", g.mean_fitness),
+                pct(g.best_drop),
+                format!("{:.3}", g.best_budget),
+            ]);
+        }
+        out.line(gen_table.render());
+        out.line(format!(
+            "{} distinct scenarios evaluated, {} lost episodes to panics.",
+            outcome.evaluations, outcome.panics
+        ));
+
+        out.blank();
+        out.line("Hardest scenarios found:");
+        out.blank();
+        let mut top_table = Table::new([
+            "rank",
+            "fitness",
+            "drop",
+            "budget",
+            "baseline",
+            "success",
+            "mitigation/ep",
+            "extra $/ep",
+            "scenario",
+        ]);
+        for (rank, s) in outcome.ranked.iter().take(3).enumerate() {
+            top_table.row([
+                (rank + 1).to_string(),
+                format!("{:.3}", s.fitness),
+                pct(s.success_drop),
+                format!("{:.3}", s.budget),
+                pct(s.baseline_success),
+                pct(s.success_rate),
+                format!("{:.1}", s.mitigation_per_episode),
+                format!("{:.4}", s.extra_cost_usd),
+                s.genotype.summary(),
+            ]);
+        }
+        out.line(top_table.render());
+
+        // Fixed-grid comparison: the fault_sweep cells for this paradigm's
+        // canonical workload — uniform LLM faults under standard retries —
+        // scored on the same drop-per-budget axis.
+        let system = grid_system(paradigm);
+        let spec = workloads::find(system).expect("suite member");
+        let mut plan = SweepPlan::new();
+        for rate in std::iter::once(0.0).chain(GRID_RATES) {
+            let overrides = RunOverrides {
+                difficulty: Some(TaskDifficulty::Medium),
+                fault_profile: Some(FaultProfile::uniform(rate)),
+                retry_policy: Some(RetryPolicy::standard()),
+                ..Default::default()
+            };
+            plan.add_seeded(&spec, &overrides, cli.eval_episodes, cli.seed);
+        }
+        let mut results = plan.run_with(jobs());
+        let grid_base = results.take_agg(system);
+        out.blank();
+        out.line(format!(
+            "Fixed-grid reference ({system}, uniform LLM faults, standard \
+             retries, baseline success {}):",
+            pct(grid_base.success_rate)
+        ));
+        out.blank();
+        let mut grid_table = Table::new(["LLM rate", "budget", "success", "drop", "drop/budget"]);
+        let mut grid_best = 0.0f64;
+        for rate in GRID_RATES {
+            let agg = results.take_agg(system);
+            let profile = FaultProfile::uniform(rate);
+            let budget = profile.error_rate() + profile.latency_spike;
+            let drop = (grid_base.success_rate - agg.success_rate).max(0.0);
+            grid_best = grid_best.max(drop / budget);
+            grid_table.row([
+                format!("{:.0}%", rate * 100.0),
+                format!("{budget:.3}"),
+                pct(agg.success_rate),
+                pct(drop),
+                format!("{:.3}", drop / budget),
+            ]);
+        }
+        out.line(grid_table.render());
+
+        let best = &outcome.ranked[0];
+        let evolved_ratio = best.success_drop / best.budget.max(embodied_bench::evolve::MIN_BUDGET);
+        let verdict = if evolved_ratio > grid_best {
+            "BEYOND the fixed grid"
+        } else {
+            "inside the fixed grid"
+        };
+        out.blank();
+        out.line(format!(
+            "Frontier verdict: evolved best scores {evolved_ratio:.3} \
+             success-drop per unit budget vs {grid_best:.3} for the \
+             hardest fixed-grid cell — {verdict}."
+        ));
+        frontier_verdicts.push((paradigm, evolved_ratio, grid_best));
+
+        if cli.write_fixtures {
+            for (rank, s) in outcome.ranked.iter().take(2).enumerate() {
+                write_fixture(&fixtures_dir, paradigm, rank + 1, &s.genotype, &cli);
+            }
+        }
+    }
+
+    out.section("Reading");
+    out.line(
+        "The search optimizes damage per unit of injected probability \
+         mass, so it converges on *aimed* scenarios — a coordinator crash \
+         with failover disabled, semantic corruption past the guardrail \
+         budget, serving brownouts under a tight SLO — rather than blunt \
+         all-planes-at-max barrages. Cells of the fixed fault_sweep grid \
+         spread the same budget uniformly across transport fault kinds; \
+         the evolved scenarios concentrate it where the paradigm is \
+         weakest, which is why their drop-per-budget sits above every \
+         fixed cell. The pinned fixtures under \
+         crates/bench/fixtures/scenarios/ hold this frontier in place: \
+         `cargo test -p embodied-bench --test regression_scenarios` \
+         replays each one and asserts its outcome envelope.",
+    );
+    let beyond = frontier_verdicts.iter().filter(|(_, e, g)| e > g).count();
+    out.blank();
+    out.line(format!(
+        "Frontier summary: {beyond}/{} paradigms have an evolved scenario \
+         strictly harder (per unit budget) than every fixed-grid cell.",
+        PARADIGMS.len()
+    ));
+}

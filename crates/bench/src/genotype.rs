@@ -1,0 +1,715 @@
+//! Scenario genotypes: the heritable encoding of one adversarial fault
+//! scenario for the evolutionary search in [`crate::evolve`].
+//!
+//! A genotype fixes everything an episode's robustness depends on — which
+//! suite member runs (within one cooperation paradigm), team size and task
+//! difficulty, all **four** fault planes (LLM transport, agent/channel,
+//! semantic content, serving infrastructure), and the mitigation policies
+//! layered on top (retry preset, guardrail repair policy, serving
+//! resilience preset). Its phenotype is a plain [`RunOverrides`], so an
+//! evolved scenario replays through the exact same orchestrator stack as
+//! every hand-written sweep — there is no separate "evolution" code path in
+//! the episode engine.
+//!
+//! Determinism contract: all mutation/crossover randomness comes from the
+//! caller's [`StdRng`] (the evolution loop keeps that RNG on the main
+//! thread), every rate is quantized to 3 decimals so genotypes render to
+//! byte-identical JSON, and a genotype whose [`fault_budget`] is zero
+//! applies only profiles whose `is_none()` fast paths perform **zero**
+//! fault-stream draws — its episodes replay byte-identically to runs
+//! without any fault plane configured at all.
+//!
+//! [`fault_budget`]: ScenarioGenotype::fault_budget
+
+use embodied_agents::{
+    workloads, AgentFaultProfile, ChannelProfile, Paradigm, RepairPolicy, RunOverrides,
+    WorkloadSpec,
+};
+use embodied_env::TaskDifficulty;
+use embodied_llm::{
+    FaultProfile, RetryPolicy, SemanticFaultProfile, ServingConfig, ServingFaultProfile,
+};
+use embodied_profiler::{FromJson, JsonError, JsonValue, SimDuration, ToJson};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt;
+
+/// Per-kind cap on LLM transport error rates (timeout, rate limit, server
+/// error, truncated output).
+const MAX_LLM_ERROR: f64 = 0.08;
+/// Cap on the LLM latency-spike rate.
+const MAX_LLM_SPIKE: f64 = 0.15;
+/// Cap on agent-plane rates (crash, stall, coordinator crash).
+const MAX_AGENT: f64 = 0.08;
+/// Cap on channel-plane rates (drop, duplicate, corrupt, delay, partition).
+const MAX_CHANNEL: f64 = 0.12;
+/// Per-kind cap on semantic content-corruption rates.
+const MAX_SEMANTIC: f64 = 0.12;
+/// Cap on the summed semantic rate (they share one cumulative draw).
+const MAX_SEMANTIC_TOTAL: f64 = 0.4;
+/// Cap on serving-plane rates (replica crash, brownout).
+const MAX_SERVING: f64 = 0.15;
+/// Largest multi-agent team the search may request.
+const MAX_TEAM: usize = 4;
+
+/// Quantizes a rate to 3 decimals so genotype JSON is byte-stable and the
+/// fault budget is exact decimal arithmetic.
+fn q3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+/// A fresh rate in `[0, max]`, quantized.
+fn draw_rate(rng: &mut StdRng, max: f64) -> f64 {
+    q3(rng.gen_range(0.0..=max))
+}
+
+/// Nudges a rate by up to ±0.04, clamped to `[0, max]`, quantized.
+fn nudge_rate(rng: &mut StdRng, cur: f64, max: f64) -> f64 {
+    q3((cur + rng.gen_range(-0.04..=0.04)).clamp(0.0, max))
+}
+
+/// Retry-policy preset gene — the three policies the fixed sweeps compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryPreset {
+    /// [`RetryPolicy::none`]: one attempt, every fault surfaces.
+    None,
+    /// [`RetryPolicy::standard`]: production-shaped backoff.
+    Standard,
+    /// [`RetryPolicy::aggressive`]: retry hard, wait long.
+    Aggressive,
+}
+
+impl RetryPreset {
+    /// All presets, in draw order.
+    pub const ALL: [RetryPreset; 3] = [
+        RetryPreset::None,
+        RetryPreset::Standard,
+        RetryPreset::Aggressive,
+    ];
+
+    /// The concrete policy this preset names.
+    pub fn policy(self) -> RetryPolicy {
+        match self {
+            RetryPreset::None => RetryPolicy::none(),
+            RetryPreset::Standard => RetryPolicy::standard(),
+            RetryPreset::Aggressive => RetryPolicy::aggressive(),
+        }
+    }
+}
+
+impl fmt::Display for RetryPreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RetryPreset::None => "none",
+            RetryPreset::Standard => "standard",
+            RetryPreset::Aggressive => "aggressive",
+        })
+    }
+}
+
+impl ToJson for RetryPreset {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl FromJson for RetryPreset {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        match value
+            .as_str()
+            .ok_or_else(|| JsonError::msg("retry preset: expected a string"))?
+        {
+            "none" => Ok(RetryPreset::None),
+            "standard" => Ok(RetryPreset::Standard),
+            "aggressive" => Ok(RetryPreset::Aggressive),
+            other => Err(JsonError::msg(format!("unknown retry preset: {other:?}"))),
+        }
+    }
+}
+
+/// Serving-stack preset gene — how the shared inference service is wired
+/// (replication, SLO deadline, hedging, shedding). Faults ride separately
+/// in [`ScenarioGenotype::serving_faults`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingPreset {
+    /// Pass-through service: single infallible-scheduling replica, no SLO
+    /// machinery (the legacy per-module path).
+    Passthrough,
+    /// Three replicas behind a 2-slot concurrency limit — failover has a
+    /// healthy peer to target but no SLO tier is active.
+    Replicated,
+    /// Two replicas, 2 slots, 30 s deadline and no hedging/shedding — the
+    /// tier where brownouts and cold restarts blow the SLO directly.
+    TightSlo,
+    /// Three replicas, 2 slots, 30 s deadline, 2 s hedging, shedding past 3
+    /// placements — the full mitigation stack (which an adversary can still
+    /// turn into wasted hedges and shed work).
+    Guarded,
+}
+
+impl ServingPreset {
+    /// All presets, in draw order.
+    pub const ALL: [ServingPreset; 4] = [
+        ServingPreset::Passthrough,
+        ServingPreset::Replicated,
+        ServingPreset::TightSlo,
+        ServingPreset::Guarded,
+    ];
+
+    /// The concrete serving configuration (fault-free; the genotype's
+    /// serving faults are layered on by [`ScenarioGenotype::overrides`]).
+    pub fn config(self) -> ServingConfig {
+        match self {
+            ServingPreset::Passthrough => ServingConfig::default(),
+            ServingPreset::Replicated => ServingConfig::limited(2).with_replicas(3),
+            ServingPreset::TightSlo => ServingConfig::limited(2)
+                .with_replicas(2)
+                .with_deadline(SimDuration::from_secs(30)),
+            ServingPreset::Guarded => ServingConfig::limited(2)
+                .with_replicas(3)
+                .with_deadline(SimDuration::from_secs(30))
+                .with_hedging(SimDuration::from_secs(2))
+                .with_shedding(3),
+        }
+    }
+}
+
+impl fmt::Display for ServingPreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ServingPreset::Passthrough => "passthrough",
+            ServingPreset::Replicated => "replicated",
+            ServingPreset::TightSlo => "tight-slo",
+            ServingPreset::Guarded => "guarded",
+        })
+    }
+}
+
+impl ToJson for ServingPreset {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl FromJson for ServingPreset {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        match value
+            .as_str()
+            .ok_or_else(|| JsonError::msg("serving preset: expected a string"))?
+        {
+            "passthrough" => Ok(ServingPreset::Passthrough),
+            "replicated" => Ok(ServingPreset::Replicated),
+            "tight-slo" => Ok(ServingPreset::TightSlo),
+            "guarded" => Ok(ServingPreset::Guarded),
+            other => Err(JsonError::msg(format!("unknown serving preset: {other:?}"))),
+        }
+    }
+}
+
+/// One heritable fault scenario: workload + shape + all four fault planes +
+/// mitigation policies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioGenotype {
+    /// Suite member to run (always one of its paradigm's systems).
+    pub system: String,
+    /// Task difficulty.
+    pub difficulty: TaskDifficulty,
+    /// Team size (always 1 for single-modular systems).
+    pub num_agents: usize,
+    /// Fault plane 1: LLM transport faults.
+    pub llm: FaultProfile,
+    /// Retry/backoff mitigation for the transport plane.
+    pub retry: RetryPreset,
+    /// Fault plane 2a: agent-process faults.
+    pub agent: AgentFaultProfile,
+    /// Fault plane 2b: message-channel faults.
+    pub channel: ChannelProfile,
+    /// Fault plane 3: semantic content corruption.
+    pub semantic: SemanticFaultProfile,
+    /// Guardrail mitigation for the semantic plane.
+    pub repair: RepairPolicy,
+    /// Serving-stack wiring (replication/SLO tier).
+    pub serving: ServingPreset,
+    /// Fault plane 4: serving-infrastructure faults.
+    pub serving_faults: ServingFaultProfile,
+}
+
+/// The suite members of one paradigm, in registry order — the gene pool for
+/// the `system` gene.
+pub fn systems_of(paradigm: Paradigm) -> Vec<WorkloadSpec> {
+    workloads::registry()
+        .into_iter()
+        .filter(|spec| spec.paradigm == paradigm)
+        .collect()
+}
+
+impl ScenarioGenotype {
+    /// Draws a random scenario for `paradigm` from `rng`.
+    pub fn random(paradigm: Paradigm, rng: &mut StdRng) -> Self {
+        let systems = systems_of(paradigm);
+        assert!(!systems.is_empty(), "paradigm {paradigm} has no systems");
+        let spec = &systems[rng.gen_range(0..systems.len())];
+        let num_agents = if spec.is_multi_agent() {
+            rng.gen_range(2..=MAX_TEAM)
+        } else {
+            1
+        };
+        let difficulty = TaskDifficulty::ALL[rng.gen_range(0..TaskDifficulty::ALL.len())];
+        ScenarioGenotype {
+            system: spec.name.to_string(),
+            difficulty,
+            num_agents,
+            llm: draw_llm(rng),
+            retry: RetryPreset::ALL[rng.gen_range(0..RetryPreset::ALL.len())],
+            agent: draw_agent(rng),
+            channel: draw_channel(rng),
+            semantic: draw_semantic(rng),
+            repair: draw_repair(rng),
+            serving: ServingPreset::ALL[rng.gen_range(0..ServingPreset::ALL.len())],
+            serving_faults: draw_serving_faults(rng),
+        }
+    }
+
+    /// The paradigm this genotype's system belongs to.
+    pub fn paradigm(&self) -> Paradigm {
+        workloads::find(&self.system)
+            .unwrap_or_else(|| panic!("unknown system {:?}", self.system))
+            .paradigm
+    }
+
+    /// Total injected-fault probability mass across all four planes — the
+    /// denominator of the damage-per-budget fitness. Zero budget means
+    /// every plane's `is_none()` fast path is taken and episodes perform
+    /// zero fault-stream draws.
+    pub fn fault_budget(&self) -> f64 {
+        let llm = self.llm.error_rate() + self.llm.latency_spike;
+        let agent = self.agent.crash + self.agent.stall + self.agent.coordinator_crash;
+        let channel = self.channel.drop
+            + self.channel.duplicate
+            + self.channel.corrupt
+            + self.channel.delay
+            + self.channel.partition;
+        let semantic = self.semantic.error_rate();
+        let serving = self.serving_faults.crash_rate + self.serving_faults.brownout_rate;
+        llm + agent + channel + semantic + serving
+    }
+
+    /// The phenotype: plain run overrides replaying this scenario through
+    /// the standard orchestrator stack.
+    pub fn overrides(&self) -> RunOverrides {
+        RunOverrides {
+            difficulty: Some(self.difficulty),
+            num_agents: Some(self.num_agents),
+            fault_profile: Some(self.llm),
+            retry_policy: Some(self.retry.policy()),
+            agent_faults: Some(self.agent),
+            channel: Some(self.channel),
+            semantic_faults: Some(self.semantic),
+            repair_policy: Some(self.repair),
+            serving: Some(self.serving.config()),
+            serving_faults: Some(self.serving_faults),
+            ..Default::default()
+        }
+    }
+
+    /// Structural validity: the system exists, the team size is legal, and
+    /// every fault profile passes its validated constructor within the
+    /// search caps. Mutation and crossover must preserve this.
+    pub fn validate(&self) -> Result<(), String> {
+        let spec = workloads::find(&self.system)
+            .ok_or_else(|| format!("unknown system {:?}", self.system))?;
+        if spec.is_multi_agent() {
+            if !(2..=MAX_TEAM).contains(&self.num_agents) {
+                return Err(format!("team size {} out of range", self.num_agents));
+            }
+        } else if self.num_agents != 1 {
+            return Err(format!(
+                "single-modular system with team size {}",
+                self.num_agents
+            ));
+        }
+        self.llm.validated().map_err(|e| format!("llm: {e}"))?;
+        self.agent.validated().map_err(|e| format!("agent: {e}"))?;
+        self.channel
+            .validated()
+            .map_err(|e| format!("channel: {e}"))?;
+        self.semantic
+            .validated()
+            .map_err(|e| format!("semantic: {e}"))?;
+        self.serving_faults
+            .validated()
+            .map_err(|e| format!("serving: {e}"))?;
+        if self.semantic.error_rate() > MAX_SEMANTIC_TOTAL + 1e-9 {
+            return Err(format!(
+                "semantic total {} exceeds search cap {MAX_SEMANTIC_TOTAL}",
+                self.semantic.error_rate()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Mutates one to two gene groups in place. All randomness comes from
+    /// `rng`; the result always passes [`ScenarioGenotype::validate`].
+    pub fn mutate(&mut self, rng: &mut StdRng) {
+        let ops = 1 + rng.gen_range(0..2);
+        for _ in 0..ops {
+            match rng.gen_range(0..8) {
+                0 => self.mutate_shape(rng),
+                1 => {
+                    for rate in [
+                        &mut self.llm.timeout,
+                        &mut self.llm.rate_limit,
+                        &mut self.llm.server_error,
+                        &mut self.llm.truncated_output,
+                    ] {
+                        if rng.gen_bool(0.5) {
+                            *rate = nudge_rate(rng, *rate, MAX_LLM_ERROR);
+                        }
+                    }
+                    self.llm.latency_spike = nudge_rate(rng, self.llm.latency_spike, MAX_LLM_SPIKE);
+                }
+                2 => self.retry = RetryPreset::ALL[rng.gen_range(0..RetryPreset::ALL.len())],
+                3 => {
+                    self.agent.crash = nudge_rate(rng, self.agent.crash, MAX_AGENT);
+                    self.agent.stall = nudge_rate(rng, self.agent.stall, MAX_AGENT);
+                    self.agent.coordinator_crash =
+                        nudge_rate(rng, self.agent.coordinator_crash, MAX_AGENT);
+                    if rng.gen_bool(0.25) {
+                        self.agent.failover = !self.agent.failover;
+                    }
+                }
+                4 => {
+                    for rate in [
+                        &mut self.channel.drop,
+                        &mut self.channel.duplicate,
+                        &mut self.channel.corrupt,
+                        &mut self.channel.delay,
+                        &mut self.channel.partition,
+                    ] {
+                        if rng.gen_bool(0.5) {
+                            *rate = nudge_rate(rng, *rate, MAX_CHANNEL);
+                        }
+                    }
+                }
+                5 => {
+                    for rate in [
+                        &mut self.semantic.malformed,
+                        &mut self.semantic.hallucinated_entity,
+                        &mut self.semantic.invalid_action,
+                        &mut self.semantic.context_truncation,
+                    ] {
+                        if rng.gen_bool(0.5) {
+                            *rate = nudge_rate(rng, *rate, MAX_SEMANTIC);
+                        }
+                    }
+                    clamp_semantic(&mut self.semantic);
+                }
+                6 => self.repair = draw_repair(rng),
+                7 => {
+                    if rng.gen_bool(0.5) {
+                        self.serving =
+                            ServingPreset::ALL[rng.gen_range(0..ServingPreset::ALL.len())];
+                    } else {
+                        self.serving_faults.crash_rate =
+                            nudge_rate(rng, self.serving_faults.crash_rate, MAX_SERVING);
+                        self.serving_faults.brownout_rate =
+                            nudge_rate(rng, self.serving_faults.brownout_rate, MAX_SERVING);
+                        sync_serving_durations(&mut self.serving_faults);
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    /// Mutates the workload-shape genes: system (within the paradigm),
+    /// difficulty, or team size.
+    fn mutate_shape(&mut self, rng: &mut StdRng) {
+        match rng.gen_range(0..3) {
+            0 => {
+                let systems = systems_of(self.paradigm());
+                let spec = &systems[rng.gen_range(0..systems.len())];
+                self.system = spec.name.to_string();
+                self.num_agents = if spec.is_multi_agent() {
+                    self.num_agents.clamp(2, MAX_TEAM)
+                } else {
+                    1
+                };
+            }
+            1 => {
+                self.difficulty = TaskDifficulty::ALL[rng.gen_range(0..TaskDifficulty::ALL.len())];
+            }
+            _ => {
+                if workloads::find(&self.system)
+                    .expect("valid system")
+                    .is_multi_agent()
+                {
+                    self.num_agents = rng.gen_range(2..=MAX_TEAM);
+                }
+            }
+        }
+    }
+
+    /// Uniform per-gene crossover: each gene group comes from `a` or `b`
+    /// with equal probability. `a` donates the workload-shape genes
+    /// (system/difficulty/team) as one linked block so the child never
+    /// pairs a team size with the wrong paradigm.
+    pub fn crossover(a: &ScenarioGenotype, b: &ScenarioGenotype, rng: &mut StdRng) -> Self {
+        let shape = if rng.gen_bool(0.5) { a } else { b };
+        let pick = |rng: &mut StdRng| rng.gen_bool(0.5);
+        ScenarioGenotype {
+            system: shape.system.clone(),
+            difficulty: shape.difficulty,
+            num_agents: shape.num_agents,
+            llm: if pick(rng) { a.llm } else { b.llm },
+            retry: if pick(rng) { a.retry } else { b.retry },
+            agent: if pick(rng) { a.agent } else { b.agent },
+            channel: if pick(rng) { a.channel } else { b.channel },
+            semantic: if pick(rng) { a.semantic } else { b.semantic },
+            repair: if pick(rng) { a.repair } else { b.repair },
+            serving: if pick(rng) { a.serving } else { b.serving },
+            serving_faults: if pick(rng) {
+                a.serving_faults
+            } else {
+                b.serving_faults
+            },
+        }
+    }
+
+    /// One-line plane summary for reports: only the non-zero planes, with
+    /// their probability mass.
+    pub fn summary(&self) -> String {
+        let mut parts = Vec::new();
+        let llm = self.llm.error_rate() + self.llm.latency_spike;
+        if llm > 0.0 {
+            parts.push(format!("llm {llm:.3}"));
+        }
+        let agent = self.agent.crash + self.agent.stall + self.agent.coordinator_crash;
+        if agent > 0.0 {
+            let failover = if self.agent.failover { "+fo" } else { "-fo" };
+            parts.push(format!("agent {agent:.3}{failover}"));
+        }
+        let channel = self.channel.drop
+            + self.channel.duplicate
+            + self.channel.corrupt
+            + self.channel.delay
+            + self.channel.partition;
+        if channel > 0.0 {
+            parts.push(format!("chan {channel:.3}"));
+        }
+        if self.semantic.error_rate() > 0.0 {
+            parts.push(format!("sem {:.3}", self.semantic.error_rate()));
+        }
+        let serving = self.serving_faults.crash_rate + self.serving_faults.brownout_rate;
+        if serving > 0.0 {
+            parts.push(format!("srv {serving:.3}"));
+        }
+        if parts.is_empty() {
+            parts.push("no faults".into());
+        }
+        format!(
+            "{} retry={} repair={} serving={}",
+            parts.join(" "),
+            self.retry,
+            self.repair,
+            self.serving
+        )
+    }
+
+    /// Canonical byte-stable identity used for deduplication and caching.
+    pub fn key(&self) -> String {
+        self.to_json().render_pretty()
+    }
+}
+
+/// Scales the semantic profile back under the search's total-rate cap.
+fn clamp_semantic(p: &mut SemanticFaultProfile) {
+    let total = p.error_rate();
+    if total > MAX_SEMANTIC_TOTAL {
+        let scale = MAX_SEMANTIC_TOTAL / total;
+        p.malformed = q3(p.malformed * scale);
+        p.hallucinated_entity = q3(p.hallucinated_entity * scale);
+        p.invalid_action = q3(p.invalid_action * scale);
+        p.context_truncation = q3(p.context_truncation * scale);
+    }
+}
+
+/// Keeps the serving profile's duration fields consistent with whether its
+/// rates can fire (crash needs a restart window; zero-rate planes keep the
+/// `none()` shape so zero-budget genotypes stay draw-free).
+fn sync_serving_durations(p: &mut ServingFaultProfile) {
+    if p.crash_rate > 0.0 {
+        p.restart = SimDuration::from_secs(20);
+    } else {
+        p.restart = SimDuration::ZERO;
+    }
+    p.brownout_factor = if p.brownout_rate > 0.0 { 3.0 } else { 1.0 };
+}
+
+fn draw_llm(rng: &mut StdRng) -> FaultProfile {
+    let mut p = FaultProfile {
+        timeout: draw_rate(rng, MAX_LLM_ERROR),
+        rate_limit: draw_rate(rng, MAX_LLM_ERROR),
+        server_error: draw_rate(rng, MAX_LLM_ERROR),
+        truncated_output: draw_rate(rng, MAX_LLM_ERROR),
+        latency_spike: draw_rate(rng, MAX_LLM_SPIKE),
+        ..FaultProfile::none()
+    };
+    if !p.is_none() {
+        p.spike_factor = 3.0;
+        p.retry_after = SimDuration::from_millis(250);
+    }
+    p
+}
+
+fn draw_agent(rng: &mut StdRng) -> AgentFaultProfile {
+    AgentFaultProfile {
+        crash: draw_rate(rng, MAX_AGENT),
+        stall: draw_rate(rng, MAX_AGENT),
+        coordinator_crash: draw_rate(rng, MAX_AGENT),
+        failover: rng.gen_bool(0.5),
+        ..AgentFaultProfile::none()
+    }
+}
+
+fn draw_channel(rng: &mut StdRng) -> ChannelProfile {
+    ChannelProfile {
+        drop: draw_rate(rng, MAX_CHANNEL),
+        duplicate: draw_rate(rng, MAX_CHANNEL),
+        corrupt: draw_rate(rng, MAX_CHANNEL),
+        delay: draw_rate(rng, MAX_CHANNEL),
+        partition: draw_rate(rng, MAX_CHANNEL),
+        ..ChannelProfile::none()
+    }
+}
+
+fn draw_semantic(rng: &mut StdRng) -> SemanticFaultProfile {
+    let mut p = SemanticFaultProfile {
+        malformed: draw_rate(rng, MAX_SEMANTIC),
+        hallucinated_entity: draw_rate(rng, MAX_SEMANTIC),
+        invalid_action: draw_rate(rng, MAX_SEMANTIC),
+        context_truncation: draw_rate(rng, MAX_SEMANTIC),
+    };
+    clamp_semantic(&mut p);
+    p
+}
+
+fn draw_repair(rng: &mut StdRng) -> RepairPolicy {
+    match rng.gen_range(0..4) {
+        0 => RepairPolicy::Off,
+        1 => RepairPolicy::Reprompt { max_attempts: 2 },
+        2 => RepairPolicy::Constrain,
+        _ => RepairPolicy::Skip,
+    }
+}
+
+fn draw_serving_faults(rng: &mut StdRng) -> ServingFaultProfile {
+    let mut p = ServingFaultProfile {
+        crash_rate: draw_rate(rng, MAX_SERVING),
+        brownout_rate: draw_rate(rng, MAX_SERVING),
+        ..ServingFaultProfile::none()
+    };
+    sync_serving_durations(&mut p);
+    if p.brownout_rate > 0.0 || p.crash_rate > 0.0 {
+        p.overflow_queue = SimDuration::from_secs(10);
+    }
+    p
+}
+
+impl ToJson for ScenarioGenotype {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("system".into(), JsonValue::Str(self.system.clone())),
+            ("difficulty".into(), self.difficulty.to_json()),
+            ("num_agents".into(), JsonValue::Num(self.num_agents as f64)),
+            ("llm".into(), self.llm.to_json()),
+            ("retry".into(), self.retry.to_json()),
+            ("agent".into(), self.agent.to_json()),
+            ("channel".into(), self.channel.to_json()),
+            ("semantic".into(), self.semantic.to_json()),
+            ("repair".into(), self.repair.to_json()),
+            ("serving".into(), self.serving.to_json()),
+            ("serving_faults".into(), self.serving_faults.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ScenarioGenotype {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let genotype = ScenarioGenotype {
+            system: value.str_field("system")?.to_string(),
+            difficulty: TaskDifficulty::from_json(value.field("difficulty")?)?,
+            num_agents: value.u64_field("num_agents")? as usize,
+            llm: FaultProfile::from_json(value.field("llm")?)?,
+            retry: RetryPreset::from_json(value.field("retry")?)?,
+            agent: AgentFaultProfile::from_json(value.field("agent")?)?,
+            channel: ChannelProfile::from_json(value.field("channel")?)?,
+            semantic: SemanticFaultProfile::from_json(value.field("semantic")?)?,
+            repair: RepairPolicy::from_json(value.field("repair")?)?,
+            serving: ServingPreset::from_json(value.field("serving")?)?,
+            serving_faults: ServingFaultProfile::from_json(value.field("serving_faults")?)?,
+        };
+        genotype
+            .validate()
+            .map_err(|e| JsonError::msg(format!("ScenarioGenotype: {e}")))?;
+        Ok(genotype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_genotypes_are_valid_and_round_trip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for paradigm in [
+            Paradigm::SingleModular,
+            Paradigm::Centralized,
+            Paradigm::Decentralized,
+            Paradigm::Hybrid,
+        ] {
+            for _ in 0..20 {
+                let g = ScenarioGenotype::random(paradigm, &mut rng);
+                g.validate().expect("random genotype valid");
+                assert_eq!(g.paradigm(), paradigm);
+                let text = g.key();
+                let back = ScenarioGenotype::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+                assert_eq!(back, g);
+                assert_eq!(back.key(), text);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_sums_all_four_planes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = ScenarioGenotype::random(Paradigm::Decentralized, &mut rng);
+        g.llm = FaultProfile::uniform(0.1); // error 0.1 + spike 0.1
+        g.agent = AgentFaultProfile::uniform(0.02); // 3 × 0.02
+        g.channel = ChannelProfile::lossy(0.04); // 4 × 0.04 + 0.02
+        g.semantic = SemanticFaultProfile::uniform(0.2);
+        g.serving_faults = ServingFaultProfile::stressed(0.2); // 0.05 + 0.2
+        let expected = 0.2 + 0.06 + 0.18 + 0.2 + 0.25;
+        assert!((g.fault_budget() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_budget_genotype_applies_draw_free_profiles() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut g = ScenarioGenotype::random(Paradigm::SingleModular, &mut rng);
+        g.llm = FaultProfile::none();
+        g.agent = AgentFaultProfile::none();
+        g.channel = ChannelProfile::none();
+        g.semantic = SemanticFaultProfile::none();
+        g.serving_faults = ServingFaultProfile::none();
+        assert_eq!(g.fault_budget(), 0.0);
+        let o = g.overrides();
+        assert!(o.fault_profile.unwrap().is_none());
+        assert!(o.agent_faults.unwrap().is_none());
+        assert!(o.channel.unwrap().is_none());
+        assert!(o.semantic_faults.unwrap().is_none());
+        assert!(o.serving_faults.unwrap().is_none());
+    }
+}

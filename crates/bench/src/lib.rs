@@ -16,8 +16,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod evolve;
+pub mod genotype;
 pub mod parallel;
 
+pub use evolve::{evolve, EvolveOutcome, EvolveParams, GenerationSummary, ScoredScenario};
+pub use genotype::{systems_of, RetryPreset, ScenarioGenotype, ServingPreset};
 pub use parallel::{
     jobs, par_map, par_map_with, try_par_map, try_par_map_with, SweepPlan, SweepResults,
 };

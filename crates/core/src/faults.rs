@@ -13,7 +13,8 @@
 //! and a `none()` profile performs **zero** draws, so fault-free runs stay
 //! byte-identical to builds that predate the subsystem.
 
-use embodied_profiler::{AgentFaultStats, ChannelStats};
+use embodied_llm::check_rate;
+use embodied_profiler::{AgentFaultStats, ChannelStats, FromJson, JsonError, JsonValue, ToJson};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -91,6 +92,57 @@ impl AgentFaultProfile {
     pub fn is_none(&self) -> bool {
         self.crash == 0.0 && self.stall == 0.0 && self.coordinator_crash == 0.0
     }
+
+    /// Validated constructor: every rate must be a finite probability in
+    /// `[0, 1]`. All deserialization paths go through this.
+    pub fn validated(self) -> Result<Self, String> {
+        check_rate("crash", self.crash)?;
+        check_rate("stall", self.stall)?;
+        check_rate("coordinator_crash", self.coordinator_crash)?;
+        Ok(self)
+    }
+}
+
+impl ToJson for AgentFaultProfile {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("crash".into(), JsonValue::Num(self.crash)),
+            (
+                "crash_downtime".into(),
+                JsonValue::Num(self.crash_downtime as f64),
+            ),
+            ("stall".into(), JsonValue::Num(self.stall)),
+            (
+                "coordinator_crash".into(),
+                JsonValue::Num(self.coordinator_crash),
+            ),
+            ("failover".into(), JsonValue::Bool(self.failover)),
+            (
+                "failover_after".into(),
+                JsonValue::Num(self.failover_after as f64),
+            ),
+            (
+                "staleness_after".into(),
+                JsonValue::Num(self.staleness_after as f64),
+            ),
+        ])
+    }
+}
+
+impl FromJson for AgentFaultProfile {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        AgentFaultProfile {
+            crash: value.f64_field("crash")?,
+            crash_downtime: value.u64_field("crash_downtime")? as usize,
+            stall: value.f64_field("stall")?,
+            coordinator_crash: value.f64_field("coordinator_crash")?,
+            failover: value.bool_field("failover")?,
+            failover_after: value.u64_field("failover_after")? as usize,
+            staleness_after: value.u64_field("staleness_after")? as usize,
+        }
+        .validated()
+        .map_err(|e| JsonError::msg(format!("AgentFaultProfile: {e}")))
+    }
 }
 
 /// Per-delivery message-channel fault probabilities. The default
@@ -160,6 +212,53 @@ impl ChannelProfile {
             && self.corrupt == 0.0
             && self.delay == 0.0
             && self.partition == 0.0
+    }
+
+    /// Validated constructor: every rate must be a finite probability in
+    /// `[0, 1]`. All deserialization paths go through this.
+    pub fn validated(self) -> Result<Self, String> {
+        check_rate("drop", self.drop)?;
+        check_rate("duplicate", self.duplicate)?;
+        check_rate("corrupt", self.corrupt)?;
+        check_rate("delay", self.delay)?;
+        check_rate("partition", self.partition)?;
+        Ok(self)
+    }
+}
+
+impl ToJson for ChannelProfile {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("drop".into(), JsonValue::Num(self.drop)),
+            ("duplicate".into(), JsonValue::Num(self.duplicate)),
+            ("corrupt".into(), JsonValue::Num(self.corrupt)),
+            ("delay".into(), JsonValue::Num(self.delay)),
+            (
+                "delay_steps".into(),
+                JsonValue::Num(self.delay_steps as f64),
+            ),
+            ("partition".into(), JsonValue::Num(self.partition)),
+            (
+                "partition_steps".into(),
+                JsonValue::Num(self.partition_steps as f64),
+            ),
+        ])
+    }
+}
+
+impl FromJson for ChannelProfile {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        ChannelProfile {
+            drop: value.f64_field("drop")?,
+            duplicate: value.f64_field("duplicate")?,
+            corrupt: value.f64_field("corrupt")?,
+            delay: value.f64_field("delay")?,
+            delay_steps: value.u64_field("delay_steps")? as usize,
+            partition: value.f64_field("partition")?,
+            partition_steps: value.u64_field("partition_steps")? as usize,
+        }
+        .validated()
+        .map_err(|e| JsonError::msg(format!("ChannelProfile: {e}")))
     }
 }
 

@@ -108,6 +108,35 @@ pub enum RetrievalMode {
     TextEmbedding,
 }
 
+impl embodied_profiler::ToJson for RetrievalMode {
+    fn to_json(&self) -> embodied_profiler::JsonValue {
+        embodied_profiler::JsonValue::Str(
+            match self {
+                RetrievalMode::Multimodal => "multimodal",
+                RetrievalMode::TextEmbedding => "text-embedding",
+            }
+            .into(),
+        )
+    }
+}
+
+impl embodied_profiler::FromJson for RetrievalMode {
+    fn from_json(
+        value: &embodied_profiler::JsonValue,
+    ) -> Result<Self, embodied_profiler::JsonError> {
+        match value
+            .as_str()
+            .ok_or_else(|| embodied_profiler::JsonError::msg("retrieval mode: expected a string"))?
+        {
+            "multimodal" => Ok(RetrievalMode::Multimodal),
+            "text-embedding" => Ok(RetrievalMode::TextEmbedding),
+            other => Err(embodied_profiler::JsonError::msg(format!(
+                "unknown retrieval mode: {other:?}"
+            ))),
+        }
+    }
+}
+
 /// Deterministic pseudo-embedding recall: a text-only index misses ~1 in 5
 /// lookups, and *which* entities it misses shifts with the query context
 /// (bucketed by step), the way embedding similarity drifts as the rest of

@@ -36,6 +36,31 @@ impl std::fmt::Display for BoxVariant {
     }
 }
 
+impl embodied_profiler::ToJson for BoxVariant {
+    fn to_json(&self) -> embodied_profiler::JsonValue {
+        embodied_profiler::JsonValue::Str(self.to_string())
+    }
+}
+
+impl embodied_profiler::FromJson for BoxVariant {
+    fn from_json(
+        value: &embodied_profiler::JsonValue,
+    ) -> Result<Self, embodied_profiler::JsonError> {
+        match value
+            .as_str()
+            .ok_or_else(|| embodied_profiler::JsonError::msg("box variant: expected a string"))?
+        {
+            "BoxNet1" => Ok(BoxVariant::BoxNet1),
+            "BoxNet2" => Ok(BoxVariant::BoxNet2),
+            "Warehouse" => Ok(BoxVariant::Warehouse),
+            "BoxLift" => Ok(BoxVariant::BoxLift),
+            other => Err(embodied_profiler::JsonError::msg(format!(
+                "unknown box variant: {other:?}"
+            ))),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct BoxItem {
     name: String,

@@ -5,6 +5,7 @@ use crate::action::{ExecOutcome, Subgoal};
 use crate::affordance::AffordanceSet;
 use crate::observation::Observation;
 use embodied_exec::Actuator;
+use embodied_profiler::{FromJson, JsonError, JsonValue, ToJson};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -60,6 +61,26 @@ impl fmt::Display for TaskDifficulty {
     }
 }
 
+impl ToJson for TaskDifficulty {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl FromJson for TaskDifficulty {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        match value
+            .as_str()
+            .ok_or_else(|| JsonError::msg("difficulty: expected a string"))?
+        {
+            "easy" => Ok(TaskDifficulty::Easy),
+            "medium" => Ok(TaskDifficulty::Medium),
+            "hard" => Ok(TaskDifficulty::Hard),
+            other => Err(JsonError::msg(format!("unknown difficulty: {other:?}"))),
+        }
+    }
+}
+
 /// Which sampling-based trajectory planner drives arm motion (a design
 /// choice the suite can ablate: RoCo-style quality vs. Connect-style speed).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -71,6 +92,35 @@ pub enum TrajectoryPlanner {
     RrtStar,
     /// Bidirectional RRT-Connect (fewest iterations, longer paths).
     RrtConnect,
+}
+
+impl ToJson for TrajectoryPlanner {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(
+            match self {
+                TrajectoryPlanner::Rrt => "rrt",
+                TrajectoryPlanner::RrtStar => "rrt-star",
+                TrajectoryPlanner::RrtConnect => "rrt-connect",
+            }
+            .into(),
+        )
+    }
+}
+
+impl FromJson for TrajectoryPlanner {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        match value
+            .as_str()
+            .ok_or_else(|| JsonError::msg("trajectory planner: expected a string"))?
+        {
+            "rrt" => Ok(TrajectoryPlanner::Rrt),
+            "rrt-star" => Ok(TrajectoryPlanner::RrtStar),
+            "rrt-connect" => Ok(TrajectoryPlanner::RrtConnect),
+            other => Err(JsonError::msg(format!(
+                "unknown trajectory planner: {other:?}"
+            ))),
+        }
+    }
 }
 
 /// Low-level execution context an agent's execution module lends to the

@@ -7,11 +7,35 @@
 //! engine performs zero fault draws and replays byte-identically to an
 //! engine built without fault injection at all.
 
-use embodied_profiler::SimDuration;
+use embodied_profiler::{FromJson, JsonError, JsonValue, SimDuration, ToJson};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Checks one probability field: finite and in `[0, 1]`. Shared by every
+/// fault-profile `validated()` constructor in this crate.
+pub fn check_rate(field: &'static str, value: f64) -> Result<f64, String> {
+    if value.is_nan() {
+        return Err(format!("{field} is NaN"));
+    }
+    if !(0.0..=1.0).contains(&value) {
+        return Err(format!("{field} = {value} is outside [0, 1]"));
+    }
+    Ok(value)
+}
+
+/// Checks one multiplicative factor field: finite and `>= 1` (a slowdown
+/// multiplier below 1 would turn a fault into a speedup).
+pub fn check_factor(field: &'static str, value: f64) -> Result<f64, String> {
+    if !value.is_finite() {
+        return Err(format!("{field} = {value} is not finite"));
+    }
+    if value < 1.0 {
+        return Err(format!("{field} = {value} is below 1"));
+    }
+    Ok(value)
+}
 
 /// One injected failure mode of a simulated LLM call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -114,6 +138,54 @@ impl FaultProfile {
     pub fn is_none(&self) -> bool {
         self.error_rate() == 0.0 && self.latency_spike == 0.0
     }
+
+    /// Validated constructor: every rate field must be a finite probability
+    /// in `[0, 1]` and the spike factor a finite multiplier `>= 1`. All
+    /// deserialization paths go through this, so a corrupted or hand-edited
+    /// fixture cannot smuggle a NaN/negative/super-unit rate into a sweep.
+    pub fn validated(self) -> Result<Self, String> {
+        check_rate("timeout", self.timeout)?;
+        check_rate("rate_limit", self.rate_limit)?;
+        check_rate("server_error", self.server_error)?;
+        check_rate("truncated_output", self.truncated_output)?;
+        check_rate("latency_spike", self.latency_spike)?;
+        check_rate("total error rate", self.error_rate())?;
+        check_factor("spike_factor", self.spike_factor)?;
+        Ok(self)
+    }
+}
+
+impl ToJson for FaultProfile {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("timeout".into(), JsonValue::Num(self.timeout)),
+            ("rate_limit".into(), JsonValue::Num(self.rate_limit)),
+            ("server_error".into(), JsonValue::Num(self.server_error)),
+            (
+                "truncated_output".into(),
+                JsonValue::Num(self.truncated_output),
+            ),
+            ("latency_spike".into(), JsonValue::Num(self.latency_spike)),
+            ("spike_factor".into(), JsonValue::Num(self.spike_factor)),
+            ("retry_after".into(), self.retry_after.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FaultProfile {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        FaultProfile {
+            timeout: value.f64_field("timeout")?,
+            rate_limit: value.f64_field("rate_limit")?,
+            server_error: value.f64_field("server_error")?,
+            truncated_output: value.f64_field("truncated_output")?,
+            latency_spike: value.f64_field("latency_spike")?,
+            spike_factor: value.f64_field("spike_factor")?,
+            retry_after: SimDuration::from_json(value.field("retry_after")?)?,
+        }
+        .validated()
+        .map_err(|e| JsonError::msg(format!("FaultProfile: {e}")))
+    }
 }
 
 /// Draws faults for one engine from a dedicated seeded stream.
@@ -208,6 +280,58 @@ mod tests {
         };
         assert_eq!(seq(11), seq(11));
         assert_ne!(seq(11), seq(12));
+    }
+
+    #[test]
+    fn validated_rejects_nan_negative_and_super_unit_rates() {
+        assert!(FaultProfile::none().validated().is_ok());
+        assert!(FaultProfile::uniform(1.0).validated().is_ok());
+        let nan = FaultProfile {
+            timeout: f64::NAN,
+            ..FaultProfile::none()
+        };
+        assert!(nan.validated().unwrap_err().contains("NaN"));
+        let negative = FaultProfile {
+            server_error: -0.1,
+            ..FaultProfile::none()
+        };
+        assert!(negative.validated().is_err());
+        let super_unit = FaultProfile {
+            latency_spike: 1.5,
+            ..FaultProfile::none()
+        };
+        assert!(super_unit.validated().is_err());
+        // Individually legal rates whose sum exceeds 1 are still rejected.
+        let oversum = FaultProfile {
+            timeout: 0.6,
+            server_error: 0.6,
+            ..FaultProfile::none()
+        };
+        assert!(oversum.validated().is_err());
+        let shrink_factor = FaultProfile {
+            spike_factor: 0.5,
+            ..FaultProfile::none()
+        };
+        assert!(shrink_factor.validated().is_err());
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        for profile in [
+            FaultProfile::none(),
+            FaultProfile::uniform(0.15),
+            FaultProfile::uniform(0.999),
+        ] {
+            let text = profile.to_json().render_pretty();
+            let back =
+                FaultProfile::from_json(&JsonValue::parse(&text).unwrap()).expect("round trip");
+            assert_eq!(back, profile);
+        }
+        // Deserialization funnels through validation.
+        let bad = r#"{"timeout": 2.0, "rate_limit": 0, "server_error": 0,
+                      "truncated_output": 0, "latency_spike": 0,
+                      "spike_factor": 1, "retry_after": 0}"#;
+        assert!(FaultProfile::from_json(&JsonValue::parse(bad).unwrap()).is_err());
     }
 
     #[test]

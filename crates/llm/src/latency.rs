@@ -3,7 +3,7 @@
 //! reuse).
 
 use crate::profile::{Deployment, ModelProfile};
-use embodied_profiler::SimDuration;
+use embodied_profiler::{FromJson, JsonError, JsonValue, SimDuration, ToJson};
 use serde::{Deserialize, Serialize};
 
 /// Post-training quantization applied to a *local* deployment.
@@ -40,6 +40,31 @@ impl Quantization {
         match self {
             Quantization::None => 0.0,
             Quantization::Awq4Bit => 0.02,
+        }
+    }
+}
+
+impl ToJson for Quantization {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(
+            match self {
+                Quantization::None => "none",
+                Quantization::Awq4Bit => "awq-4bit",
+            }
+            .into(),
+        )
+    }
+}
+
+impl FromJson for Quantization {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        match value
+            .as_str()
+            .ok_or_else(|| JsonError::msg("quantization: expected a string"))?
+        {
+            "none" => Ok(Quantization::None),
+            "awq-4bit" => Ok(Quantization::Awq4Bit),
+            other => Err(JsonError::msg(format!("unknown quantization: {other:?}"))),
         }
     }
 }

@@ -9,7 +9,8 @@
 //! numbers circa the paper's timeframe so simulated step latency lands in
 //! the paper's 10–30 s band.
 
-use embodied_profiler::SimDuration;
+use crate::fault::check_rate;
+use embodied_profiler::{FromJson, JsonError, JsonValue, SimDuration, ToJson};
 use serde::{Deserialize, Serialize};
 
 /// Where and how a model runs, with its latency constants.
@@ -41,6 +42,86 @@ impl Deployment {
     /// Whether inference is billed per token.
     pub fn is_api(&self) -> bool {
         matches!(self, Deployment::Api { .. })
+    }
+}
+
+impl ToJson for Deployment {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            Deployment::Api {
+                round_trip,
+                per_prompt_token,
+                per_output_token,
+                prompt_cost_per_1k,
+                completion_cost_per_1k,
+            } => JsonValue::Object(vec![(
+                "api".into(),
+                JsonValue::Object(vec![
+                    ("round_trip".into(), round_trip.to_json()),
+                    ("per_prompt_token".into(), per_prompt_token.to_json()),
+                    ("per_output_token".into(), per_output_token.to_json()),
+                    (
+                        "prompt_cost_per_1k".into(),
+                        JsonValue::Num(*prompt_cost_per_1k),
+                    ),
+                    (
+                        "completion_cost_per_1k".into(),
+                        JsonValue::Num(*completion_cost_per_1k),
+                    ),
+                ]),
+            )]),
+            Deployment::Local {
+                prefill_tok_per_s,
+                decode_tok_per_s,
+            } => JsonValue::Object(vec![(
+                "local".into(),
+                JsonValue::Object(vec![
+                    (
+                        "prefill_tok_per_s".into(),
+                        JsonValue::Num(*prefill_tok_per_s),
+                    ),
+                    ("decode_tok_per_s".into(), JsonValue::Num(*decode_tok_per_s)),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for Deployment {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let positive = |field: &str, v: f64| {
+            if v.is_finite() && v > 0.0 {
+                Ok(v)
+            } else {
+                Err(JsonError::msg(format!(
+                    "Deployment: {field} must be finite and positive, got {v}"
+                )))
+            }
+        };
+        if let Ok(api) = value.field("api") {
+            Ok(Deployment::Api {
+                round_trip: SimDuration::from_json(api.field("round_trip")?)?,
+                per_prompt_token: SimDuration::from_json(api.field("per_prompt_token")?)?,
+                per_output_token: SimDuration::from_json(api.field("per_output_token")?)?,
+                prompt_cost_per_1k: api.f64_field("prompt_cost_per_1k")?,
+                completion_cost_per_1k: api.f64_field("completion_cost_per_1k")?,
+            })
+        } else if let Ok(local) = value.field("local") {
+            Ok(Deployment::Local {
+                prefill_tok_per_s: positive(
+                    "prefill_tok_per_s",
+                    local.f64_field("prefill_tok_per_s")?,
+                )?,
+                decode_tok_per_s: positive(
+                    "decode_tok_per_s",
+                    local.f64_field("decode_tok_per_s")?,
+                )?,
+            })
+        } else {
+            Err(JsonError::msg(
+                "Deployment: expected an object with an \"api\" or \"local\" key",
+            ))
+        }
     }
 }
 
@@ -176,6 +257,29 @@ impl ModelProfile {
         }
     }
 
+    /// Validated constructor: capability must be a probability, verbosity
+    /// and parameter count finite and non-negative, context window nonzero.
+    /// All deserialization paths go through this.
+    pub fn validated(self) -> Result<Self, String> {
+        check_rate("base_capability", self.base_capability)?;
+        if !self.verbosity.is_finite() || self.verbosity <= 0.0 {
+            return Err(format!(
+                "verbosity must be finite and positive, got {}",
+                self.verbosity
+            ));
+        }
+        if !self.params_b.is_finite() || self.params_b < 0.0 {
+            return Err(format!(
+                "params_b must be finite and non-negative, got {}",
+                self.params_b
+            ));
+        }
+        if self.context_window == 0 {
+            return Err("context_window must be nonzero".into());
+        }
+        Ok(self)
+    }
+
     /// LLaVA-8B reflection model (DaDu-E's reflector).
     pub fn llava_8b() -> Self {
         ModelProfile {
@@ -189,6 +293,40 @@ impl ModelProfile {
             base_capability: 0.74,
             verbosity: 0.9,
         }
+    }
+}
+
+impl ToJson for ModelProfile {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("name".into(), JsonValue::Str(self.name.clone())),
+            ("params_b".into(), JsonValue::Num(self.params_b)),
+            ("deployment".into(), self.deployment.to_json()),
+            (
+                "context_window".into(),
+                JsonValue::Num(self.context_window as f64),
+            ),
+            (
+                "base_capability".into(),
+                JsonValue::Num(self.base_capability),
+            ),
+            ("verbosity".into(), JsonValue::Num(self.verbosity)),
+        ])
+    }
+}
+
+impl FromJson for ModelProfile {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        ModelProfile {
+            name: value.str_field("name")?.to_string(),
+            params_b: value.f64_field("params_b")?,
+            deployment: Deployment::from_json(value.field("deployment")?)?,
+            context_window: value.u64_field("context_window")?,
+            base_capability: value.f64_field("base_capability")?,
+            verbosity: value.f64_field("verbosity")?,
+        }
+        .validated()
+        .map_err(|e| JsonError::msg(format!("ModelProfile: {e}")))
     }
 }
 
@@ -334,6 +472,30 @@ mod tests {
         };
         assert!(ds > db);
         assert!(big.base_capability > small.base_capability);
+    }
+
+    #[test]
+    fn validated_rejects_bad_profiles_and_json_round_trips() {
+        let mut bad = ModelProfile::gpt4_api();
+        bad.base_capability = 1.4;
+        assert!(bad.validated().is_err());
+        let mut bad = ModelProfile::llama3_8b();
+        bad.verbosity = f64::NAN;
+        assert!(bad.validated().is_err());
+        let mut bad = ModelProfile::llama3_8b();
+        bad.context_window = 0;
+        assert!(bad.validated().is_err());
+
+        for profile in [
+            ModelProfile::gpt4_api(),
+            ModelProfile::llama3_8b(),
+            ModelProfile::llama_70b(),
+            ModelProfile::llava_7b(),
+        ] {
+            let text = profile.to_json().render_pretty();
+            let back = ModelProfile::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, profile);
+        }
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! latency end-to-end.
 
 use crate::engine::{LlmEngine, LlmError};
+use crate::fault::check_rate;
 use crate::request::{LlmRequest, LlmResponse};
-use embodied_profiler::{ResilienceStats, SimDuration};
+use embodied_profiler::{FromJson, JsonError, JsonValue, ResilienceStats, SimDuration, ToJson};
 use serde::{Deserialize, Serialize};
 
 /// Anything a module can run inferences against.
@@ -140,6 +141,64 @@ impl RetryPolicy {
             waits.push(wait);
         }
         waits
+    }
+
+    /// Validated constructor: at least one attempt, a finite multiplier
+    /// `>= 1`, and jitter a probability-shaped fraction in `[0, 1]`.
+    pub fn validated(self) -> Result<Self, String> {
+        if self.max_attempts == 0 {
+            return Err("max_attempts must be at least 1".into());
+        }
+        if !self.multiplier.is_finite() || self.multiplier < 1.0 {
+            return Err(format!("multiplier = {} must be >= 1", self.multiplier));
+        }
+        check_rate("jitter", self.jitter)?;
+        Ok(self)
+    }
+}
+
+impl ToJson for RetryPolicy {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "max_attempts".into(),
+                JsonValue::Num(f64::from(self.max_attempts)),
+            ),
+            ("base_backoff".into(), self.base_backoff.to_json()),
+            ("multiplier".into(), JsonValue::Num(self.multiplier)),
+            ("jitter".into(), JsonValue::Num(self.jitter)),
+            ("max_backoff".into(), self.max_backoff.to_json()),
+            ("budget".into(), self.budget.to_json()),
+            (
+                "breaker_threshold".into(),
+                JsonValue::Num(f64::from(self.breaker_threshold)),
+            ),
+            (
+                "breaker_cooldown".into(),
+                JsonValue::Num(f64::from(self.breaker_cooldown)),
+            ),
+        ])
+    }
+}
+
+impl FromJson for RetryPolicy {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let u32_field = |key: &str| -> Result<u32, JsonError> {
+            u32::try_from(value.u64_field(key)?)
+                .map_err(|_| JsonError::msg(format!("field `{key}` exceeds u32")))
+        };
+        RetryPolicy {
+            max_attempts: u32_field("max_attempts")?,
+            base_backoff: SimDuration::from_json(value.field("base_backoff")?)?,
+            multiplier: value.f64_field("multiplier")?,
+            jitter: value.f64_field("jitter")?,
+            max_backoff: SimDuration::from_json(value.field("max_backoff")?)?,
+            budget: SimDuration::from_json(value.field("budget")?)?,
+            breaker_threshold: u32_field("breaker_threshold")?,
+            breaker_cooldown: u32_field("breaker_cooldown")?,
+        }
+        .validated()
+        .map_err(|e| JsonError::msg(format!("RetryPolicy: {e}")))
     }
 }
 

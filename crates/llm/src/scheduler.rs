@@ -10,7 +10,7 @@
 //! scheduling decision.
 
 use crate::serving_faults::{ServingFaultInjector, ServingFaultProfile};
-use embodied_profiler::{SimDuration, SimInstant};
+use embodied_profiler::{FromJson, JsonError, JsonValue, SimDuration, SimInstant, ToJson};
 use serde::{Deserialize, Serialize};
 
 fn default_replicas() -> u32 {
@@ -134,6 +134,64 @@ impl ServingConfig {
             && self.deadline.is_none()
             && self.hedge_after.is_none()
             && self.shed_depth == 0
+    }
+
+    /// Validated constructor: delegates the fault plane to
+    /// [`ServingFaultProfile::validated`] (the scheduling knobs themselves
+    /// are unsigned and cannot go out of range).
+    pub fn validated(self) -> Result<Self, String> {
+        self.faults.validated()?;
+        Ok(self)
+    }
+}
+
+impl ToJson for ServingConfig {
+    fn to_json(&self) -> JsonValue {
+        let opt_duration = |d: Option<SimDuration>| match d {
+            Some(d) => d.to_json(),
+            None => JsonValue::Null,
+        };
+        JsonValue::Object(vec![
+            ("batching".into(), JsonValue::Bool(self.batching)),
+            (
+                "concurrency".into(),
+                JsonValue::Num(f64::from(self.concurrency)),
+            ),
+            ("replicas".into(), JsonValue::Num(f64::from(self.replicas))),
+            ("faults".into(), self.faults.to_json()),
+            ("deadline".into(), opt_duration(self.deadline)),
+            ("hedge_after".into(), opt_duration(self.hedge_after)),
+            (
+                "shed_depth".into(),
+                JsonValue::Num(f64::from(self.shed_depth)),
+            ),
+        ])
+    }
+}
+
+impl FromJson for ServingConfig {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let u32_field = |key: &str| -> Result<u32, JsonError> {
+            u32::try_from(value.u64_field(key)?)
+                .map_err(|_| JsonError::msg(format!("field `{key}` exceeds u32")))
+        };
+        let opt_duration = |key: &str| -> Result<Option<SimDuration>, JsonError> {
+            match value.field(key)? {
+                JsonValue::Null => Ok(None),
+                other => SimDuration::from_json(other).map(Some),
+            }
+        };
+        ServingConfig {
+            batching: value.bool_field("batching")?,
+            concurrency: u32_field("concurrency")?,
+            replicas: u32_field("replicas")?,
+            faults: ServingFaultProfile::from_json(value.field("faults")?)?,
+            deadline: opt_duration("deadline")?,
+            hedge_after: opt_duration("hedge_after")?,
+            shed_depth: u32_field("shed_depth")?,
+        }
+        .validated()
+        .map_err(|e| JsonError::msg(format!("ServingConfig: {e}")))
     }
 }
 

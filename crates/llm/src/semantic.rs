@@ -15,6 +15,8 @@
 //! [`SemanticFaultProfile::none()`], so fault-free runs replay
 //! byte-identically to builds without content faults at all.
 
+use crate::fault::check_rate;
+use embodied_profiler::{FromJson, JsonError, JsonValue, ToJson};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -118,6 +120,48 @@ impl SemanticFaultProfile {
     pub fn is_none(&self) -> bool {
         self.error_rate() == 0.0
     }
+
+    /// Validated constructor: every rate must be a finite probability in
+    /// `[0, 1]` and their sum must not exceed 1 (they share one cumulative
+    /// draw). All deserialization paths go through this.
+    pub fn validated(self) -> Result<Self, String> {
+        check_rate("malformed", self.malformed)?;
+        check_rate("hallucinated_entity", self.hallucinated_entity)?;
+        check_rate("invalid_action", self.invalid_action)?;
+        check_rate("context_truncation", self.context_truncation)?;
+        check_rate("total semantic rate", self.error_rate())?;
+        Ok(self)
+    }
+}
+
+impl ToJson for SemanticFaultProfile {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("malformed".into(), JsonValue::Num(self.malformed)),
+            (
+                "hallucinated_entity".into(),
+                JsonValue::Num(self.hallucinated_entity),
+            ),
+            ("invalid_action".into(), JsonValue::Num(self.invalid_action)),
+            (
+                "context_truncation".into(),
+                JsonValue::Num(self.context_truncation),
+            ),
+        ])
+    }
+}
+
+impl FromJson for SemanticFaultProfile {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        SemanticFaultProfile {
+            malformed: value.f64_field("malformed")?,
+            hallucinated_entity: value.f64_field("hallucinated_entity")?,
+            invalid_action: value.f64_field("invalid_action")?,
+            context_truncation: value.f64_field("context_truncation")?,
+        }
+        .validated()
+        .map_err(|e| JsonError::msg(format!("SemanticFaultProfile: {e}")))
+    }
 }
 
 /// A content corruption stamped onto an otherwise successful response.
@@ -187,6 +231,36 @@ impl SemanticFaultInjector {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validated_rejects_bad_rates_and_json_round_trips() {
+        assert!(SemanticFaultProfile::uniform(0.8).validated().is_ok());
+        let nan = SemanticFaultProfile {
+            malformed: f64::NAN,
+            ..SemanticFaultProfile::none()
+        };
+        assert!(nan.validated().is_err());
+        let negative = SemanticFaultProfile {
+            invalid_action: -0.2,
+            ..SemanticFaultProfile::none()
+        };
+        assert!(negative.validated().is_err());
+        let oversum = SemanticFaultProfile {
+            malformed: 0.7,
+            context_truncation: 0.7,
+            ..SemanticFaultProfile::none()
+        };
+        assert!(oversum.validated().is_err());
+
+        for profile in [
+            SemanticFaultProfile::none(),
+            SemanticFaultProfile::uniform(0.35),
+        ] {
+            let text = profile.to_json().render_pretty();
+            let back = SemanticFaultProfile::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, profile);
+        }
+    }
 
     #[test]
     fn none_profile_never_fires_and_never_draws() {

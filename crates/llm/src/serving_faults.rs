@@ -9,7 +9,8 @@
 //! performs zero draws and replays byte-identically to a build without the
 //! serving fault plane at all.
 
-use embodied_profiler::SimDuration;
+use crate::fault::{check_factor, check_rate};
+use embodied_profiler::{FromJson, JsonError, JsonValue, SimDuration, ToJson};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -106,6 +107,45 @@ impl ServingFaultProfile {
     pub fn is_none(&self) -> bool {
         self.crash_rate == 0.0 && self.brownout_rate == 0.0 && self.overflow_queue.is_zero()
     }
+
+    /// Validated constructor: rates must be finite probabilities in
+    /// `[0, 1]` and the brownout factor a finite multiplier `>= 1`. All
+    /// deserialization paths go through this.
+    pub fn validated(self) -> Result<Self, String> {
+        check_rate("crash_rate", self.crash_rate)?;
+        check_rate("brownout_rate", self.brownout_rate)?;
+        check_factor("brownout_factor", self.brownout_factor)?;
+        Ok(self)
+    }
+}
+
+impl ToJson for ServingFaultProfile {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("crash_rate".into(), JsonValue::Num(self.crash_rate)),
+            ("restart".into(), self.restart.to_json()),
+            ("brownout_rate".into(), JsonValue::Num(self.brownout_rate)),
+            (
+                "brownout_factor".into(),
+                JsonValue::Num(self.brownout_factor),
+            ),
+            ("overflow_queue".into(), self.overflow_queue.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ServingFaultProfile {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        ServingFaultProfile {
+            crash_rate: value.f64_field("crash_rate")?,
+            restart: SimDuration::from_json(value.field("restart")?)?,
+            brownout_rate: value.f64_field("brownout_rate")?,
+            brownout_factor: value.f64_field("brownout_factor")?,
+            overflow_queue: SimDuration::from_json(value.field("overflow_queue")?)?,
+        }
+        .validated()
+        .map_err(|e| JsonError::msg(format!("ServingFaultProfile: {e}")))
+    }
 }
 
 /// Draws serving faults for one backend fleet from a dedicated seeded
@@ -179,6 +219,41 @@ mod tests {
         assert!((s.brownout_rate - 0.4).abs() < 1e-12);
         assert!(!s.overflow_queue.is_zero());
         assert!(ServingFaultProfile::none().is_none());
+    }
+
+    #[test]
+    fn validated_rejects_bad_rates_and_json_round_trips() {
+        assert!(ServingFaultProfile::stressed(1.0).validated().is_ok());
+        let nan = ServingFaultProfile {
+            brownout_rate: f64::NAN,
+            ..ServingFaultProfile::none()
+        };
+        assert!(nan.validated().is_err());
+        let negative = ServingFaultProfile {
+            crash_rate: -0.5,
+            ..ServingFaultProfile::none()
+        };
+        assert!(negative.validated().is_err());
+        let super_unit = ServingFaultProfile {
+            crash_rate: 1.2,
+            ..ServingFaultProfile::none()
+        };
+        assert!(super_unit.validated().is_err());
+        let shrink = ServingFaultProfile {
+            brownout_factor: 0.9,
+            ..ServingFaultProfile::none()
+        };
+        assert!(shrink.validated().is_err());
+
+        for profile in [
+            ServingFaultProfile::none(),
+            ServingFaultProfile::brownouts(0.4),
+            ServingFaultProfile::stressed(0.25),
+        ] {
+            let text = profile.to_json().render_pretty();
+            let back = ServingFaultProfile::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, profile);
+        }
     }
 
     #[test]

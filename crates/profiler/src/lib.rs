@@ -34,6 +34,7 @@
 
 mod chrome;
 mod gantt;
+mod json;
 mod metrics;
 mod module;
 mod report;
@@ -44,6 +45,7 @@ mod time;
 
 pub use chrome::chrome_trace_json;
 pub use gantt::render_step_gantt;
+pub use json::{FromJson, JsonError, JsonValue, ToJson};
 pub use metrics::{
     AgentFaultStats, ChannelStats, LatencyBreakdown, MessageStats, PurposeLedger, PurposeUsage,
     RepairStats, ResilienceStats, ServingFaultStats, ServingStats, StepRecord, TokenStats,

@@ -38,4 +38,12 @@ EMBODIED_EPISODES="${EMBODIED_SERVING_EPISODES:-6}" ./target/release/serving_swe
 echo "== slo_sweep =="
 EMBODIED_EPISODES="${EMBODIED_SLO_EPISODES:-6}" ./target/release/slo_sweep > /dev/null
 
+# Adversarial scenario evolution: 4 paradigms × 7 evaluation rounds of a
+# 12-genotype population. Sized by its own flags, not EMBODIED_EPISODES.
+# Deliberately run WITHOUT --write-fixtures: the pinned fixtures under
+# crates/bench/fixtures/scenarios/ are a regression suite and only move
+# when the frontier is re-pinned on purpose (see EXPERIMENTS.md).
+echo "== scenario_evolve =="
+./target/release/scenario_evolve > /dev/null
+
 echo "done — see results/*.md"

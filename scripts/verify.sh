@@ -64,6 +64,13 @@ echo "== slo_sweep --smoke (scratch dir; canonical results untouched) =="
 cargo build --release -q -p embodied-bench --bin slo_sweep
 (cd "$smoke_dir" && "$repo_root/target/release/slo_sweep" --smoke > /dev/null)
 
+echo "== scenario_evolve --smoke (scratch dir; canonical results untouched) =="
+cargo build --release -q -p embodied-bench --bin scenario_evolve
+(cd "$smoke_dir" && "$repo_root/target/release/scenario_evolve" --smoke > /dev/null)
+
+echo "== scenario regression fixtures + evolution properties =="
+cargo test --release -q -p embodied-bench --test regression_scenarios --test scenario_evolution
+
 echo "== bench_all --smoke (sequential vs parallel byte-identity) =="
 cargo run --release -q -p embodied-bench --bin bench_all -- --smoke
 
