@@ -1,0 +1,254 @@
+//! Embodied fault sweep — perception/actuation fault rate × closed-loop
+//! recovery × paradigm.
+//!
+//! The fifth fault plane lives in the *environment interface*: perception
+//! faults (entity dropout, phantom objects, stale frames, attribute
+//! misreads) corrupt what agents see, actuation faults (silent no-ops,
+//! partial slips, actuator downtime) corrupt what their actions do
+//! (`embodied_env::EnvFaultProfile`). This sweep measures what the agent
+//! side's closed-loop recovery stack — stuck-detection watchdog, bounded
+//! action retry with replan escalation, re-ground-on-phantom — buys back
+//! in task success, and what it honestly costs: forced re-observations,
+//! retry latency, and real replan tokens/dollars through the serving
+//! stack.
+//!
+//! ```text
+//! cargo run --release -p embodied-bench --bin embodied_fault_sweep [-- --smoke]
+//! ```
+//!
+//! `--smoke` shrinks the grid and episode count for a fast correctness
+//! pass (CI / `scripts/verify.sh`); the full run regenerates
+//! `results/embodied_fault_sweep.md`.
+
+use embodied_agents::{workloads, RecoveryPolicy, RunOverrides};
+use embodied_bench::{banner, episodes, ExperimentOutput, SweepPlan};
+use embodied_env::{EnvFaultProfile, TaskDifficulty};
+use embodied_profiler::{pct, Aggregate, Table};
+
+const SYSTEMS: [&str; 3] = ["DEPS", "MindAgent", "CoELA"];
+/// Perception-side per-mode fault rates swept (4 modes each at this rate).
+const PERCEPTION_RATES: [f64; 3] = [0.0, 0.05, 0.15];
+/// Actuation-side per-mode fault rates swept (3 modes each at this rate).
+const ACTUATION_RATES: [f64; 3] = [0.0, 0.05, 0.15];
+
+/// Recovery policies compared in every cell.
+const POLICIES: [(&str, RecoveryPolicy); 2] = [
+    ("off", RecoveryPolicy::Off),
+    (
+        "closed",
+        RecoveryPolicy::Closed {
+            watchdog_window: 4,
+            act_retries: 1,
+        },
+    ),
+];
+
+/// One cell's fault profile: perception modes at `p`, actuation modes at
+/// `a`, observation/downtime windows at their defaults.
+fn profile(p: f64, a: f64) -> EnvFaultProfile {
+    EnvFaultProfile {
+        dropout: p,
+        phantom: p,
+        stale: p,
+        misread: p,
+        silent_fail: a,
+        slip: a,
+        actuator_down: a,
+        ..EnvFaultProfile::none()
+    }
+}
+
+fn overrides(p: f64, a: f64, recovery: RecoveryPolicy) -> RunOverrides {
+    RunOverrides {
+        difficulty: Some(TaskDifficulty::Medium),
+        env_faults: Some(profile(p, a)),
+        recovery_policy: Some(recovery),
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let systems: &[&str] = if smoke { &["DEPS"] } else { &SYSTEMS };
+    let perception: &[f64] = if smoke {
+        &[0.0, 0.15]
+    } else {
+        &PERCEPTION_RATES
+    };
+    let actuation: &[f64] = if smoke {
+        &[0.0, 0.15]
+    } else {
+        &ACTUATION_RATES
+    };
+    let n = if smoke { 2 } else { episodes() };
+
+    let mut out = ExperimentOutput::new("embodied_fault_sweep");
+    banner(
+        &mut out,
+        "Embodied fault sweep",
+        "Perception/actuation (env-plane) fault rate x closed-loop recovery, \
+         one workload per paradigm",
+    );
+
+    // Plan pass: the full system × policy × perception × actuation grid in
+    // one deterministic fan-out.
+    let mut plan = SweepPlan::new();
+    for name in systems {
+        let spec = workloads::find(name).expect("suite member");
+        for (_, policy) in POLICIES {
+            for &p in perception {
+                for &a in actuation {
+                    plan.add(&spec, &overrides(p, a, policy), n);
+                }
+            }
+        }
+    }
+    let mut results = plan.run();
+
+    // Render pass: same order. Keep every aggregate so the dividend
+    // section can pair recovery-off and recovery-on cells.
+    let cell_list = cells_of(perception, actuation);
+    let cells = cell_list.len();
+    let mut by_system: Vec<Vec<Aggregate>> = Vec::new();
+    for name in systems {
+        let mut aggs = Vec::with_capacity(POLICIES.len() * cells);
+        for _ in 0..POLICIES.len() * cells {
+            aggs.push(results.take_agg(*name));
+        }
+        by_system.push(aggs);
+    }
+
+    for (si, name) in systems.iter().enumerate() {
+        let spec = workloads::find(name).expect("suite member");
+        out.section(&format!("{name} ({})", spec.paradigm));
+        let mut table = Table::new([
+            "recovery",
+            "perception",
+            "actuation",
+            "success",
+            "Δ success",
+            "steps",
+            "end-to-end",
+            "env faults/ep",
+            "recoveries/ep",
+            "retry hit rate",
+            "recovery tok/ep",
+            "recovery $/ep",
+        ]);
+        let aggs = &by_system[si];
+        for (pi, (policy_name, _)) in POLICIES.iter().enumerate() {
+            let mut clean_success = None;
+            for (ci, &(p, a)) in cell_list.iter().enumerate() {
+                let agg = &aggs[pi * cells + ci];
+                let baseline = *clean_success.get_or_insert(agg.success_rate);
+                table.row([
+                    (*policy_name).to_owned(),
+                    format!("{:.0}%", p * 100.0),
+                    format!("{:.0}%", a * 100.0),
+                    pct(agg.success_rate),
+                    format!("{:+.1}pp", (agg.success_rate - baseline) * 100.0),
+                    format!("{:.1}", agg.mean_steps),
+                    agg.mean_latency.to_string(),
+                    format!("{:.1}", agg.env_faults_per_episode()),
+                    format!("{:.1}", agg.recoveries_per_episode()),
+                    pct(agg.recovery.retry_success_rate()),
+                    format!("{:.0}", agg.recovery_tokens_per_episode()),
+                    format!(
+                        "{:.4}",
+                        agg.recovery.recovery_cost_usd / agg.episodes as f64
+                    ),
+                ]);
+            }
+        }
+        out.line(table.render());
+    }
+
+    // The recovery dividend: the same faulted cell with the closed loop on
+    // vs off, and what the on-column honestly pays for its points.
+    out.section("Recovery dividend (closed loop vs off, faulted cells)");
+    let mut dividend = Table::new([
+        "system",
+        "perception",
+        "actuation",
+        "success off",
+        "success closed",
+        "dividend",
+        "extra recovery tok/ep",
+        "extra recovery $/ep",
+    ]);
+    let mut cells_won = 0usize;
+    let mut cells_lost = 0usize;
+    let mut ties_faster = 0usize;
+    let mut cells_faulted = 0usize;
+    for (si, name) in systems.iter().enumerate() {
+        let aggs = &by_system[si];
+        for (ci, &(p, a)) in cell_list.iter().enumerate() {
+            if p == 0.0 && a == 0.0 {
+                continue;
+            }
+            let off = &aggs[ci];
+            let on = &aggs[cells + ci];
+            cells_faulted += 1;
+            if on.success_rate > off.success_rate {
+                cells_won += 1;
+            } else if on.success_rate < off.success_rate {
+                cells_lost += 1;
+            } else if on.mean_steps < off.mean_steps {
+                ties_faster += 1;
+            }
+            dividend.row([
+                (*name).to_owned(),
+                format!("{:.0}%", p * 100.0),
+                format!("{:.0}%", a * 100.0),
+                pct(off.success_rate),
+                pct(on.success_rate),
+                format!("{:+.1}pp", (on.success_rate - off.success_rate) * 100.0),
+                format!(
+                    "{:.0}",
+                    on.recovery_tokens_per_episode() - off.recovery_tokens_per_episode()
+                ),
+                format!(
+                    "{:.4}",
+                    on.recovery.recovery_cost_usd / on.episodes as f64
+                        - off.recovery.recovery_cost_usd / off.episodes as f64
+                ),
+            ]);
+        }
+    }
+    out.line(dividend.render());
+    out.blank();
+    out.line(format!(
+        "Closed-loop recovery improves success in {cells_won}/{cells_faulted} \
+         faulted cells and loses {cells_lost}; where success ties (often at \
+         a workload's success ceiling) it still shortens {ties_faster} cells' \
+         episodes by absorbing faults in fewer steps."
+    ));
+
+    out.line(
+        "Reading: perception faults starve the planner of real entities \
+         (dropped or phantom objects, stale frames), actuation faults burn \
+         steps on actions that silently did nothing — with recovery off, \
+         both decay success roughly in proportion to the injected rate. \
+         The closed loop buys points back three ways: the watchdog forces \
+         a re-observation when an agent stops progressing, bounded action \
+         retries convert silent no-ops into second attempts, and \
+         re-ground-on-phantom refreshes perception when the guardrail \
+         rejects a hallucinated entity. None of it is free — the \
+         recovery-token and dollar columns are real replan inference \
+         through the serving stack, and retry latency rides the \
+         end-to-end column. At rate 0 both policies are identical and the \
+         whole plane is pay-for-use: a none() profile draws zero RNG and \
+         leaves episodes byte-identical to the unwrapped environment.",
+    );
+}
+
+/// The perception × actuation cell list in plan order.
+fn cells_of(perception: &[f64], actuation: &[f64]) -> Vec<(f64, f64)> {
+    let mut cells = Vec::with_capacity(perception.len() * actuation.len());
+    for &p in perception {
+        for &a in actuation {
+            cells.push((p, a));
+        }
+    }
+    cells
+}

@@ -17,14 +17,17 @@
 //! — transport (timeouts/rate limits), content (semantic corruption, with
 //! the re-prompt guardrail on), and agent+channel (crashes + lossy links)
 //! — in one run. `--all-planes` appends the full composition: LLM ×
-//! agent+channel × semantic × serving faults toggled independently in one
-//! 2⁴ grid per system under fixed mitigation policies (standard retries,
-//! reprompt(2) guardrail, coordinator failover, 2 replicas). The default
-//! invocation's output is unchanged by any flag's existence.
+//! agent+channel × semantic × serving × embodied-env faults toggled
+//! independently in one 2⁵ grid per system under fixed mitigation policies
+//! (standard retries, reprompt(2) guardrail, coordinator failover,
+//! 2 replicas, closed-loop recovery). The default invocation's output is
+//! unchanged by any flag's existence.
 
-use embodied_agents::{workloads, AgentFaultProfile, ChannelProfile, RepairPolicy, RunOverrides};
+use embodied_agents::{
+    workloads, AgentFaultProfile, ChannelProfile, RecoveryPolicy, RepairPolicy, RunOverrides,
+};
 use embodied_bench::{banner, episodes, ExperimentOutput, SweepPlan};
-use embodied_env::TaskDifficulty;
+use embodied_env::{EnvFaultProfile, TaskDifficulty};
 use embodied_llm::{
     FaultProfile, RetryPolicy, SemanticFaultProfile, ServingConfig, ServingFaultProfile,
 };
@@ -52,18 +55,20 @@ const TRIPLANE_SEMANTIC_RATES: [f64; 3] = [0.0, 0.10, 0.20];
 /// Fixed agent+channel rate for the `--semantic-faults` three-plane grid.
 const TRIPLANE_AGENT_RATE: f64 = 0.02;
 
-/// Per-plane "on" rates for the `--all-planes` 2⁴ composition grid:
-/// (LLM transport, agent+channel, semantic, serving).
-const ALL_PLANES_RATES: (f64, f64, f64, f64) = (0.05, 0.02, 0.10, 0.08);
+/// Per-plane "on" rates for the `--all-planes` 2⁵ composition grid:
+/// (LLM transport, agent+channel, semantic, serving, embodied env).
+const ALL_PLANES_RATES: (f64, f64, f64, f64, f64) = (0.05, 0.02, 0.10, 0.08, 0.08);
 
-/// The 2⁴ on/off corners of the `--all-planes` grid, in render order.
-fn all_planes_cells() -> Vec<(bool, bool, bool, bool)> {
-    let mut cells = Vec::with_capacity(16);
+/// The 2⁵ on/off corners of the `--all-planes` grid, in render order.
+fn all_planes_cells() -> Vec<(bool, bool, bool, bool, bool)> {
+    let mut cells = Vec::with_capacity(32);
     for llm in [false, true] {
         for agent in [false, true] {
             for semantic in [false, true] {
                 for serving in [false, true] {
-                    cells.push((llm, agent, semantic, serving));
+                    for env in [false, true] {
+                        cells.push((llm, agent, semantic, serving, env));
+                    }
                 }
             }
         }
@@ -73,10 +78,11 @@ fn all_planes_cells() -> Vec<(bool, bool, bool, bool)> {
 
 /// Overrides for one `--all-planes` cell: each plane toggled at its fixed
 /// rate, mitigation policies identical in every cell so the grid isolates
-/// the faults, not the policies.
-fn all_planes_overrides(cell: (bool, bool, bool, bool)) -> RunOverrides {
-    let (llm, agent, semantic, serving) = cell;
-    let (llm_rate, agent_rate, semantic_rate, serving_rate) = ALL_PLANES_RATES;
+/// the faults, not the policies. The embodied plane's fixed mitigation is
+/// the standard closed-loop recovery stack (watchdog + one action retry).
+fn all_planes_overrides(cell: (bool, bool, bool, bool, bool)) -> RunOverrides {
+    let (llm, agent, semantic, serving, env) = cell;
+    let (llm_rate, agent_rate, semantic_rate, serving_rate, env_rate) = ALL_PLANES_RATES;
     RunOverrides {
         difficulty: Some(TaskDifficulty::Medium),
         fault_profile: Some(if llm {
@@ -107,6 +113,12 @@ fn all_planes_overrides(cell: (bool, bool, bool, bool)) -> RunOverrides {
         } else {
             ServingFaultProfile::none()
         }),
+        env_faults: Some(if env {
+            EnvFaultProfile::uniform(env_rate)
+        } else {
+            EnvFaultProfile::none()
+        }),
+        recovery_policy: Some(RecoveryPolicy::standard()),
         ..Default::default()
     }
 }
@@ -185,9 +197,9 @@ fn main() {
             }
         }
     }
-    // Full four-plane composition (--all-planes): every on/off corner of
-    // LLM × agent+channel × semantic × serving fault injection, one grid
-    // per system, queued into the same fan-out.
+    // Full five-plane composition (--all-planes): every on/off corner of
+    // LLM × agent+channel × semantic × serving × embodied-env fault
+    // injection, one grid per system, queued into the same fan-out.
     if all_planes {
         for name in SYSTEMS {
             let spec = workloads::find(name).expect("suite member");
@@ -340,23 +352,26 @@ fn main() {
     }
 
     if all_planes {
-        let (llm_rate, agent_rate, semantic_rate, serving_rate) = ALL_PLANES_RATES;
+        let (llm_rate, agent_rate, semantic_rate, serving_rate, env_rate) = ALL_PLANES_RATES;
         for name in SYSTEMS {
             let spec = workloads::find(name).expect("suite member");
             out.section(&format!(
-                "{name} ({}) — all four planes: LLM {:.0}% x agent {:.0}% x \
-                 semantic {:.0}% x serving {:.0}%, fixed mitigations",
+                "{name} ({}) — all five planes: LLM {:.0}% x agent {:.0}% x \
+                 semantic {:.0}% x serving {:.0}% x env {:.0}%, fixed \
+                 mitigations",
                 spec.paradigm,
                 llm_rate * 100.0,
                 agent_rate * 100.0,
                 semantic_rate * 100.0,
-                serving_rate * 100.0
+                serving_rate * 100.0,
+                env_rate * 100.0
             ));
             let mut table = Table::new([
                 "LLM",
                 "agent",
                 "semantic",
                 "serving",
+                "env",
                 "success",
                 "steps",
                 "end-to-end",
@@ -364,6 +379,8 @@ fn main() {
                 "downtime/ep",
                 "rejections/ep",
                 "serving faults/ep",
+                "env faults/ep",
+                "recoveries/ep",
                 "degraded/ep",
             ]);
             let onoff = |flag: bool| if flag { "on" } else { "-" }.to_owned();
@@ -374,6 +391,7 @@ fn main() {
                     onoff(cell.1),
                     onoff(cell.2),
                     onoff(cell.3),
+                    onoff(cell.4),
                     pct(agg.success_rate),
                     format!("{:.1}", agg.mean_steps),
                     agg.mean_latency.to_string(),
@@ -381,21 +399,25 @@ fn main() {
                     format!("{:.1}", agg.downtime_per_episode()),
                     format!("{:.1}", agg.rejections_per_episode()),
                     format!("{:.1}", agg.serving_faults_per_episode()),
+                    format!("{:.1}", agg.env_faults_per_episode()),
+                    format!("{:.1}", agg.recoveries_per_episode()),
                     format!("{:.1}", agg.degraded_per_episode()),
                 ]);
             }
             out.line(table.render());
         }
         out.line(
-            "All-planes reading: the four planes drain four different \
+            "All-planes reading: the five planes drain five different \
              budgets — latency (retried transport faults), steps (agent \
-             downtime), tokens (guardrail re-prompts) and queue time \
-             (serving failover/brownouts) — so the all-on corner degrades \
-             roughly multiplicatively, and any single-plane column can be \
-             read off against the all-off corner as its marginal cost. The \
-             adversarial counterpart to this uniform grid is \
-             scenario_evolve, which searches *between* these corners for \
-             the paradigm's weakest composition.",
+             downtime), tokens (guardrail re-prompts), queue time \
+             (serving failover/brownouts) and recovery work (embodied \
+             perception/actuation faults absorbed by the closed loop) — \
+             so the all-on corner degrades roughly multiplicatively, and \
+             any single-plane column can be read off against the all-off \
+             corner as its marginal cost. The adversarial counterpart to \
+             this uniform grid is scenario_evolve, which searches \
+             *between* these corners for the paradigm's weakest \
+             composition.",
         );
     }
 }

@@ -1,8 +1,9 @@
 //! Adversarial scenario evolution — auto-discovering the failure frontier.
 //!
 //! Runs a deterministic evolutionary search ([`embodied_bench::evolve`])
-//! per cooperation paradigm over all four fault planes (LLM transport,
-//! agent/channel, semantic, serving) plus the mitigation policies, looking
+//! per cooperation paradigm over the fault planes (LLM transport,
+//! agent/channel, semantic, serving, and — with `--env-plane` — embodied
+//! perception/actuation) plus the mitigation policies, looking
 //! for the scenario that does the most damage *per unit of injected fault
 //! probability*. Reports the per-generation progress, the hardest
 //! scenarios found, and how they compare against the fixed `fault_sweep`
@@ -11,7 +12,7 @@
 //! ```text
 //! cargo run --release -p embodied-bench --bin scenario_evolve \
 //!     [-- --smoke | --population N --generations N --episodes N \
-//!         --seed N --write-fixtures]
+//!         --seed N --write-fixtures --env-plane]
 //! ```
 //!
 //! * `--smoke` shrinks the search (population 6, 2 generations, 2
@@ -61,6 +62,7 @@ struct Cli {
     seed: u64,
     smoke: bool,
     write_fixtures: bool,
+    env_plane: bool,
 }
 
 fn parse_cli() -> Cli {
@@ -72,6 +74,7 @@ fn parse_cli() -> Cli {
         seed: base_seed(),
         smoke: false,
         write_fixtures: false,
+        env_plane: false,
     };
     let mut i = 0;
     let value = |i: &mut usize| -> String {
@@ -84,6 +87,7 @@ fn parse_cli() -> Cli {
         match args[i].as_str() {
             "--smoke" => cli.smoke = true,
             "--write-fixtures" => cli.write_fixtures = true,
+            "--env-plane" => cli.env_plane = true,
             "--population" => cli.population = value(&mut i).parse().expect("population"),
             "--generations" => cli.generations = value(&mut i).parse().expect("generations"),
             "--episodes" => cli.eval_episodes = value(&mut i).parse().expect("episodes"),
@@ -174,9 +178,16 @@ fn main() {
     let mut out = ExperimentOutput::new(name);
     out.line("# Adversarial scenario evolution");
     out.blank();
+    // The default wording stays exactly as before --env-plane existed so
+    // the committed report regenerates byte-identically.
+    let planes = if cli.env_plane {
+        "all five fault planes"
+    } else {
+        "all four fault planes"
+    };
     out.line(format!(
         "Seeded evolutionary search for the failure frontier: damage per \
-         unit fault budget across all four fault planes (population {}, \
+         unit fault budget across {planes} (population {}, \
          {} generations, {} episodes/eval, seed {}). Deterministic: the \
          same seed replays byte-identically at any worker count.",
         cli.population, cli.generations, cli.eval_episodes, cli.seed
@@ -193,6 +204,7 @@ fn main() {
             eval_episodes: cli.eval_episodes,
             seed: cli.seed,
             workers: jobs(),
+            env_plane: cli.env_plane,
         };
         let outcome = evolve(&params);
 

@@ -5,7 +5,7 @@
 //! Fitness is **damage per fault budget** — success-rate drop against a
 //! clean baseline, plus the mitigation overhead the scenario provokes
 //! (retry/repair work and wasted spend), divided by the total probability
-//! mass the scenario injects across all four fault planes. Dividing by the
+//! mass the scenario injects across all fault planes. Dividing by the
 //! budget pushes the search toward *minimal* scenarios: a tiny,
 //! well-aimed fault (a coordinator crash with failover disabled) beats a
 //! blunt everything-at-10% barrage.
@@ -55,6 +55,10 @@ pub struct EvolveParams {
     pub seed: u64,
     /// Episode worker threads (results are identical at any value).
     pub workers: usize,
+    /// Opt-in fifth fault plane: when set, the search also draws embodied
+    /// perception/actuation faults and recovery policies. Off by default so
+    /// legacy four-plane runs replay byte-identically.
+    pub env_plane: bool,
 }
 
 /// One evaluated scenario: genotype plus its fitness decomposition.
@@ -66,7 +70,7 @@ pub struct ScoredScenario {
     pub fitness: f64,
     /// Success-rate drop vs. the clean baseline of the same workload shape.
     pub success_drop: f64,
-    /// Total injected probability mass across the four planes.
+    /// Total injected probability mass across all fault planes.
     pub budget: f64,
     /// Success rate of the clean baseline.
     pub baseline_success: f64,
@@ -280,7 +284,7 @@ pub fn evolve(params: &EvolveParams) -> EvolveOutcome {
     };
 
     let mut pop: Vec<ScenarioGenotype> = (0..params.population)
-        .map(|_| ScenarioGenotype::random(params.paradigm, &mut rng))
+        .map(|_| ScenarioGenotype::random_with(params.paradigm, &mut rng, params.env_plane))
         .collect();
     let mut history = Vec::with_capacity(params.generations + 1);
     let mut scored = Vec::new();
@@ -309,8 +313,13 @@ pub fn evolve(params: &EvolveParams) -> EvolveOutcome {
         while next.len() < params.population {
             let a = select(&scored, &mut rng);
             let b = select(&scored, &mut rng);
-            let mut child = ScenarioGenotype::crossover(&a.genotype, &b.genotype, &mut rng);
-            child.mutate(&mut rng);
+            let mut child = ScenarioGenotype::crossover_with(
+                &a.genotype,
+                &b.genotype,
+                &mut rng,
+                params.env_plane,
+            );
+            child.mutate_with(&mut rng, params.env_plane);
             debug_assert!(child.validate().is_ok(), "bred genotype must stay valid");
             next.push(child);
         }

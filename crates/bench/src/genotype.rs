@@ -22,10 +22,10 @@
 //! [`fault_budget`]: ScenarioGenotype::fault_budget
 
 use embodied_agents::{
-    workloads, AgentFaultProfile, ChannelProfile, Paradigm, RepairPolicy, RunOverrides,
-    WorkloadSpec,
+    workloads, AgentFaultProfile, ChannelProfile, Paradigm, RecoveryPolicy, RepairPolicy,
+    RunOverrides, WorkloadSpec,
 };
-use embodied_env::TaskDifficulty;
+use embodied_env::{EnvFaultProfile, TaskDifficulty};
 use embodied_llm::{
     FaultProfile, RetryPolicy, SemanticFaultProfile, ServingConfig, ServingFaultProfile,
 };
@@ -49,6 +49,10 @@ const MAX_SEMANTIC: f64 = 0.12;
 const MAX_SEMANTIC_TOTAL: f64 = 0.4;
 /// Cap on serving-plane rates (replica crash, brownout).
 const MAX_SERVING: f64 = 0.15;
+/// Cap on embodied-plane rates (perception dropout/phantom/stale/misread,
+/// actuation silent-fail/slip/downtime). Embodied faults bite hard — a
+/// phantom poisons a whole plan — so the cap sits below the channel cap.
+const MAX_ENV: f64 = 0.10;
 /// Largest multi-agent team the search may request.
 const MAX_TEAM: usize = 4;
 
@@ -232,6 +236,13 @@ pub struct ScenarioGenotype {
     pub serving: ServingPreset,
     /// Fault plane 4: serving-infrastructure faults.
     pub serving_faults: ServingFaultProfile,
+    /// Fault plane 5: embodied perception/actuation faults. Stays
+    /// [`EnvFaultProfile::none()`] unless the search opts into the plane
+    /// ([`crate::evolve::EvolveParams::env_plane`]), so legacy runs replay
+    /// with an identical draw stream.
+    pub env: EnvFaultProfile,
+    /// Closed-loop recovery mitigation for the embodied plane.
+    pub recovery: RecoveryPolicy,
 }
 
 /// The suite members of one paradigm, in registry order — the gene pool for
@@ -244,8 +255,18 @@ pub fn systems_of(paradigm: Paradigm) -> Vec<WorkloadSpec> {
 }
 
 impl ScenarioGenotype {
-    /// Draws a random scenario for `paradigm` from `rng`.
+    /// Draws a random scenario for `paradigm` from `rng` with the embodied
+    /// plane left out — the legacy four-plane search, draw-for-draw
+    /// identical to every pre-five-plane run.
     pub fn random(paradigm: Paradigm, rng: &mut StdRng) -> Self {
+        Self::random_with(paradigm, rng, false)
+    }
+
+    /// Draws a random scenario. With `env_plane` set, the embodied
+    /// perception/actuation genes are drawn too (strictly *after* every
+    /// legacy gene, so the four-plane prefix of the stream is unchanged);
+    /// without it they stay at their draw-free defaults.
+    pub fn random_with(paradigm: Paradigm, rng: &mut StdRng, env_plane: bool) -> Self {
         let systems = systems_of(paradigm);
         assert!(!systems.is_empty(), "paradigm {paradigm} has no systems");
         let spec = &systems[rng.gen_range(0..systems.len())];
@@ -255,7 +276,7 @@ impl ScenarioGenotype {
             1
         };
         let difficulty = TaskDifficulty::ALL[rng.gen_range(0..TaskDifficulty::ALL.len())];
-        ScenarioGenotype {
+        let mut g = ScenarioGenotype {
             system: spec.name.to_string(),
             difficulty,
             num_agents,
@@ -267,7 +288,14 @@ impl ScenarioGenotype {
             repair: draw_repair(rng),
             serving: ServingPreset::ALL[rng.gen_range(0..ServingPreset::ALL.len())],
             serving_faults: draw_serving_faults(rng),
+            env: EnvFaultProfile::none(),
+            recovery: RecoveryPolicy::Off,
+        };
+        if env_plane {
+            g.env = draw_env(rng);
+            g.recovery = draw_recovery(rng);
         }
+        g
     }
 
     /// The paradigm this genotype's system belongs to.
@@ -291,7 +319,8 @@ impl ScenarioGenotype {
             + self.channel.partition;
         let semantic = self.semantic.error_rate();
         let serving = self.serving_faults.crash_rate + self.serving_faults.brownout_rate;
-        llm + agent + channel + semantic + serving
+        let env = self.env.perception_mass() + self.env.actuation_mass();
+        llm + agent + channel + semantic + serving + env
     }
 
     /// The phenotype: plain run overrides replaying this scenario through
@@ -308,6 +337,8 @@ impl ScenarioGenotype {
             repair_policy: Some(self.repair),
             serving: Some(self.serving.config()),
             serving_faults: Some(self.serving_faults),
+            env_faults: Some(self.env),
+            recovery_policy: Some(self.recovery),
             ..Default::default()
         }
     }
@@ -339,6 +370,10 @@ impl ScenarioGenotype {
         self.serving_faults
             .validated()
             .map_err(|e| format!("serving: {e}"))?;
+        self.env.validated().map_err(|e| format!("env: {e}"))?;
+        self.recovery
+            .validated()
+            .map_err(|e| format!("recovery: {e}"))?;
         if self.semantic.error_rate() > MAX_SEMANTIC_TOTAL + 1e-9 {
             return Err(format!(
                 "semantic total {} exceeds search cap {MAX_SEMANTIC_TOTAL}",
@@ -348,12 +383,22 @@ impl ScenarioGenotype {
         Ok(())
     }
 
+    /// Mutates one to two gene groups in place over the legacy four-plane
+    /// arm set — draw-for-draw identical to every pre-five-plane run.
+    pub fn mutate(&mut self, rng: &mut StdRng) {
+        self.mutate_with(rng, false)
+    }
+
     /// Mutates one to two gene groups in place. All randomness comes from
     /// `rng`; the result always passes [`ScenarioGenotype::validate`].
-    pub fn mutate(&mut self, rng: &mut StdRng) {
+    /// With `env_plane` set, a ninth mutation arm targets the embodied
+    /// fault genes and the recovery policy; without it the arm selector
+    /// keeps the legacy `0..8` range and its exact draw stream.
+    pub fn mutate_with(&mut self, rng: &mut StdRng, env_plane: bool) {
+        let arms = if env_plane { 9 } else { 8 };
         let ops = 1 + rng.gen_range(0..2);
         for _ in 0..ops {
-            match rng.gen_range(0..8) {
+            match rng.gen_range(0..arms) {
                 0 => self.mutate_shape(rng),
                 1 => {
                     for rate in [
@@ -417,6 +462,25 @@ impl ScenarioGenotype {
                         sync_serving_durations(&mut self.serving_faults);
                     }
                 }
+                8 => {
+                    if rng.gen_bool(0.25) {
+                        self.recovery = draw_recovery(rng);
+                    } else {
+                        for rate in [
+                            &mut self.env.dropout,
+                            &mut self.env.phantom,
+                            &mut self.env.stale,
+                            &mut self.env.misread,
+                            &mut self.env.silent_fail,
+                            &mut self.env.slip,
+                            &mut self.env.actuator_down,
+                        ] {
+                            if rng.gen_bool(0.5) {
+                                *rate = nudge_rate(rng, *rate, MAX_ENV);
+                            }
+                        }
+                    }
+                }
                 _ => unreachable!(),
             }
         }
@@ -450,14 +514,29 @@ impl ScenarioGenotype {
         }
     }
 
+    /// Four-plane crossover — draw-for-draw identical to every
+    /// pre-five-plane run; the child's embodied genes come from `a`
+    /// without a draw (both parents hold the draw-free defaults in a
+    /// legacy search).
+    pub fn crossover(a: &ScenarioGenotype, b: &ScenarioGenotype, rng: &mut StdRng) -> Self {
+        Self::crossover_with(a, b, rng, false)
+    }
+
     /// Uniform per-gene crossover: each gene group comes from `a` or `b`
     /// with equal probability. `a` donates the workload-shape genes
     /// (system/difficulty/team) as one linked block so the child never
-    /// pairs a team size with the wrong paradigm.
-    pub fn crossover(a: &ScenarioGenotype, b: &ScenarioGenotype, rng: &mut StdRng) -> Self {
+    /// pairs a team size with the wrong paradigm. The embodied/recovery
+    /// genes draw their picks only when `env_plane` is set, keeping the
+    /// legacy stream exact otherwise.
+    pub fn crossover_with(
+        a: &ScenarioGenotype,
+        b: &ScenarioGenotype,
+        rng: &mut StdRng,
+        env_plane: bool,
+    ) -> Self {
         let shape = if rng.gen_bool(0.5) { a } else { b };
         let pick = |rng: &mut StdRng| rng.gen_bool(0.5);
-        ScenarioGenotype {
+        let mut child = ScenarioGenotype {
             system: shape.system.clone(),
             difficulty: shape.difficulty,
             num_agents: shape.num_agents,
@@ -473,7 +552,14 @@ impl ScenarioGenotype {
             } else {
                 b.serving_faults
             },
+            env: a.env,
+            recovery: a.recovery,
+        };
+        if env_plane {
+            child.env = if pick(rng) { a.env } else { b.env };
+            child.recovery = if pick(rng) { a.recovery } else { b.recovery };
         }
+        child
     }
 
     /// One-line plane summary for reports: only the non-zero planes, with
@@ -504,15 +590,27 @@ impl ScenarioGenotype {
         if serving > 0.0 {
             parts.push(format!("srv {serving:.3}"));
         }
+        let env = self.env.perception_mass() + self.env.actuation_mass();
+        if env > 0.0 {
+            parts.push(format!("env {env:.3}"));
+        }
         if parts.is_empty() {
             parts.push("no faults".into());
         }
+        // The recovery clause only appears once the embodied plane exists,
+        // so legacy four-plane summaries keep their exact bytes.
+        let recovery = if self.recovery.is_off() {
+            String::new()
+        } else {
+            format!(" recovery={}", self.recovery)
+        };
         format!(
-            "{} retry={} repair={} serving={}",
+            "{} retry={} repair={} serving={}{}",
             parts.join(" "),
             self.retry,
             self.repair,
-            self.serving
+            self.serving,
+            recovery
         )
     }
 
@@ -603,6 +701,30 @@ fn draw_repair(rng: &mut StdRng) -> RepairPolicy {
     }
 }
 
+fn draw_env(rng: &mut StdRng) -> EnvFaultProfile {
+    EnvFaultProfile {
+        dropout: draw_rate(rng, MAX_ENV),
+        phantom: draw_rate(rng, MAX_ENV),
+        stale: draw_rate(rng, MAX_ENV),
+        misread: draw_rate(rng, MAX_ENV),
+        silent_fail: draw_rate(rng, MAX_ENV),
+        slip: draw_rate(rng, MAX_ENV),
+        actuator_down: draw_rate(rng, MAX_ENV),
+        ..EnvFaultProfile::none()
+    }
+}
+
+fn draw_recovery(rng: &mut StdRng) -> RecoveryPolicy {
+    match rng.gen_range(0..3) {
+        0 => RecoveryPolicy::Off,
+        1 => RecoveryPolicy::standard(),
+        _ => RecoveryPolicy::Closed {
+            watchdog_window: 3,
+            act_retries: 2,
+        },
+    }
+}
+
 fn draw_serving_faults(rng: &mut StdRng) -> ServingFaultProfile {
     let mut p = ServingFaultProfile {
         crash_rate: draw_rate(rng, MAX_SERVING),
@@ -617,8 +739,11 @@ fn draw_serving_faults(rng: &mut StdRng) -> ServingFaultProfile {
 }
 
 impl ToJson for ScenarioGenotype {
+    /// The embodied-plane genes serialize only when set, so every legacy
+    /// four-plane genotype keeps its exact canonical bytes (and therefore
+    /// its dedup/cache [`ScenarioGenotype::key`]).
     fn to_json(&self) -> JsonValue {
-        JsonValue::Object(vec![
+        let mut fields = vec![
             ("system".into(), JsonValue::Str(self.system.clone())),
             ("difficulty".into(), self.difficulty.to_json()),
             ("num_agents".into(), JsonValue::Num(self.num_agents as f64)),
@@ -630,7 +755,14 @@ impl ToJson for ScenarioGenotype {
             ("repair".into(), self.repair.to_json()),
             ("serving".into(), self.serving.to_json()),
             ("serving_faults".into(), self.serving_faults.to_json()),
-        ])
+        ];
+        if !self.env.is_none() {
+            fields.push(("env".into(), self.env.to_json()));
+        }
+        if !self.recovery.is_off() {
+            fields.push(("recovery".into(), self.recovery.to_json()));
+        }
+        JsonValue::Object(fields)
     }
 }
 
@@ -648,6 +780,15 @@ impl FromJson for ScenarioGenotype {
             repair: RepairPolicy::from_json(value.field("repair")?)?,
             serving: ServingPreset::from_json(value.field("serving")?)?,
             serving_faults: ServingFaultProfile::from_json(value.field("serving_faults")?)?,
+            // Absent in every pre-five-plane fixture: default draw-free.
+            env: match value.get("env") {
+                Some(v) => EnvFaultProfile::from_json(v)?,
+                None => EnvFaultProfile::none(),
+            },
+            recovery: match value.get("recovery") {
+                Some(v) => RecoveryPolicy::from_json(v)?,
+                None => RecoveryPolicy::Off,
+            },
         };
         genotype
             .validate()
@@ -670,20 +811,41 @@ mod tests {
             Paradigm::Decentralized,
             Paradigm::Hybrid,
         ] {
-            for _ in 0..20 {
-                let g = ScenarioGenotype::random(paradigm, &mut rng);
-                g.validate().expect("random genotype valid");
-                assert_eq!(g.paradigm(), paradigm);
-                let text = g.key();
-                let back = ScenarioGenotype::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
-                assert_eq!(back, g);
-                assert_eq!(back.key(), text);
+            for env_plane in [false, true] {
+                for _ in 0..20 {
+                    let g = ScenarioGenotype::random_with(paradigm, &mut rng, env_plane);
+                    g.validate().expect("random genotype valid");
+                    assert_eq!(g.paradigm(), paradigm);
+                    if !env_plane {
+                        assert!(g.env.is_none(), "legacy genotypes carry no env plane");
+                        assert!(g.recovery.is_off());
+                    }
+                    let text = g.key();
+                    let back =
+                        ScenarioGenotype::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+                    assert_eq!(back, g);
+                    assert_eq!(back.key(), text);
+                }
             }
         }
     }
 
     #[test]
-    fn budget_sums_all_four_planes() {
+    fn legacy_json_without_env_keys_parses_to_defaults() {
+        // Pre-five-plane fixtures have no "env"/"recovery" keys; they must
+        // keep parsing, and their canonical bytes must not grow the keys.
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = ScenarioGenotype::random(Paradigm::Centralized, &mut rng);
+        let text = g.key();
+        assert!(!text.contains("\"env\""));
+        assert!(!text.contains("\"recovery\""));
+        let back = ScenarioGenotype::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert!(back.env.is_none());
+        assert!(back.recovery.is_off());
+    }
+
+    #[test]
+    fn budget_sums_all_five_planes() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut g = ScenarioGenotype::random(Paradigm::Decentralized, &mut rng);
         g.llm = FaultProfile::uniform(0.1); // error 0.1 + spike 0.1
@@ -691,7 +853,8 @@ mod tests {
         g.channel = ChannelProfile::lossy(0.04); // 4 × 0.04 + 0.02
         g.semantic = SemanticFaultProfile::uniform(0.2);
         g.serving_faults = ServingFaultProfile::stressed(0.2); // 0.05 + 0.2
-        let expected = 0.2 + 0.06 + 0.18 + 0.2 + 0.25;
+        g.env = EnvFaultProfile::uniform(0.03); // 7 × 0.03
+        let expected = 0.2 + 0.06 + 0.18 + 0.2 + 0.25 + 0.21;
         assert!((g.fault_budget() - expected).abs() < 1e-9);
     }
 
@@ -711,5 +874,21 @@ mod tests {
         assert!(o.channel.unwrap().is_none());
         assert!(o.semantic_faults.unwrap().is_none());
         assert!(o.serving_faults.unwrap().is_none());
+        assert!(o.env_faults.unwrap().is_none());
+        assert!(o.recovery_policy.unwrap().is_off());
+    }
+
+    #[test]
+    fn legacy_draw_stream_is_unchanged_by_the_env_plane_code() {
+        // random()/mutate()/crossover() must consume the RNG exactly as
+        // before the fifth plane landed: same seed → same genotype bytes.
+        let mut a = StdRng::seed_from_u64(97);
+        let mut b = StdRng::seed_from_u64(97);
+        let g1 = ScenarioGenotype::random(Paradigm::Hybrid, &mut a);
+        let g2 = ScenarioGenotype::random_with(Paradigm::Hybrid, &mut b, false);
+        assert_eq!(g1, g2);
+        // After the draws above, both streams must still be in lockstep.
+        use rand::Rng;
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
     }
 }

@@ -19,16 +19,22 @@ const PARADIGMS: [Paradigm; 4] = [
 
 #[test]
 fn mutation_never_breaks_validity() {
-    for paradigm in PARADIGMS {
-        for seed in 0..8u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut g = ScenarioGenotype::random(paradigm, &mut rng);
-            for step in 0..50 {
-                g.mutate(&mut rng);
-                g.validate().unwrap_or_else(|err| {
-                    panic!("{paradigm} seed {seed} mutation step {step}: {err}")
-                });
-                assert_eq!(g.paradigm(), paradigm, "mutation left the paradigm");
+    for env_plane in [false, true] {
+        for paradigm in PARADIGMS {
+            for seed in 0..8u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut g = ScenarioGenotype::random_with(paradigm, &mut rng, env_plane);
+                for step in 0..50 {
+                    g.mutate_with(&mut rng, env_plane);
+                    g.validate().unwrap_or_else(|err| {
+                        panic!("{paradigm} seed {seed} mutation step {step}: {err}")
+                    });
+                    assert_eq!(g.paradigm(), paradigm, "mutation left the paradigm");
+                    if !env_plane {
+                        assert!(g.env.is_none(), "legacy mutation grew an env plane");
+                        assert!(g.recovery.is_off(), "legacy mutation grew a recovery");
+                    }
+                }
             }
         }
     }
@@ -36,26 +42,30 @@ fn mutation_never_breaks_validity() {
 
 #[test]
 fn crossover_never_breaks_validity() {
-    for paradigm in PARADIGMS {
-        for seed in 0..8u64 {
-            let mut rng = StdRng::seed_from_u64(1000 + seed);
-            let a = ScenarioGenotype::random(paradigm, &mut rng);
-            let b = ScenarioGenotype::random(paradigm, &mut rng);
-            for round in 0..20 {
-                let child = ScenarioGenotype::crossover(&a, &b, &mut rng);
-                child.validate().unwrap_or_else(|err| {
-                    panic!("{paradigm} seed {seed} crossover round {round}: {err}")
-                });
-                assert_eq!(child.paradigm(), paradigm, "crossover left the paradigm");
+    for env_plane in [false, true] {
+        for paradigm in PARADIGMS {
+            for seed in 0..8u64 {
+                let mut rng = StdRng::seed_from_u64(1000 + seed);
+                let a = ScenarioGenotype::random_with(paradigm, &mut rng, env_plane);
+                let b = ScenarioGenotype::random_with(paradigm, &mut rng, env_plane);
+                for round in 0..20 {
+                    let child = ScenarioGenotype::crossover_with(&a, &b, &mut rng, env_plane);
+                    child.validate().unwrap_or_else(|err| {
+                        panic!("{paradigm} seed {seed} crossover round {round}: {err}")
+                    });
+                    assert_eq!(child.paradigm(), paradigm, "crossover left the paradigm");
+                }
             }
         }
     }
 }
 
-/// A zero-budget genotype (all four planes at `none()`) must be
+/// A zero-budget genotype (all five planes at `none()`) must be
 /// indistinguishable from running with no fault plane configured at all —
 /// the profiles draw no RNG and perturb nothing, so the episode reports
-/// are byte-identical.
+/// are byte-identical. This is the strict five-plane pass-through
+/// guarantee: the explicit `env_faults: none` + `recovery: off` overrides
+/// below exercise the embodied plane's zero-draw path too.
 #[test]
 fn zero_budget_genotypes_change_nothing() {
     let mut rng = StdRng::seed_from_u64(99);
@@ -66,6 +76,8 @@ fn zero_budget_genotypes_change_nothing() {
         g.channel = ChannelProfile::none();
         g.semantic = SemanticFaultProfile::none();
         g.serving_faults = ServingFaultProfile::none();
+        g.env = embodied_env::EnvFaultProfile::none();
+        g.recovery = embodied_agents::RecoveryPolicy::Off;
         assert_eq!(g.fault_budget(), 0.0);
 
         let spec = workloads::find(&g.system).expect("suite member");
@@ -103,6 +115,7 @@ fn evolution_is_identical_at_any_worker_count() {
             eval_episodes: 1,
             seed: 7,
             workers,
+            env_plane: false,
         };
         let sequential = evolve(&params(1));
         let parallel = evolve(&params(4));
@@ -112,4 +125,34 @@ fn evolution_is_identical_at_any_worker_count() {
             "{paradigm}: evolution diverged across worker counts"
         );
     }
+}
+
+/// The five-plane search is just as deterministic: with the embodied
+/// plane enabled, the evolution still replays bit-identically at any
+/// worker count.
+#[test]
+fn five_plane_evolution_is_identical_at_any_worker_count() {
+    let params = |workers| EvolveParams {
+        paradigm: Paradigm::SingleModular,
+        population: 4,
+        generations: 1,
+        eval_episodes: 1,
+        seed: 11,
+        workers,
+        env_plane: true,
+    };
+    let sequential = evolve(&params(1));
+    let parallel = evolve(&params(4));
+    assert!(
+        sequential
+            .ranked
+            .iter()
+            .any(|s| !s.genotype.env.is_none() || !s.genotype.recovery.is_off()),
+        "env-plane search never drew an embodied gene"
+    );
+    assert_eq!(
+        format!("{sequential:?}"),
+        format!("{parallel:?}"),
+        "five-plane evolution diverged across worker counts"
+    );
 }

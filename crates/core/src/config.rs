@@ -314,6 +314,18 @@ pub struct AgentConfig {
     /// every call takes the legacy path and draw order, and the serving
     /// fault injector draws nothing.
     pub serving: ServingConfig,
+    /// Embodied fault plane: perception faults (entity dropout, phantoms,
+    /// stale frames, landmark misreads) and actuation faults (silent
+    /// failures, partial slips, actuator downtime) applied by wrapping the
+    /// environment in [`embodied_env::FaultyEnv`]. Defaults to
+    /// [`embodied_env::EnvFaultProfile::none()`] — the bare environment
+    /// runs unwrapped and the env-fault RNG stream draws nothing.
+    pub env_fault_profile: embodied_env::EnvFaultProfile,
+    /// Closed-loop recovery stack (watchdog re-observation, bounded action
+    /// retry with replan escalation, re-ground-on-phantom). Defaults to
+    /// [`crate::recovery::RecoveryPolicy::Off`] — recovery is strictly
+    /// opt-in.
+    pub recovery_policy: crate::recovery::RecoveryPolicy,
 }
 
 impl AgentConfig {
@@ -342,6 +354,8 @@ impl AgentConfig {
             semantic_fault_profile: SemanticFaultProfile::none(),
             repair_policy: RepairPolicy::Off,
             serving: ServingConfig::disabled(),
+            env_fault_profile: embodied_env::EnvFaultProfile::none(),
+            recovery_policy: crate::recovery::RecoveryPolicy::Off,
         }
     }
 }

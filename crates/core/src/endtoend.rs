@@ -200,6 +200,8 @@ impl EndToEndSystem {
             repairs: embodied_profiler::RepairStats::default(),
             serving: embodied_profiler::ServingStats::default(),
             serving_faults: embodied_profiler::ServingFaultStats::default(),
+            env_faults: embodied_profiler::EnvFaultStats::default(),
+            recovery: embodied_profiler::RecoveryStats::default(),
             step_records: self.step_records.clone(),
             agents: 1,
         }

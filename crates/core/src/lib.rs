@@ -31,6 +31,7 @@ pub mod guardrail;
 pub mod modules;
 mod orchestrator;
 pub mod prompt;
+pub mod recovery;
 mod runner;
 mod system;
 pub mod workloads;
@@ -40,6 +41,7 @@ pub use config::{AgentConfig, MemoryCapacity, ModuleToggles, Optimizations};
 pub use faults::{AgentFaultProfile, ChannelProfile};
 pub use guardrail::{PlanValidator, Proposal, RepairPolicy, ValidationError};
 pub use orchestrator::Paradigm;
+pub use recovery::RecoveryPolicy;
 pub use runner::{
     episode_seed, run_episode, run_episode_traced, run_many, RunOverrides, EPISODE_SEED_STRIDE,
 };

@@ -337,6 +337,14 @@ fn guard_assignments(
             sys.note_llm(r);
         }
         *assigned = verdict.subgoal;
+        // Re-ground on phantom: the center's joint plan referenced an
+        // entity this agent's affordances do not contain. Under closed-loop
+        // recovery the agent re-observes so the next joint prompt is built
+        // from a fresh frame instead of the same degraded one.
+        if !sys.recovery_policy.is_off() && stats.rejected_hallucinated > 0 {
+            sys.recovery_stats.phantom_regrounds += 1;
+            sys.forced_reobserve(i);
+        }
         sys.repairs.merge(&stats);
     }
 }

@@ -52,6 +52,13 @@ pub struct RunOverrides {
     /// top of* `serving`, so a sweep can fix the scheduling policy and
     /// vary only the fault rates.
     pub serving_faults: Option<embodied_llm::ServingFaultProfile>,
+    /// Embodied fault plane (perception dropout/phantoms/stale frames/
+    /// misreads + actuation silent-failures/slips/downtime) — the fifth
+    /// fault plane, swept by the embodied fault experiments.
+    pub env_faults: Option<embodied_env::EnvFaultProfile>,
+    /// Closed-loop recovery stack (watchdog re-observation, bounded action
+    /// retry with replan escalation, re-ground-on-phantom).
+    pub recovery_policy: Option<crate::recovery::RecoveryPolicy>,
 }
 
 impl RunOverrides {
@@ -99,6 +106,12 @@ impl RunOverrides {
         }
         if let Some(faults) = self.serving_faults {
             config.serving = config.serving.with_faults(faults);
+        }
+        if let Some(profile) = self.env_faults {
+            config.env_fault_profile = profile;
+        }
+        if let Some(policy) = self.recovery_policy {
+            config.recovery_policy = policy;
         }
         config
     }
@@ -153,6 +166,8 @@ impl ToJson for RunOverrides {
         put("repair_policy", self.repair_policy.map(|v| v.to_json()));
         put("serving", self.serving.map(|v| v.to_json()));
         put("serving_faults", self.serving_faults.map(|v| v.to_json()));
+        put("env_faults", self.env_faults.map(|v| v.to_json()));
+        put("recovery_policy", self.recovery_policy.map(|v| v.to_json()));
         JsonValue::Object(fields)
     }
 }
@@ -191,6 +206,8 @@ impl FromJson for RunOverrides {
             repair_policy: opt(value, "repair_policy")?,
             serving: opt(value, "serving")?,
             serving_faults: opt(value, "serving_faults")?,
+            env_faults: opt(value, "env_faults")?,
+            recovery_policy: opt(value, "recovery_policy")?,
         })
     }
 }
@@ -385,6 +402,78 @@ mod tests {
             "serving fault plane off by default, nothing may fire: {}",
             report.serving_faults
         );
+        assert!(
+            report.env_faults.is_quiet(),
+            "embodied fault plane off by default, nothing may fire: {}",
+            report.env_faults
+        );
+        assert!(
+            report.recovery.is_quiet(),
+            "recovery off by default, nothing may intervene: {}",
+            report.recovery
+        );
+    }
+
+    #[test]
+    fn env_faults_inject_and_replay_deterministically() {
+        let spec = find("DEPS").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            env_faults: Some(embodied_env::EnvFaultProfile::uniform(0.25)),
+            ..Default::default()
+        };
+        let a = run_episode(&spec, &overrides, 7);
+        let b = run_episode(&spec, &overrides, 7);
+        assert!(a.env_faults.faults() > 0, "{}", a.env_faults);
+        assert!(
+            a.recovery.is_quiet(),
+            "recovery stays opt-in: {}",
+            a.recovery
+        );
+        assert_eq!(a.env_faults, b.env_faults);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.tokens, b.tokens);
+    }
+
+    #[test]
+    fn recovery_engages_under_env_faults_and_terminates() {
+        // Heavy perception + actuation faults with the full closed loop on:
+        // every recovery mechanism must both engage and terminate (bounded
+        // retries, watchdog window, one re-ground per rejection), so the
+        // episode always reaches its step budget or completes.
+        let spec = find("DEPS").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            env_faults: Some(embodied_env::EnvFaultProfile::uniform(0.35)),
+            recovery_policy: Some(crate::recovery::RecoveryPolicy::standard()),
+            ..Default::default()
+        };
+        let a = run_episode(&spec, &overrides, 11);
+        let b = run_episode(&spec, &overrides, 11);
+        assert!(a.env_faults.faults() > 0, "{}", a.env_faults);
+        assert!(a.recovery.interventions() > 0, "{}", a.recovery);
+        assert!(a.steps > 0);
+        // Retries are bounded by the policy budget per failed action.
+        let budget = crate::recovery::RecoveryPolicy::standard().act_retries() as u64;
+        assert!(a.recovery.act_retries <= a.steps as u64 * budget.max(1) * 2);
+        assert_eq!(a.recovery, b.recovery);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.tokens, b.tokens);
+    }
+
+    #[test]
+    fn recovery_engages_in_centralized_paradigm() {
+        let spec = find("MindAgent").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            env_faults: Some(embodied_env::EnvFaultProfile::uniform(0.35)),
+            recovery_policy: Some(crate::recovery::RecoveryPolicy::standard()),
+            ..Default::default()
+        };
+        let report = run_episode(&spec, &overrides, 13);
+        assert!(report.env_faults.faults() > 0, "{}", report.env_faults);
+        assert!(report.recovery.interventions() > 0, "{}", report.recovery);
     }
 
     #[test]
@@ -600,6 +689,11 @@ mod tests {
             repair_policy: Some(crate::guardrail::RepairPolicy::Reprompt { max_attempts: 2 }),
             serving: Some(embodied_llm::ServingConfig::default()),
             serving_faults: Some(embodied_llm::ServingFaultProfile::stressed(0.3)),
+            env_faults: Some(embodied_env::EnvFaultProfile::uniform(0.12)),
+            recovery_policy: Some(crate::recovery::RecoveryPolicy::Closed {
+                watchdog_window: 5,
+                act_retries: 2,
+            }),
         };
         let text = full.to_json().render_pretty();
         let back = RunOverrides::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
@@ -612,6 +706,15 @@ mod tests {
             ..crate::faults::ChannelProfile::none()
         });
         let text = bad.to_json().render_pretty();
+        assert!(RunOverrides::from_json(&JsonValue::parse(&text).unwrap()).is_err());
+
+        // Same for the embodied plane: out-of-range rates never reach a run.
+        let mut bad_env = full.clone();
+        bad_env.env_faults = Some(embodied_env::EnvFaultProfile {
+            dropout: -0.2,
+            ..embodied_env::EnvFaultProfile::none()
+        });
+        let text = bad_env.to_json().render_pretty();
         assert!(RunOverrides::from_json(&JsonValue::parse(&text).unwrap()).is_err());
     }
 }

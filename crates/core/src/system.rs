@@ -10,6 +10,7 @@ use crate::modules::{
 };
 use crate::orchestrator::{self, Paradigm};
 use crate::prompt::system_preamble;
+use crate::recovery::RecoveryPolicy;
 use embodied_env::{Environment, ExecOutcome, Subgoal};
 use embodied_llm::{
     EngineBuilder, InferenceOpts, InferenceService, LlmEngine, LlmError, LlmRequest, LlmResponse,
@@ -17,7 +18,7 @@ use embodied_llm::{
 };
 use embodied_profiler::{
     EpisodeReport, LatencyBreakdown, MessageStats, ModuleKind, Outcome, Phase, PurposeLedger,
-    RepairStats, ResilienceStats, SimDuration, StepRecord, Trace,
+    RecoveryStats, RepairStats, ResilienceStats, SimDuration, StepRecord, Trace,
 };
 
 /// Nominal watchdog + reboot latency billed when a process crashes.
@@ -33,6 +34,11 @@ const HEDGE_DISPATCH: SimDuration = SimDuration::from_millis(2);
 /// Marker span billed when serving admission control fast-fails a request
 /// — the rejection round-trip, not real inference time.
 const SHED_MARKER: SimDuration = SimDuration::from_millis(2);
+
+/// Dispatch overhead billed per closed-loop action retry — the decision to
+/// re-issue the primitive; the retry's real compute/actuation is billed by
+/// the execution phase it re-runs.
+const ACT_RETRY_DISPATCH: SimDuration = SimDuration::from_millis(2);
 
 /// Per-step counters the orchestrators update through [`EmbodiedSystem`]
 /// helpers; they feed the step-record time series (Fig. 6).
@@ -86,6 +92,15 @@ pub struct EmbodiedSystem {
     /// Guardrail validation/repair accounting (all zero while the repair
     /// policy is `Off`).
     pub(crate) repairs: RepairStats,
+    /// Closed-loop recovery policy: watchdog re-observation, bounded action
+    /// retry with replan escalation, re-ground-on-phantom. `Off` (the
+    /// default) disables every mechanism.
+    pub(crate) recovery_policy: RecoveryPolicy,
+    /// Recovery accounting (all zero while the recovery policy is `Off`).
+    pub(crate) recovery_stats: RecoveryStats,
+    /// Last step at which each agent made environment progress — the
+    /// stuck-detection watchdog's memory.
+    pub(crate) last_progress: Vec<usize>,
     /// The shared inference service every engine in this system is a
     /// tenant of — owns the engine stacks, the per-tenant ledger, and the
     /// per-model scheduling backends.
@@ -197,6 +212,9 @@ impl EmbodiedSystem {
             agent_faults: AgentFaultState::new(config.agent_fault_profile, seed, team),
             channel: ChannelState::new(config.channel_profile, seed),
             repairs: RepairStats::default(),
+            recovery_policy: config.recovery_policy,
+            recovery_stats: RecoveryStats::default(),
+            last_progress: vec![0; team],
             service,
             serving: config.serving,
             window_entries: Vec::new(),
@@ -327,6 +345,8 @@ impl EmbodiedSystem {
             repairs: self.repairs,
             serving: self.service.stats(),
             serving_faults: self.service.fault_stats(),
+            env_faults: self.env.env_fault_stats(),
+            recovery: self.recovery_stats,
             step_records: self.step_records.clone(),
             agents: self.agents.len(),
         }
@@ -473,6 +493,10 @@ impl EmbodiedSystem {
     /// A no-op performing zero draws when both profiles are `none()`.
     fn begin_fault_step(&mut self) {
         let step = self.step;
+        // Embodied fault plane: a `FaultyEnv` wrapper draws this step's
+        // perception/actuation faults here; the bare environments' default
+        // hook is a no-op.
+        self.env.begin_step(step);
         self.channel.begin_step(step);
         let events = self.agent_faults.begin_step(step, self.central.is_some());
         for event in events {
@@ -651,8 +675,86 @@ impl EmbodiedSystem {
         }
     }
 
+    // ----- closed-loop recovery -----
+
+    /// Forces a fresh observation for agent `i`: the environment's
+    /// perception layer is refreshed (a `FaultyEnv` wrapper thaws frozen
+    /// frames and rebuilds a clean view, draw-free), then the agent
+    /// re-senses and re-integrates, paying the encoder latency again as a
+    /// [`Phase::Reobserve`] span.
+    pub(crate) fn forced_reobserve(&mut self, i: usize) {
+        self.env.refresh_perception(i);
+        let obs = self.env.observe(i);
+        let agent = &mut self.agents[i];
+        let (percept, latency) = agent.sensing.sense(&obs);
+        self.trace
+            .record(ModuleKind::Sensing, Phase::Reobserve, i, latency);
+        self.recovery_stats.reobserve_latency += latency;
+        agent.memory.store(
+            RecordKind::Observation,
+            percept.text.clone(),
+            percept.entities.clone(),
+        );
+        agent.map.integrate(&percept, self.step);
+    }
+
+    /// Retry budget exhausted: the agent escalates to a real
+    /// diagnose-and-replan inference — one planning call reasoning about
+    /// the repeated actuation failure — billed to the recovery ledger in
+    /// tokens and dollars and voiding any multi-step plan budget.
+    fn escalate_replan(&mut self, i: usize, subgoal: &Subgoal) {
+        let difficulty = self.env.difficulty().scalar();
+        let goal = self.env.goal_text();
+        let team_size = self.agents.len();
+        self.recovery_stats.replan_escalations += 1;
+        let agent = &mut self.agents[i];
+        let opts = Self::infer_opts_for(&agent.config, team_size);
+        let prompt = format!(
+            "{}\n[recovery] action {subgoal} keeps failing despite retries. \
+             Diagnose the failure against the task goal ({goal}) and produce \
+             a fresh plan that routes around the broken actuator or \
+             misperceived object.",
+            agent.preamble
+        );
+        let result = agent.planning.engine_mut().infer(
+            LlmRequest::new(Purpose::Planning, &prompt, 40)
+                .with_difficulty(difficulty)
+                .with_opts(opts),
+        );
+        let stall = agent.planning.engine_mut().take_stall();
+        let plan_tenant = agent.planning.engine().tenant();
+        agent.plan_budget = 0;
+        Self::note_stall(&mut self.trace, ModuleKind::Planning, i, stall);
+        match result {
+            Ok(response) => {
+                self.recovery_stats.recovery_tokens +=
+                    response.prompt_tokens + response.output_tokens;
+                self.recovery_stats.recovery_cost_usd += response.cost_usd;
+                self.serve_response(ModuleKind::Planning, i, plan_tenant, &response, false);
+                self.note_llm(&response);
+            }
+            Err(err) => {
+                // The escalation call itself faulted out: the agent replans
+                // cold next step from whatever its memory holds.
+                Self::note_llm_failure(&mut self.trace, ModuleKind::Planning, i, &err);
+                self.degradations.degraded_planning += 1;
+            }
+        }
+    }
+
     /// Sensing + memory-update phase for one agent. Returns the percept.
     pub(crate) fn sense_phase(&mut self, i: usize) -> Percept {
+        // Stuck-detection watchdog: no environment progress over the
+        // policy's window forces a re-observation before this step's
+        // sensing, so planning runs against a fresh frame instead of a
+        // stale or degraded one.
+        if let Some(window) = self.recovery_policy.watchdog_window() {
+            if self.step >= self.last_progress[i] + window {
+                self.recovery_stats.watchdog_reobserves += 1;
+                self.forced_reobserve(i);
+                self.last_progress[i] = self.step;
+            }
+        }
         let obs = self.env.observe(i);
         let agent = &mut self.agents[i];
         let (percept, latency) = agent.sensing.sense(&obs);
@@ -668,13 +770,66 @@ impl EmbodiedSystem {
         percept
     }
 
+    /// Executes a subgoal through the reflection loop and — when the
+    /// recovery policy is closed-loop — the bounded action-retry ladder: a
+    /// failed non-idle action is re-executed up to the policy's retry
+    /// budget (each attempt marked with a [`Phase::ActRetry`] span and its
+    /// real compute/actuation cost), and an exhausted budget escalates to a
+    /// diagnose-and-replan inference billed to the recovery ledger.
+    /// Resource contention (busy/waiting) is not an actuation fault and is
+    /// never retried.
+    pub(crate) fn execute_with_reflection(&mut self, i: usize, subgoal: &Subgoal) -> ExecOutcome {
+        let mut outcome = self.reflect_and_execute(i, subgoal);
+        let budget = self.recovery_policy.act_retries();
+        // Retry only *unexplained* failures — the action was afforded yet
+        // produced no observable effect at all (the silent-no-op signature).
+        // A failure that comes back with a reason is deterministic: the
+        // normal plan loop handles it, and re-issuing the same action would
+        // burn latency at zero fault rates for nothing.
+        if budget == 0 || !Self::looks_transient(&outcome) || subgoal.is_idle() {
+            return outcome;
+        }
+        for _ in 0..budget {
+            self.recovery_stats.act_retries += 1;
+            self.trace.record(
+                ModuleKind::Execution,
+                Phase::ActRetry,
+                i,
+                ACT_RETRY_DISPATCH,
+            );
+            let retry = self.execute_phase(i, subgoal);
+            self.recovery_stats.retry_latency += retry.total_time();
+            outcome = retry;
+            if outcome.completed || outcome.made_progress {
+                self.recovery_stats.retries_recovered += 1;
+                return outcome;
+            }
+            if !Self::looks_transient(&outcome) {
+                // The retry surfaced a real precondition failure: the plan
+                // itself is wrong, which is the planner's job, not ours.
+                return outcome;
+            }
+        }
+        // Repeated no-effect executions of an afforded action: something in
+        // the world disagrees with the agent's model of it. Pay for a real
+        // diagnostic replan instead of hammering the same actuator.
+        self.escalate_replan(i, subgoal);
+        outcome
+    }
+
+    /// Whether a failed outcome carries the no-observable-effect signature
+    /// that closed-loop recovery treats as transient and worth retrying.
+    fn looks_transient(outcome: &ExecOutcome) -> bool {
+        !outcome.completed && !outcome.made_progress && outcome.note.starts_with("nothing happened")
+    }
+
     /// Executes a subgoal and, on failure, runs the reflection loop: the
     /// reflector verifies the outcome (paper §II-A: "observes the state
     /// before and after"), and a caught *transient* error is retried within
     /// the same step — error correction "with minimal overhead" (Takeaway
     /// 2) — while a caught *category* error is blacklisted so planning
     /// cannot loop on it.
-    pub(crate) fn execute_with_reflection(&mut self, i: usize, subgoal: &Subgoal) -> ExecOutcome {
+    fn reflect_and_execute(&mut self, i: usize, subgoal: &Subgoal) -> ExecOutcome {
         let team_size = self.agents.len();
         let mut outcome = self.execute_phase(i, subgoal);
         if outcome.completed || outcome.made_progress {
@@ -969,6 +1124,7 @@ impl EmbodiedSystem {
         // decision takes the zero-cost path: no affordance snapshot, no
         // extra draws, no spans.
         let policy = agent.config.repair_policy;
+        let mut reground = false;
         if flaw.is_some() || !policy.is_off() {
             let affordances = self.env.affordances(i);
             let mut stats = RepairStats::default();
@@ -1019,11 +1175,20 @@ impl EmbodiedSystem {
                 agent.plan_budget = 0;
             }
             subgoal = verdict.subgoal;
+            // Re-ground on phantom: validation rejected an entity the
+            // world does not afford. Under closed-loop recovery the agent
+            // answers with a fresh observation instead of replanning
+            // against the same degraded frame next step.
+            reground = !self.recovery_policy.is_off() && stats.rejected_hallucinated > 0;
             self.repairs.merge(&stats);
         }
         agent.last_plan = Some(subgoal.clone());
         for response in &responses {
             self.note_llm(response);
+        }
+        if reground {
+            self.recovery_stats.phantom_regrounds += 1;
+            self.forced_reobserve(i);
         }
         (subgoal, followed)
     }
@@ -1081,6 +1246,9 @@ impl EmbodiedSystem {
         if outcome.completed || outcome.made_progress {
             agent.last_failure = None;
             agent.failure_streak = 0;
+            // The watchdog only counts steps with zero environment
+            // progress; any success resets this agent's stuck clock.
+            self.last_progress[i] = self.step;
         } else if outcome.note.contains("busy") || outcome.note.contains("waiting") {
             // Resource contention is not an error: the agent queued for a
             // busy station / held for a partner. No belief is wrong, so no

@@ -145,7 +145,11 @@ impl WorkloadSpec {
         self.env.build(difficulty, agents, seed)
     }
 
-    /// Assembles a ready-to-run system for this workload.
+    /// Assembles a ready-to-run system for this workload. A non-`none()`
+    /// embodied fault profile wraps the environment in
+    /// [`embodied_env::FaultyEnv`]; the default leaves the bare environment
+    /// unwrapped, so fault-free runs are byte-identical to the
+    /// pre-fault-plane system.
     pub fn build_system(
         &self,
         config: &AgentConfig,
@@ -153,7 +157,14 @@ impl WorkloadSpec {
         num_agents: usize,
         seed: u64,
     ) -> EmbodiedSystem {
-        let env = self.build_env(difficulty, num_agents, seed);
+        let mut env = self.build_env(difficulty, num_agents, seed);
+        if !config.env_fault_profile.is_none() {
+            env = Box::new(embodied_env::FaultyEnv::new(
+                env,
+                config.env_fault_profile,
+                seed,
+            ));
+        }
         EmbodiedSystem::new(self.name, env, config, self.paradigm, seed)
     }
 }

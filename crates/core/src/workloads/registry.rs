@@ -57,6 +57,8 @@ fn base_config(
         semantic_fault_profile: embodied_llm::SemanticFaultProfile::none(),
         repair_policy: crate::guardrail::RepairPolicy::Off,
         serving: embodied_llm::ServingConfig::disabled(),
+        env_fault_profile: embodied_env::EnvFaultProfile::none(),
+        recovery_policy: crate::recovery::RecoveryPolicy::Off,
     }
 }
 

@@ -5,7 +5,7 @@ use crate::action::{ExecOutcome, Subgoal};
 use crate::affordance::AffordanceSet;
 use crate::observation::Observation;
 use embodied_exec::Actuator;
-use embodied_profiler::{FromJson, JsonError, JsonValue, ToJson};
+use embodied_profiler::{EnvFaultStats, FromJson, JsonError, JsonValue, ToJson};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -232,6 +232,73 @@ pub trait Environment {
     fn is_complete(&self) -> bool;
     /// Goal completion fraction in `[0, 1]`.
     fn progress(&self) -> f64;
+    /// Hook called once at the start of every episode step, before any
+    /// sensing. Bare environments are pure state machines and ignore it;
+    /// fault decorators use it to advance per-step fault state (downtime
+    /// windows, frozen frames) in a fixed, agent-independent draw order.
+    fn begin_step(&mut self, _step: usize) {}
+    /// Forces a fresh perception pass for one agent, discarding any cached
+    /// (possibly degraded) view. Bare environments re-derive observations on
+    /// every `observe` call, so this is a no-op; fault decorators rebuild
+    /// the agent's view from ground truth — the recovery stack's forced
+    /// re-observation hook.
+    fn refresh_perception(&mut self, _agent: usize) {}
+    /// Environment-side fault counters accumulated so far this episode;
+    /// identically zero for bare environments.
+    fn env_fault_stats(&self) -> EnvFaultStats {
+        EnvFaultStats::default()
+    }
+}
+
+impl<E: Environment + ?Sized> Environment for Box<E> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn num_agents(&self) -> usize {
+        (**self).num_agents()
+    }
+    fn max_steps(&self) -> usize {
+        (**self).max_steps()
+    }
+    fn difficulty(&self) -> TaskDifficulty {
+        (**self).difficulty()
+    }
+    fn goal_text(&self) -> String {
+        (**self).goal_text()
+    }
+    fn landmarks(&self) -> Vec<String> {
+        (**self).landmarks()
+    }
+    fn observe(&self, agent: usize) -> Observation {
+        (**self).observe(agent)
+    }
+    fn oracle_subgoals(&self, agent: usize) -> Vec<Subgoal> {
+        (**self).oracle_subgoals(agent)
+    }
+    fn candidate_subgoals(&self, agent: usize) -> Vec<Subgoal> {
+        (**self).candidate_subgoals(agent)
+    }
+    fn affordances(&self, agent: usize) -> AffordanceSet {
+        (**self).affordances(agent)
+    }
+    fn execute(&mut self, agent: usize, subgoal: &Subgoal, low: &mut LowLevel) -> ExecOutcome {
+        (**self).execute(agent, subgoal, low)
+    }
+    fn is_complete(&self) -> bool {
+        (**self).is_complete()
+    }
+    fn progress(&self) -> f64 {
+        (**self).progress()
+    }
+    fn begin_step(&mut self, step: usize) {
+        (**self).begin_step(step)
+    }
+    fn refresh_perception(&mut self, agent: usize) {
+        (**self).refresh_perception(agent)
+    }
+    fn env_fault_stats(&self) -> EnvFaultStats {
+        (**self).env_fault_stats()
+    }
 }
 
 #[cfg(test)]

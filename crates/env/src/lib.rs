@@ -39,6 +39,7 @@ mod alfworld;
 mod boxworld;
 mod craft;
 mod cuisine;
+mod env_faults;
 mod environment;
 mod household;
 mod kitchen;
@@ -53,6 +54,7 @@ pub use alfworld::AlfWorldEnv;
 pub use boxworld::{BoxVariant, BoxWorldEnv};
 pub use craft::CraftEnv;
 pub use cuisine::CuisineEnv;
+pub use env_faults::{EnvFaultProfile, FaultyEnv};
 pub use environment::{Environment, LowLevel, TaskDifficulty, TrajectoryPlanner};
 pub use household::HouseholdEnv;
 pub use kitchen::KitchenEnv;

@@ -47,8 +47,9 @@ pub use chrome::chrome_trace_json;
 pub use gantt::render_step_gantt;
 pub use json::{FromJson, JsonError, JsonValue, ToJson};
 pub use metrics::{
-    AgentFaultStats, ChannelStats, LatencyBreakdown, MessageStats, PurposeLedger, PurposeUsage,
-    RepairStats, ResilienceStats, ServingFaultStats, ServingStats, StepRecord, TokenStats,
+    AgentFaultStats, ChannelStats, EnvFaultStats, LatencyBreakdown, MessageStats, PurposeLedger,
+    PurposeUsage, RecoveryStats, RepairStats, ResilienceStats, ServingFaultStats, ServingStats,
+    StepRecord, TokenStats,
 };
 pub use module::{ModuleKind, Phase};
 pub use report::{Aggregate, EpisodeReport, Outcome};

@@ -823,6 +823,185 @@ impl fmt::Display for ServingFaultStats {
     }
 }
 
+/// Environment fault counters for an episode: what the embodied fault
+/// plane did to the sensor/actuator boundary.
+///
+/// Where [`ResilienceStats`] accounts faults of the LLM transport,
+/// [`AgentFaultStats`] faults of the agent processes, [`RepairStats`]
+/// faults of the response *content*, and [`ServingFaultStats`] faults of
+/// the serving fleet, these counters account faults of the *world
+/// interface itself* — entities vanishing from observations, phantom
+/// objects appearing, frozen sensor frames, misread landmarks, and
+/// actuators silently failing, slipping, or going down. All zero under
+/// `EnvFaultProfile::none()`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnvFaultStats {
+    /// Entities dropped from an agent's observation (perception dropout).
+    pub dropped_entities: u64,
+    /// Phantom entities injected into an agent's observation.
+    pub phantom_entities: u64,
+    /// Observations served from a frozen (stale) sensor frame.
+    pub stale_observations: u64,
+    /// Entities whose names were misread (consistently renamed in the
+    /// degraded view, so plans against them fail at actuation).
+    pub misread_entities: u64,
+    /// Actions that silently did nothing (reported failure, world intact).
+    pub silent_failures: u64,
+    /// Actions whose effect partially slipped (executed, progress lost).
+    pub partial_slips: u64,
+    /// Actuator downtime windows that opened.
+    pub actuator_downtimes: u64,
+    /// Agent-steps during which an actuator was down.
+    pub actuator_down_steps: u64,
+}
+
+impl EnvFaultStats {
+    /// Total perception-fault events across every kind.
+    pub fn perception_faults(&self) -> u64 {
+        self.dropped_entities
+            + self.phantom_entities
+            + self.stale_observations
+            + self.misread_entities
+    }
+
+    /// Total actuation-fault events across every kind.
+    pub fn actuation_faults(&self) -> u64 {
+        self.silent_failures + self.partial_slips + self.actuator_downtimes
+    }
+
+    /// Total injected environment faults.
+    pub fn faults(&self) -> u64 {
+        self.perception_faults() + self.actuation_faults()
+    }
+
+    /// Whether nothing env-fault-related happened (the
+    /// `EnvFaultProfile::none()` fast path — reports stay identical to
+    /// builds without the embodied fault plane).
+    pub fn is_quiet(&self) -> bool {
+        *self == EnvFaultStats::default()
+    }
+
+    /// Merge counters from another episode slice.
+    pub fn merge(&mut self, other: &EnvFaultStats) {
+        self.dropped_entities += other.dropped_entities;
+        self.phantom_entities += other.phantom_entities;
+        self.stale_observations += other.stale_observations;
+        self.misread_entities += other.misread_entities;
+        self.silent_failures += other.silent_failures;
+        self.partial_slips += other.partial_slips;
+        self.actuator_downtimes += other.actuator_downtimes;
+        self.actuator_down_steps += other.actuator_down_steps;
+    }
+}
+
+impl fmt::Display for EnvFaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "env faults {} (drop {}, phantom {}, stale {}, misread {}; \
+             silent {}, slip {}, actuator down {} x{} steps)",
+            self.faults(),
+            self.dropped_entities,
+            self.phantom_entities,
+            self.stale_observations,
+            self.misread_entities,
+            self.silent_failures,
+            self.partial_slips,
+            self.actuator_downtimes,
+            self.actuator_down_steps,
+        )
+    }
+}
+
+/// Closed-loop recovery counters for an episode: what the agent-side
+/// recovery stack did about environment faults and what it paid.
+///
+/// Mirrors [`RepairStats`] one plane down: where the guardrail repairs
+/// *plans* before actuation, the recovery stack repairs the agent's
+/// *grounding* after the world misbehaves — forced re-observations when
+/// progress stalls, bounded action retries before replanning, and fresh
+/// observes when validation fails against a phantom entity. All zero under
+/// `RecoveryPolicy::Off`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Forced re-observations issued by the stuck-detection watchdog.
+    pub watchdog_reobserves: u64,
+    /// Fresh observes triggered by validation failing against a phantom
+    /// entity (instead of a doomed re-prompt against the same bad view).
+    pub phantom_regrounds: u64,
+    /// Bounded action retries issued after a failed execution.
+    pub act_retries: u64,
+    /// Retried actions that succeeded on a retry attempt.
+    pub retries_recovered: u64,
+    /// Retry budgets exhausted, escalating the agent to a forced replan.
+    pub replan_escalations: u64,
+    /// Prompt + completion tokens spent on recovery inference (the replan
+    /// calls the escalations force).
+    pub recovery_tokens: u64,
+    /// API cost (USD) of that recovery inference.
+    pub recovery_cost_usd: f64,
+    /// Simulated latency of forced re-observations (encoder passes).
+    pub reobserve_latency: SimDuration,
+    /// Simulated latency of action retries (compute + actuation).
+    pub retry_latency: SimDuration,
+}
+
+impl RecoveryStats {
+    /// Total recovery interventions across every kind.
+    pub fn interventions(&self) -> u64 {
+        self.watchdog_reobserves + self.phantom_regrounds + self.act_retries
+    }
+
+    /// Fraction of action retries that recovered the action (0 when no
+    /// retries were issued).
+    pub fn retry_success_rate(&self) -> f64 {
+        if self.act_retries == 0 {
+            0.0
+        } else {
+            self.retries_recovered as f64 / self.act_retries as f64
+        }
+    }
+
+    /// Whether nothing recovery-related happened (the `RecoveryPolicy::Off`
+    /// fast path — reports stay identical to pre-recovery builds).
+    pub fn is_quiet(&self) -> bool {
+        *self == RecoveryStats::default()
+    }
+
+    /// Merge counters from another episode slice.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.watchdog_reobserves += other.watchdog_reobserves;
+        self.phantom_regrounds += other.phantom_regrounds;
+        self.act_retries += other.act_retries;
+        self.retries_recovered += other.retries_recovered;
+        self.replan_escalations += other.replan_escalations;
+        self.recovery_tokens += other.recovery_tokens;
+        self.recovery_cost_usd += other.recovery_cost_usd;
+        self.reobserve_latency += other.reobserve_latency;
+        self.retry_latency += other.retry_latency;
+    }
+}
+
+impl fmt::Display for RecoveryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "recovery {} (watchdog {}, reground {}, retries {} [{} ok], \
+             replans {}), tokens {} (${:.4}), reobserve {}, retry {}",
+            self.interventions(),
+            self.watchdog_reobserves,
+            self.phantom_regrounds,
+            self.act_retries,
+            self.retries_recovered,
+            self.replan_escalations,
+            self.recovery_tokens,
+            self.recovery_cost_usd,
+            self.reobserve_latency,
+            self.retry_latency,
+        )
+    }
+}
+
 impl fmt::Display for ResilienceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -906,6 +1085,71 @@ mod tests {
         };
         assert_eq!(h.events(), 0);
         assert!(!h.is_quiet());
+    }
+
+    #[test]
+    fn env_fault_stats_quiet_and_merge() {
+        let mut e = EnvFaultStats::default();
+        assert!(e.is_quiet());
+        let busy = EnvFaultStats {
+            dropped_entities: 3,
+            phantom_entities: 2,
+            stale_observations: 1,
+            misread_entities: 1,
+            silent_failures: 2,
+            partial_slips: 1,
+            actuator_downtimes: 1,
+            actuator_down_steps: 4,
+        };
+        assert!(!busy.is_quiet());
+        assert_eq!(busy.perception_faults(), 7);
+        assert_eq!(busy.actuation_faults(), 4);
+        assert_eq!(busy.faults(), 11);
+        e.merge(&busy);
+        e.merge(&busy);
+        assert_eq!(e.dropped_entities, 6);
+        assert_eq!(e.actuator_down_steps, 8);
+        let text = e.to_string();
+        assert!(text.contains("phantom"));
+        assert!(text.contains("actuator down"));
+        // A pure-downtime episode (no event fired, but steps were lost) is
+        // still not quiet: the degraded world differed from the bare env.
+        let down = EnvFaultStats {
+            actuator_down_steps: 1,
+            ..Default::default()
+        };
+        assert_eq!(down.faults(), 0);
+        assert!(!down.is_quiet());
+    }
+
+    #[test]
+    fn recovery_stats_quiet_merge_and_rates() {
+        let mut r = RecoveryStats::default();
+        assert!(r.is_quiet());
+        assert_eq!(r.retry_success_rate(), 0.0);
+        let busy = RecoveryStats {
+            watchdog_reobserves: 2,
+            phantom_regrounds: 1,
+            act_retries: 4,
+            retries_recovered: 3,
+            replan_escalations: 1,
+            recovery_tokens: 320,
+            recovery_cost_usd: 0.01,
+            reobserve_latency: sec(2),
+            retry_latency: sec(5),
+        };
+        assert!(!busy.is_quiet());
+        assert_eq!(busy.interventions(), 7);
+        assert!((busy.retry_success_rate() - 0.75).abs() < 1e-12);
+        r.merge(&busy);
+        r.merge(&busy);
+        assert_eq!(r.watchdog_reobserves, 4);
+        assert_eq!(r.recovery_tokens, 640);
+        assert_eq!(r.reobserve_latency, sec(4));
+        assert_eq!(r.retry_latency, sec(10));
+        let text = r.to_string();
+        assert!(text.contains("watchdog"));
+        assert!(text.contains("reground"));
     }
 
     #[test]

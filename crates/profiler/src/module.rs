@@ -121,6 +121,11 @@ pub enum Phase {
     /// A request rejected by serving admission control; the span is the
     /// fast-fail marker, not real inference time.
     Shed,
+    /// A forced re-observation issued by the recovery stack (stuck watchdog
+    /// or re-ground-on-phantom) — the agent pays a fresh sensing pass.
+    Reobserve,
+    /// A bounded retry of a failed action before escalating to replan.
+    ActRetry,
 }
 
 impl fmt::Display for Phase {
@@ -142,6 +147,8 @@ impl fmt::Display for Phase {
             Phase::Batch => "batch",
             Phase::Hedge => "hedge",
             Phase::Shed => "shed",
+            Phase::Reobserve => "reobserve",
+            Phase::ActRetry => "act-retry",
         };
         f.write_str(name)
     }

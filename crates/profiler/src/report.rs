@@ -2,8 +2,9 @@
 //! figure binary prints.
 
 use crate::metrics::{
-    AgentFaultStats, ChannelStats, LatencyBreakdown, MessageStats, PurposeLedger, RepairStats,
-    ResilienceStats, ServingFaultStats, ServingStats, StepRecord, TokenStats,
+    AgentFaultStats, ChannelStats, EnvFaultStats, LatencyBreakdown, MessageStats, PurposeLedger,
+    RecoveryStats, RepairStats, ResilienceStats, ServingFaultStats, ServingStats, StepRecord,
+    TokenStats,
 };
 use crate::module::ModuleKind;
 use crate::time::SimDuration;
@@ -86,6 +87,14 @@ pub struct EpisodeReport {
     /// `ServingFaultProfile::none()` with the resilience tier off).
     #[serde(default)]
     pub serving_faults: ServingFaultStats,
+    /// Environment fault counters — perception/actuation faults at the
+    /// sensor/actuator boundary (all zero under `EnvFaultProfile::none()`).
+    #[serde(default)]
+    pub env_faults: EnvFaultStats,
+    /// Closed-loop recovery counters — forced re-observations, action
+    /// retries, replan escalations (all zero under `RecoveryPolicy::Off`).
+    #[serde(default)]
+    pub recovery: RecoveryStats,
     /// Per-step time series.
     pub step_records: Vec<StepRecord>,
     /// Number of agents that participated.
@@ -151,6 +160,12 @@ pub struct Aggregate {
     /// Merged serving-plane fault/SLO counters across episodes.
     #[serde(default)]
     pub serving_faults: ServingFaultStats,
+    /// Merged environment fault counters across episodes.
+    #[serde(default)]
+    pub env_faults: EnvFaultStats,
+    /// Merged closed-loop recovery counters across episodes.
+    #[serde(default)]
+    pub recovery: RecoveryStats,
 }
 
 impl Aggregate {
@@ -199,6 +214,8 @@ impl Aggregate {
         let mut repairs = RepairStats::default();
         let mut serving = ServingStats::default();
         let mut serving_faults = ServingFaultStats::default();
+        let mut env_faults = EnvFaultStats::default();
+        let mut recovery = RecoveryStats::default();
         for r in reports {
             breakdown.merge(&r.breakdown);
             tokens.merge(&r.tokens);
@@ -211,6 +228,8 @@ impl Aggregate {
             repairs.merge(&r.repairs);
             serving.merge(&r.serving);
             serving_faults.merge(&r.serving_faults);
+            env_faults.merge(&r.env_faults);
+            recovery.merge(&r.recovery);
         }
 
         Aggregate {
@@ -234,6 +253,8 @@ impl Aggregate {
             repairs,
             serving,
             serving_faults,
+            env_faults,
+            recovery,
         }
     }
 
@@ -354,6 +375,22 @@ impl Aggregate {
     pub fn hedges_per_episode(&self) -> f64 {
         self.serving_faults.hedges() as f64 / self.episodes as f64
     }
+
+    /// Mean injected environment faults (perception + actuation) per
+    /// episode.
+    pub fn env_faults_per_episode(&self) -> f64 {
+        self.env_faults.faults() as f64 / self.episodes as f64
+    }
+
+    /// Mean closed-loop recovery interventions per episode.
+    pub fn recoveries_per_episode(&self) -> f64 {
+        self.recovery.interventions() as f64 / self.episodes as f64
+    }
+
+    /// Mean tokens spent on recovery inference per episode.
+    pub fn recovery_tokens_per_episode(&self) -> f64 {
+        self.recovery.recovery_tokens as f64 / self.episodes as f64
+    }
 }
 
 impl fmt::Display for Aggregate {
@@ -394,6 +431,8 @@ mod tests {
             repairs: RepairStats::default(),
             serving: ServingStats::default(),
             serving_faults: ServingFaultStats::default(),
+            env_faults: EnvFaultStats::default(),
+            recovery: RecoveryStats::default(),
             step_records: Vec::new(),
             agents: 1,
         }
@@ -468,6 +507,23 @@ mod tests {
         assert!((agg.shed_per_episode() - 3.0).abs() < 1e-12);
         assert!((agg.hedges_per_episode() - 2.0).abs() < 1e-12);
         assert!((agg.slo_attainment() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_merges_env_faults_and_recovery() {
+        let mut faulty = report(Outcome::StepLimit, 5, 50);
+        faulty.env_faults.dropped_entities = 4;
+        faulty.env_faults.silent_failures = 2;
+        faulty.recovery.watchdog_reobserves = 1;
+        faulty.recovery.act_retries = 3;
+        faulty.recovery.recovery_tokens = 200;
+        let reports = vec![report(Outcome::Success, 5, 50), faulty];
+        let agg = Aggregate::from_reports("t", &reports);
+        assert_eq!(agg.env_faults.dropped_entities, 4);
+        assert_eq!(agg.recovery.act_retries, 3);
+        assert!((agg.env_faults_per_episode() - 3.0).abs() < 1e-12);
+        assert!((agg.recoveries_per_episode() - 2.0).abs() < 1e-12);
+        assert!((agg.recovery_tokens_per_episode() - 100.0).abs() < 1e-12);
     }
 
     #[test]

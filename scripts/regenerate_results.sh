@@ -38,6 +38,11 @@ EMBODIED_EPISODES="${EMBODIED_SERVING_EPISODES:-6}" ./target/release/serving_swe
 echo "== slo_sweep =="
 EMBODIED_EPISODES="${EMBODIED_SLO_EPISODES:-6}" ./target/release/slo_sweep > /dev/null
 
+# Embodied fault sweep: 3 systems × 2 recovery policies × 9 perception ×
+# actuation fault cells on the fifth (environment-interface) plane.
+echo "== embodied_fault_sweep =="
+EMBODIED_EPISODES="${EMBODIED_ENV_EPISODES:-8}" ./target/release/embodied_fault_sweep > /dev/null
+
 # Adversarial scenario evolution: 4 paradigms × 7 evaluation rounds of a
 # 12-genotype population. Sized by its own flags, not EMBODIED_EPISODES.
 # Deliberately run WITHOUT --write-fixtures: the pinned fixtures under

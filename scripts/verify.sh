@@ -42,6 +42,9 @@ EMBODIED_JOBS=4 cargo test --release -q -p embodied-bench --test serving_determi
 echo "== SLO determinism (EMBODIED_JOBS=4) =="
 EMBODIED_JOBS=4 cargo test --release -q -p embodied-bench --test slo_determinism
 
+echo "== embodied fault determinism (EMBODIED_JOBS=4) =="
+EMBODIED_JOBS=4 cargo test --release -q -p embodied-bench --test embodied_fault_determinism
+
 echo "== resilience integration tests =="
 cargo test --release -q --test resilience --test fault_properties --test guardrail_properties
 
@@ -63,6 +66,10 @@ cargo build --release -q -p embodied-bench --bin serving_sweep
 echo "== slo_sweep --smoke (scratch dir; canonical results untouched) =="
 cargo build --release -q -p embodied-bench --bin slo_sweep
 (cd "$smoke_dir" && "$repo_root/target/release/slo_sweep" --smoke > /dev/null)
+
+echo "== embodied_fault_sweep --smoke (scratch dir; canonical results untouched) =="
+cargo build --release -q -p embodied-bench --bin embodied_fault_sweep
+(cd "$smoke_dir" && "$repo_root/target/release/embodied_fault_sweep" --smoke > /dev/null)
 
 echo "== scenario_evolve --smoke (scratch dir; canonical results untouched) =="
 cargo build --release -q -p embodied-bench --bin scenario_evolve
