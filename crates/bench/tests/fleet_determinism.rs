@@ -1,0 +1,132 @@
+//! The virtual-time fleet must be deterministic in every direction that
+//! matters:
+//!
+//! * a fleet grid fanned across worker threads is byte-identical to the
+//!   one-worker loop (each cell's fleet is single-threaded; `EMBODIED_JOBS`
+//!   only schedules whole cells);
+//! * with serving pass-through, the fleet is pure re-plumbing — every
+//!   episode's report matches the per-episode runner byte-for-byte, which
+//!   pins all pre-existing `results/*.md` (produced fleet-off) unchanged;
+//! * events colliding on one virtual instant replay in sequence-id order,
+//!   so a zero-stagger fleet is exactly reproducible.
+
+use embodied_agents::{episode_seed, run_episode, run_fleet, workloads, FleetConfig, RunOverrides};
+use embodied_bench::par_map_with;
+use embodied_env::TaskDifficulty;
+use embodied_llm::ServingConfig;
+use embodied_profiler::SimDuration;
+
+const BASE_SEED: u64 = 42;
+
+fn contention_overrides(serving: ServingConfig) -> RunOverrides {
+    RunOverrides {
+        difficulty: Some(TaskDifficulty::Easy),
+        serving: Some(serving),
+        ..Default::default()
+    }
+}
+
+/// One fleet run rendered to bytes (reports + substrate summary).
+fn fleet_bytes(serving: ServingConfig, episodes: usize, fleet: FleetConfig) -> String {
+    let spec = workloads::find("CoELA").expect("suite member");
+    let out = run_fleet(
+        &spec,
+        &contention_overrides(serving),
+        episodes,
+        BASE_SEED,
+        fleet,
+    );
+    format!("{:?}|{:?}", out.reports, out.summary)
+}
+
+/// A contention-sweep-shaped grid: fleet size × serving policy. Each cell
+/// is one whole fleet run; the worker pool schedules cells, never the
+/// inside of a fleet.
+fn grid_bytes(workers: usize) -> Vec<String> {
+    let cells: Vec<(usize, ServingConfig)> = [2usize, 3]
+        .into_iter()
+        .flat_map(|n| {
+            [
+                ServingConfig::disabled(),
+                ServingConfig::limited(1),
+                ServingConfig::batched(),
+            ]
+            .into_iter()
+            .map(move |s| (n, s))
+        })
+        .collect();
+    par_map_with(workers, cells.len(), |i| {
+        let (episodes, serving) = cells[i];
+        let fleet = FleetConfig::default().with_stagger(SimDuration::from_millis(500));
+        fleet_bytes(serving, episodes, fleet)
+    })
+}
+
+#[test]
+fn fleet_grid_bit_identical_at_one_and_four_workers() {
+    assert_eq!(
+        grid_bytes(1),
+        grid_bytes(4),
+        "EMBODIED_JOBS=4 diverged from EMBODIED_JOBS=1 on the fleet grid"
+    );
+}
+
+#[test]
+fn fleet_off_is_a_strict_pass_through_of_the_per_episode_runner() {
+    // Serving pass-through: N multiplexed episodes must reproduce the N
+    // solo runs byte-for-byte — the guarantee that keeps every
+    // pre-existing results/*.md (generated fleet-off) unchanged.
+    let spec = workloads::find("DEPS").expect("suite member");
+    let overrides = RunOverrides {
+        difficulty: Some(TaskDifficulty::Easy),
+        ..Default::default()
+    };
+    let fleet = run_fleet(&spec, &overrides, 3, BASE_SEED, FleetConfig::default());
+    for (i, report) in fleet.reports.iter().enumerate() {
+        let solo = run_episode(&spec, &overrides, episode_seed(BASE_SEED, i));
+        assert_eq!(
+            format!("{report:?}"),
+            format!("{solo:?}"),
+            "episode {i}: fleet multiplexing changed a pass-through report"
+        );
+    }
+}
+
+#[test]
+fn equal_instant_events_replay_in_sequence_order() {
+    // Zero stagger collides every arrival on the epoch instant; the
+    // (virtual-time, sequence-id) tie-break must order them by push
+    // sequence, reproducibly.
+    let fleet = FleetConfig::default()
+        .with_stagger(SimDuration::ZERO)
+        .with_batch_window(SimDuration::from_secs(45));
+    let a = fleet_bytes(ServingConfig::batched(), 3, fleet);
+    let b = fleet_bytes(ServingConfig::batched(), 3, fleet);
+    assert_eq!(a, b, "zero-stagger fleet failed to replay identically");
+}
+
+#[test]
+fn contended_fleet_queues_across_episodes() {
+    // The cross-episode effect itself, end to end: the same episode 0, on
+    // the same one-slot serving stack, must wait longer when two more
+    // episodes contend for the slot than when it runs alone. (The solo
+    // per-step scheduler is not the comparison point — its queues reset at
+    // step boundaries, a different attribution regime entirely.)
+    let spec = workloads::find("CoELA").expect("suite member");
+    let overrides = contention_overrides(ServingConfig::limited(1));
+    let fleet = FleetConfig::default().with_stagger(SimDuration::from_millis(500));
+    let alone = run_fleet(&spec, &overrides, 1, BASE_SEED, fleet);
+    let contended = run_fleet(&spec, &overrides, 3, BASE_SEED, fleet);
+    let queue_alone = alone.reports[0].serving.queue_delay;
+    let queue_contended = contended.reports[0].serving.queue_delay;
+    assert!(
+        queue_contended > queue_alone,
+        "two extra in-flight episodes must add queueing to episode 0: \
+         {queue_contended} vs {queue_alone} alone"
+    );
+    assert!(
+        contended.summary.peak_in_flight >= 2,
+        "{:?}",
+        contended.summary
+    );
+}

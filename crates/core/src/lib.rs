@@ -38,12 +38,14 @@ pub mod workloads;
 
 pub use agent::ModularAgent;
 pub use config::{AgentConfig, MemoryCapacity, ModuleToggles, Optimizations};
+pub use embodied_llm::{FleetConfig, FleetSummary};
 pub use faults::{AgentFaultProfile, ChannelProfile};
 pub use guardrail::{PlanValidator, Proposal, RepairPolicy, ValidationError};
 pub use orchestrator::Paradigm;
 pub use recovery::RecoveryPolicy;
 pub use runner::{
-    episode_seed, run_episode, run_episode_traced, run_many, RunOverrides, EPISODE_SEED_STRIDE,
+    episode_seed, run_episode, run_episode_traced, run_fleet, run_many, FleetReport, RunOverrides,
+    EPISODE_SEED_STRIDE,
 };
 pub use system::EmbodiedSystem;
 pub use workloads::{EnvKind, WorkloadSpec};

@@ -2,10 +2,16 @@
 //! under arbitrary overrides and collect reports.
 
 use crate::config::{AgentConfig, MemoryCapacity, ModuleToggles, Optimizations};
+use crate::system::EmbodiedSystem;
 use crate::workloads::WorkloadSpec;
 use embodied_env::TaskDifficulty;
-use embodied_llm::ModelProfile;
-use embodied_profiler::{Aggregate, EpisodeReport, FromJson, JsonError, JsonValue, ToJson};
+use embodied_llm::{
+    FleetConfig, FleetSummary, InferenceService, ModelProfile, SimEvent, WindowShare,
+};
+use embodied_profiler::{
+    Aggregate, EpisodeReport, FromJson, JsonError, JsonValue, SimInstant, ToJson,
+};
+use std::collections::VecDeque;
 
 /// Per-run overrides layered on a workload's defaults.
 #[derive(Debug, Clone, Default)]
@@ -255,6 +261,184 @@ pub fn run_many(
         .map(|i| run_episode(spec, overrides, episode_seed(base_seed, i)))
         .collect();
     Aggregate::from_reports(label, &reports)
+}
+
+/// The outcome of one fleet run: every episode's report (in arrival
+/// order) plus the shared substrate's fleet-level counters.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-episode reports, indexed by episode number.
+    pub reports: Vec<EpisodeReport>,
+    /// What the shared serving substrate saw across all episodes.
+    pub summary: FleetSummary,
+}
+
+/// One admitted episode in the fleet runner's slot table.
+struct FleetSlot {
+    system: EmbodiedSystem,
+    /// Global instant of admission: episode-local trace time `t` lives at
+    /// global `base + t`.
+    base: SimInstant,
+}
+
+/// Admits `episode` at global instant `at`: anchors its scope base,
+/// builds its system as tenants of the shared service, and schedules its
+/// first step.
+#[allow(clippy::too_many_arguments)]
+fn admit_episode(
+    spec: &WorkloadSpec,
+    config: &AgentConfig,
+    difficulty: TaskDifficulty,
+    num_agents: usize,
+    base_seed: u64,
+    service: &InferenceService,
+    slots: &mut [Option<FleetSlot>],
+    episode: usize,
+    at: SimInstant,
+) {
+    service.set_scope_base(episode, at);
+    let system = spec.build_system_in_fleet(
+        config,
+        difficulty,
+        num_agents,
+        episode_seed(base_seed, episode),
+        service,
+        episode,
+    );
+    service.push_fleet_event(at, SimEvent::AgentStepReady { episode });
+    slots[episode] = Some(FleetSlot { system, base: at });
+}
+
+/// Runs `episodes` staggered episodes of `spec` multiplexed onto **one**
+/// shared inference service and **one** virtual clock — the fleet regime,
+/// where serving contention (queueing, batching, faults) spans episodes
+/// instead of being reset per run.
+///
+/// The discrete-event loop pops `(virtual-time, sequence-id)`-ordered
+/// events: `RequestArrival` admits an episode (or queues it behind
+/// [`FleetConfig::max_sessions`]), `AgentStepReady` advances one episode by
+/// one step via the `step_once` seam, and `BatchWindowClose` settles a
+/// serving window that may span several episodes — the parked episodes
+/// receive their amortized shares and resume. Episode seeds come from
+/// [`episode_seed`], so per-episode randomness is untouched by scheduling;
+/// the same `(spec, overrides, episodes, base_seed, fleet)` tuple replays
+/// bit-identically regardless of host parallelism.
+pub fn run_fleet(
+    spec: &WorkloadSpec,
+    overrides: &RunOverrides,
+    episodes: usize,
+    base_seed: u64,
+    fleet: FleetConfig,
+) -> FleetReport {
+    let fleet = fleet.validated().expect("fleet config must be valid");
+    let config = overrides.apply(spec);
+    let difficulty = overrides.difficulty.unwrap_or_default();
+    let num_agents = overrides.num_agents.unwrap_or(spec.default_agents);
+    let spec = match overrides.env {
+        Some(env) => {
+            let mut swapped = spec.clone();
+            swapped.env = env;
+            swapped
+        }
+        None => spec.clone(),
+    };
+    let service = InferenceService::with_seed(config.serving, base_seed);
+    service.enable_fleet(fleet, episodes);
+    for i in 0..episodes {
+        service.push_fleet_event(
+            SimInstant::EPOCH + fleet.stagger * i as u64,
+            SimEvent::RequestArrival { episode: i },
+        );
+    }
+    let mut slots: Vec<Option<FleetSlot>> =
+        std::iter::repeat_with(|| None).take(episodes).collect();
+    let mut reports: Vec<Option<EpisodeReport>> = vec![None; episodes];
+    let mut waiting: VecDeque<usize> = VecDeque::new();
+    let mut active = 0usize;
+    let mut close_scheduled = false;
+    while let Some(ev) = service.pop_fleet_event() {
+        match ev.event {
+            SimEvent::RequestArrival { episode } => {
+                let cap = fleet.max_sessions as usize;
+                if cap == 0 || active < cap {
+                    active += 1;
+                    admit_episode(
+                        &spec, &config, difficulty, num_agents, base_seed, &service, &mut slots,
+                        episode, ev.at,
+                    );
+                } else {
+                    waiting.push_back(episode);
+                }
+            }
+            SimEvent::AgentStepReady { episode } => {
+                service.set_fleet_scope(episode);
+                let slot = slots[episode]
+                    .as_mut()
+                    .expect("step-ready for an unadmitted episode");
+                if slot.system.step_once() {
+                    if slot.system.pending_window_entries() > 0 {
+                        // Parked on an open serving window; the close event
+                        // settles the shares and reschedules this episode.
+                        if !close_scheduled {
+                            close_scheduled = true;
+                            let gnow = slot.base + slot.system.trace().elapsed();
+                            service.push_fleet_event(
+                                gnow + fleet.batch_window,
+                                SimEvent::BatchWindowClose,
+                            );
+                        }
+                    } else {
+                        let gnow = slot.base + slot.system.trace().elapsed();
+                        service.push_fleet_event(gnow, SimEvent::AgentStepReady { episode });
+                    }
+                } else {
+                    let slot = slots[episode].take().expect("slot vanished mid-episode");
+                    assert!(
+                        slot.system.trace().is_start_monotone(),
+                        "episode {episode}: span starts rewound on the virtual timeline"
+                    );
+                    reports[episode] = Some(slot.system.report());
+                    active -= 1;
+                    if let Some(next) = waiting.pop_front() {
+                        service.push_fleet_event(ev.at, SimEvent::RequestArrival { episode: next });
+                    }
+                }
+            }
+            SimEvent::BatchWindowClose => {
+                close_scheduled = false;
+                let shares = service.close_fleet_window(ev.at);
+                // Settle per episode, preserving submission order within
+                // each scope and first-appearance order across scopes — both
+                // deterministic, so resume-event sequence ids are too.
+                let mut by_scope: Vec<(usize, Vec<WindowShare>)> = Vec::new();
+                for (scope, share) in shares {
+                    match by_scope.iter_mut().find(|(s, _)| *s == scope) {
+                        Some((_, list)) => list.push(share),
+                        None => by_scope.push((scope, vec![share])),
+                    }
+                }
+                for (scope, scope_shares) in by_scope {
+                    service.set_fleet_scope(scope);
+                    let slot = slots[scope]
+                        .as_mut()
+                        .expect("window share for a retired episode");
+                    slot.system.settle_fleet_shares(&scope_shares);
+                    let gnow = slot.base + slot.system.trace().elapsed();
+                    service.push_fleet_event(gnow, SimEvent::AgentStepReady { episode: scope });
+                }
+            }
+            SimEvent::DecodeFinish { .. } | SimEvent::ReplicaRestart { .. } => {
+                unreachable!("substrate events are consumed inside pop_fleet_event")
+            }
+        }
+    }
+    let summary = service.fleet_summary();
+    let reports = reports
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("episode {i} never completed")))
+        .collect();
+    FleetReport { reports, summary }
 }
 
 #[cfg(test)]
@@ -639,6 +823,99 @@ mod tests {
                 >= a.latency.as_secs_f64() / a.steps.max(1) as f64,
             "faults cannot make steps faster"
         );
+    }
+
+    #[test]
+    fn fleet_runs_staggered_episodes_and_reports_each() {
+        let spec = find("DEPS").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            ..Default::default()
+        };
+        let out = run_fleet(&spec, &overrides, 3, 5, FleetConfig::default());
+        assert_eq!(out.reports.len(), 3);
+        assert_eq!(out.summary.sessions, 3);
+        assert!(out.summary.events > 0, "{:?}", out.summary);
+        for report in &out.reports {
+            assert!(report.steps > 0);
+            assert!(report.tokens.calls > 0);
+        }
+        let longest = out.reports.iter().map(|r| r.latency).max().unwrap();
+        assert!(
+            out.summary.makespan >= longest,
+            "the shared clock covers every episode: {} < {longest}",
+            out.summary.makespan
+        );
+    }
+
+    #[test]
+    fn single_episode_fleet_matches_the_per_episode_runner() {
+        // With serving pass-through and one session, the virtual-time loop
+        // is pure re-plumbing: the report must match `run_episode` exactly.
+        let spec = find("DEPS").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            ..Default::default()
+        };
+        let solo = run_episode(&spec, &overrides, 5);
+        let fleet = run_fleet(&spec, &overrides, 1, 5, FleetConfig::default());
+        assert_eq!(format!("{:?}", fleet.reports[0]), format!("{solo:?}"));
+    }
+
+    #[test]
+    fn fleet_same_seed_replays_bit_identically() {
+        let spec = find("CoELA").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            serving: Some(embodied_llm::ServingConfig::limited(1).with_replicas(2)),
+            ..Default::default()
+        };
+        let cfg = FleetConfig::default().with_sessions(2);
+        let a = run_fleet(&spec, &overrides, 4, 7, cfg);
+        let b = run_fleet(&spec, &overrides, 4, 7, cfg);
+        assert_eq!(format!("{:?}", a.reports), format!("{:?}", b.reports));
+        assert_eq!(format!("{:?}", a.summary), format!("{:?}", b.summary));
+    }
+
+    #[test]
+    fn fleet_batches_across_concurrent_episodes() {
+        let spec = find("CoELA").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            serving: Some(embodied_llm::ServingConfig::batched()),
+            ..Default::default()
+        };
+        let cfg = FleetConfig::default()
+            .with_stagger(embodied_profiler::SimDuration::from_millis(100))
+            .with_batch_window(embodied_profiler::SimDuration::from_secs(60));
+        let out = run_fleet(&spec, &overrides, 3, 7, cfg);
+        assert!(
+            out.summary.cross_episode_batches > 0,
+            "near-simultaneous episodes must share at least one batch: {:?}",
+            out.summary
+        );
+        for report in &out.reports {
+            // `batches` ledgers to the group lead's scope; membership is the
+            // per-episode signal every participant shares.
+            assert!(
+                report.serving.batched_requests > 0,
+                "every episode rides at least one batch: {:?}",
+                report.serving
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_session_cap_queues_admissions() {
+        let spec = find("DEPS").unwrap();
+        let overrides = RunOverrides {
+            difficulty: Some(TaskDifficulty::Easy),
+            ..Default::default()
+        };
+        let capped = FleetConfig::default().with_sessions(1);
+        let out = run_fleet(&spec, &overrides, 3, 5, capped);
+        assert_eq!(out.reports.len(), 3, "queued arrivals still complete");
+        assert_eq!(out.summary.sessions, 3);
     }
 
     #[test]

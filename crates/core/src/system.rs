@@ -14,7 +14,7 @@ use crate::recovery::RecoveryPolicy;
 use embodied_env::{Environment, ExecOutcome, Subgoal};
 use embodied_llm::{
     EngineBuilder, InferenceOpts, InferenceService, LlmEngine, LlmError, LlmRequest, LlmResponse,
-    Purpose, ServingConfig, TenantId, TenantOwner,
+    Purpose, ServingConfig, TenantId, TenantOwner, WindowShare,
 };
 use embodied_profiler::{
     EpisodeReport, LatencyBreakdown, MessageStats, ModuleKind, Outcome, Phase, PurposeLedger,
@@ -105,6 +105,11 @@ pub struct EmbodiedSystem {
     /// tenant of — owns the engine stacks, the per-tenant ledger, and the
     /// per-model scheduling backends.
     pub(crate) service: InferenceService,
+    /// The fleet episode scope this system's tenants registered under, or
+    /// `None` outside fleet mode. With a scope set, serving windows defer
+    /// their close to the fleet runner's `BatchWindowClose` event and the
+    /// report reads the scoped ledgers.
+    pub(crate) fleet_scope: Option<usize>,
     /// System-level scheduling knobs (cached from the first agent config;
     /// serving is a property of the shared stack, not of one agent).
     pub(crate) serving: ServingConfig,
@@ -135,11 +140,32 @@ impl EmbodiedSystem {
         paradigm: Paradigm,
         seed: u64,
     ) -> Self {
-        let workload = workload.into();
-        let landmarks = env.landmarks();
         // The serving fault plane draws from its own salted stream derived
         // from the episode seed — independent of every engine stream.
         let service = InferenceService::with_seed(config.serving, seed);
+        Self::with_shared_service(workload, env, config, paradigm, seed, service, None)
+    }
+
+    /// Assembles a system whose engines register as tenants of an
+    /// *existing* service — the fleet path, where N episodes share one
+    /// serving stack. `fleet_scope` stamps every tenant with its episode
+    /// scope; the single-episode [`EmbodiedSystem::new`] passes `None` and
+    /// a private service, making it the exact legacy construction.
+    pub(crate) fn with_shared_service(
+        workload: impl Into<String>,
+        env: Box<dyn Environment>,
+        config: &AgentConfig,
+        paradigm: Paradigm,
+        seed: u64,
+        service: InferenceService,
+        fleet_scope: Option<usize>,
+    ) -> Self {
+        let workload = workload.into();
+        let landmarks = env.landmarks();
+        if let Some(scope) = fleet_scope {
+            // Tenants registered below must carry this episode's scope.
+            service.set_fleet_scope(scope);
+        }
         let agents: Vec<ModularAgent> = (0..env.num_agents())
             .map(|id| {
                 ModularAgent::new(
@@ -216,6 +242,7 @@ impl EmbodiedSystem {
             recovery_stats: RecoveryStats::default(),
             last_progress: vec![0; team],
             service,
+            fleet_scope,
             serving: config.serving,
             window_entries: Vec::new(),
             workload,
@@ -280,7 +307,7 @@ impl EmbodiedSystem {
     /// over. Benchmarks and throughput harnesses drive this directly;
     /// [`Self::run`] loops it to completion.
     pub fn step_once(&mut self) -> bool {
-        if self.step >= self.env.max_steps() || self.env.is_complete() {
+        if self.episode_over() {
             return false;
         }
         self.trace.begin_step(self.step);
@@ -321,14 +348,22 @@ impl EmbodiedSystem {
             Outcome::StepLimit
         };
         // The service ledger covers every engine in the system — agents
-        // and central alike — so accounting cannot drift from wiring.
-        let tokens = self.service.total_usage();
+        // and central alike — so accounting cannot drift from wiring. In
+        // fleet mode every query narrows to this episode's scope: the
+        // shared service hosts N episodes' tenants at once.
+        let tokens = match self.fleet_scope {
+            Some(scope) => self.service.total_usage_for_scope(scope),
+            None => self.service.total_usage(),
+        };
         let mut by_phase = PurposeLedger::default();
         for span in self.trace.spans() {
             by_phase.record(&span.phase.to_string(), span.duration, 0, 0);
         }
         let mut resilience = self.degradations;
-        resilience.merge(&self.service.total_resilience());
+        resilience.merge(&match self.fleet_scope {
+            Some(scope) => self.service.total_resilience_for_scope(scope),
+            None => self.service.total_resilience(),
+        });
         EpisodeReport {
             workload: self.workload.clone(),
             outcome,
@@ -343,8 +378,14 @@ impl EmbodiedSystem {
             agent_faults: self.agent_faults.stats,
             channel: self.channel.stats,
             repairs: self.repairs,
-            serving: self.service.stats(),
-            serving_faults: self.service.fault_stats(),
+            serving: match self.fleet_scope {
+                Some(scope) => self.service.scope_stats(scope),
+                None => self.service.stats(),
+            },
+            serving_faults: match self.fleet_scope {
+                Some(scope) => self.service.scope_fault_stats(scope),
+                None => self.service.fault_stats(),
+            },
             env_faults: self.env.env_fault_stats(),
             recovery: self.recovery_stats,
             step_records: self.step_records.clone(),
@@ -376,6 +417,13 @@ impl EmbodiedSystem {
     /// span on the member that led a queued batch) and is only now fed
     /// into the step counters / per-purpose ledger, at its share latency.
     pub(crate) fn close_serving_window(&mut self) {
+        if self.fleet_scope.is_some() {
+            // Fleet mode: the window lives on the shared virtual clock and
+            // only the runner's `BatchWindowClose` event may close it —
+            // possibly merging this episode's calls with another's. The
+            // deferred entries stay parked until `settle_fleet_shares`.
+            return;
+        }
         let shares = self.service.close_window(self.trace.now());
         let entries = std::mem::take(&mut self.window_entries);
         debug_assert_eq!(shares.len(), entries.len());
@@ -389,6 +437,59 @@ impl EmbodiedSystem {
             let mut response = entry.response;
             response.latency = share.share;
             self.note_llm(&response);
+        }
+    }
+
+    /// Whether the episode has nothing left to do: the step budget is
+    /// spent or the environment reached its goal. `step_once` checks this
+    /// before advancing; the fleet runner checks it to tell a parked
+    /// episode from a finished one.
+    pub(crate) fn episode_over(&self) -> bool {
+        self.step >= self.env.max_steps() || self.env.is_complete()
+    }
+
+    /// Number of calls parked in the open serving window — nonzero means
+    /// the episode is waiting on a fleet `BatchWindowClose` before its
+    /// next step can be attributed.
+    pub(crate) fn pending_window_entries(&self) -> usize {
+        self.window_entries.len()
+    }
+
+    /// Applies the fleet runner's window shares to this episode: each
+    /// deferred call receives its amortized `Phase::Batch` span (plus a
+    /// `Phase::Queue` span for lead wait) exactly as
+    /// [`Self::close_serving_window`] would have recorded it, but after
+    /// the fact — the window closed on the shared virtual clock, outside
+    /// this episode's step. The re-attributed time and call counts are
+    /// folded back into the step record that deferred them.
+    pub(crate) fn settle_fleet_shares(&mut self, shares: &[WindowShare]) {
+        let entries = std::mem::take(&mut self.window_entries);
+        debug_assert_eq!(shares.len(), entries.len());
+        let before = self.trace.elapsed();
+        let mut calls = 0u64;
+        let mut max_prompt = 0u64;
+        for (entry, share) in entries.into_iter().zip(shares) {
+            if !share.queue.is_zero() {
+                self.trace
+                    .record(entry.module, Phase::Queue, entry.agent, share.queue);
+            }
+            self.trace
+                .record(entry.module, Phase::Batch, entry.agent, share.share);
+            let response = entry.response;
+            calls += 1;
+            max_prompt = max_prompt.max(response.prompt_tokens);
+            self.by_purpose.record(
+                &response.purpose.to_string(),
+                share.share,
+                response.prompt_tokens,
+                response.output_tokens,
+            );
+        }
+        let delta = self.trace.elapsed().saturating_sub(before);
+        if let Some(rec) = self.step_records.last_mut() {
+            rec.latency += delta;
+            rec.llm_calls += calls;
+            rec.max_prompt_tokens = rec.max_prompt_tokens.max(max_prompt);
         }
     }
 

@@ -15,6 +15,7 @@ use embodied_env::{
     AlfWorldEnv, BoxVariant, BoxWorldEnv, CraftEnv, CuisineEnv, Environment, HouseholdEnv,
     KitchenEnv, ManipulationEnv, TaskDifficulty, TransportEnv,
 };
+use embodied_llm::InferenceService;
 use serde::{Deserialize, Serialize};
 
 /// Which task environment a workload runs on.
@@ -166,6 +167,38 @@ impl WorkloadSpec {
             ));
         }
         EmbodiedSystem::new(self.name, env, config, self.paradigm, seed)
+    }
+
+    /// [`Self::build_system`], but registering the episode's engines as
+    /// tenants of an existing shared service under fleet scope `scope` —
+    /// the fleet-runner path, where N concurrent episodes contend for one
+    /// serving stack on a single virtual clock.
+    pub(crate) fn build_system_in_fleet(
+        &self,
+        config: &AgentConfig,
+        difficulty: TaskDifficulty,
+        num_agents: usize,
+        seed: u64,
+        service: &InferenceService,
+        scope: usize,
+    ) -> EmbodiedSystem {
+        let mut env = self.build_env(difficulty, num_agents, seed);
+        if !config.env_fault_profile.is_none() {
+            env = Box::new(embodied_env::FaultyEnv::new(
+                env,
+                config.env_fault_profile,
+                seed,
+            ));
+        }
+        EmbodiedSystem::with_shared_service(
+            self.name,
+            env,
+            config,
+            self.paradigm,
+            seed,
+            service.clone(),
+            Some(scope),
+        )
     }
 }
 

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 mod bpe;
+mod clock;
 mod engine;
 mod fault;
 mod latency;
@@ -48,9 +49,11 @@ mod scheduler;
 mod semantic;
 mod service;
 mod serving_faults;
+mod sim;
 mod tokenizer;
 
 pub use bpe::BpeTokenizer;
+pub use clock::VirtualClock;
 pub use engine::{floor_char, LlmEngine, LlmError};
 pub use fault::{check_factor, check_rate, FaultInjector, FaultKind, FaultProfile};
 pub use latency::{
@@ -66,4 +69,5 @@ pub use service::{
     EngineBuilder, EngineHandle, InferenceService, ServeOutcome, TenantId, TenantOwner, WindowShare,
 };
 pub use serving_faults::{ServingFaultInjector, ServingFaultProfile};
+pub use sim::{EventQueue, FleetConfig, FleetSummary, ScheduledEvent, SimEvent};
 pub use tokenizer::{PromptTokens, Tokenizer};

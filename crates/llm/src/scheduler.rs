@@ -469,6 +469,240 @@ impl BackendQueue {
     }
 }
 
+/// One fleet-mode replica: slot *busy-until instants* on the global
+/// virtual timeline instead of per-step load sums. Nothing ever resets —
+/// a slot that is busy until 14:32 stays busy until 14:32 no matter how
+/// many episode step boundaries pass, which is exactly the cross-episode
+/// queueing the per-step [`Replica`] cannot express.
+#[derive(Debug, Clone)]
+struct FleetReplica {
+    /// Busy-until instant per server slot; empty = unbounded (never
+    /// queues).
+    slots: Vec<SimInstant>,
+    down_until: SimInstant,
+}
+
+impl FleetReplica {
+    fn new(concurrency: u32) -> Self {
+        FleetReplica {
+            slots: vec![SimInstant::EPOCH; concurrency as usize],
+            down_until: SimInstant::EPOCH,
+        }
+    }
+
+    fn healthy(&self, now: SimInstant) -> bool {
+        self.down_until <= now
+    }
+
+    /// Queueing delay a request arriving at `now` would wait before its
+    /// best slot frees.
+    fn delay(&self, now: SimInstant) -> SimDuration {
+        self.slots
+            .iter()
+            .map(|&busy| busy.duration_since(now))
+            .min()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Books `work` on the least-loaded slot (lowest index on ties) for a
+    /// request arriving at `now`. Returns the queueing delay waited, the
+    /// absolute completion instant, the chosen slot, and the slot's prior
+    /// busy-until (so a hedge cancellation can revert an unstarted
+    /// booking).
+    fn place_tracked(
+        &mut self,
+        now: SimInstant,
+        work: SimDuration,
+    ) -> (SimDuration, SimInstant, Option<usize>, SimInstant) {
+        let Some(idx) = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, busy)| **busy)
+            .map(|(idx, _)| idx)
+        else {
+            // Unbounded: service starts immediately and nothing is booked.
+            return (SimDuration::ZERO, now + work, None, SimInstant::EPOCH);
+        };
+        let prev = self.slots[idx];
+        let start = prev.max(now);
+        let completion = start + work;
+        self.slots[idx] = completion;
+        (start.duration_since(now), completion, Some(idx), prev)
+    }
+
+    /// Cancels a booking on `slot` at instant `t_win` (the hedge winner's
+    /// completion): the slot keeps only what it served before `t_win`, and
+    /// reverts fully to `prev` if the booking never started.
+    fn cancel_at(&mut self, slot: Option<usize>, prev: SimInstant, t_win: SimInstant) {
+        if let Some(idx) = slot {
+            self.slots[idx] = prev.max(self.slots[idx].min(t_win));
+        }
+    }
+}
+
+/// Fleet-mode backend queue over the global virtual timeline.
+///
+/// Mirrors the [`BackendQueue`] five-stage pipeline — target selection,
+/// overflow, crash/failover, brownout, hedged placement — but in absolute
+/// time: placements book slot intervals that persist across episode step
+/// boundaries, every placement returns the completion instant for the
+/// fleet's `DecodeFinish` event, and a crash returns the restart instant
+/// for its `ReplicaRestart` event. The fault-draw order is deterministic
+/// per seed but intentionally *not* draw-compatible with the per-step
+/// scheduler: fleet mode is a different serving regime, not a replay of
+/// the old one.
+#[derive(Debug, Clone)]
+pub(crate) struct FleetBackend {
+    replicas: Vec<FleetReplica>,
+}
+
+impl FleetBackend {
+    /// A fleet of `replicas` (0 treated as 1) with `concurrency` slots
+    /// each (0 = unbounded, never queues).
+    pub(crate) fn new(concurrency: u32, replicas: u32) -> Self {
+        FleetBackend {
+            replicas: (0..replicas.max(1))
+                .map(|_| FleetReplica::new(concurrency))
+                .collect(),
+        }
+    }
+
+    fn best_healthy(&self, now: SimInstant, skip: Option<usize>) -> Option<usize> {
+        self.replicas
+            .iter()
+            .enumerate()
+            .filter(|&(i, r)| Some(i) != skip && r.healthy(now))
+            .min_by_key(|(_, r)| r.delay(now))
+            .map(|(i, _)| i)
+    }
+
+    /// The delay a request arriving at `now` would wait before any slot
+    /// frees, without booking one — the dependent-call contention bill,
+    /// same contract as [`BackendQueue::delay`].
+    pub(crate) fn delay(&self, now: SimInstant) -> SimDuration {
+        if let Some(idx) = self.best_healthy(now, None) {
+            return self.replicas[idx].delay(now);
+        }
+        self.replicas
+            .iter()
+            .map(|r| r.down_until.duration_since(now) + r.delay(r.down_until))
+            .min()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Schedules `work` arriving at global instant `now`; returns what the
+    /// placement cost, the absolute completion instant (the fleet pushes a
+    /// `DecodeFinish` there), and, when the serving replica crashed, the
+    /// `(replica, restart_instant)` for a `ReplicaRestart` event.
+    pub(crate) fn place_at(
+        &mut self,
+        now: SimInstant,
+        work: SimDuration,
+        inj: &mut ServingFaultInjector,
+        hedge_after: Option<SimDuration>,
+    ) -> (PlacementOutcome, SimInstant, Option<(usize, SimInstant)>) {
+        let mut out = PlacementOutcome::default();
+        let mut restart_event = None;
+        let profile = *inj.profile();
+
+        // 1. Target selection. With every replica down the request waits
+        //    out the soonest restart: its effective arrival slides forward.
+        let mut arrive = now;
+        let mut target = match self.best_healthy(now, None) {
+            Some(idx) => idx,
+            None => {
+                let idx = self
+                    .replicas
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, r)| r.down_until)
+                    .map(|(i, _)| i)
+                    .expect("fleet has at least one replica");
+                out.queue += self.replicas[idx].down_until.duration_since(now);
+                arrive = arrive.max(self.replicas[idx].down_until);
+                idx
+            }
+        };
+
+        // 2. Overflow: admission rejects, the client re-dispatches after
+        //    the penalty — its arrival slides by the re-dispatch wait.
+        if !profile.overflow_queue.is_zero()
+            && self.replicas[target].delay(arrive) >= profile.overflow_queue
+        {
+            out.overflowed = true;
+            out.queue += OVERFLOW_REDISPATCH;
+            arrive = arrive + OVERFLOW_REDISPATCH;
+        }
+
+        // 3. Crash: partial service wasted, replica cold-restarts (the
+        //    caller schedules the ReplicaRestart event), request fails
+        //    over to a healthy peer or rides out the restart.
+        if inj.crash() {
+            out.crashed = true;
+            out.failover_penalty = work.mul_f64(CRASH_WASTE);
+            let restart_at = arrive + profile.restart;
+            self.replicas[target].down_until = restart_at;
+            restart_event = Some((target, restart_at));
+            match self.best_healthy(arrive, Some(target)) {
+                Some(peer) => {
+                    out.failed_over = true;
+                    target = peer;
+                }
+                None => {
+                    out.queue += profile.restart;
+                    arrive = restart_at;
+                }
+            }
+        }
+
+        // 4. Brownout: the replica serves, but slower.
+        let mut effective = work;
+        if inj.brownout() {
+            out.slowed = true;
+            effective = work.mul_f64(profile.brownout_factor.max(1.0));
+            out.slowdown = effective.saturating_sub(work);
+        }
+
+        // 5. Placement, hedged exactly as in the per-step pipeline, except
+        //    the race is decided on absolute completion instants: the
+        //    duplicate dispatches `hedge_after` later and serves clean on
+        //    the peer; first completion wins, the loser's booking is
+        //    cancelled at the winner's completion instant.
+        let primary_delay = self.replicas[target].delay(arrive);
+        let hedge_peer = hedge_after
+            .filter(|h| primary_delay > *h || out.slowed)
+            .and_then(|_| self.best_healthy(arrive, Some(target)));
+        let completion = match hedge_peer {
+            Some(peer) => {
+                let h = hedge_after.expect("hedge peer implies hedge delay");
+                let (d1, c1, primary_slot, prev1) =
+                    self.replicas[target].place_tracked(arrive, effective);
+                let (d2, c2, peer_slot, prev2) =
+                    self.replicas[peer].place_tracked(arrive + h, work);
+                let won = c2 < c1;
+                out.hedged = Some(won);
+                if won {
+                    self.replicas[target].cancel_at(primary_slot, prev1, c2);
+                    out.queue += h + d2;
+                    out.slowdown = SimDuration::ZERO;
+                    c2
+                } else {
+                    self.replicas[peer].cancel_at(peer_slot, prev2, c1);
+                    out.queue += d1;
+                    c1
+                }
+            }
+            None => {
+                let (d, c, _, _) = self.replicas[target].place_tracked(arrive, effective);
+                out.queue += d;
+                c
+            }
+        };
+        (out, completion, restart_event)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -688,6 +922,102 @@ mod tests {
         let out = q.place_at(SimInstant::EPOCH, sec(5), &mut inj, Some(sec(2)));
         assert_eq!(out.hedged, None);
         assert_eq!(out.queue, sec(30));
+    }
+
+    #[test]
+    fn fleet_backend_queues_across_arrivals_without_reset() {
+        // Two requests 5 s apart on one slot: the second queues behind the
+        // remaining 5 s of the first — state persists, no step boundary
+        // ever clears it.
+        let mut q = FleetBackend::new(1, 1);
+        let mut inj = no_faults();
+        let (out, c1, restart) = q.place_at(at(0), sec(10), &mut inj, None);
+        assert_eq!(out.queue, SimDuration::ZERO);
+        assert_eq!(c1, at(10));
+        assert!(restart.is_none());
+        let (out, c2, _) = q.place_at(at(5), sec(10), &mut inj, None);
+        assert_eq!(out.queue, sec(5), "waits out the in-flight request");
+        assert_eq!(c2, at(20));
+        // Once the backlog drains, arrivals start fresh.
+        let (out, c3, _) = q.place_at(at(30), sec(2), &mut inj, None);
+        assert_eq!(out.queue, SimDuration::ZERO);
+        assert_eq!(c3, at(32));
+        assert_eq!(q.delay(at(30)), sec(2), "booked by the request itself");
+        assert_eq!(q.delay(at(32)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fleet_backend_crash_reports_restart_event() {
+        let profile = ServingFaultProfile {
+            crash_rate: 1.0,
+            restart: sec(20),
+            ..ServingFaultProfile::none()
+        };
+        let mut inj = ServingFaultInjector::new(profile, 1);
+        let mut q = FleetBackend::new(1, 2);
+        let (out, _, restart) = q.place_at(at(0), sec(10), &mut inj, None);
+        assert!(out.crashed && out.failed_over);
+        let (replica, restart_at) = restart.expect("crash schedules a restart");
+        assert_eq!(restart_at, at(20));
+        // The crashed replica is down until its restart instant, then
+        // serves again — purely by clock comparison, no reset call.
+        assert!(!q.replicas[replica].healthy(at(19)));
+        assert!(q.replicas[replica].healthy(at(20)));
+    }
+
+    #[test]
+    fn fleet_backend_hedge_race_on_completion_instants() {
+        // Primary (replica 1) busy until 8 s, peer (replica 0) until 30 s:
+        // the duplicate dispatches at 2 s, starts at 30 s, completes at
+        // 35 s — the primary completes at 13 s and wins; the loser's
+        // booking reverts entirely.
+        let mut q = FleetBackend::new(1, 2);
+        let mut inj = no_faults();
+        q.replicas[0].place_tracked(at(0), sec(30));
+        q.replicas[1].place_tracked(at(0), sec(8));
+        let (out, completion, _) = q.place_at(at(0), sec(5), &mut inj, Some(sec(2)));
+        assert_eq!(out.hedged, Some(false));
+        assert_eq!(out.queue, sec(8));
+        assert_eq!(completion, at(13));
+        assert_eq!(q.replicas[0].slots[0], at(30), "loser reverted");
+        assert_eq!(q.replicas[1].slots[0], at(13));
+
+        // Browned-out primary: the clean duplicate wins at 2 + 10 = 12 s,
+        // and the primary keeps only the 12 s it served before the cancel.
+        let mut inj = ServingFaultInjector::new(ServingFaultProfile::brownouts(1.0), 1);
+        let mut q = FleetBackend::new(1, 2);
+        let (out, completion, _) = q.place_at(at(0), sec(10), &mut inj, Some(sec(2)));
+        assert_eq!(out.hedged, Some(true));
+        assert_eq!(
+            out.slowdown,
+            SimDuration::ZERO,
+            "winner rode the clean path"
+        );
+        assert_eq!(completion, at(12));
+        assert_eq!(
+            q.replicas[0].slots[0],
+            at(12),
+            "cancelled at winner's finish"
+        );
+    }
+
+    #[test]
+    fn fleet_backend_matches_per_step_queueing_at_a_common_instant() {
+        // Same work sequence, same instant, no faults: the absolute-time
+        // pipeline degenerates to the per-step one (delays and queue bills
+        // agree), anchoring fleet mode to the validated scheduler.
+        let works = [7u64, 3, 11, 2, 9];
+        let mut legacy = BackendQueue::new(2, 2);
+        let mut fleet = FleetBackend::new(2, 2);
+        let mut inj_a = no_faults();
+        let mut inj_b = no_faults();
+        for w in works {
+            let a = legacy.place_at(at(0), sec(w), &mut inj_a, None);
+            let (b, completion, _) = fleet.place_at(at(0), sec(w), &mut inj_b, None);
+            assert_eq!(a.queue, b.queue);
+            assert_eq!(completion.duration_since(at(0)), b.queue + sec(w));
+        }
+        assert_eq!(legacy.delay(at(0)), fleet.delay(at(0)));
     }
 
     /// Total queue delay for `works` placed in order on `c` slots.

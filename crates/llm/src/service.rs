@@ -11,14 +11,16 @@
 //! the old module-owned layout in every serving mode — scheduling only
 //! re-attributes *time*, never *randomness*.
 
+use crate::clock::VirtualClock;
 use crate::engine::{LlmEngine, LlmError};
 use crate::fault::FaultProfile;
 use crate::latency::{amortize_latency, batch_latency, InferenceOpts};
 use crate::profile::ModelProfile;
 use crate::request::{LlmRequest, LlmResponse, Purpose};
 use crate::resilience::{InferenceEndpoint, ResilientEngine, RetryPolicy};
-use crate::scheduler::{BackendQueue, PlacementOutcome, ServingConfig};
+use crate::scheduler::{BackendQueue, FleetBackend, PlacementOutcome, ServingConfig};
 use crate::serving_faults::ServingFaultInjector;
+use crate::sim::{EventQueue, FleetConfig, FleetSummary, ScheduledEvent, SimEvent};
 use crate::tokenizer::Tokenizer;
 use embodied_profiler::{
     ResilienceStats, ServingFaultStats, ServingStats, SimDuration, SimInstant, TokenStats,
@@ -97,6 +99,10 @@ struct Tenant {
     engine: ResilientEngine,
     owner: TenantOwner,
     backend: usize,
+    /// Fleet episode scope the tenant belongs to (always 0 outside fleet
+    /// mode). Owner ids restart at 0 in every episode, so per-owner
+    /// queries must also match on scope when episodes share one service.
+    scope: usize,
 }
 
 struct Backend {
@@ -135,6 +141,89 @@ struct Window {
     members: Vec<WindowMember>,
 }
 
+/// Per-episode serving ledger of a fleet: the counters that in
+/// single-episode mode live directly on [`ServiceInner`], split per scope
+/// so each episode's report stays attributable under shared-stack load.
+#[derive(Debug, Clone, Default)]
+struct ScopeLedger {
+    stats: ServingStats,
+    fault_stats: ServingFaultStats,
+    hedge_usage: TokenStats,
+}
+
+/// Fleet-mode state: the global virtual clock, the typed event queue, and
+/// the absolute-time backends that replace per-step queues when N
+/// episodes share this service. `None` outside fleet mode — every legacy
+/// code path is untouched then (the byte-identity guarantee).
+struct FleetState {
+    config: FleetConfig,
+    clock: VirtualClock,
+    events: EventQueue,
+    /// Scope (episode index) whose tenants are currently executing.
+    scope: usize,
+    /// Per-scope global base instant: episode-local trace time `t` maps to
+    /// global instant `bases[scope] + t`.
+    bases: Vec<SimInstant>,
+    /// One absolute-time queue per backend, parallel to
+    /// `ServiceInner::backends`.
+    backends: Vec<FleetBackend>,
+    scopes: Vec<ScopeLedger>,
+    /// Placements currently decoding (incremented at placement,
+    /// decremented when the `DecodeFinish` event pops) — the fleet's
+    /// admission-control signal, replacing the per-step depth counter.
+    in_flight: u32,
+    peak_in_flight: u32,
+    sessions: u64,
+    decode_events: u64,
+    restarts: u64,
+    cross_episode_batches: u64,
+    events_processed: u64,
+    /// Submitting scope per open-window member, parallel to
+    /// `Window::members`.
+    window_scopes: Vec<usize>,
+}
+
+impl FleetState {
+    /// Episode-local instant `now` mapped onto the global fleet timeline.
+    fn globalize(&self, now: SimInstant) -> SimInstant {
+        self.bases[self.scope] + now.duration_since(SimInstant::EPOCH)
+    }
+}
+
+/// Counts one queueing observation into a stats ledger — shared by the
+/// legacy per-step path and every fleet scope so the two modes cannot
+/// drift in what they count.
+fn note_queue_into(stats: &mut ServingStats, queued: SimDuration) {
+    if !queued.is_zero() {
+        stats.queued += 1;
+        stats.queue_delay += queued;
+    }
+}
+
+/// Counts one placement's fault outcomes into a fault ledger — shared by
+/// both serving modes, same reasoning as [`note_queue_into`].
+fn note_placement_into(fault_stats: &mut ServingFaultStats, out: &PlacementOutcome) {
+    if out.crashed {
+        fault_stats.crashes += 1;
+    }
+    if out.failed_over {
+        fault_stats.failovers += 1;
+    }
+    if out.overflowed {
+        fault_stats.overflows += 1;
+    }
+    if out.slowed {
+        fault_stats.brownouts += 1;
+        fault_stats.slowdown_delay += out.slowdown;
+    }
+    fault_stats.failover_delay += out.failover_penalty;
+    match out.hedged {
+        Some(true) => fault_stats.hedges_won += 1,
+        Some(false) => fault_stats.hedges_wasted += 1,
+        None => {}
+    }
+}
+
 struct ServiceInner {
     config: ServingConfig,
     tenants: Vec<Tenant>,
@@ -148,6 +237,7 @@ struct ServiceInner {
     hedge_usage: TokenStats,
     tokenizer: Tokenizer,
     window: Option<Window>,
+    fleet: Option<FleetState>,
 }
 
 impl ServiceInner {
@@ -164,36 +254,22 @@ impl ServiceInner {
             queue: BackendQueue::new(self.config.concurrency, self.config.replicas),
             depth: 0,
         });
+        // Fleet mode keeps an absolute-time twin per backend.
+        if let Some(fleet) = &mut self.fleet {
+            fleet.backends.push(FleetBackend::new(
+                self.config.concurrency,
+                self.config.replicas,
+            ));
+        }
         self.backends.len() - 1
     }
 
     fn note_queue(&mut self, queued: SimDuration) {
-        if !queued.is_zero() {
-            self.stats.queued += 1;
-            self.stats.queue_delay += queued;
-        }
+        note_queue_into(&mut self.stats, queued);
     }
 
     fn note_placement(&mut self, out: &PlacementOutcome) {
-        if out.crashed {
-            self.fault_stats.crashes += 1;
-        }
-        if out.failed_over {
-            self.fault_stats.failovers += 1;
-        }
-        if out.overflowed {
-            self.fault_stats.overflows += 1;
-        }
-        if out.slowed {
-            self.fault_stats.brownouts += 1;
-            self.fault_stats.slowdown_delay += out.slowdown;
-        }
-        self.fault_stats.failover_delay += out.failover_penalty;
-        match out.hedged {
-            Some(true) => self.fault_stats.hedges_won += 1,
-            Some(false) => self.fault_stats.hedges_wasted += 1,
-            None => {}
-        }
+        note_placement_into(&mut self.fault_stats, out);
     }
 }
 
@@ -246,8 +322,112 @@ impl InferenceService {
                 hedge_usage: TokenStats::default(),
                 tokenizer: Tokenizer::default(),
                 window: None,
+                fleet: None,
             })),
         }
+    }
+
+    /// Switches the service into fleet mode for `episodes` concurrently
+    /// multiplexed episode scopes: backend queues move onto the global
+    /// virtual timeline, completions become `DecodeFinish` events, and
+    /// every counter splits per scope. Must be called before any tenant
+    /// registers (tenants are stamped with their scope at registration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if tenants are already registered.
+    pub fn enable_fleet(&self, config: FleetConfig, episodes: usize) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            inner.tenants.is_empty(),
+            "fleet mode must be enabled before tenants register"
+        );
+        let concurrency = inner.config.concurrency;
+        let replicas = inner.config.replicas;
+        inner.fleet = Some(FleetState {
+            config,
+            clock: VirtualClock::new(),
+            events: EventQueue::new(),
+            scope: 0,
+            bases: vec![SimInstant::EPOCH; episodes],
+            backends: inner
+                .backends
+                .iter()
+                .map(|_| FleetBackend::new(concurrency, replicas))
+                .collect(),
+            scopes: vec![ScopeLedger::default(); episodes],
+            in_flight: 0,
+            peak_in_flight: 0,
+            sessions: 0,
+            decode_events: 0,
+            restarts: 0,
+            cross_episode_batches: 0,
+            events_processed: 0,
+            window_scopes: Vec::new(),
+        });
+    }
+
+    /// Whether this service multiplexes episode scopes on one timeline.
+    pub fn fleet_enabled(&self) -> bool {
+        self.inner.borrow().fleet.is_some()
+    }
+
+    /// The fleet knobs this service was switched into fleet mode with
+    /// (fleet mode only).
+    pub fn fleet_config(&self) -> FleetConfig {
+        let inner = self.inner.borrow();
+        inner.fleet.as_ref().expect("fleet mode not enabled").config
+    }
+
+    /// Sets the episode scope whose tenants are about to execute — the
+    /// fleet runner calls this before stepping an episode and before
+    /// reading its scoped reports.
+    pub fn set_fleet_scope(&self, scope: usize) {
+        let mut inner = self.inner.borrow_mut();
+        let fleet = inner.fleet.as_mut().expect("fleet mode not enabled");
+        assert!(scope < fleet.bases.len(), "scope out of range");
+        fleet.scope = scope;
+    }
+
+    /// Anchors `scope`'s episode-local time zero at global instant `base`
+    /// (its admission instant): local trace time `t` maps to `base + t`.
+    pub fn set_scope_base(&self, scope: usize, base: SimInstant) {
+        let mut inner = self.inner.borrow_mut();
+        let fleet = inner.fleet.as_mut().expect("fleet mode not enabled");
+        fleet.bases[scope] = base;
+        fleet.sessions += 1;
+    }
+
+    /// Schedules a fleet event at global instant `at`, returning its
+    /// sequence id (the deterministic same-instant tie-breaker).
+    pub fn push_fleet_event(&self, at: SimInstant, event: SimEvent) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        let fleet = inner.fleet.as_mut().expect("fleet mode not enabled");
+        fleet.events.push(at, event)
+    }
+
+    /// Pops fleet events in `(virtual-time, sequence-id)` order, advancing
+    /// the global clock to each. Substrate bookkeeping events —
+    /// `DecodeFinish` (in-flight gauge down) and `ReplicaRestart` — are
+    /// consumed internally; the first orchestration event (arrival, step
+    /// ready, window close) is returned to the runner. `None` when the
+    /// queue drains.
+    pub fn pop_fleet_event(&self) -> Option<ScheduledEvent> {
+        let mut inner = self.inner.borrow_mut();
+        let fleet = inner.fleet.as_mut().expect("fleet mode not enabled");
+        while let Some(ev) = fleet.events.pop() {
+            fleet.clock.advance_to(ev.at);
+            fleet.events_processed += 1;
+            match ev.event {
+                SimEvent::DecodeFinish { .. } => {
+                    fleet.in_flight = fleet.in_flight.saturating_sub(1);
+                    fleet.decode_events += 1;
+                }
+                SimEvent::ReplicaRestart { .. } => fleet.restarts += 1,
+                _ => return Some(ev),
+            }
+        }
+        None
     }
 
     /// The scheduling configuration this service was built with.
@@ -262,10 +442,12 @@ impl InferenceService {
         let profile = engine.profile().clone();
         let mut inner = self.inner.borrow_mut();
         let backend = inner.backend_for(&profile);
+        let scope = inner.fleet.as_ref().map_or(0, |f| f.scope);
         inner.tenants.push(Tenant {
             engine,
             owner,
             backend,
+            scope,
         });
         let tenant = inner.tenants.len() - 1;
         drop(inner);
@@ -287,6 +469,12 @@ impl InferenceService {
     /// crashed replica stays down until its simulated restart instant.
     pub fn begin_step(&self) {
         let mut inner = self.inner.borrow_mut();
+        if inner.fleet.is_some() {
+            // The fleet timeline is continuous: episode step boundaries
+            // are local conveniences, not global synchronization barriers,
+            // so nothing resets.
+            return;
+        }
         for b in &mut inner.backends {
             b.queue.reset();
             b.depth = 0;
@@ -306,8 +494,57 @@ impl InferenceService {
     ) -> ServeOutcome {
         let mut guard = self.inner.borrow_mut();
         let inner = &mut *guard;
-        inner.stats.cohort_requests += 1;
         let backend = inner.tenants[tenant].backend;
+        let scope = inner.tenants[tenant].scope;
+        if let Some(fleet) = &mut inner.fleet {
+            // Fleet path: place on the absolute-time twin at the global
+            // instant, schedule the completion as a DecodeFinish event,
+            // and ledger everything per scope.
+            let gnow = fleet.globalize(now);
+            fleet.clock.advance_to(gnow);
+            let (out, completion, restart) = fleet.backends[backend].place_at(
+                gnow,
+                response.latency,
+                &mut inner.injector,
+                inner.config.hedge_after,
+            );
+            fleet
+                .events
+                .push(completion, SimEvent::DecodeFinish { backend });
+            if let Some((replica, restart_at)) = restart {
+                fleet
+                    .events
+                    .push(restart_at, SimEvent::ReplicaRestart { backend, replica });
+            }
+            fleet.in_flight += 1;
+            fleet.peak_in_flight = fleet.peak_in_flight.max(fleet.in_flight);
+            let ledger = &mut fleet.scopes[scope];
+            ledger.stats.cohort_requests += 1;
+            note_placement_into(&mut ledger.fault_stats, &out);
+            if out.hedged.is_some() {
+                ledger.hedge_usage.record(
+                    response.prompt_tokens,
+                    response.output_tokens,
+                    response.cost_usd,
+                );
+                ledger.fault_stats.hedge_tokens += response.prompt_tokens + response.output_tokens;
+                ledger.fault_stats.hedge_cost_usd += response.cost_usd;
+            }
+            if let Some(deadline) = inner.config.deadline {
+                ledger.fault_stats.slo_total += 1;
+                if out.queue + out.slowdown + response.latency <= deadline {
+                    ledger.fault_stats.slo_met += 1;
+                }
+            }
+            note_queue_into(&mut ledger.stats, out.queue + out.slowdown);
+            return ServeOutcome {
+                queue: out.queue,
+                slowdown: out.slowdown,
+                failover: out.failover_penalty,
+                hedged: out.hedged,
+            };
+        }
+        inner.stats.cohort_requests += 1;
         inner.backends[backend].depth += 1;
         let out = inner.backends[backend].queue.place_at(
             now,
@@ -348,8 +585,18 @@ impl InferenceService {
     /// is already accounted sequentially by the caller. Draws no faults.
     pub fn queue_solo(&self, tenant: TenantId, now: SimInstant) -> SimDuration {
         let mut inner = self.inner.borrow_mut();
-        inner.stats.solo_requests += 1;
         let backend = inner.tenants[tenant].backend;
+        let scope = inner.tenants[tenant].scope;
+        if let Some(fleet) = &mut inner.fleet {
+            let gnow = fleet.globalize(now);
+            fleet.clock.advance_to(gnow);
+            let queued = fleet.backends[backend].delay(gnow);
+            let ledger = &mut fleet.scopes[scope];
+            ledger.stats.solo_requests += 1;
+            note_queue_into(&mut ledger.stats, queued);
+            return queued;
+        }
+        inner.stats.solo_requests += 1;
         inner.backends[backend].depth += 1;
         let queued = inner.backends[backend].queue.delay(now);
         inner.note_queue(queued);
@@ -363,9 +610,14 @@ impl InferenceService {
     ///
     /// # Panics
     ///
-    /// Panics if a window is already open — windows never nest.
+    /// Panics if a window is already open — windows never nest. Exception:
+    /// in fleet mode concurrent episodes *join* the open window (that is
+    /// the cross-episode batch), so a second open is a no-op there.
     pub fn open_window(&self, opts: InferenceOpts, shared_prefix: &str) {
         let mut inner = self.inner.borrow_mut();
+        if inner.fleet.is_some() && inner.window.is_some() {
+            return;
+        }
         assert!(inner.window.is_none(), "serving windows cannot nest");
         let prefix_tokens = inner.tokenizer.count(shared_prefix);
         inner.window = Some(Window {
@@ -388,12 +640,25 @@ impl InferenceService {
     /// Panics if no window is open.
     pub fn window_add(&self, tenant: TenantId, response: &LlmResponse) {
         let mut inner = self.inner.borrow_mut();
+        let scope = inner.tenants[tenant].scope;
+        if let Some(fleet) = &mut inner.fleet {
+            fleet.window_scopes.push(scope);
+        }
         let window = inner.window.as_mut().expect("no serving window open");
         window.members.push(WindowMember {
             tenant,
             prompt_tokens: response.prompt_tokens,
             output_tokens: response.output_tokens,
         });
+    }
+
+    /// Number of members collected by the open window (0 when closed).
+    pub fn window_len(&self) -> usize {
+        self.inner
+            .borrow()
+            .window
+            .as_ref()
+            .map_or(0, |w| w.members.len())
     }
 
     /// Closes the window at simulated instant `now`: groups members by
@@ -476,26 +741,162 @@ impl InferenceService {
         shares
     }
 
-    /// Serving-layer counters accumulated so far.
-    pub fn stats(&self) -> ServingStats {
-        self.inner.borrow().stats
+    /// Fleet-mode window close at global instant `gnow`: same grouping,
+    /// prefix-cache and amortization logic as
+    /// [`InferenceService::close_window`], but placements go on the
+    /// absolute-time backends (completions become `DecodeFinish` events),
+    /// counters ledger into each member's episode scope, and a batch whose
+    /// members span two or more scopes counts as a cross-episode batch —
+    /// the effect the per-episode loop cannot express. Returns
+    /// `(scope, share)` per member in submission order.
+    pub fn close_fleet_window(&self, gnow: SimInstant) -> Vec<(usize, WindowShare)> {
+        let mut guard = self.inner.borrow_mut();
+        let inner = &mut *guard;
+        let fleet = inner.fleet.as_mut().expect("fleet mode not enabled");
+        fleet.clock.advance_to(gnow);
+        let window = inner.window.take().expect("no serving window open");
+        let member_scopes = std::mem::take(&mut fleet.window_scopes);
+        debug_assert_eq!(member_scopes.len(), window.members.len());
+        let mut shares = vec![
+            (
+                0usize,
+                WindowShare {
+                    share: SimDuration::ZERO,
+                    queue: SimDuration::ZERO,
+                },
+            );
+            window.members.len()
+        ];
+        for backend_idx in 0..inner.backends.len() {
+            // Deterministic batch order: scope, then tenant id, then
+            // submission order (tenant ids are globally unique, but the
+            // scope key keeps composition stable if that ever changes).
+            let mut group: Vec<usize> = (0..window.members.len())
+                .filter(|&m| inner.tenants[window.members[m].tenant].backend == backend_idx)
+                .collect();
+            group.sort_by_key(|&m| (member_scopes[m], window.members[m].tenant, m));
+            if group.is_empty() {
+                continue;
+            }
+            let lead_scope = member_scopes[group[0]];
+            if group.iter().any(|&m| member_scopes[m] != lead_scope) {
+                fleet.cross_episode_batches += 1;
+            }
+            let mut sized = Vec::with_capacity(group.len());
+            for (j, &m) in group.iter().enumerate() {
+                let member = &window.members[m];
+                let reused = if j == 0 {
+                    0 // first arrival pays the full prefill, warming the cache
+                } else {
+                    window
+                        .prefix_tokens
+                        .min(member.prompt_tokens.saturating_sub(1))
+                };
+                if reused > 0 {
+                    let ledger = &mut fleet.scopes[member_scopes[m]];
+                    ledger.stats.prefix_hits += 1;
+                    ledger.stats.prefix_reused_tokens += reused;
+                }
+                sized.push((member.prompt_tokens - reused, member.output_tokens));
+            }
+            let profile = inner.backends[backend_idx].profile.clone();
+            let total = batch_latency(&profile, &sized, window.opts);
+            let weights: Vec<u64> = sized.iter().map(|&(pt, ot)| pt + ot).collect();
+            let amortized = amortize_latency(total, &weights);
+            let (out, completion, restart) =
+                fleet.backends[backend_idx].place_at(gnow, total, &mut inner.injector, None);
+            fleet.events.push(
+                completion,
+                SimEvent::DecodeFinish {
+                    backend: backend_idx,
+                },
+            );
+            if let Some((replica, restart_at)) = restart {
+                fleet.events.push(
+                    restart_at,
+                    SimEvent::ReplicaRestart {
+                        backend: backend_idx,
+                        replica,
+                    },
+                );
+            }
+            fleet.in_flight += 1;
+            fleet.peak_in_flight = fleet.peak_in_flight.max(fleet.in_flight);
+            note_placement_into(&mut fleet.scopes[lead_scope].fault_stats, &out);
+            fleet.scopes[lead_scope].stats.batches += 1;
+            for &m in &group {
+                fleet.scopes[member_scopes[m]].stats.batched_requests += 1;
+            }
+            // Serving-side overheads ride the leading member's wait, so
+            // they ledger into the lead's scope — same single-span rule as
+            // the per-step path, now across episodes.
+            let lead_wait = out.queue + out.slowdown + out.failover_penalty;
+            note_queue_into(&mut fleet.scopes[lead_scope].stats, lead_wait);
+            if let Some(deadline) = inner.config.deadline {
+                for &m in &group {
+                    let ledger = &mut fleet.scopes[member_scopes[m]];
+                    ledger.fault_stats.slo_total += 1;
+                    if lead_wait + total <= deadline {
+                        ledger.fault_stats.slo_met += 1;
+                    }
+                }
+            }
+            for (j, &m) in group.iter().enumerate() {
+                shares[m] = (
+                    member_scopes[m],
+                    WindowShare {
+                        share: amortized[j],
+                        queue: if j == 0 { lead_wait } else { SimDuration::ZERO },
+                    },
+                );
+            }
+        }
+        shares
     }
 
-    /// Merged token usage of every tenant registered to `owner`.
+    /// Serving-layer counters accumulated so far. In fleet mode this is
+    /// the merge across every episode scope.
+    pub fn stats(&self) -> ServingStats {
+        let inner = self.inner.borrow();
+        if let Some(fleet) = &inner.fleet {
+            let mut total = ServingStats::default();
+            for ledger in &fleet.scopes {
+                total.merge(&ledger.stats);
+            }
+            return total;
+        }
+        inner.stats
+    }
+
+    /// Merged token usage of every tenant registered to `owner`. In fleet
+    /// mode, owners repeat across episodes (agent ids restart at 0), so
+    /// the query is additionally scoped to the current fleet scope.
     pub fn usage_for(&self, owner: TenantOwner) -> TokenStats {
         let inner = self.inner.borrow();
+        let scope = inner.fleet.as_ref().map(|f| f.scope);
         let mut total = TokenStats::default();
-        for t in inner.tenants.iter().filter(|t| t.owner == owner) {
+        for t in inner
+            .tenants
+            .iter()
+            .filter(|t| t.owner == owner && scope.is_none_or(|s| t.scope == s))
+        {
             total.merge(&t.engine.usage());
         }
         total
     }
 
-    /// Merged resilience counters of every tenant registered to `owner`.
+    /// Merged resilience counters of every tenant registered to `owner`
+    /// (scoped to the current fleet scope in fleet mode, like
+    /// [`InferenceService::usage_for`]).
     pub fn resilience_for(&self, owner: TenantOwner) -> ResilienceStats {
         let inner = self.inner.borrow();
+        let scope = inner.fleet.as_ref().map(|f| f.scope);
         let mut total = ResilienceStats::default();
-        for t in inner.tenants.iter().filter(|t| t.owner == owner) {
+        for t in inner
+            .tenants
+            .iter()
+            .filter(|t| t.owner == owner && scope.is_none_or(|s| t.scope == s))
+        {
             total.merge(&t.engine.stats());
         }
         total
@@ -515,9 +916,18 @@ impl InferenceService {
     }
 
     /// Serving-fault counters accumulated so far (crashes, failovers,
-    /// hedges, sheds, deadline misses, SLO attainment).
+    /// hedges, sheds, deadline misses, SLO attainment). In fleet mode this
+    /// is the merge across every episode scope.
     pub fn fault_stats(&self) -> ServingFaultStats {
-        self.inner.borrow().fault_stats
+        let inner = self.inner.borrow();
+        if let Some(fleet) = &inner.fleet {
+            let mut total = inner.fault_stats;
+            for ledger in &fleet.scopes {
+                total.merge(&ledger.fault_stats);
+            }
+            return total;
+        }
+        inner.fault_stats
     }
 
     /// Merged resilience counters across every tenant.
@@ -528,6 +938,64 @@ impl InferenceService {
             total.merge(&t.engine.stats());
         }
         total
+    }
+
+    /// One episode scope's serving counters (fleet mode only).
+    pub fn scope_stats(&self, scope: usize) -> ServingStats {
+        let inner = self.inner.borrow();
+        let fleet = inner.fleet.as_ref().expect("fleet mode not enabled");
+        fleet.scopes[scope].stats
+    }
+
+    /// One episode scope's serving-fault counters (fleet mode only).
+    /// Sheds and deadline misses are drawn at the engine boundary where
+    /// the scope is ambient, so they ledger into the *current* scope —
+    /// call with the scope still active.
+    pub fn scope_fault_stats(&self, scope: usize) -> ServingFaultStats {
+        let inner = self.inner.borrow();
+        let fleet = inner.fleet.as_ref().expect("fleet mode not enabled");
+        fleet.scopes[scope].fault_stats
+    }
+
+    /// Merged token usage of one episode scope's tenants plus its hedge
+    /// premium — the fleet-mode analogue of
+    /// [`InferenceService::total_usage`].
+    pub fn total_usage_for_scope(&self, scope: usize) -> TokenStats {
+        let inner = self.inner.borrow();
+        let fleet = inner.fleet.as_ref().expect("fleet mode not enabled");
+        let mut total = TokenStats::default();
+        for t in inner.tenants.iter().filter(|t| t.scope == scope) {
+            total.merge(&t.engine.usage());
+        }
+        total.merge(&fleet.scopes[scope].hedge_usage);
+        total
+    }
+
+    /// Merged resilience counters of one episode scope's tenants.
+    pub fn total_resilience_for_scope(&self, scope: usize) -> ResilienceStats {
+        let inner = self.inner.borrow();
+        assert!(inner.fleet.is_some(), "fleet mode not enabled");
+        let mut total = ResilienceStats::default();
+        for t in inner.tenants.iter().filter(|t| t.scope == scope) {
+            total.merge(&t.engine.stats());
+        }
+        total
+    }
+
+    /// Fleet-level counters: what the shared substrate saw across every
+    /// episode scope (fleet mode only).
+    pub fn fleet_summary(&self) -> FleetSummary {
+        let inner = self.inner.borrow();
+        let fleet = inner.fleet.as_ref().expect("fleet mode not enabled");
+        FleetSummary {
+            sessions: fleet.sessions,
+            events: fleet.events_processed,
+            peak_in_flight: fleet.peak_in_flight,
+            decode_events: fleet.decode_events,
+            restarts: fleet.restarts,
+            cross_episode_batches: fleet.cross_episode_batches,
+            makespan: fleet.clock.elapsed(),
+        }
     }
 
     fn with_engine<R>(&self, tenant: TenantId, f: impl FnOnce(&mut ResilientEngine) -> R) -> R {
@@ -546,7 +1014,14 @@ impl InferenceService {
             let mut inner = self.inner.borrow_mut();
             let shed_depth = inner.config.shed_depth;
             if shed_depth > 0 {
-                let depth = inner.backends[inner.tenants[tenant].backend].depth;
+                // Admission signal: per-step placements in legacy mode; in
+                // fleet mode the live in-flight gauge (placements whose
+                // DecodeFinish has not popped yet) — the continuous-time
+                // analogue of the same backlog.
+                let depth = match &inner.fleet {
+                    Some(fleet) => fleet.in_flight,
+                    None => inner.backends[inner.tenants[tenant].backend].depth,
+                };
                 // Low-priority purposes shed first; everything sheds once
                 // the backlog doubles past the threshold.
                 let low_priority = matches!(
@@ -554,7 +1029,11 @@ impl InferenceService {
                     Purpose::Reflection | Purpose::Communication | Purpose::Summarization
                 );
                 if depth >= shed_depth * 2 || (low_priority && depth >= shed_depth) {
-                    inner.fault_stats.shed += 1;
+                    let scope = inner.tenants[tenant].scope;
+                    match &mut inner.fleet {
+                        Some(fleet) => fleet.scopes[scope].fault_stats.shed += 1,
+                        None => inner.fault_stats.shed += 1,
+                    }
                     return Err(LlmError::Shed);
                 }
             }
@@ -567,7 +1046,11 @@ impl InferenceService {
                     // The caller abandoned the call at the deadline, but
                     // the simulated wall-clock it burned is real: bill it
                     // as stall so the trace stays time-conserving.
-                    inner.fault_stats.deadline_misses += 1;
+                    let scope = inner.tenants[tenant].scope;
+                    match &mut inner.fleet {
+                        Some(fleet) => fleet.scopes[scope].fault_stats.deadline_misses += 1,
+                        None => inner.fault_stats.deadline_misses += 1,
+                    }
                     inner.tenants[tenant].engine.add_stall(resp.latency);
                     return Err(LlmError::DeadlineExceeded);
                 }
@@ -1053,6 +1536,117 @@ mod tests {
         assert_eq!(usage.calls, 1);
         assert_eq!(usage.prompt_tokens, 100);
         assert_eq!(usage.completion_tokens, 50);
+    }
+
+    #[test]
+    fn fleet_cohorts_queue_across_episode_scopes() {
+        // Two episode scopes, one slot: scope 1's placement queues behind
+        // scope 0's in-flight work — contention no per-episode service
+        // can produce — and the completion surfaces as a DecodeFinish.
+        let service = InferenceService::new(ServingConfig::limited(1));
+        service.enable_fleet(FleetConfig::default(), 2);
+        assert!(service.fleet_enabled());
+        let a = handle(&service, 1, TenantOwner::Agent(0));
+        service.set_fleet_scope(1);
+        let b = handle(&service, 2, TenantOwner::Agent(0));
+        service.set_scope_base(0, T0);
+        service.set_scope_base(1, T0 + SimDuration::from_secs(2));
+        let work = SimDuration::from_secs(10);
+        service.set_fleet_scope(0);
+        let out = service.submit_cohort(a.tenant(), T0, &resp(work));
+        assert_eq!(out.queue, SimDuration::ZERO);
+        // Scope 1 submits at its local T0 = global 2 s: 8 s of scope 0's
+        // work is still in flight.
+        service.set_fleet_scope(1);
+        let out = service.submit_cohort(b.tenant(), T0, &resp(work));
+        assert_eq!(out.queue, SimDuration::from_secs(8));
+        // begin_step is a no-op in fleet mode: nothing resets.
+        service.begin_step();
+        service.set_fleet_scope(0);
+        assert!(service.queue_solo(a.tenant(), T0) > SimDuration::ZERO);
+        // Per-scope ledgers saw one cohort each; scope 1's cohort queued,
+        // and scope 0's solo follow-up above queued too.
+        assert_eq!(service.scope_stats(0).cohort_requests, 1);
+        assert_eq!(service.scope_stats(1).cohort_requests, 1);
+        assert_eq!(service.scope_stats(0).solo_requests, 1);
+        assert_eq!(service.scope_stats(0).queued, 1);
+        assert_eq!(service.scope_stats(1).queued, 1);
+        // Draining the queue consumes both DecodeFinish events.
+        assert!(service.pop_fleet_event().is_none());
+        let summary = service.fleet_summary();
+        assert_eq!(summary.sessions, 2);
+        assert_eq!(summary.decode_events, 2);
+        assert_eq!(summary.peak_in_flight, 2);
+        assert_eq!(summary.makespan, SimDuration::from_secs(20), "last finish");
+    }
+
+    #[test]
+    fn fleet_window_batches_across_scopes() {
+        // Members from two scopes join one window: the close counts a
+        // cross-episode batch and attributes shares per scope.
+        let service = InferenceService::new(ServingConfig::batched());
+        service.enable_fleet(FleetConfig::default(), 2);
+        let mut a = handle(&service, 5, TenantOwner::Agent(0));
+        service.set_fleet_scope(1);
+        let mut b = handle(&service, 6, TenantOwner::Agent(0));
+        service.set_scope_base(0, T0);
+        service.set_scope_base(1, T0);
+        service.set_fleet_scope(0);
+        service.open_window(InferenceOpts::default(), "shared preamble");
+        // A second open from another scope joins instead of panicking.
+        service.set_fleet_scope(1);
+        service.open_window(InferenceOpts::default(), "shared preamble");
+        assert!(service.window_is_open());
+        service.set_fleet_scope(0);
+        let ra = a.infer(req("scope zero plans")).unwrap();
+        service.window_add(a.tenant(), &ra);
+        service.set_fleet_scope(1);
+        let rb = b.infer(req("scope one plans")).unwrap();
+        service.window_add(b.tenant(), &rb);
+        assert_eq!(service.window_len(), 2);
+        let shares = service.close_fleet_window(T0 + SimDuration::from_secs(1));
+        assert_eq!(shares.len(), 2);
+        assert_eq!(shares[0].0, 0, "submission order preserved");
+        assert_eq!(shares[1].0, 1);
+        assert!(!service.window_is_open());
+        let summary = service.fleet_summary();
+        assert_eq!(summary.cross_episode_batches, 1);
+        // batches ledger on the lead scope; each member bills its own.
+        assert_eq!(service.scope_stats(0).batches, 1);
+        assert_eq!(service.scope_stats(1).batches, 0);
+        assert_eq!(service.scope_stats(0).batched_requests, 1);
+        assert_eq!(service.scope_stats(1).batched_requests, 1);
+        assert_eq!(
+            service.scope_stats(1).prefix_hits,
+            1,
+            "joiner reuses prefix"
+        );
+        // Scoped usage separates the two agents sharing owner id 0.
+        assert_eq!(service.total_usage_for_scope(0).calls, 1);
+        assert_eq!(service.total_usage_for_scope(1).calls, 1);
+        service.set_fleet_scope(0);
+        assert_eq!(service.usage_for(TenantOwner::Agent(0)).calls, 1);
+    }
+
+    #[test]
+    fn fleet_events_replay_through_the_service() {
+        let service = InferenceService::new(ServingConfig::limited(1));
+        service.enable_fleet(FleetConfig::default(), 1);
+        let t = |s| T0 + SimDuration::from_secs(s);
+        service.push_fleet_event(t(5), SimEvent::AgentStepReady { episode: 0 });
+        service.push_fleet_event(t(5), SimEvent::RequestArrival { episode: 0 });
+        service.push_fleet_event(t(1), SimEvent::BatchWindowClose);
+        let order: Vec<SimEvent> =
+            std::iter::from_fn(|| service.pop_fleet_event().map(|e| e.event)).collect();
+        assert_eq!(
+            order,
+            vec![
+                SimEvent::BatchWindowClose,
+                SimEvent::AgentStepReady { episode: 0 },
+                SimEvent::RequestArrival { episode: 0 },
+            ],
+            "time order, then push order on ties"
+        );
     }
 
     #[test]

@@ -168,6 +168,19 @@ impl Trace {
     pub fn step_spans(&self, step: usize) -> impl Iterator<Item = &Span> {
         self.spans.iter().filter(move |s| s.step == step)
     }
+
+    /// Whether span start instants never go backwards along the log — the
+    /// trace-monotonicity invariant.
+    ///
+    /// Recording stamps every span at the clock's current instant and
+    /// only ever advances the clock, so this holds by construction for a
+    /// trace driven through [`Trace::record`]; concurrent batches from
+    /// [`Trace::record_parallel`] share one start (equal is fine,
+    /// backwards is not). The fleet runner asserts it on every finished
+    /// episode, pinning the virtual-time refactor to the same invariant.
+    pub fn is_start_monotone(&self) -> bool {
+        self.spans.windows(2).all(|w| w[0].start <= w[1].start)
+    }
 }
 
 #[cfg(test)]
@@ -250,6 +263,34 @@ mod tests {
         let mut t = Trace::new();
         t.record_parallel(ModuleKind::Planning, Phase::LlmInference, &[]);
         assert_eq!(t.elapsed(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn start_monotonicity_holds_and_detects_violations() {
+        let mut t = Trace::new();
+        assert!(t.is_start_monotone(), "empty trace is trivially monotone");
+        t.record(ModuleKind::Sensing, Phase::Encoding, 0, sec(1));
+        t.record_parallel(
+            ModuleKind::Planning,
+            Phase::LlmInference,
+            &[(0, sec(4)), (1, sec(2))],
+        );
+        t.record(ModuleKind::Execution, Phase::Actuation, 0, sec(1));
+        assert!(
+            t.is_start_monotone(),
+            "sequential and parallel recording never rewind the clock"
+        );
+        // A hand-built regression: an out-of-order span must be caught.
+        let mut broken = t.clone();
+        broken.spans.push(Span {
+            module: ModuleKind::Memory,
+            phase: Phase::Retrieval,
+            agent: 0,
+            step: 0,
+            start: SimInstant::EPOCH,
+            duration: sec(1),
+        });
+        assert!(!broken.is_start_monotone());
     }
 
     #[test]

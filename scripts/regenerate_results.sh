@@ -43,6 +43,12 @@ EMBODIED_EPISODES="${EMBODIED_SLO_EPISODES:-6}" ./target/release/slo_sweep > /de
 echo "== embodied_fault_sweep =="
 EMBODIED_EPISODES="${EMBODIED_ENV_EPISODES:-8}" ./target/release/embodied_fault_sweep > /dev/null
 
+# Contention sweep: virtual-time fleet — episodes-in-flight × concurrency ×
+# batching on one shared serving stack. Each grid cell is a whole fleet run,
+# so cells (not episodes) fan out across EMBODIED_JOBS.
+echo "== contention_sweep =="
+./target/release/contention_sweep > /dev/null
+
 # Adversarial scenario evolution: 4 paradigms × 7 evaluation rounds of a
 # 12-genotype population. Sized by its own flags, not EMBODIED_EPISODES.
 # Deliberately run WITHOUT --write-fixtures: the pinned fixtures under

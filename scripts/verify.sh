@@ -45,6 +45,12 @@ EMBODIED_JOBS=4 cargo test --release -q -p embodied-bench --test slo_determinism
 echo "== embodied fault determinism (EMBODIED_JOBS=4) =="
 EMBODIED_JOBS=4 cargo test --release -q -p embodied-bench --test embodied_fault_determinism
 
+echo "== fleet determinism (EMBODIED_JOBS=1) =="
+EMBODIED_JOBS=1 cargo test --release -q -p embodied-bench --test fleet_determinism
+
+echo "== fleet determinism (EMBODIED_JOBS=4) =="
+EMBODIED_JOBS=4 cargo test --release -q -p embodied-bench --test fleet_determinism
+
 echo "== resilience integration tests =="
 cargo test --release -q --test resilience --test fault_properties --test guardrail_properties
 
@@ -71,6 +77,10 @@ echo "== embodied_fault_sweep --smoke (scratch dir; canonical results untouched)
 cargo build --release -q -p embodied-bench --bin embodied_fault_sweep
 (cd "$smoke_dir" && "$repo_root/target/release/embodied_fault_sweep" --smoke > /dev/null)
 
+echo "== contention_sweep --smoke (scratch dir; canonical results untouched) =="
+cargo build --release -q -p embodied-bench --bin contention_sweep
+(cd "$smoke_dir" && "$repo_root/target/release/contention_sweep" --smoke > /dev/null)
+
 echo "== scenario_evolve --smoke (scratch dir; canonical results untouched) =="
 cargo build --release -q -p embodied-bench --bin scenario_evolve
 (cd "$smoke_dir" && "$repo_root/target/release/scenario_evolve" --smoke > /dev/null)
@@ -84,6 +94,9 @@ cargo run --release -q -p embodied-bench --bin bench_all -- --smoke
 if [ "$run_bench" -eq 1 ]; then
   echo "== bench smoke: criterion step_loop (quick mode) =="
   CRITERION_SHIM_ITERS=5 cargo bench -q -p embodied-bench --bench step_loop
+
+  echo "== bench smoke: criterion event_queue (quick mode) =="
+  CRITERION_SHIM_ITERS=5 cargo bench -q -p embodied-bench --bench event_queue
 
   echo "== bench smoke: step_throughput --smoke (±20% vs checked-in baseline) =="
   cargo build --release -q -p embodied-bench --bin step_throughput
